@@ -1,0 +1,413 @@
+// Package energysched_test is the benchmark harness: one benchmark per
+// paper claim (regenerating the tables of EXPERIMENTS.md via the
+// drivers in internal/experiments) plus micro-benchmarks of every
+// solver substrate.
+//
+// Run: go test -bench=. -benchmem
+package energysched_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"energysched/internal/closedform"
+	"energysched/internal/convex"
+	"energysched/internal/dag"
+	"energysched/internal/discrete"
+	"energysched/internal/experiments"
+	"energysched/internal/faultsim"
+	"energysched/internal/listsched"
+	"energysched/internal/lp"
+	"energysched/internal/model"
+	"energysched/internal/platform"
+	"energysched/internal/schedule"
+	"energysched/internal/tricrit"
+	"energysched/internal/vdd"
+	"energysched/internal/workload"
+)
+
+// --- Claim benchmarks: each regenerates one table of EXPERIMENTS.md ---
+
+func benchReport(b *testing.B, run func() *experiments.Report) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep := run()
+		if rep == nil || rep.Table == nil {
+			b.Fatal("driver returned no table")
+		}
+	}
+}
+
+func Benchmark_E01_ForkClosedForm(b *testing.B)   { benchReport(b, experiments.E01ForkClosedForm) }
+func Benchmark_E02_SeriesParallel(b *testing.B)   { benchReport(b, experiments.E02SeriesParallel) }
+func Benchmark_E03_ContinuousDAG(b *testing.B)    { benchReport(b, experiments.E03ContinuousDAG) }
+func Benchmark_E04_ChainTriCrit(b *testing.B)     { benchReport(b, experiments.E04ChainTriCrit) }
+func Benchmark_E05_ForkTriCrit(b *testing.B)      { benchReport(b, experiments.E05ForkTriCrit) }
+func Benchmark_E06_VddLP(b *testing.B)            { benchReport(b, experiments.E06VddLP) }
+func Benchmark_E07_DiscreteHardness(b *testing.B) { benchReport(b, experiments.E07DiscreteHardness) }
+func Benchmark_E08_IncrementalApprox(b *testing.B) {
+	benchReport(b, experiments.E08IncrementalApprox)
+}
+func Benchmark_E09_ModelHierarchy(b *testing.B) { benchReport(b, experiments.E09ModelHierarchy) }
+func Benchmark_E10_TwoSpeeds(b *testing.B)      { benchReport(b, experiments.E10TwoSpeeds) }
+func Benchmark_E11_VddTriCrit(b *testing.B)     { benchReport(b, experiments.E11VddTriCrit) }
+func Benchmark_E12_HeuristicSweep(b *testing.B) { benchReport(b, experiments.E12HeuristicSweep) }
+func Benchmark_E13_FaultSim(b *testing.B)       { benchReport(b, experiments.E13FaultSim) }
+func Benchmark_E14_DeadlineSweep(b *testing.B)  { benchReport(b, experiments.E14DeadlineSweep) }
+func Benchmark_E15_ListSchedule(b *testing.B)   { benchReport(b, experiments.E15ListSchedule) }
+func Benchmark_E16_Replication(b *testing.B) {
+	benchReport(b, experiments.E16ReplicationVsReexec)
+}
+func Benchmark_E17_DPvsBB(b *testing.B) { benchReport(b, experiments.E17DPvsBranchAndBound) }
+
+// --- Solver micro-benchmarks ---
+
+func BenchmarkSimplexSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n, m := 40, 25
+	p := &lp.Problem{NumVars: n, Objective: make([]float64, n)}
+	x0 := make([]float64, n)
+	for j := range x0 {
+		x0[j] = rng.Float64() * 5
+		p.Objective[j] = rng.Float64() + 0.1
+	}
+	for k := 0; k < m; k++ {
+		coeffs := make([]float64, n)
+		dot := 0.0
+		for j := range coeffs {
+			coeffs[j] = rng.Float64()*2 - 0.5
+			dot += coeffs[j] * x0[j]
+		}
+		p.AddConstraint(coeffs, lp.LE, dot+1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lp.Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConvexSolve64Tasks(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := workload.Layered(rng, 64, 8, 0.2, workload.UniformWeights)
+	mp := mustMap(b, g, 8)
+	cg, err := mp.ConstraintGraph(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo := make([]float64, g.N())
+	hi := make([]float64, g.N())
+	for i := range lo {
+		lo[i], hi[i] = 0, 1
+	}
+	durs := make([]float64, g.N())
+	for i := range durs {
+		durs[i] = g.Weight(i)
+	}
+	_, cp, _ := cg.LongestPath(durs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := convex.MinimizeEnergy(cg, cp*2, g.Weights(), lo, hi, convex.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVddLP32Tasks(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := workload.Layered(rng, 32, 6, 0.2, workload.UniformWeights)
+	mp := mustMap(b, g, 4)
+	sm, _ := model.NewVddHopping(model.XScaleLevels())
+	cg, _ := mp.ConstraintGraph(g)
+	durs := make([]float64, g.N())
+	for i := range durs {
+		durs[i] = g.Weight(i)
+	}
+	_, cp, _ := cg.LongestPath(durs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vdd.SolveBiCrit(g, mp, sm, cp*2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiscreteExact12Tasks(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	g := workload.Chain(rng, 12, workload.UniformWeights)
+	mp := mustMap(b, g, 1)
+	sm, _ := model.NewDiscrete(model.XScaleLevels())
+	D := g.TotalWeight() * 1.8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := discrete.SolveExact(g, mp, sm, D); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChainExact14Tasks(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	ws := workload.UniformWeights.Weights(rng, 14)
+	sum := 0.0
+	for _, w := range ws {
+		sum += w
+	}
+	in := tricrit.Instance{Deadline: sum * 4, FMin: 0.1, FMax: 1, FRel: 0.8,
+		Rel: model.Reliability{Lambda0: 1e-5, Sensitivity: 3, FMin: 0.1, FMax: 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tricrit.SolveChainExact(ws, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChainFirstHeuristic64Tasks(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	ws := workload.UniformWeights.Weights(rng, 64)
+	sum := 0.0
+	for _, w := range ws {
+		sum += w
+	}
+	in := tricrit.Instance{Deadline: sum * 4, FMin: 0.1, FMax: 1, FRel: 0.8,
+		Rel: model.Reliability{Lambda0: 1e-5, Sensitivity: 3, FMin: 0.1, FMax: 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tricrit.ChainFirst(ws, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForkPoly128Branches(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	br := workload.UniformWeights.Weights(rng, 128)
+	total := 1.0
+	for _, w := range br {
+		total += w
+	}
+	in := tricrit.Instance{Deadline: total, FMin: 0.1, FMax: 1, FRel: 0.8,
+		Rel: model.Reliability{Lambda0: 1e-5, Sensitivity: 3, FMin: 0.1, FMax: 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tricrit.SolveForkPoly(1, br, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkListSchedule512Tasks(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	g := workload.Layered(rng, 512, 16, 0.05, workload.UniformWeights)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := listsched.CriticalPath(g, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSPDecompose64Tasks(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	_, sp := workload.SeriesParallel(rng, 64, workload.UniformWeights)
+	g, err := sp.Graph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dag.Decompose(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleValidate(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	g := workload.Layered(rng, 100, 10, 0.15, workload.UniformWeights)
+	mp := mustMap(b, g, 8)
+	speeds := make([]float64, g.N())
+	for i := range speeds {
+		speeds[i] = 1
+	}
+	s, err := schedule.FromSpeeds(g, mp, speeds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sm, _ := model.NewContinuous(0.1, 1)
+	c := schedule.Constraints{Model: sm, Deadline: s.Makespan() * 1.01}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Validate(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFaultSim10kTrials(b *testing.B) {
+	g := dag.IndependentGraph(4, 2, 3)
+	mp := platform.OneTaskPerProcessor(g)
+	s, err := schedule.FromSpeeds(g, mp, []float64{0.4, 0.5, 0.6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel := model.Reliability{Lambda0: 0.002, Sensitivity: 3, FMin: 0.1, FMax: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := faultsim.SimulateSchedule(s, rel, 10000, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (design choices called out in DESIGN.md) ---
+
+// Closed form vs numerical solver on the same series-parallel
+// instance: why the closed forms matter.
+func BenchmarkAblation_ClosedFormSP64(b *testing.B) {
+	rng := rand.New(rand.NewSource(20))
+	_, sp := workload.SeriesParallel(rng, 64, workload.UniformWeights)
+	D := closedformMinDeadline(sp) * 3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := closedform.SolveSP(sp, D); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_ConvexSP64(b *testing.B) {
+	rng := rand.New(rand.NewSource(20))
+	g, sp := workload.SeriesParallel(rng, 64, workload.UniformWeights)
+	D := closedformMinDeadline(sp) * 3
+	lo := make([]float64, g.N())
+	hi := make([]float64, g.N())
+	for i := range lo {
+		lo[i], hi[i] = 0, 1e9
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := convex.MinimizeEnergy(g, D, g.Weights(), lo, hi, convex.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func closedformMinDeadline(sp *dag.SP) float64 { return closedform.MinDeadline(sp, 1) }
+
+// Branch-and-bound pruning ablation: full prunes vs none on a hard
+// SUBSET-SUM gadget.
+func benchGadget(b *testing.B, opt discrete.BBOptions) {
+	b.Helper()
+	a := []int64{3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25}
+	var sum int64
+	for _, x := range a {
+		sum += x
+	}
+	g, mp, sm, D, _, err := discrete.SubsetSumGadget(a, sum/2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := discrete.SolveExactOpts(g, mp, sm, D, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_BBFullPruning(b *testing.B) { benchGadget(b, discrete.BBOptions{}) }
+func BenchmarkAblation_BBNoPruning(b *testing.B) {
+	benchGadget(b, discrete.BBOptions{DisableEnergyPrune: true, DisableDeadlinePrune: true})
+}
+
+// Chain TRI-CRIT: analytic water-filling vs the generic convex solver
+// on the same fixed configuration.
+func BenchmarkAblation_WaterfillChain32(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	ws := workload.UniformWeights.Weights(rng, 32)
+	sum := 0.0
+	for _, w := range ws {
+		sum += w
+	}
+	in := tricrit.Instance{Deadline: sum * 3, FMin: 0.1, FMax: 1, FRel: 0.8,
+		Rel: model.Reliability{Lambda0: 1e-5, Sensitivity: 3, FMin: 0.1, FMax: 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tricrit.ChainFirst(ws, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_ConvexEvalChain32(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	ws := workload.UniformWeights.Weights(rng, 32)
+	sum := 0.0
+	for _, w := range ws {
+		sum += w
+	}
+	g := dag.ChainGraph(ws...)
+	mp, err := platform.SingleProcessor(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := tricrit.Instance{Deadline: sum * 3, FMin: 0.1, FMax: 1, FRel: 0.8,
+		Rel: model.Reliability{Lambda0: 1e-5, Sensitivity: 3, FMin: 0.1, FMax: 1}}
+	reexec := make([]bool, g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tricrit.EvalConfig(g, mp, reexec, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// DP vs B&B on the same chain (the E17 trade-off as raw numbers).
+func BenchmarkAblation_ChainDP4000(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	ws := workload.UniformWeights.Weights(rng, 12)
+	sum := 0.0
+	for _, w := range ws {
+		sum += w
+	}
+	sm, _ := model.NewDiscrete(model.XScaleLevels())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := discrete.SolveChainDP(ws, sm, sum*2.1, 4000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_ChainBB12(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	ws := workload.UniformWeights.Weights(rng, 12)
+	sum := 0.0
+	for _, w := range ws {
+		sum += w
+	}
+	g := dag.ChainGraph(ws...)
+	mp, err := platform.SingleProcessor(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sm, _ := model.NewDiscrete(model.XScaleLevels())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := discrete.SolveExact(g, mp, sm, sum*2.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mustMap(b *testing.B, g *dag.Graph, p int) *platform.Mapping {
+	b.Helper()
+	res, err := listsched.CriticalPath(g, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Mapping
+}

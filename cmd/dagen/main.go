@@ -1,0 +1,106 @@
+// Command dagen generates problem instances as JSON for the
+// energysched solver.
+//
+// Usage:
+//
+//	dagen -class fork -n 12 -procs 4 -model vdd -slack 2.5 -tricrit > inst.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"energysched/internal/core"
+	"energysched/internal/listsched"
+	"energysched/internal/model"
+	"energysched/internal/workload"
+)
+
+func main() {
+	class := flag.String("class", "layered", "chain | fork | join | fork-join | tree | series-parallel | layered")
+	n := flag.Int("n", 12, "number of tasks")
+	procs := flag.Int("procs", 2, "number of processors (mapping via critical-path list scheduling)")
+	seed := flag.Int64("seed", 1, "random seed")
+	dist := flag.String("dist", "uniform", "weight distribution: uniform | heavy-tail")
+	speedKind := flag.String("model", "continuous", "speed model: continuous | discrete | vdd | incremental")
+	delta := flag.Float64("delta", 0.1, "increment for the incremental model")
+	slack := flag.Float64("slack", 2.0, "deadline = slack × list-schedule makespan at fmax")
+	tricrit := flag.Bool("tricrit", false, "add reliability constraints (λ0=1e-5, d=3, frel=0.8·fmax)")
+	flag.Parse()
+
+	var cls workload.Class
+	switch *class {
+	case "chain":
+		cls = workload.ClassChain
+	case "fork":
+		cls = workload.ClassFork
+	case "join":
+		cls = workload.ClassJoin
+	case "fork-join":
+		cls = workload.ClassForkJoin
+	case "tree":
+		cls = workload.ClassTree
+	case "series-parallel":
+		cls = workload.ClassSeriesParallel
+	case "layered":
+		cls = workload.ClassLayered
+	default:
+		fail(fmt.Errorf("unknown class %q", *class))
+	}
+	var wd workload.WeightDist
+	switch *dist {
+	case "uniform":
+		wd = workload.UniformWeights
+	case "heavy-tail":
+		wd = workload.HeavyTailWeights
+	default:
+		fail(fmt.Errorf("unknown distribution %q", *dist))
+	}
+	fmin, fmax := 0.1, 1.0
+	var sm model.SpeedModel
+	var err error
+	switch *speedKind {
+	case "continuous":
+		sm, err = model.NewContinuous(fmin, fmax)
+	case "discrete":
+		sm, err = model.NewDiscrete(model.XScaleLevels())
+	case "vdd":
+		sm, err = model.NewVddHopping(model.XScaleLevels())
+	case "incremental":
+		sm, err = model.NewIncremental(fmin, fmax, *delta)
+	default:
+		err = fmt.Errorf("unknown speed model %q", *speedKind)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	g := cls.Generate(rng, *n, wd)
+	ls, err := listsched.CriticalPath(g, *procs)
+	if err != nil {
+		fail(err)
+	}
+	// Reference makespan at fmax: list makespan uses unit-speed
+	// durations (= weights), so scale by 1/fmax.
+	deadline := ls.Makespan / sm.FMax * *slack
+	in := &core.Instance{Graph: g, Mapping: ls.Mapping, Speed: sm, Deadline: deadline}
+	if *tricrit {
+		rel := model.Reliability{Lambda0: 1e-5, Sensitivity: 3, FMin: sm.FMin, FMax: sm.FMax}
+		in.Rel = &rel
+		in.FRel = 0.8 * sm.FMax
+	}
+	data, err := core.MarshalInstance(in)
+	if err != nil {
+		fail(err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dagen:", err)
+	os.Exit(1)
+}

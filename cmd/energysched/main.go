@@ -1,0 +1,115 @@
+// Command energysched solves a single problem instance given as JSON
+// (see internal/core for the format and cmd/dagen to generate
+// instances).
+//
+// Usage:
+//
+//	energysched -in instance.json [-strategy best-of] [-v]
+//	dagen -class fork -n 10 | energysched
+//
+// The tool dispatches on the instance: BI-CRIT without a "reliability"
+// block, TRI-CRIT with one. The produced schedule is always validated
+// before being reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"energysched/internal/core"
+	"energysched/internal/tabulate"
+)
+
+func main() {
+	inPath := flag.String("in", "-", "instance JSON file ('-' for stdin)")
+	strategy := flag.String("strategy", "best-of", "TRI-CRIT strategy: best-of | chain-first | parallel-first | exact")
+	verbose := flag.Bool("v", false, "print the per-task schedule")
+	flag.Parse()
+
+	data, err := readInput(*inPath)
+	if err != nil {
+		fail(err)
+	}
+	in, err := core.UnmarshalInstance(data)
+	if err != nil {
+		fail(err)
+	}
+	var sol *core.Solution
+	if in.TriCrit() {
+		strat, err := parseStrategy(*strategy)
+		if err != nil {
+			fail(err)
+		}
+		sol, err = core.SolveTriCrit(in, strat)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		sol, err = core.SolveBiCrit(in)
+		if err != nil {
+			fail(err)
+		}
+	}
+	if err := sol.Schedule.Validate(in.Constraints()); err != nil {
+		fail(fmt.Errorf("internal error: produced schedule failed validation: %w", err))
+	}
+	fmt.Printf("problem:   %s\n", problemName(in))
+	fmt.Printf("model:     %v\n", in.Speed)
+	fmt.Printf("method:    %s (exact=%v)\n", sol.Method, sol.Exact)
+	fmt.Printf("energy:    %s\n", tabulate.FormatFloat(sol.Energy))
+	fmt.Printf("makespan:  %s (deadline %s)\n", tabulate.FormatFloat(sol.Schedule.Makespan()), tabulate.FormatFloat(in.Deadline))
+	fmt.Printf("reexec:    %d of %d tasks\n", sol.Schedule.NumReExecuted(), in.Graph.N())
+	if *verbose {
+		t := tabulate.New("schedule", "task", "proc", "exec", "start", "speed(s)", "duration")
+		for i := 0; i < in.Graph.N(); i++ {
+			for k, ex := range sol.Schedule.Tasks[i].Execs {
+				speeds := ""
+				for j, seg := range ex.Segments {
+					if j > 0 {
+						speeds += "+"
+					}
+					speeds += tabulate.FormatFloat(seg.Speed)
+				}
+				t.AddRow(in.Graph.Task(i).Name, in.Mapping.Proc[i], k+1, ex.Start, speeds, ex.Duration())
+			}
+		}
+		fmt.Println()
+		fmt.Println(t)
+	}
+}
+
+func problemName(in *core.Instance) string {
+	if in.TriCrit() {
+		return fmt.Sprintf("TRI-CRIT (n=%d, p=%d, frel=%g)", in.Graph.N(), in.Mapping.P, in.FRel)
+	}
+	return fmt.Sprintf("BI-CRIT (n=%d, p=%d)", in.Graph.N(), in.Mapping.P)
+}
+
+func parseStrategy(s string) (core.Strategy, error) {
+	switch s {
+	case "best-of":
+		return core.StrategyBestOf, nil
+	case "chain-first":
+		return core.StrategyChainFirst, nil
+	case "parallel-first":
+		return core.StrategyParallelFirst, nil
+	case "exact":
+		return core.StrategyExact, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}
+
+func readInput(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "energysched:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// Command experiments regenerates every claim table of the paper
+// (C1–C15 in DESIGN.md / EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments E04 E12    # run selected experiments
+//	experiments -list      # list available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"energysched/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment identifiers and exit")
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		for _, e := range all {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+	want := map[string]bool{}
+	for _, a := range flag.Args() {
+		want[strings.ToUpper(a)] = true
+	}
+	ran := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		rep := e.Run()
+		fmt.Println(rep.Table)
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %v; use -list\n", flag.Args())
+		os.Exit(1)
+	}
+}

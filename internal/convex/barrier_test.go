@@ -1,0 +1,255 @@
+package convex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"energysched/internal/closedform"
+	"energysched/internal/dag"
+	"energysched/internal/platform"
+)
+
+func uniformBounds(n int, lo, hi float64) (los, his []float64) {
+	los = make([]float64, n)
+	his = make([]float64, n)
+	for i := 0; i < n; i++ {
+		los[i] = lo
+		his[i] = hi
+	}
+	return
+}
+
+func solveGraph(t *testing.T, g *dag.Graph, deadline, fmin, fmax float64) *Result {
+	t.Helper()
+	lo, hi := uniformBounds(g.N(), fmin, fmax)
+	res, err := MinimizeEnergy(g, deadline, g.Weights(), lo, hi, Options{})
+	if err != nil {
+		t.Fatalf("MinimizeEnergy: %v", err)
+	}
+	return res
+}
+
+func TestChainMatchesClosedForm(t *testing.T) {
+	weights := []float64{1, 2, 3}
+	g := dag.ChainGraph(weights...)
+	res := solveGraph(t, g, 2, 0, 100)
+	cf, err := closedform.SolveChain(weights, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.Energy-cf.Energy) / cf.Energy; rel > 1e-4 {
+		t.Errorf("energy %v vs closed form %v (rel err %v)", res.Energy, cf.Energy, rel)
+	}
+	for i, f := range res.Speeds {
+		if math.Abs(f-cf.Speed)/cf.Speed > 1e-2 {
+			t.Errorf("speed[%d] = %v, want ≈%v", i, f, cf.Speed)
+		}
+	}
+}
+
+func TestForkMatchesClosedForm(t *testing.T) {
+	w0, br, D := 1.0, []float64{2, 3, 4}, 5.0
+	g := dag.ForkGraph(w0, br...)
+	res := solveGraph(t, g, D, 0, 100)
+	cf, err := closedform.SolveFork(w0, br, D, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.Energy-cf.Energy) / cf.Energy; rel > 1e-4 {
+		t.Errorf("energy %v vs closed form %v (rel err %v)", res.Energy, cf.Energy, rel)
+	}
+}
+
+func TestRandomSPGraphsMatchClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 12; trial++ {
+		sp := randomSP(rng, rng.Intn(8)+2)
+		g, err := sp.Graph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		D := closedform.MinDeadline(sp, 100) * (2 + rng.Float64()*3)
+		cf, err := closedform.SolveSP(sp, D)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := solveGraph(t, g, D, 0, 100)
+		if rel := math.Abs(res.Energy-cf.Energy) / cf.Energy; rel > 5e-4 {
+			t.Errorf("trial %d (%v): energy %v vs closed form %v (rel %v)", trial, sp, res.Energy, cf.Energy, rel)
+		}
+	}
+}
+
+func TestRespectsDeadline(t *testing.T) {
+	g := dag.ForkGraph(1, 2, 3)
+	res := solveGraph(t, g, 4, 0, 100)
+	_, ms, err := g.LongestPath(res.Durations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms > 4*(1+1e-6) {
+		t.Errorf("makespan %v exceeds deadline", ms)
+	}
+}
+
+func TestRespectsFMax(t *testing.T) {
+	g := dag.ChainGraph(4, 4)
+	// Tight deadline: uniform speed would be 8/3 but fmax = 3.
+	res := solveGraph(t, g, 3, 0, 3)
+	for i, f := range res.Speeds {
+		if f > 3*(1+1e-6) {
+			t.Errorf("speed[%d] = %v exceeds fmax", i, f)
+		}
+	}
+}
+
+func TestRespectsFMin(t *testing.T) {
+	g := dag.ChainGraph(1, 1)
+	// Very loose deadline: unbounded optimum would be slower than fmin=1.
+	res := solveGraph(t, g, 100, 1, 10)
+	for i, f := range res.Speeds {
+		if f < 1*(1-1e-6) {
+			t.Errorf("speed[%d] = %v below fmin", i, f)
+		}
+	}
+	// With fmin active the optimum is everything at fmin.
+	want := 1.0*1 + 1.0*1 // Σ w·fmin²
+	if math.Abs(res.Energy-want)/want > 1e-3 {
+		t.Errorf("energy = %v, want ≈%v", res.Energy, want)
+	}
+}
+
+func TestInfeasibleDeadline(t *testing.T) {
+	g := dag.ChainGraph(10, 10)
+	lo, hi := uniformBounds(2, 0, 1)
+	if _, err := MinimizeEnergy(g, 1, g.Weights(), lo, hi, Options{}); err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestTightDeadlineRunsAtFMax(t *testing.T) {
+	g := dag.ChainGraph(2, 3)
+	lo, hi := uniformBounds(2, 0, 1)
+	res, err := MinimizeEnergy(g, 5, g.Weights(), lo, hi, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range res.Speeds {
+		if math.Abs(f-1) > 1e-6 {
+			t.Errorf("speed[%d] = %v, want fmax=1", i, f)
+		}
+	}
+}
+
+func TestMultiProcessorConstraintGraph(t *testing.T) {
+	// Two independent chains mapped on two processors: each chain
+	// should behave like the chain closed form.
+	g := dag.New()
+	a0 := g.AddTask("a0", 2)
+	a1 := g.AddTask("a1", 2)
+	b0 := g.AddTask("b0", 6)
+	g.MustEdge(a0, a1)
+	m := platform.NewMapping(2, 3)
+	m.MustAssign(a0, 0)
+	m.MustAssign(a1, 0)
+	m.MustAssign(b0, 1)
+	cg, err := m.ConstraintGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := uniformBounds(3, 0, 100)
+	res, err := MinimizeEnergy(cg, 2, cg.Weights(), lo, hi, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain a: (2+2)³/4 = 16; task b: 6³/4 = 54. Total 70.
+	if math.Abs(res.Energy-70)/70 > 1e-3 {
+		t.Errorf("energy = %v, want ≈70", res.Energy)
+	}
+}
+
+func TestSameProcessorSerialization(t *testing.T) {
+	// Two independent tasks on ONE processor must serialize: optimal is
+	// the chain closed form, not two parallel tasks.
+	g := dag.IndependentGraph(3, 3)
+	m, _ := platform.SingleProcessor(g)
+	cg, err := m.ConstraintGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := uniformBounds(2, 0, 100)
+	res, err := MinimizeEnergy(cg, 2, cg.Weights(), lo, hi, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (3+3)³/2² = 54.
+	if math.Abs(res.Energy-54)/54 > 1e-3 {
+		t.Errorf("energy = %v, want ≈54", res.Energy)
+	}
+}
+
+func TestEffectiveWeightsScaleLikeReExecution(t *testing.T) {
+	// A task with effective weight 2w at speed f occupies 2w/f and
+	// consumes 2w·f²: the solver must treat it exactly like the
+	// TRI-CRIT equal-speed re-execution accounting. Single task, W=4
+	// (2×2), D=2 → f = 2, energy = (2·2)³/2² = 16.
+	g := dag.IndependentGraph(2) // weight 2
+	lo, hi := uniformBounds(1, 0, 100)
+	res, err := MinimizeEnergy(g, 2, []float64{4}, lo, hi, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Speeds[0]-2)/2 > 1e-3 {
+		t.Errorf("speed = %v, want 2", res.Speeds[0])
+	}
+	if math.Abs(res.Energy-16)/16 > 1e-3 {
+		t.Errorf("energy = %v, want 16", res.Energy)
+	}
+}
+
+func TestVectorLengthValidation(t *testing.T) {
+	g := dag.ChainGraph(1, 1)
+	if _, err := MinimizeEnergy(g, 1, []float64{1}, []float64{0, 0}, []float64{1, 1}, Options{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	lo, hi := uniformBounds(2, 0, 1)
+	if _, err := MinimizeEnergy(g, -1, g.Weights(), lo, hi, Options{}); err == nil {
+		t.Error("negative deadline accepted")
+	}
+	if _, err := MinimizeEnergy(g, 1, []float64{0, 1}, lo, hi, Options{}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := MinimizeEnergy(g, 1, g.Weights(), []float64{2, 2}, []float64{1, 1}, Options{}); err == nil {
+		t.Error("lo > hi accepted")
+	}
+}
+
+func TestStartsRealizeSchedule(t *testing.T) {
+	g := dag.ForkGraph(1, 2, 3)
+	res := solveGraph(t, g, 5, 0, 100)
+	// Starts must respect precedence and the deadline.
+	for _, e := range g.Edges() {
+		u, v := e[0], e[1]
+		if res.Starts[v] < res.Starts[u]+res.Durations[u]-1e-6 {
+			t.Errorf("edge %v violated by starts", e)
+		}
+	}
+	for i := range res.Starts {
+		if res.Starts[i]+res.Durations[i] > 5+1e-6 {
+			t.Errorf("task %d finishes after deadline", i)
+		}
+	}
+}
+
+func randomSP(rng *rand.Rand, n int) *dag.SP {
+	if n == 1 {
+		return dag.Leaf("t", rng.Float64()*9+0.5)
+	}
+	k := rng.Intn(n-1) + 1
+	l, r := randomSP(rng, k), randomSP(rng, n-k)
+	if rng.Intn(2) == 0 {
+		return dag.Series(l, r)
+	}
+	return dag.Parallel(l, r)
+}

@@ -1,0 +1,274 @@
+// Package core is the public facade of the library: problem instances
+// (graph + mapping + speed model + deadline + optional reliability),
+// solver dispatch across the paper's four speed models for both the
+// BI-CRIT and TRI-CRIT problems, and JSON (de)serialization for the
+// command-line tools.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"energysched/internal/convex"
+	"energysched/internal/dag"
+	"energysched/internal/discrete"
+	"energysched/internal/model"
+	"energysched/internal/platform"
+	"energysched/internal/schedule"
+	"energysched/internal/tricrit"
+	"energysched/internal/vdd"
+)
+
+// Instance is a complete problem description. Rel == nil selects
+// BI-CRIT (Definition 1); Rel != nil adds the reliability constraints
+// of TRI-CRIT (Definition 2) with threshold speed FRel.
+type Instance struct {
+	Graph    *dag.Graph
+	Mapping  *platform.Mapping
+	Speed    model.SpeedModel
+	Deadline float64
+	Rel      *model.Reliability
+	FRel     float64
+}
+
+// TriCrit reports whether reliability constraints are active.
+func (in *Instance) TriCrit() bool { return in.Rel != nil }
+
+// Validate checks the instance end to end.
+func (in *Instance) Validate() error {
+	if in.Graph == nil || in.Mapping == nil {
+		return errors.New("core: instance needs graph and mapping")
+	}
+	if err := in.Graph.Validate(); err != nil {
+		return err
+	}
+	if err := in.Mapping.Validate(in.Graph); err != nil {
+		return err
+	}
+	if err := in.Speed.Validate(); err != nil {
+		return err
+	}
+	if err := model.CheckDeadline(in.Deadline); err != nil {
+		return err
+	}
+	if in.Rel != nil {
+		if err := in.Rel.Validate(); err != nil {
+			return err
+		}
+		if in.FRel <= 0 || in.FRel > in.Speed.FMax*(1+1e-12) {
+			return fmt.Errorf("core: frel %v outside (0, fmax]", in.FRel)
+		}
+	}
+	return nil
+}
+
+// Solution is a solved instance: a validated schedule plus metadata.
+type Solution struct {
+	Schedule *schedule.Schedule
+	Energy   float64
+	// Method names the algorithm that produced the solution.
+	Method string
+	// Exact reports whether the energy is provably optimal for the
+	// instance's model.
+	Exact bool
+}
+
+// ErrInfeasible is returned when no schedule can meet the constraints.
+var ErrInfeasible = errors.New("core: infeasible instance")
+
+func mapInfeasible(err error) error {
+	switch err {
+	case convex.ErrInfeasible, vdd.ErrInfeasible, discrete.ErrInfeasible, tricrit.ErrInfeasible:
+		return ErrInfeasible
+	default:
+		return err
+	}
+}
+
+// exactSizeLimit is the largest n·levels product for which the
+// dispatcher uses the exponential exact DISCRETE solver before falling
+// back to the approximation.
+const exactSizeLimit = 64
+
+// SolveBiCrit solves the BI-CRIT problem with the algorithm matching
+// the instance's speed model:
+//
+//   - CONTINUOUS: the convex (geometric-programming) solver — exact;
+//   - VDD-HOPPING: the Section IV linear program — exact, polynomial;
+//   - DISCRETE / INCREMENTAL: exact branch-and-bound when the instance
+//     is small (NP-complete in general), otherwise the round-up
+//     approximation with guarantee (1+δ/fmin)²(1+1/K)².
+func SolveBiCrit(in *Instance) (*Solution, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if in.TriCrit() {
+		return nil, errors.New("core: instance has reliability constraints; use SolveTriCrit")
+	}
+	switch in.Speed.Kind {
+	case model.Continuous:
+		return solveBiCritContinuous(in)
+	case model.VddHopping:
+		res, err := vdd.SolveBiCrit(in.Graph, in.Mapping, in.Speed, in.Deadline)
+		if err != nil {
+			return nil, mapInfeasible(err)
+		}
+		s, err := res.Schedule(in.Graph, in.Mapping)
+		if err != nil {
+			return nil, err
+		}
+		return &Solution{Schedule: s, Energy: res.Energy, Method: "vdd-lp", Exact: true}, nil
+	case model.Discrete, model.Incremental:
+		if in.Graph.N()*in.Speed.NumLevels() <= exactSizeLimit {
+			res, err := discrete.SolveExact(in.Graph, in.Mapping, in.Speed, in.Deadline)
+			if err != nil {
+				return nil, mapInfeasible(err)
+			}
+			s, err := res.Schedule(in.Graph, in.Mapping)
+			if err != nil {
+				return nil, err
+			}
+			return &Solution{Schedule: s, Energy: res.Energy, Method: "discrete-bb", Exact: true}, nil
+		}
+		res, err := discrete.Approximate(in.Graph, in.Mapping, in.Speed, in.Deadline, 10)
+		if err != nil {
+			return nil, mapInfeasible(err)
+		}
+		s, err := res.Schedule(in.Graph, in.Mapping)
+		if err != nil {
+			return nil, err
+		}
+		return &Solution{Schedule: s, Energy: res.Energy, Method: "discrete-roundup", Exact: false}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown speed model %v", in.Speed.Kind)
+	}
+}
+
+func solveBiCritContinuous(in *Instance) (*Solution, error) {
+	cg, err := in.Mapping.ConstraintGraph(in.Graph)
+	if err != nil {
+		return nil, err
+	}
+	n := in.Graph.N()
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	for i := range lo {
+		lo[i] = in.Speed.FMin
+		hi[i] = in.Speed.FMax
+	}
+	res, err := convex.MinimizeEnergy(cg, in.Deadline, in.Graph.Weights(), lo, hi, convex.Options{})
+	if err != nil {
+		return nil, mapInfeasible(err)
+	}
+	s, err := schedule.FromDurations(in.Graph, in.Mapping, res.Durations)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{Schedule: s, Energy: res.Energy, Method: "continuous-convex", Exact: true}, nil
+}
+
+// Strategy selects a TRI-CRIT algorithm.
+type Strategy int
+
+const (
+	// StrategyBestOf runs both heuristic families and keeps the best
+	// (the paper's recommended combination).
+	StrategyBestOf Strategy = iota
+	// StrategyChainFirst uses only the chain-oriented greedy.
+	StrategyChainFirst
+	// StrategyParallelFirst uses only the slack-oriented greedy.
+	StrategyParallelFirst
+	// StrategyExact enumerates re-execution subsets (small n only).
+	StrategyExact
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyBestOf:
+		return "best-of"
+	case StrategyChainFirst:
+		return "chain-first"
+	case StrategyParallelFirst:
+		return "parallel-first"
+	case StrategyExact:
+		return "exact"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// SolveTriCrit solves the TRI-CRIT problem. Under CONTINUOUS speeds
+// the chosen strategy runs directly; under VDD-HOPPING the continuous
+// solution is adapted by mixing the two closest levels per execution
+// while preserving execution times and reliability (Section IV). The
+// DISCRETE and INCREMENTAL models have no TRI-CRIT solver in the paper
+// and are rejected.
+func SolveTriCrit(in *Instance, strat Strategy) (*Solution, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if !in.TriCrit() {
+		return nil, errors.New("core: instance has no reliability constraints; use SolveBiCrit")
+	}
+	tin := tricrit.Instance{
+		Deadline: in.Deadline,
+		FMin:     in.Speed.FMin,
+		FMax:     in.Speed.FMax,
+		FRel:     in.FRel,
+		Rel:      *in.Rel,
+	}
+	if in.Speed.Kind == model.Discrete || in.Speed.Kind == model.Incremental {
+		return nil, fmt.Errorf("core: TRI-CRIT under %v is not supported (the paper treats CONTINUOUS and VDD-HOPPING)", in.Speed.Kind)
+	}
+	// For VDD-HOPPING the continuous sub-solver must search the full
+	// speed range of the ladder.
+	cfg, err := runStrategy(in, tin, strat)
+	if err != nil {
+		return nil, mapInfeasible(err)
+	}
+	switch in.Speed.Kind {
+	case model.Continuous:
+		s, err := cfg.Schedule(in.Graph, in.Mapping)
+		if err != nil {
+			return nil, err
+		}
+		return &Solution{Schedule: s, Energy: s.Energy(), Method: "tricrit-" + strat.String(), Exact: strat == StrategyExact}, nil
+	case model.VddHopping:
+		plan, err := vdd.RoundPlan(in.Graph, in.Speed, cfg.Speeds, cfg.ReExecSpeeds(), in.Rel, in.FRel)
+		if err != nil {
+			return nil, err
+		}
+		s, err := schedule.FromPlan(in.Graph, in.Mapping, plan)
+		if err != nil {
+			return nil, err
+		}
+		return &Solution{Schedule: s, Energy: s.Energy(), Method: "tricrit-" + strat.String() + "+vdd-round", Exact: false}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown speed model %v", in.Speed.Kind)
+	}
+}
+
+func runStrategy(in *Instance, tin tricrit.Instance, strat Strategy) (*tricrit.Config, error) {
+	switch strat {
+	case StrategyBestOf:
+		return tricrit.BestOf(in.Graph, in.Mapping, tin)
+	case StrategyChainFirst:
+		return tricrit.DAGChainFirst(in.Graph, in.Mapping, tin)
+	case StrategyParallelFirst:
+		return tricrit.DAGParallelFirst(in.Graph, in.Mapping, tin)
+	case StrategyExact:
+		return tricrit.SolveDAGExact(in.Graph, in.Mapping, tin)
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %v", strat)
+	}
+}
+
+// Constraints returns the validator constraints matching the instance.
+func (in *Instance) Constraints() schedule.Constraints {
+	c := schedule.Constraints{Model: in.Speed, Deadline: in.Deadline}
+	if in.Rel != nil {
+		c.Rel = in.Rel
+		c.FRel = in.FRel
+	}
+	return c
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"energysched/internal/dag"
+	"energysched/internal/listsched"
+	"energysched/internal/model"
+	"energysched/internal/platform"
+)
+
+// instanceJSON is the on-disk representation of an Instance.
+type instanceJSON struct {
+	Tasks       []taskJSON `json:"tasks"`
+	Edges       [][2]int   `json:"edges"`
+	Processors  int        `json:"processors"`
+	Mapping     [][]int    `json:"mapping,omitempty"`
+	SpeedModel  speedJSON  `json:"speedModel"`
+	Deadline    float64    `json:"deadline"`
+	Reliability *relJSON   `json:"reliability,omitempty"`
+}
+
+type taskJSON struct {
+	Name   string  `json:"name"`
+	Weight float64 `json:"weight"`
+}
+
+type speedJSON struct {
+	Kind   string    `json:"kind"` // continuous | discrete | vdd-hopping | incremental
+	FMin   float64   `json:"fmin,omitempty"`
+	FMax   float64   `json:"fmax,omitempty"`
+	Levels []float64 `json:"levels,omitempty"`
+	Delta  float64   `json:"delta,omitempty"`
+}
+
+type relJSON struct {
+	Lambda0     float64 `json:"lambda0"`
+	Sensitivity float64 `json:"d"`
+	FRel        float64 `json:"frel"`
+}
+
+// MarshalInstance serializes an instance to JSON.
+func MarshalInstance(in *Instance) ([]byte, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	j := instanceJSON{
+		Processors: in.Mapping.P,
+		Deadline:   in.Deadline,
+	}
+	for i := 0; i < in.Graph.N(); i++ {
+		t := in.Graph.Task(i)
+		j.Tasks = append(j.Tasks, taskJSON{Name: t.Name, Weight: t.Weight})
+	}
+	for _, e := range in.Graph.Edges() {
+		j.Edges = append(j.Edges, e)
+	}
+	j.Mapping = make([][]int, in.Mapping.P)
+	for q := range in.Mapping.Order {
+		j.Mapping[q] = append([]int{}, in.Mapping.Order[q]...)
+	}
+	switch in.Speed.Kind {
+	case model.Continuous:
+		j.SpeedModel = speedJSON{Kind: "continuous", FMin: in.Speed.FMin, FMax: in.Speed.FMax}
+	case model.Discrete:
+		j.SpeedModel = speedJSON{Kind: "discrete", Levels: in.Speed.Levels}
+	case model.VddHopping:
+		j.SpeedModel = speedJSON{Kind: "vdd-hopping", Levels: in.Speed.Levels}
+	case model.Incremental:
+		j.SpeedModel = speedJSON{Kind: "incremental", FMin: in.Speed.FMin, FMax: in.Speed.FMax, Delta: in.Speed.Delta}
+	default:
+		return nil, fmt.Errorf("core: unknown speed kind %v", in.Speed.Kind)
+	}
+	if in.Rel != nil {
+		j.Reliability = &relJSON{Lambda0: in.Rel.Lambda0, Sensitivity: in.Rel.Sensitivity, FRel: in.FRel}
+	}
+	return json.MarshalIndent(j, "", "  ")
+}
+
+// UnmarshalInstance parses an instance from JSON. When "mapping" is
+// omitted, the tasks are mapped with critical-path list scheduling
+// onto "processors" processors (the coupling the paper recommends).
+func UnmarshalInstance(data []byte) (*Instance, error) {
+	var j instanceJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if len(j.Tasks) == 0 {
+		return nil, errors.New("core: instance has no tasks")
+	}
+	g := dag.New()
+	for _, t := range j.Tasks {
+		g.AddTask(t.Name, t.Weight)
+	}
+	for _, e := range j.Edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	if j.Processors <= 0 {
+		j.Processors = 1
+	}
+	var mp *platform.Mapping
+	if len(j.Mapping) > 0 {
+		mp = platform.NewMapping(len(j.Mapping), g.N())
+		for q, order := range j.Mapping {
+			for _, t := range order {
+				if err := mp.Assign(t, q); err != nil {
+					return nil, err
+				}
+			}
+		}
+	} else {
+		res, err := listsched.CriticalPath(g, j.Processors)
+		if err != nil {
+			return nil, err
+		}
+		mp = res.Mapping
+	}
+	var sm model.SpeedModel
+	var err error
+	switch j.SpeedModel.Kind {
+	case "continuous":
+		sm, err = model.NewContinuous(j.SpeedModel.FMin, j.SpeedModel.FMax)
+	case "discrete":
+		sm, err = model.NewDiscrete(j.SpeedModel.Levels)
+	case "vdd-hopping":
+		sm, err = model.NewVddHopping(j.SpeedModel.Levels)
+	case "incremental":
+		sm, err = model.NewIncremental(j.SpeedModel.FMin, j.SpeedModel.FMax, j.SpeedModel.Delta)
+	default:
+		return nil, fmt.Errorf("core: unknown speed model kind %q", j.SpeedModel.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	in := &Instance{Graph: g, Mapping: mp, Speed: sm, Deadline: j.Deadline}
+	if j.Reliability != nil {
+		rel := model.Reliability{
+			Lambda0:     j.Reliability.Lambda0,
+			Sensitivity: j.Reliability.Sensitivity,
+			FMin:        sm.FMin,
+			FMax:        sm.FMax,
+		}
+		in.Rel = &rel
+		in.FRel = j.Reliability.FRel
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}

@@ -1,0 +1,80 @@
+package dag
+
+import "fmt"
+
+// ChainSP returns the series-parallel tree of a linear chain
+// T0 → T1 → ... with the given weights.
+func ChainSP(weights ...float64) *SP {
+	children := make([]*SP, len(weights))
+	for i, w := range weights {
+		children[i] = Leaf(fmt.Sprintf("T%d", i), w)
+	}
+	if len(children) == 1 {
+		return children[0]
+	}
+	return Series(children...)
+}
+
+// ForkSP returns the fork graph of the paper's Section III theorem: a
+// source T0 of weight w0 preceding n independent tasks T1..Tn.
+func ForkSP(w0 float64, branches ...float64) *SP {
+	leaves := make([]*SP, len(branches))
+	for i, w := range branches {
+		leaves[i] = Leaf(fmt.Sprintf("T%d", i+1), w)
+	}
+	return Series(Leaf("T0", w0), Parallel(leaves...))
+}
+
+// JoinSP returns the mirror of a fork: n independent tasks followed by
+// a sink.
+func JoinSP(wSink float64, branches ...float64) *SP {
+	leaves := make([]*SP, len(branches))
+	for i, w := range branches {
+		leaves[i] = Leaf(fmt.Sprintf("T%d", i), w)
+	}
+	return Series(Parallel(leaves...), Leaf("Tsink", wSink))
+}
+
+// ForkJoinSP returns source → n parallel branches → sink.
+func ForkJoinSP(wSrc, wSink float64, branches ...float64) *SP {
+	leaves := make([]*SP, len(branches))
+	for i, w := range branches {
+		leaves[i] = Leaf(fmt.Sprintf("T%d", i+1), w)
+	}
+	return Series(Leaf("Tsrc", wSrc), Parallel(leaves...), Leaf("Tsink", wSink))
+}
+
+// ChainGraph materializes a chain directly as a Graph.
+func ChainGraph(weights ...float64) *Graph {
+	g := New()
+	prev := -1
+	for i, w := range weights {
+		id := g.AddTask(fmt.Sprintf("T%d", i), w)
+		if prev >= 0 {
+			g.MustEdge(prev, id)
+		}
+		prev = id
+	}
+	return g
+}
+
+// ForkGraph materializes a fork directly as a Graph; task 0 is the
+// source.
+func ForkGraph(w0 float64, branches ...float64) *Graph {
+	g := New()
+	src := g.AddTask("T0", w0)
+	for i, w := range branches {
+		id := g.AddTask(fmt.Sprintf("T%d", i+1), w)
+		g.MustEdge(src, id)
+	}
+	return g
+}
+
+// IndependentGraph returns n tasks with no edges.
+func IndependentGraph(weights ...float64) *Graph {
+	g := New()
+	for i, w := range weights {
+		g.AddTask(fmt.Sprintf("T%d", i), w)
+	}
+	return g
+}

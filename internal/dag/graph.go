@@ -1,0 +1,316 @@
+// Package dag provides the task-graph substrate: weighted directed
+// acyclic graphs of tasks with dependence constraints, topological
+// orderings, longest-path (critical path) computations, and
+// series-parallel decomposition (Section II of the paper: "the
+// application consists of n tasks with dependence constraints, hence
+// forming a directed acyclic task graph").
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"energysched/internal/model"
+)
+
+// Task is a node of the application graph. Weight is the computation
+// requirement w_i: executing at speed f takes w_i/f time units and
+// consumes w_i·f² joules.
+type Task struct {
+	ID     int
+	Name   string
+	Weight float64
+}
+
+// Graph is a mutable weighted DAG. The zero value is an empty graph
+// ready to use. Acyclicity is enforced lazily: AddEdge performs no
+// cycle check (to keep construction O(1)); Validate and TopoOrder
+// detect cycles.
+type Graph struct {
+	tasks []Task
+	succs [][]int
+	preds [][]int
+	edges int
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{} }
+
+// AddTask appends a task with the given name and weight and returns
+// its index. Weights are not validated here (Validate does), so
+// builders may construct first and check once.
+func (g *Graph) AddTask(name string, weight float64) int {
+	id := len(g.tasks)
+	g.tasks = append(g.tasks, Task{ID: id, Name: name, Weight: weight})
+	g.succs = append(g.succs, nil)
+	g.preds = append(g.preds, nil)
+	return id
+}
+
+// AddEdge adds the dependence constraint from → to. Duplicate edges
+// are ignored. Self-loops are rejected.
+func (g *Graph) AddEdge(from, to int) error {
+	if from < 0 || from >= len(g.tasks) || to < 0 || to >= len(g.tasks) {
+		return fmt.Errorf("dag: edge (%d,%d) out of range [0,%d)", from, to, len(g.tasks))
+	}
+	if from == to {
+		return fmt.Errorf("dag: self-loop on task %d", from)
+	}
+	for _, s := range g.succs[from] {
+		if s == to {
+			return nil
+		}
+	}
+	g.succs[from] = append(g.succs[from], to)
+	g.preds[to] = append(g.preds[to], from)
+	g.edges++
+	return nil
+}
+
+// MustEdge is AddEdge that panics on error; for use in tests and
+// static builders where indices are known valid.
+func (g *Graph) MustEdge(from, to int) {
+	if err := g.AddEdge(from, to); err != nil {
+		panic(err)
+	}
+}
+
+// N returns the number of tasks.
+func (g *Graph) N() int { return len(g.tasks) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.edges }
+
+// Task returns the i-th task.
+func (g *Graph) Task(i int) Task { return g.tasks[i] }
+
+// Weight returns the weight of task i.
+func (g *Graph) Weight(i int) float64 { return g.tasks[i].Weight }
+
+// Weights returns a copy of all task weights indexed by task.
+func (g *Graph) Weights() []float64 {
+	ws := make([]float64, len(g.tasks))
+	for i, t := range g.tasks {
+		ws[i] = t.Weight
+	}
+	return ws
+}
+
+// TotalWeight returns Σ w_i.
+func (g *Graph) TotalWeight() float64 {
+	s := 0.0
+	for _, t := range g.tasks {
+		s += t.Weight
+	}
+	return s
+}
+
+// Succs returns the direct successors of task i. The returned slice is
+// owned by the graph and must not be mutated.
+func (g *Graph) Succs(i int) []int { return g.succs[i] }
+
+// Preds returns the direct predecessors of task i. The returned slice
+// is owned by the graph and must not be mutated.
+func (g *Graph) Preds(i int) []int { return g.preds[i] }
+
+// Sources returns the tasks with no predecessors.
+func (g *Graph) Sources() []int {
+	var out []int
+	for i := range g.tasks {
+		if len(g.preds[i]) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Sinks returns the tasks with no successors.
+func (g *Graph) Sinks() []int {
+	var out []int
+	for i := range g.tasks {
+		if len(g.succs[i]) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// HasEdge reports whether the direct edge from → to exists.
+func (g *Graph) HasEdge(from, to int) bool {
+	if from < 0 || from >= len(g.tasks) {
+		return false
+	}
+	for _, s := range g.succs[from] {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// Edges returns all edges as (from, to) pairs in deterministic order.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.edges)
+	for u := range g.succs {
+		for _, v := range g.succs[u] {
+			out = append(out, [2]int{u, v})
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		tasks: append([]Task(nil), g.tasks...),
+		succs: make([][]int, len(g.succs)),
+		preds: make([][]int, len(g.preds)),
+		edges: g.edges,
+	}
+	for i := range g.succs {
+		c.succs[i] = append([]int(nil), g.succs[i]...)
+		c.preds[i] = append([]int(nil), g.preds[i]...)
+	}
+	return c
+}
+
+// ErrCycle is returned when a graph is not acyclic.
+var ErrCycle = errors.New("dag: graph contains a cycle")
+
+// TopoOrder returns a topological order of the tasks (Kahn's
+// algorithm) or ErrCycle.
+func (g *Graph) TopoOrder() ([]int, error) {
+	n := len(g.tasks)
+	indeg := make([]int, n)
+	for i := range g.tasks {
+		indeg[i] = len(g.preds[i])
+	}
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range g.succs[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// Validate checks weights and acyclicity.
+func (g *Graph) Validate() error {
+	for i, t := range g.tasks {
+		if err := model.CheckWeight(t.Weight); err != nil {
+			return fmt.Errorf("dag: task %d (%s): %w", i, t.Name, err)
+		}
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// LongestPath returns, for each task, the length of the longest path
+// ending at (and including) that task, where task i contributes
+// durations[i]; and the overall maximum. This is the makespan of the
+// schedule in which every task starts as early as possible with the
+// given durations. Returns ErrCycle on cyclic graphs.
+func (g *Graph) LongestPath(durations []float64) (perTask []float64, max float64, err error) {
+	if len(durations) != len(g.tasks) {
+		return nil, 0, fmt.Errorf("dag: durations length %d, want %d", len(durations), len(g.tasks))
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, 0, err
+	}
+	perTask = make([]float64, len(g.tasks))
+	for _, u := range order {
+		start := 0.0
+		for _, p := range g.preds[u] {
+			if perTask[p] > start {
+				start = perTask[p]
+			}
+		}
+		perTask[u] = start + durations[u]
+		if perTask[u] > max {
+			max = perTask[u]
+		}
+	}
+	return perTask, max, nil
+}
+
+// CriticalPathWeight returns the maximum total weight along any path —
+// the makespan lower bound at unit speed times 1/f for speed f.
+func (g *Graph) CriticalPathWeight() float64 {
+	_, m, err := g.LongestPath(g.Weights())
+	if err != nil {
+		return math.NaN()
+	}
+	return m
+}
+
+// BottomLevels returns for each task the maximum weight of a path from
+// that task to any sink, inclusive — the classic b-level priority used
+// by critical-path list scheduling.
+func (g *Graph) BottomLevels() ([]float64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	bl := make([]float64, len(g.tasks))
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		best := 0.0
+		for _, v := range g.succs[u] {
+			if bl[v] > best {
+				best = bl[v]
+			}
+		}
+		bl[u] = best + g.tasks[u].Weight
+	}
+	return bl, nil
+}
+
+// TransitiveClosure returns the reachability matrix: reach[u][v] is
+// true iff there is a non-empty path u → v.
+func (g *Graph) TransitiveClosure() ([][]bool, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := len(g.tasks)
+	reach := make([][]bool, n)
+	for i := range reach {
+		reach[i] = make([]bool, n)
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		for _, v := range g.succs[u] {
+			reach[u][v] = true
+			for w := 0; w < n; w++ {
+				if reach[v][w] {
+					reach[u][w] = true
+				}
+			}
+		}
+	}
+	return reach, nil
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("dag(n=%d, m=%d, W=%.4g, cp=%.4g)", g.N(), g.M(), g.TotalWeight(), g.CriticalPathWeight())
+}

@@ -1,0 +1,261 @@
+package dag
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func diamond() *Graph {
+	g := New()
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 2)
+	c := g.AddTask("c", 3)
+	d := g.AddTask("d", 4)
+	g.MustEdge(a, b)
+	g.MustEdge(a, c)
+	g.MustEdge(b, d)
+	g.MustEdge(c, d)
+	return g
+}
+
+func TestAddTaskAndEdge(t *testing.T) {
+	g := diamond()
+	if g.N() != 4 || g.M() != 4 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Error("HasEdge wrong")
+	}
+	if g.Weight(2) != 3 {
+		t.Errorf("Weight(2) = %v", g.Weight(2))
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New()
+	a := g.AddTask("a", 1)
+	if err := g.AddEdge(a, a); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(a, 7); err == nil {
+		t.Error("out-of-range accepted")
+	}
+	if err := g.AddEdge(-1, a); err == nil {
+		t.Error("negative accepted")
+	}
+}
+
+func TestDuplicateEdgeIgnored(t *testing.T) {
+	g := New()
+	a, b := g.AddTask("a", 1), g.AddTask("b", 1)
+	g.MustEdge(a, b)
+	g.MustEdge(a, b)
+	if g.M() != 1 {
+		t.Errorf("M = %d, want 1", g.M())
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g := diamond()
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, g.N())
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e[0]] >= pos[e[1]] {
+			t.Errorf("edge %v violates topo order", e)
+		}
+	}
+}
+
+func TestTopoOrderCycle(t *testing.T) {
+	g := New()
+	a, b := g.AddTask("a", 1), g.AddTask("b", 1)
+	g.MustEdge(a, b)
+	g.MustEdge(b, a)
+	if _, err := g.TopoOrder(); err != ErrCycle {
+		t.Errorf("err = %v, want ErrCycle", err)
+	}
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted a cycle")
+	}
+}
+
+func TestValidateWeights(t *testing.T) {
+	g := New()
+	g.AddTask("bad", -1)
+	if err := g.Validate(); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	g := diamond()
+	if s := g.Sources(); len(s) != 1 || s[0] != 0 {
+		t.Errorf("Sources = %v", s)
+	}
+	if s := g.Sinks(); len(s) != 1 || s[0] != 3 {
+		t.Errorf("Sinks = %v", s)
+	}
+}
+
+func TestLongestPath(t *testing.T) {
+	g := diamond()
+	per, max, err := g.LongestPath([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a=1, b=1+2=3, c=1+3=4, d=4+4=8.
+	want := []float64{1, 3, 4, 8}
+	for i := range want {
+		if math.Abs(per[i]-want[i]) > 1e-12 {
+			t.Errorf("per[%d] = %v, want %v", i, per[i], want[i])
+		}
+	}
+	if max != 8 {
+		t.Errorf("max = %v, want 8", max)
+	}
+}
+
+func TestLongestPathLengthMismatch(t *testing.T) {
+	g := diamond()
+	if _, _, err := g.LongestPath([]float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestCriticalPathWeight(t *testing.T) {
+	g := diamond()
+	// Heaviest path a→c→d: 1+3+4 = 8.
+	if got := g.CriticalPathWeight(); math.Abs(got-8) > 1e-12 {
+		t.Errorf("cp = %v, want 8", got)
+	}
+}
+
+func TestBottomLevels(t *testing.T) {
+	g := diamond()
+	bl, err := g.BottomLevels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{8, 6, 7, 4}
+	for i := range want {
+		if math.Abs(bl[i]-want[i]) > 1e-12 {
+			t.Errorf("bl[%d] = %v, want %v", i, bl[i], want[i])
+		}
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	g := diamond()
+	reach, err := g.TransitiveClosure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reach[0][3] || !reach[0][1] || !reach[1][3] {
+		t.Error("missing reachability")
+	}
+	if reach[1][2] || reach[3][0] || reach[0][0] {
+		t.Error("spurious reachability")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := diamond()
+	c := g.Clone()
+	c.AddTask("extra", 1)
+	c.MustEdge(3, 4)
+	if g.N() != 4 || g.M() != 4 {
+		t.Error("clone mutation leaked into original")
+	}
+}
+
+func TestTotalWeight(t *testing.T) {
+	if got := diamond().TotalWeight(); got != 10 {
+		t.Errorf("TotalWeight = %v", got)
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	if s := diamond().String(); s == "" {
+		t.Error("empty String")
+	}
+}
+
+// Property: for random chains, the longest path equals the sum of
+// durations and bottom level of the head equals total weight.
+func TestChainPathProperties(t *testing.T) {
+	prop := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		ws := make([]float64, len(raw))
+		sum := 0.0
+		for i, r := range raw {
+			ws[i] = math.Mod(math.Abs(r), 10) + 0.1
+			sum += ws[i]
+		}
+		g := ChainGraph(ws...)
+		_, max, err := g.LongestPath(ws)
+		if err != nil {
+			return false
+		}
+		if math.Abs(max-sum) > 1e-9 {
+			return false
+		}
+		bl, err := g.BottomLevels()
+		if err != nil {
+			return false
+		}
+		return math.Abs(bl[0]-sum) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: critical path weight is between max single weight and total
+// weight for arbitrary DAGs built from a random edge mask.
+func TestCriticalPathBounds(t *testing.T) {
+	prop := func(raw []float64, mask uint64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 8 {
+			raw = raw[:8]
+		}
+		g := New()
+		maxw := 0.0
+		for i, r := range raw {
+			w := math.Mod(math.Abs(r), 10) + 0.1
+			g.AddTask("t", w)
+			if w > maxw {
+				maxw = w
+			}
+			_ = i
+		}
+		// Edges only forward: acyclic by construction.
+		bit := 0
+		for i := 0; i < g.N(); i++ {
+			for j := i + 1; j < g.N(); j++ {
+				if mask&(1<<uint(bit%64)) != 0 {
+					g.MustEdge(i, j)
+				}
+				bit++
+			}
+		}
+		cp := g.CriticalPathWeight()
+		return cp >= maxw-1e-9 && cp <= g.TotalWeight()+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,367 @@
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SPKind discriminates series-parallel decomposition tree nodes.
+type SPKind int
+
+const (
+	// SPLeaf is a single task.
+	SPLeaf SPKind = iota
+	// SPSeries executes its children one after the other: every sink of
+	// child k precedes every source of child k+1.
+	SPSeries
+	// SPParallel executes its children independently side by side.
+	SPParallel
+)
+
+func (k SPKind) String() string {
+	switch k {
+	case SPLeaf:
+		return "leaf"
+	case SPSeries:
+		return "series"
+	case SPParallel:
+		return "parallel"
+	default:
+		return fmt.Sprintf("SPKind(%d)", int(k))
+	}
+}
+
+// SP is a node of a series-parallel decomposition tree. Leaves carry a
+// task name and weight; internal nodes carry ≥2 children. The fork
+// graph of the paper's Section III theorem is
+// Series(Leaf(w0), Parallel(Leaf(w1), ..., Leaf(wn))).
+type SP struct {
+	Kind     SPKind
+	Name     string  // leaf only
+	Weight   float64 // leaf only
+	Children []*SP   // series/parallel only
+
+	// TaskID is assigned by Graph(): the index of this leaf's task in
+	// the materialized graph. Zero-valued before materialization.
+	TaskID int
+}
+
+// Leaf returns a leaf node for a task of the given weight.
+func Leaf(name string, weight float64) *SP {
+	return &SP{Kind: SPLeaf, Name: name, Weight: weight, TaskID: -1}
+}
+
+// Series composes children sequentially. Single-child series collapse
+// to the child; nested series flatten.
+func Series(children ...*SP) *SP { return compose(SPSeries, children) }
+
+// Parallel composes children side by side. Single-child parallels
+// collapse; nested parallels flatten.
+func Parallel(children ...*SP) *SP { return compose(SPParallel, children) }
+
+func compose(kind SPKind, children []*SP) *SP {
+	flat := make([]*SP, 0, len(children))
+	for _, c := range children {
+		if c == nil {
+			continue
+		}
+		if c.Kind == kind {
+			flat = append(flat, c.Children...)
+		} else {
+			flat = append(flat, c)
+		}
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return &SP{Kind: kind, Children: flat, TaskID: -1}
+}
+
+// Validate checks structural sanity: leaves have positive weight,
+// internal nodes have ≥2 children.
+func (sp *SP) Validate() error {
+	switch sp.Kind {
+	case SPLeaf:
+		if sp.Weight <= 0 {
+			return fmt.Errorf("dag: SP leaf %q has non-positive weight %v", sp.Name, sp.Weight)
+		}
+		return nil
+	case SPSeries, SPParallel:
+		if len(sp.Children) < 2 {
+			return fmt.Errorf("dag: SP %v node with %d children", sp.Kind, len(sp.Children))
+		}
+		for _, c := range sp.Children {
+			if err := c.Validate(); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("dag: unknown SP kind %d", int(sp.Kind))
+	}
+}
+
+// Leaves returns the leaves in left-to-right order.
+func (sp *SP) Leaves() []*SP {
+	var out []*SP
+	var walk func(*SP)
+	walk = func(n *SP) {
+		if n.Kind == SPLeaf {
+			out = append(out, n)
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(sp)
+	return out
+}
+
+// NumTasks returns the number of leaves.
+func (sp *SP) NumTasks() int { return len(sp.Leaves()) }
+
+// Graph materializes the decomposition tree into a task graph. Series
+// composition adds all sink(left) × source(right) edges. Leaf TaskIDs
+// are set to the created task indices.
+func (sp *SP) Graph() (*Graph, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	g := New()
+	var build func(n *SP) (sources, sinks []int)
+	build = func(n *SP) ([]int, []int) {
+		switch n.Kind {
+		case SPLeaf:
+			id := g.AddTask(n.Name, n.Weight)
+			n.TaskID = id
+			return []int{id}, []int{id}
+		case SPSeries:
+			srcs, snks := build(n.Children[0])
+			for _, c := range n.Children[1:] {
+				cs, ck := build(c)
+				for _, a := range snks {
+					for _, b := range cs {
+						g.MustEdge(a, b)
+					}
+				}
+				snks = ck
+			}
+			return srcs, snks
+		default: // SPParallel
+			var srcs, snks []int
+			for _, c := range n.Children {
+				cs, ck := build(c)
+				srcs = append(srcs, cs...)
+				snks = append(snks, ck...)
+			}
+			return srcs, snks
+		}
+	}
+	build(sp)
+	return g, nil
+}
+
+// String renders the tree compactly, e.g. "ser(T0, par(T1, T2))".
+func (sp *SP) String() string {
+	var b strings.Builder
+	var walk func(*SP)
+	walk = func(n *SP) {
+		switch n.Kind {
+		case SPLeaf:
+			fmt.Fprintf(&b, "%s:%.3g", n.Name, n.Weight)
+		case SPSeries:
+			b.WriteString("ser(")
+			for i, c := range n.Children {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				walk(c)
+			}
+			b.WriteString(")")
+		case SPParallel:
+			b.WriteString("par(")
+			for i, c := range n.Children {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				walk(c)
+			}
+			b.WriteString(")")
+		}
+	}
+	walk(sp)
+	return b.String()
+}
+
+// Clone returns a deep copy of the tree.
+func (sp *SP) Clone() *SP {
+	c := &SP{Kind: sp.Kind, Name: sp.Name, Weight: sp.Weight, TaskID: sp.TaskID}
+	if len(sp.Children) > 0 {
+		c.Children = make([]*SP, len(sp.Children))
+		for i, ch := range sp.Children {
+			c.Children[i] = ch.Clone()
+		}
+	}
+	return c
+}
+
+// ErrNotSeriesParallel is returned by Decompose when the graph is not
+// (transitively equivalent to) a series-parallel task graph.
+var ErrNotSeriesParallel = errors.New("dag: graph is not series-parallel")
+
+// Decompose recovers a series-parallel decomposition tree from a task
+// graph, or returns ErrNotSeriesParallel.
+//
+// Two graphs with the same transitive closure describe the same
+// scheduling constraints, so recognition works up to transitive
+// equivalence: the result's materialization has the same closure as g.
+// The algorithm recursively splits the vertex set: a parallel split
+// groups the weakly connected components; a series split groups the
+// connected components of the incomparability relation (u,v
+// incomparable iff neither reaches the other), which in an N-free
+// (series-parallel) order form a chain of "blocks". The reconstructed
+// tree is verified against g's transitive closure, which makes the
+// recognizer sound by construction.
+func Decompose(g *Graph) (*SP, error) {
+	if g.N() == 0 {
+		return nil, errors.New("dag: empty graph")
+	}
+	reach, err := g.TransitiveClosure()
+	if err != nil {
+		return nil, err
+	}
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	sp, err := decompose(g, reach, all)
+	if err != nil {
+		return nil, err
+	}
+	// Soundness check: materialize a clone (Graph() renumbers leaf
+	// TaskIDs; the clone keeps the originals intact) and compare
+	// transitive closures. Graph() numbers tasks in leaf order, so the
+	// materialized id of leaf #pos is pos.
+	leaves := sp.Leaves()
+	orig := make([]int, len(leaves)) // materialized id -> original id
+	for pos, lf := range leaves {
+		orig[pos] = lf.TaskID
+	}
+	mg, err := sp.Clone().Graph()
+	if err != nil {
+		return nil, err
+	}
+	mreach, err := mg.TransitiveClosure()
+	if err != nil {
+		return nil, err
+	}
+	for u := 0; u < mg.N(); u++ {
+		for v := 0; v < mg.N(); v++ {
+			if mreach[u][v] != reach[orig[u]][orig[v]] {
+				return nil, ErrNotSeriesParallel
+			}
+		}
+	}
+	return sp, nil
+}
+
+func decompose(g *Graph, reach [][]bool, verts []int) (*SP, error) {
+	if len(verts) == 1 {
+		v := verts[0]
+		lf := Leaf(g.Task(v).Name, g.Weight(v))
+		lf.TaskID = v
+		return lf, nil
+	}
+	// Parallel split: weakly connected components of the comparability
+	// relation restricted to verts.
+	comps := components(verts, func(u, v int) bool { return reach[u][v] || reach[v][u] })
+	if len(comps) > 1 {
+		children := make([]*SP, 0, len(comps))
+		for _, c := range comps {
+			ch, err := decompose(g, reach, c)
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, ch)
+		}
+		return Parallel(children...), nil
+	}
+	// Series split: components of the incomparability relation. In a
+	// series-parallel order these blocks are totally ordered.
+	blocks := components(verts, func(u, v int) bool { return !reach[u][v] && !reach[v][u] })
+	if len(blocks) == 1 {
+		return nil, ErrNotSeriesParallel
+	}
+	// Order blocks by reachability (any representative works if the
+	// graph is SP; verification catches violations).
+	sort.Slice(blocks, func(i, j int) bool {
+		u, v := blocks[i][0], blocks[j][0]
+		if reach[u][v] {
+			return true
+		}
+		if reach[v][u] {
+			return false
+		}
+		return u < v
+	})
+	children := make([]*SP, 0, len(blocks))
+	for _, b := range blocks {
+		ch, err := decompose(g, reach, b)
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, ch)
+	}
+	return Series(children...), nil
+}
+
+// components returns the connected components of verts under the
+// symmetric relation rel.
+func components(verts []int, rel func(u, v int) bool) [][]int {
+	id := make(map[int]int, len(verts))
+	for i, v := range verts {
+		id[v] = i
+	}
+	parent := make([]int, len(verts))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for i := 0; i < len(verts); i++ {
+		for j := i + 1; j < len(verts); j++ {
+			if rel(verts[i], verts[j]) {
+				union(i, j)
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	for i, v := range verts {
+		groups[find(i)] = append(groups[find(i)], v)
+	}
+	keys := make([]int, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([][]int, 0, len(groups))
+	for _, k := range keys {
+		out = append(out, groups[k])
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package discrete
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"energysched/internal/dag"
+	"energysched/internal/platform"
+)
+
+// The ablation switches must never change the answer, only the work.
+func TestSolveExactOptsSameOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	sm := xscale()
+	for trial := 0; trial < 8; trial++ {
+		n := rng.Intn(4) + 3
+		ws := make([]float64, n)
+		sum := 0.0
+		for i := range ws {
+			ws[i] = rng.Float64()*2 + 0.3
+			sum += ws[i]
+		}
+		g := dag.ChainGraph(ws...)
+		mp, _ := platform.SingleProcessor(g)
+		D := sum * (1.3 + rng.Float64())
+		base, err := SolveExact(g, mp, sm, D)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, opt := range []BBOptions{
+			{DisableEnergyPrune: true},
+			{DisableDeadlinePrune: true},
+			{DisableEnergyPrune: true, DisableDeadlinePrune: true},
+		} {
+			alt, err := SolveExactOpts(g, mp, sm, D, opt)
+			if err != nil {
+				t.Fatalf("trial %d %+v: %v", trial, opt, err)
+			}
+			if math.Abs(alt.Energy-base.Energy) > 1e-9 {
+				t.Errorf("trial %d %+v: energy %v ≠ %v", trial, opt, alt.Energy, base.Energy)
+			}
+			if alt.Nodes < base.Nodes {
+				t.Errorf("trial %d %+v: disabling a prune reduced nodes (%d < %d)", trial, opt, alt.Nodes, base.Nodes)
+			}
+		}
+	}
+}
+
+func TestPruningActuallyPrunes(t *testing.T) {
+	// On a hard gadget instance the prunes must cut the tree
+	// substantially.
+	a := []int64{3, 5, 7, 9, 11, 13, 15, 17}
+	var sum int64
+	for _, x := range a {
+		sum += x
+	}
+	g, mp, sm, D, _, err := SubsetSumGadget(a, sum/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := SolveExact(g, mp, sm, D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := SolveExactOpts(g, mp, sm, D, BBOptions{DisableEnergyPrune: true, DisableDeadlinePrune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Nodes < 2*pruned.Nodes {
+		t.Errorf("prunes saved too little: %d vs %d nodes", pruned.Nodes, raw.Nodes)
+	}
+	if math.Abs(raw.Energy-pruned.Energy) > 1e-9 {
+		t.Errorf("optimum changed: %v vs %v", raw.Energy, pruned.Energy)
+	}
+}

@@ -1,0 +1,385 @@
+// Package discrete implements the Section IV results for the models
+// with a finite number of speeds and one speed per task (DISCRETE and
+// INCREMENTAL):
+//
+//   - BI-CRIT is NP-complete: SubsetSumGadget builds the reduction
+//     instances, and SolveExact is an exact branch-and-bound whose
+//     exponential growth on gadget instances is exercised by the
+//     experiment suite;
+//   - polynomial-time approximation: Approximate solves the CONTINUOUS
+//     relaxation and rounds every speed up to the next admissible
+//     level, with guaranteed ratio (1+δ/fmin)²·(1+1/K)² under the
+//     INCREMENTAL model (Bound).
+package discrete
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"energysched/internal/convex"
+	"energysched/internal/dag"
+	"energysched/internal/model"
+	"energysched/internal/platform"
+	"energysched/internal/schedule"
+)
+
+// ExactResult is an optimal single-speed-per-task assignment.
+type ExactResult struct {
+	// LevelIdx[i] is the index into the model's Levels chosen for task
+	// i.
+	LevelIdx []int
+	// Speeds[i] is the corresponding speed.
+	Speeds []float64
+	// Energy is Σ wᵢ·fᵢ².
+	Energy float64
+	// Nodes counts branch-and-bound nodes explored (the experiment
+	// suite uses it as a machine-independent hardness measure).
+	Nodes int64
+}
+
+// ErrInfeasible is returned when even the top speed misses the
+// deadline.
+var ErrInfeasible = errors.New("discrete: infeasible deadline")
+
+// BBOptions disables individual branch-and-bound prunes — used only by
+// the ablation benchmarks to measure what each prune buys.
+type BBOptions struct {
+	// DisableEnergyPrune drops the energy lower-bound cut.
+	DisableEnergyPrune bool
+	// DisableDeadlinePrune drops the partial-schedule feasibility cut.
+	DisableDeadlinePrune bool
+}
+
+// SolveExact computes the optimal DISCRETE/INCREMENTAL BI-CRIT
+// solution by branch-and-bound over per-task speed levels. Exact but
+// exponential in the worst case — the problem is NP-complete — so keep
+// n·m modest (n ≲ 20 tasks with a handful of levels).
+//
+// Pruning: (a) partial energy plus every remaining task at the slowest
+// level is a lower bound; (b) partial durations plus every remaining
+// task at fmax must meet the deadline.
+func SolveExact(g *dag.Graph, mp *platform.Mapping, sm model.SpeedModel, deadline float64) (*ExactResult, error) {
+	return SolveExactOpts(g, mp, sm, deadline, BBOptions{})
+}
+
+// SolveExactOpts is SolveExact with ablation switches.
+func SolveExactOpts(g *dag.Graph, mp *platform.Mapping, sm model.SpeedModel, deadline float64, opt BBOptions) (*ExactResult, error) {
+	if sm.Kind != model.Discrete && sm.Kind != model.Incremental {
+		return nil, fmt.Errorf("discrete: speed model is %v, want DISCRETE or INCREMENTAL", sm.Kind)
+	}
+	if err := sm.Validate(); err != nil {
+		return nil, err
+	}
+	if err := model.CheckDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	cg, err := mp.ConstraintGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	order, err := cg.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	levels := sm.Levels
+	m := len(levels)
+
+	durations := make([]float64, n)
+	for i := range durations {
+		durations[i] = g.Weight(i) / sm.FMax
+	}
+	if _, ms, err := cg.LongestPath(durations); err != nil {
+		return nil, err
+	} else if ms > deadline*(1+1e-9) {
+		return nil, ErrInfeasible
+	}
+
+	// Incumbent: the slowest uniform level that meets the deadline.
+	bestEnergy := math.Inf(1)
+	bestAssign := make([]int, n)
+	for s := 0; s < m; s++ {
+		for i := range durations {
+			durations[i] = g.Weight(i) / levels[s]
+		}
+		if _, ms, _ := cg.LongestPath(durations); ms <= deadline*(1+1e-9) {
+			e := 0.0
+			for i := 0; i < n; i++ {
+				e += model.Energy(g.Weight(i), levels[s])
+			}
+			bestEnergy = e
+			for i := range bestAssign {
+				bestAssign[i] = s
+			}
+			break
+		}
+	}
+
+	// Suffix minimum-energy bound: remaining tasks at the slowest
+	// level.
+	sufMinEnergy := make([]float64, n+1)
+	for k := n - 1; k >= 0; k-- {
+		sufMinEnergy[k] = sufMinEnergy[k+1] + model.Energy(g.Weight(order[k]), levels[0])
+	}
+	// tailFmax[t]: longest constraint-graph path strictly after t with
+	// every task at fmax — the cheapest possible completion of any path
+	// through t. Tasks are assigned in topological order, so checking
+	// finish[t] + tailFmax[t] ≤ D at every assignment prunes exactly as
+	// strongly as recomputing the full longest path, at O(degree) per
+	// node instead of O(n+m).
+	tailFmax := make([]float64, n)
+	for k := n - 1; k >= 0; k-- {
+		t := order[k]
+		best := 0.0
+		for _, v := range cg.Succs(t) {
+			if c := g.Weight(v)/sm.FMax + tailFmax[v]; c > best {
+				best = c
+			}
+		}
+		tailFmax[t] = best
+	}
+
+	assign := make([]int, n)
+	finish := make([]float64, n) // finish time of assigned tasks
+	var nodes int64
+	energySoFar := 0.0
+	var rec func(k int)
+	rec = func(k int) {
+		nodes++
+		if k == n {
+			if energySoFar < bestEnergy {
+				if opt.DisableDeadlinePrune {
+					// Without the incremental feasibility cut, leaves
+					// must be checked before acceptance.
+					durs := make([]float64, n)
+					for i := 0; i < n; i++ {
+						durs[i] = g.Weight(i) / levels[assign[i]]
+					}
+					if _, ms, _ := cg.LongestPath(durs); ms > deadline*(1+1e-9) {
+						return
+					}
+				}
+				bestEnergy = energySoFar
+				copy(bestAssign, assign)
+			}
+			return
+		}
+		t := order[k]
+		w := g.Weight(t)
+		if !opt.DisableEnergyPrune && energySoFar+sufMinEnergy[k] >= bestEnergy {
+			return
+		}
+		start := 0.0
+		for _, p := range cg.Preds(t) {
+			if finish[p] > start {
+				start = finish[p]
+			}
+		}
+		// Try slow levels first: depth-first toward low energy.
+		for s := 0; s < m; s++ {
+			assign[t] = s
+			e := model.Energy(w, levels[s])
+			if !opt.DisableEnergyPrune && energySoFar+e+sufMinEnergy[k+1] >= bestEnergy {
+				continue
+			}
+			end := start + w/levels[s]
+			if !opt.DisableDeadlinePrune && end+tailFmax[t] > deadline*(1+1e-9) {
+				continue
+			}
+			finish[t] = end
+			energySoFar += e
+			rec(k + 1)
+			energySoFar -= e
+		}
+	}
+	rec(0)
+
+	if math.IsInf(bestEnergy, 1) {
+		return nil, ErrInfeasible
+	}
+	res := &ExactResult{LevelIdx: bestAssign, Speeds: make([]float64, n), Energy: bestEnergy, Nodes: nodes}
+	for i := 0; i < n; i++ {
+		res.Speeds[i] = levels[bestAssign[i]]
+	}
+	return res, nil
+}
+
+// Schedule materializes an exact result as a validated ASAP schedule.
+func (r *ExactResult) Schedule(g *dag.Graph, mp *platform.Mapping) (*schedule.Schedule, error) {
+	return schedule.FromSpeeds(g, mp, r.Speeds)
+}
+
+// ApproxResult is the output of the round-up approximation.
+type ApproxResult struct {
+	// ContinuousEnergy is the relaxation optimum (a lower bound on the
+	// discrete optimum).
+	ContinuousEnergy float64
+	// Speeds are the rounded-up admissible speeds.
+	Speeds []float64
+	// Energy is the energy of the rounded solution.
+	Energy float64
+	// Ratio = Energy / ContinuousEnergy, the measured approximation
+	// factor against the strongest available lower bound.
+	Ratio float64
+}
+
+// Approximate implements the polynomial-time approximation of Section
+// IV: solve the CONTINUOUS relaxation (our barrier solver stands in
+// for the (1+1/K)²-accurate geometric-programming step; K controls its
+// tolerance) and round every speed up to the next admissible level.
+// Rounding up only shrinks durations, so the schedule stays feasible.
+func Approximate(g *dag.Graph, mp *platform.Mapping, sm model.SpeedModel, deadline float64, k int) (*ApproxResult, error) {
+	if sm.Kind != model.Discrete && sm.Kind != model.Incremental {
+		return nil, fmt.Errorf("discrete: speed model is %v, want DISCRETE or INCREMENTAL", sm.Kind)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("discrete: accuracy parameter K must be ≥ 1, got %d", k)
+	}
+	cg, err := mp.ConstraintGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	for i := range lo {
+		lo[i] = 0 // the relaxation may go below fmin; rounding pulls it back up
+		hi[i] = sm.FMax
+	}
+	tol := 1.0 / (float64(k) * float64(k) * 1e4)
+	cont, err := convex.MinimizeEnergy(cg, deadline, g.Weights(), lo, hi, convex.Options{Tol: tol})
+	if err != nil {
+		if err == convex.ErrInfeasible {
+			return nil, ErrInfeasible
+		}
+		return nil, err
+	}
+	res := &ApproxResult{ContinuousEnergy: cont.Energy, Speeds: make([]float64, n)}
+	// Plain round-up is always deadline-feasible (durations only
+	// shrink). The numerical relaxation, however, may return a speed a
+	// few ppm above a grid level and plain round-up would then skip to
+	// the next level, wasting up to (1+δ/f)² energy for nothing. So we
+	// first try a tolerance-snapped rounding and keep it only if the
+	// exact makespan check passes.
+	snapped := make([]float64, n)
+	plain := make([]float64, n)
+	durs := make([]float64, n)
+	feasibleSnap := true
+	for i := 0; i < n; i++ {
+		f := math.Min(cont.Speeds[i], sm.FMax)
+		p, err := sm.RoundUp(f)
+		if err != nil {
+			return nil, err
+		}
+		plain[i] = p
+		s, err := sm.RoundUp(f / (1 + 1e-5))
+		if err != nil {
+			return nil, err
+		}
+		snapped[i] = s
+		durs[i] = g.Weight(i) / s
+	}
+	if _, ms, err := cg.LongestPath(durs); err != nil || ms > deadline {
+		feasibleSnap = false
+	}
+	chosen := plain
+	if feasibleSnap {
+		chosen = snapped
+	}
+	for i := 0; i < n; i++ {
+		res.Speeds[i] = chosen[i]
+		res.Energy += model.Energy(g.Weight(i), chosen[i])
+	}
+	res.Ratio = res.Energy / res.ContinuousEnergy
+	return res, nil
+}
+
+// Schedule materializes the approximation as a validated ASAP
+// schedule.
+func (r *ApproxResult) Schedule(g *dag.Graph, mp *platform.Mapping) (*schedule.Schedule, error) {
+	return schedule.FromSpeeds(g, mp, r.Speeds)
+}
+
+// Bound returns the paper's INCREMENTAL approximation guarantee
+// (1 + δ/fmin)²·(1 + 1/K)².
+func Bound(delta, fmin float64, k int) float64 {
+	a := 1 + delta/fmin
+	b := 1 + 1/float64(k)
+	return a * a * b * b
+}
+
+// SubsetSumGadget builds the NP-completeness reduction instance from
+// SUBSET-SUM: given positive integers a₁..a_n and target B, it returns
+// independent tasks of weight aᵢ on one processor with speed set
+// {1, 2} and deadline D = ΣA − B/2.
+//
+// Running the subset X at speed 2 gives makespan ΣA − (Σ_X a)/2 ≤ D
+// ⟺ Σ_X a ≥ B, and energy ΣA + 3·Σ_X a. Hence the optimal energy is
+// exactly ΣA + 3B iff some subset sums to exactly B (YesEnergy);
+// otherwise it is strictly larger. Deciding "energy ≤ ΣA + 3B" is
+// therefore SUBSET-SUM-hard.
+func SubsetSumGadget(a []int64, b int64) (g *dag.Graph, mp *platform.Mapping, sm model.SpeedModel, deadline, yesEnergy float64, err error) {
+	if len(a) == 0 {
+		err = errors.New("discrete: empty SUBSET-SUM instance")
+		return
+	}
+	var sum int64
+	for i, ai := range a {
+		if ai <= 0 {
+			err = fmt.Errorf("discrete: item %d non-positive", i)
+			return
+		}
+		sum += ai
+	}
+	if b <= 0 || b > sum {
+		err = fmt.Errorf("discrete: target %d outside (0, %d]", b, sum)
+		return
+	}
+	weights := make([]float64, len(a))
+	for i, ai := range a {
+		weights[i] = float64(ai)
+	}
+	g = dag.IndependentGraph(weights...)
+	mp, err = platform.SingleProcessor(g)
+	if err != nil {
+		return
+	}
+	sm, err = model.NewDiscrete([]float64{1, 2})
+	if err != nil {
+		return
+	}
+	deadline = float64(sum) - float64(b)/2
+	yesEnergy = float64(sum) + 3*float64(b)
+	return
+}
+
+// HasSubsetSum answers the SUBSET-SUM instance directly by dynamic
+// programming — used in tests to cross-check the gadget.
+func HasSubsetSum(a []int64, b int64) bool {
+	if b == 0 {
+		return true
+	}
+	if b < 0 {
+		return false
+	}
+	reach := make(map[int64]bool, 1024)
+	reach[0] = true
+	for _, ai := range a {
+		next := make(map[int64]bool, 2*len(reach))
+		for s := range reach {
+			next[s] = true
+			if s+ai <= b {
+				next[s+ai] = true
+			}
+		}
+		reach = next
+		if reach[b] {
+			return true
+		}
+	}
+	return reach[b]
+}

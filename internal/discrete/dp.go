@@ -1,0 +1,122 @@
+package discrete
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"energysched/internal/model"
+)
+
+// SolveChainDP is the pseudo-polynomial counterpart of the exact
+// branch-and-bound for the special case the NP-completeness gadget
+// lives in: a linear chain (or independent tasks) on one processor,
+// where only the *sum* of execution times matters. Time is discretized
+// into `resolution` buckets of D/resolution each; execution times round
+// *up* to buckets, so any returned assignment is deadline-feasible and
+// its energy upper-bounds the true optimum, converging to it as the
+// resolution grows — the classic rounding that turns the NP-complete
+// problem into an FPTAS on chains.
+//
+// Complexity: O(n · m · resolution) time, O(resolution) space.
+type DPResult struct {
+	// LevelIdx[i] is the chosen level index for task i.
+	LevelIdx []int
+	// Speeds[i] is the chosen speed.
+	Speeds []float64
+	// Energy is Σ wᵢfᵢ² of the returned (feasible) assignment.
+	Energy float64
+}
+
+// SolveChainDP solves min Σ wᵢfᵢ² s.t. Σ wᵢ/fᵢ ≤ deadline with
+// fᵢ ∈ levels of the speed model.
+func SolveChainDP(weights []float64, sm model.SpeedModel, deadline float64, resolution int) (*DPResult, error) {
+	if sm.Kind != model.Discrete && sm.Kind != model.Incremental {
+		return nil, fmt.Errorf("discrete: speed model is %v, want DISCRETE or INCREMENTAL", sm.Kind)
+	}
+	if err := sm.Validate(); err != nil {
+		return nil, err
+	}
+	if err := model.CheckDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if resolution < 1 {
+		return nil, fmt.Errorf("discrete: resolution must be ≥ 1, got %d", resolution)
+	}
+	n := len(weights)
+	if n == 0 {
+		return nil, errors.New("discrete: empty chain")
+	}
+	for i, w := range weights {
+		if err := model.CheckWeight(w); err != nil {
+			return nil, fmt.Errorf("discrete: task %d: %w", i, err)
+		}
+	}
+	bucket := deadline / float64(resolution)
+	levels := sm.Levels
+	m := len(levels)
+
+	// buckets[i][s]: time of task i at level s, in buckets, rounded up.
+	buckets := make([][]int, n)
+	energies := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		buckets[i] = make([]int, m)
+		energies[i] = make([]float64, m)
+		for s := 0; s < m; s++ {
+			t := weights[i] / levels[s]
+			b := int(math.Ceil(t/bucket - 1e-12))
+			if b < 1 {
+				b = 1
+			}
+			buckets[i][s] = b
+			energies[i][s] = model.Energy(weights[i], levels[s])
+		}
+	}
+
+	const inf = math.MaxFloat64
+	dp := make([]float64, resolution+1)
+	choice := make([][]int16, n)
+	for t := range dp {
+		dp[t] = 0 // zero tasks cost nothing within any budget
+	}
+	ndp := make([]float64, resolution+1)
+	for i := 0; i < n; i++ {
+		choice[i] = make([]int16, resolution+1)
+		for t := 0; t <= resolution; t++ {
+			best := inf
+			var bestS int16 = -1
+			for s := 0; s < m; s++ {
+				need := buckets[i][s]
+				if need > t {
+					continue
+				}
+				if dp[t-need] == inf {
+					continue
+				}
+				if e := dp[t-need] + energies[i][s]; e < best {
+					best = e
+					bestS = int16(s)
+				}
+			}
+			ndp[t] = best
+			choice[i][t] = bestS
+		}
+		dp, ndp = ndp, dp
+	}
+	if dp[resolution] == inf {
+		return nil, ErrInfeasible
+	}
+	// Backtrack.
+	res := &DPResult{LevelIdx: make([]int, n), Speeds: make([]float64, n), Energy: dp[resolution]}
+	t := resolution
+	for i := n - 1; i >= 0; i-- {
+		s := int(choice[i][t])
+		if s < 0 {
+			return nil, errors.New("discrete: internal DP backtrack failure")
+		}
+		res.LevelIdx[i] = s
+		res.Speeds[i] = levels[s]
+		t -= buckets[i][s]
+	}
+	return res, nil
+}

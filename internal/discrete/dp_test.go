@@ -1,0 +1,156 @@
+package discrete
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"energysched/internal/dag"
+	"energysched/internal/model"
+	"energysched/internal/platform"
+)
+
+func TestSolveChainDPMatchesExactAtHighResolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	sm := xscale()
+	for trial := 0; trial < 10; trial++ {
+		n := rng.Intn(5) + 2
+		ws := make([]float64, n)
+		sum := 0.0
+		for i := range ws {
+			ws[i] = rng.Float64()*2 + 0.3
+			sum += ws[i]
+		}
+		D := sum * (1.3 + rng.Float64()*2)
+		g := dag.ChainGraph(ws...)
+		mp, _ := platform.SingleProcessor(g)
+		exact, err := SolveExact(g, mp, sm, D)
+		if err != nil {
+			t.Fatalf("trial %d exact: %v", trial, err)
+		}
+		dp, err := SolveChainDP(ws, sm, D, 20000)
+		if err != nil {
+			t.Fatalf("trial %d dp: %v", trial, err)
+		}
+		if dp.Energy < exact.Energy-1e-9 {
+			t.Fatalf("trial %d: DP %v beats exact %v (infeasible rounding?)", trial, dp.Energy, exact.Energy)
+		}
+		if rel := (dp.Energy - exact.Energy) / exact.Energy; rel > 0.02 {
+			t.Errorf("trial %d: DP gap %v too large at high resolution", trial, rel)
+		}
+	}
+}
+
+func TestSolveChainDPFeasibility(t *testing.T) {
+	// The DP's assignment must truly meet the deadline (times round up).
+	rng := rand.New(rand.NewSource(43))
+	sm := xscale()
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(6) + 2
+		ws := make([]float64, n)
+		sum := 0.0
+		for i := range ws {
+			ws[i] = rng.Float64()*3 + 0.2
+			sum += ws[i]
+		}
+		D := sum * (1.2 + rng.Float64()*3)
+		dp, err := SolveChainDP(ws, sm, D, 500)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		timeUsed := 0.0
+		energy := 0.0
+		for i := range ws {
+			timeUsed += ws[i] / dp.Speeds[i]
+			energy += model.Energy(ws[i], dp.Speeds[i])
+		}
+		if timeUsed > D*(1+1e-9) {
+			t.Fatalf("trial %d: DP assignment misses deadline: %v > %v", trial, timeUsed, D)
+		}
+		if math.Abs(energy-dp.Energy) > 1e-9*math.Max(1, energy) {
+			t.Fatalf("trial %d: reported energy %v ≠ recomputed %v", trial, dp.Energy, energy)
+		}
+	}
+}
+
+func TestSolveChainDPConvergesWithResolution(t *testing.T) {
+	// The round-up DP can only find the exact optimum when that optimum
+	// has more slack than n time buckets (a boundary-tight optimum is
+	// invisible to any round-up discretization). So: solve exactly,
+	// re-pose the instance with the exact solution's own time plus 2%
+	// slack, and check the DP converges onto it.
+	ws := []float64{1, 2, 1.5, 0.8}
+	sm := xscale()
+	g := dag.ChainGraph(ws...)
+	mp, _ := platform.SingleProcessor(g)
+	pre, err := SolveExact(g, mp, sm, 12.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeUsed := 0.0
+	for i := range ws {
+		timeUsed += ws[i] / pre.Speeds[i]
+	}
+	D := timeUsed * 1.02
+	exact, err := SolveExact(g, mp, sm, D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevGap := math.Inf(1)
+	for _, res := range []int{20, 200, 2000, 20000} {
+		dp, err := SolveChainDP(ws, sm, D, res)
+		if err != nil {
+			t.Fatalf("resolution %d: %v", res, err)
+		}
+		gap := dp.Energy - exact.Energy
+		if gap < -1e-9 {
+			t.Fatalf("resolution %d: DP below exact", res)
+		}
+		if gap > prevGap+1e-9 {
+			t.Errorf("resolution %d: gap %v grew from %v", res, gap, prevGap)
+		}
+		prevGap = gap
+	}
+	if prevGap > 1e-6 {
+		t.Errorf("DP did not converge to exact: final gap %v", prevGap)
+	}
+}
+
+func TestSolveChainDPInfeasible(t *testing.T) {
+	sm := xscale()
+	if _, err := SolveChainDP([]float64{10, 10}, sm, 1, 100); err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveChainDPValidation(t *testing.T) {
+	sm := xscale()
+	if _, err := SolveChainDP(nil, sm, 5, 100); err == nil {
+		t.Error("empty chain accepted")
+	}
+	if _, err := SolveChainDP([]float64{1}, sm, 5, 0); err == nil {
+		t.Error("zero resolution accepted")
+	}
+	if _, err := SolveChainDP([]float64{-1}, sm, 5, 10); err == nil {
+		t.Error("negative weight accepted")
+	}
+	cont, _ := model.NewContinuous(0.1, 1)
+	if _, err := SolveChainDP([]float64{1}, cont, 5, 10); err == nil {
+		t.Error("continuous model accepted")
+	}
+	if _, err := SolveChainDP([]float64{1}, sm, -5, 10); err == nil {
+		t.Error("negative deadline accepted")
+	}
+}
+
+func TestSolveChainDPSingleTask(t *testing.T) {
+	sm, _ := model.NewDiscrete([]float64{0.5, 1})
+	dp, err := SolveChainDP([]float64{2}, sm, 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2/0.5 = 4 ≤ 4: the slow level fits exactly.
+	if dp.Speeds[0] != 0.5 {
+		t.Errorf("speed = %v, want 0.5", dp.Speeds[0])
+	}
+}

@@ -1,0 +1,110 @@
+// Package faultsim is a Monte-Carlo transient-fault injector: it
+// samples failures from the paper's Eq. (1) rate model and measures
+// empirical per-task and whole-schedule success rates. It substitutes
+// for the real hardware the reliability model abstracts — the paper
+// itself is theory-only, so injecting faults from the very law the
+// model postulates is the faithful way to validate schedules
+// end-to-end (DESIGN.md, substitutions table).
+package faultsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"energysched/internal/model"
+	"energysched/internal/schedule"
+)
+
+// Stats summarizes a simulation campaign.
+type Stats struct {
+	// Trials is the number of simulated executions of the whole
+	// schedule.
+	Trials int
+	// TaskSuccess[i] is the fraction of trials in which task i
+	// ultimately succeeded (first execution, or re-execution when
+	// present).
+	TaskSuccess []float64
+	// ScheduleSuccess is the fraction of trials in which every task
+	// succeeded.
+	ScheduleSuccess float64
+	// FirstExecFailures[i] counts first-execution failures of task i —
+	// useful to confirm the fault rate actually bites at low speed.
+	FirstExecFailures []int
+}
+
+// SimulateSchedule runs trials Monte-Carlo executions of the schedule
+// under the reliability model. Each execution of a task fails
+// independently with its linearized failure probability (segment-wise
+// for VDD mixes); a re-executed task fails only if both attempts fail.
+func SimulateSchedule(s *schedule.Schedule, rel model.Reliability, trials int, seed int64) (*Stats, error) {
+	if s == nil || s.G == nil {
+		return nil, errors.New("faultsim: nil schedule")
+	}
+	if trials <= 0 {
+		return nil, fmt.Errorf("faultsim: trials must be positive, got %d", trials)
+	}
+	if err := rel.Validate(); err != nil {
+		return nil, err
+	}
+	n := s.G.N()
+	rng := rand.New(rand.NewSource(seed))
+	taskOK := make([]int, n)
+	firstFail := make([]int, n)
+	allOK := 0
+	for trial := 0; trial < trials; trial++ {
+		ok := true
+		for i := 0; i < n; i++ {
+			ts := s.Tasks[i]
+			p1 := ts.Execs[0].FailureProb(rel)
+			fail := rng.Float64() < p1
+			if fail {
+				firstFail[i]++
+				if ts.ReExecuted() {
+					p2 := ts.Execs[1].FailureProb(rel)
+					fail = rng.Float64() < p2
+				}
+			}
+			if fail {
+				ok = false
+			} else {
+				taskOK[i]++
+			}
+		}
+		if ok {
+			allOK++
+		}
+	}
+	st := &Stats{Trials: trials, TaskSuccess: make([]float64, n), ScheduleSuccess: float64(allOK) / float64(trials), FirstExecFailures: firstFail}
+	for i := 0; i < n; i++ {
+		st.TaskSuccess[i] = float64(taskOK[i]) / float64(trials)
+	}
+	return st, nil
+}
+
+// EmpiricalFailureRate estimates, by simulation, the failure
+// probability of a single execution of weight w at speed f; used by
+// the experiment suite to check the injector against the analytic
+// model.
+func EmpiricalFailureRate(rel model.Reliability, w, f float64, trials int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	p := rel.FailureProb(w, f)
+	fails := 0
+	for i := 0; i < trials; i++ {
+		if rng.Float64() < p {
+			fails++
+		}
+	}
+	return float64(fails) / float64(trials)
+}
+
+// PredictedTaskReliability returns the analytic success probability of
+// task i in the schedule (for comparison against TaskSuccess).
+func PredictedTaskReliability(s *schedule.Schedule, rel model.Reliability, i int) float64 {
+	ts := s.Tasks[i]
+	p1 := ts.Execs[0].FailureProb(rel)
+	if ts.ReExecuted() {
+		return 1 - p1*ts.Execs[1].FailureProb(rel)
+	}
+	return 1 - p1
+}

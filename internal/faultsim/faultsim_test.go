@@ -1,0 +1,128 @@
+package faultsim
+
+import (
+	"math"
+	"testing"
+
+	"energysched/internal/dag"
+	"energysched/internal/model"
+	"energysched/internal/platform"
+	"energysched/internal/schedule"
+)
+
+// hotRel uses a high fault rate so effects are measurable with modest
+// trial counts.
+func hotRel() model.Reliability {
+	return model.Reliability{Lambda0: 0.002, Sensitivity: 3, FMin: 0.1, FMax: 1}
+}
+
+func TestEmpiricalMatchesAnalytic(t *testing.T) {
+	rel := hotRel()
+	w, f := 4.0, 0.4
+	want := rel.FailureProb(w, f)
+	got := EmpiricalFailureRate(rel, w, f, 200000, 1)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("empirical %v vs analytic %v", got, want)
+	}
+}
+
+func TestFaultRateBitesAtLowSpeed(t *testing.T) {
+	// The motivation claim (C13): DVFS degrades reliability.
+	rel := hotRel()
+	slow := EmpiricalFailureRate(rel, 2, 0.2, 100000, 2)
+	fast := EmpiricalFailureRate(rel, 2, 1.0, 100000, 3)
+	if slow <= fast {
+		t.Errorf("slow failure %v not above fast failure %v", slow, fast)
+	}
+}
+
+func TestSimulateScheduleSingleExec(t *testing.T) {
+	g := dag.IndependentGraph(4)
+	mp, _ := platform.SingleProcessor(g)
+	s, _ := schedule.FromSpeeds(g, mp, []float64{0.5})
+	rel := hotRel()
+	st, err := SimulateSchedule(s, rel, 100000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PredictedTaskReliability(s, rel, 0)
+	if math.Abs(st.TaskSuccess[0]-want) > 0.01 {
+		t.Errorf("task success %v vs predicted %v", st.TaskSuccess[0], want)
+	}
+	if st.ScheduleSuccess != st.TaskSuccess[0] {
+		t.Errorf("single-task schedule success %v ≠ task success %v", st.ScheduleSuccess, st.TaskSuccess[0])
+	}
+}
+
+func TestReExecutionRestoresReliability(t *testing.T) {
+	// One slow task, once without and once with re-execution: the
+	// re-executed variant must be markedly more reliable.
+	g := dag.IndependentGraph(4)
+	mp, _ := platform.SingleProcessor(g)
+	rel := hotRel()
+	single, _ := schedule.FromSpeeds(g, mp, []float64{0.3})
+	plan, _ := schedule.NewConstantPlan(g, []float64{0.3}, []float64{0.3})
+	double, _ := schedule.FromPlan(g, mp, plan)
+	s1, err := SimulateSchedule(single, rel, 100000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SimulateSchedule(double, rel, 100000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.TaskSuccess[0] <= s1.TaskSuccess[0] {
+		t.Errorf("re-execution did not improve success: %v vs %v", s2.TaskSuccess[0], s1.TaskSuccess[0])
+	}
+	p := rel.FailureProb(4, 0.3)
+	wantSingle, wantDouble := 1-p, 1-p*p
+	if math.Abs(s1.TaskSuccess[0]-wantSingle) > 0.01 || math.Abs(s2.TaskSuccess[0]-wantDouble) > 0.01 {
+		t.Errorf("success rates %v/%v vs predicted %v/%v", s1.TaskSuccess[0], s2.TaskSuccess[0], wantSingle, wantDouble)
+	}
+	if s2.FirstExecFailures[0] == 0 {
+		t.Error("expected some first-execution failures at this rate")
+	}
+}
+
+func TestScheduleSuccessIsProductForIndependentTasks(t *testing.T) {
+	g := dag.IndependentGraph(2, 3)
+	mp := platform.OneTaskPerProcessor(g)
+	s, _ := schedule.FromSpeeds(g, mp, []float64{0.4, 0.5})
+	rel := hotRel()
+	st, err := SimulateSchedule(s, rel, 200000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PredictedTaskReliability(s, rel, 0) * PredictedTaskReliability(s, rel, 1)
+	if math.Abs(st.ScheduleSuccess-want) > 0.01 {
+		t.Errorf("schedule success %v vs product %v", st.ScheduleSuccess, want)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := SimulateSchedule(nil, hotRel(), 10, 1); err == nil {
+		t.Error("nil schedule accepted")
+	}
+	g := dag.IndependentGraph(1)
+	mp, _ := platform.SingleProcessor(g)
+	s, _ := schedule.FromSpeeds(g, mp, []float64{1})
+	if _, err := SimulateSchedule(s, hotRel(), 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+	bad := hotRel()
+	bad.Lambda0 = -1
+	if _, err := SimulateSchedule(s, bad, 10, 1); err == nil {
+		t.Error("invalid reliability accepted")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	g := dag.IndependentGraph(4)
+	mp, _ := platform.SingleProcessor(g)
+	s, _ := schedule.FromSpeeds(g, mp, []float64{0.3})
+	a, _ := SimulateSchedule(s, hotRel(), 5000, 42)
+	b, _ := SimulateSchedule(s, hotRel(), 5000, 42)
+	if a.ScheduleSuccess != b.ScheduleSuccess {
+		t.Error("same seed produced different results")
+	}
+}

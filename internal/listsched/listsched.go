@@ -1,0 +1,138 @@
+// Package listsched provides the classical critical-path list
+// scheduling that produces the mappings the paper assumes as input:
+// "our work can be coupled with classical list-scheduling heuristics
+// that map the DAG on the platform" (Section II). Tasks are mapped at
+// reference speed fmax; the energy solvers then reclaim slack without
+// moving tasks.
+package listsched
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"energysched/internal/dag"
+	"energysched/internal/platform"
+)
+
+// Result carries the produced mapping and the reference makespan at
+// speed 1 (weights interpreted as durations).
+type Result struct {
+	Mapping *platform.Mapping
+	// Makespan is the list-schedule length with durations = weights
+	// (i.e., at unit speed).
+	Makespan float64
+	// Start[i] is the list-schedule start time of task i at unit speed
+	// (informational; energy solvers recompute their own timing).
+	Start []float64
+}
+
+// CriticalPath maps the DAG onto p processors with the classic b-level
+// (bottom-level) priority list schedule: whenever a processor is free,
+// it picks the ready task with the largest remaining critical path.
+// Deterministic: ties break by smaller task index.
+func CriticalPath(g *dag.Graph, p int) (*Result, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("listsched: need ≥1 processor, got %d", p)
+	}
+	if g.N() == 0 {
+		return nil, errors.New("listsched: empty graph")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	bl, err := g.BottomLevels()
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = len(g.Preds(i))
+	}
+	// Ready queue ordered by descending bottom level.
+	ready := &taskHeap{bl: bl}
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			heap.Push(ready, i)
+		}
+	}
+	procFree := make([]float64, p)
+	finish := make([]float64, n)
+	start := make([]float64, n)
+	m := platform.NewMapping(p, n)
+	scheduled := 0
+	// Event-driven simulation: repeatedly take the highest-priority
+	// ready task and place it on the processor that can start it
+	// earliest (respecting predecessors' finish times).
+	for ready.Len() > 0 {
+		t := heap.Pop(ready).(int)
+		est := 0.0
+		for _, u := range g.Preds(t) {
+			if finish[u] > est {
+				est = finish[u]
+			}
+		}
+		bestQ, bestStart := 0, maxf(procFree[0], est)
+		for q := 1; q < p; q++ {
+			if s := maxf(procFree[q], est); s < bestStart {
+				bestQ, bestStart = q, s
+			}
+		}
+		m.MustAssign(t, bestQ)
+		start[t] = bestStart
+		finish[t] = bestStart + g.Weight(t)
+		procFree[bestQ] = finish[t]
+		scheduled++
+		for _, v := range g.Succs(t) {
+			indeg[v]--
+			if indeg[v] == 0 {
+				heap.Push(ready, v)
+			}
+		}
+	}
+	if scheduled != n {
+		return nil, errors.New("listsched: graph is cyclic")
+	}
+	ms := 0.0
+	for _, f := range finish {
+		if f > ms {
+			ms = f
+		}
+	}
+	if err := m.Validate(g); err != nil {
+		return nil, err
+	}
+	return &Result{Mapping: m, Makespan: ms, Start: start}, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// taskHeap is a max-heap on bottom level with index tie-breaking.
+type taskHeap struct {
+	bl    []float64
+	items []int
+}
+
+func (h *taskHeap) Len() int { return len(h.items) }
+func (h *taskHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if h.bl[a] != h.bl[b] {
+		return h.bl[a] > h.bl[b]
+	}
+	return a < b
+}
+func (h *taskHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *taskHeap) Push(x interface{}) { h.items = append(h.items, x.(int)) }
+func (h *taskHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}

@@ -1,0 +1,134 @@
+package listsched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"energysched/internal/dag"
+)
+
+func TestSingleProcessorSerializes(t *testing.T) {
+	g := dag.ForkGraph(1, 2, 3)
+	r, err := CriticalPath(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Makespan-g.TotalWeight()) > 1e-12 {
+		t.Errorf("makespan = %v, want total weight %v", r.Makespan, g.TotalWeight())
+	}
+}
+
+func TestForkOnManyProcessors(t *testing.T) {
+	g := dag.ForkGraph(1, 2, 3, 4)
+	r, err := CriticalPath(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Source then heaviest branch: 1 + 4 = 5.
+	if math.Abs(r.Makespan-5) > 1e-12 {
+		t.Errorf("makespan = %v, want 5", r.Makespan)
+	}
+	if err := r.Mapping.Validate(g); err != nil {
+		t.Errorf("mapping invalid: %v", err)
+	}
+}
+
+func TestPriorityPicksCriticalPath(t *testing.T) {
+	// Two ready tasks, one on the critical path: with one processor the
+	// b-level rule runs the critical one first.
+	g := dag.New()
+	a := g.AddTask("a", 1)   // followed by heavy chain
+	b := g.AddTask("b", 1)   // isolated
+	c := g.AddTask("c", 100) // heavy successor of a
+	g.MustEdge(a, c)
+	r, err := CriticalPath(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := r.Mapping.Order[0]
+	if order[0] != a {
+		t.Errorf("first task = %d, want a=%d (critical path priority)", order[0], a)
+	}
+	_ = b
+}
+
+func TestMakespanNeverBelowBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(20) + 2
+		g := dag.New()
+		for i := 0; i < n; i++ {
+			g.AddTask("t", rng.Float64()*5+0.2)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.2 {
+					g.MustEdge(i, j)
+				}
+			}
+		}
+		p := rng.Intn(4) + 1
+		r, err := CriticalPath(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := g.CriticalPathWeight()
+		area := g.TotalWeight() / float64(p)
+		if r.Makespan < cp-1e-9 {
+			t.Fatalf("trial %d: makespan %v below critical path %v", trial, r.Makespan, cp)
+		}
+		if r.Makespan < area-1e-9 {
+			t.Fatalf("trial %d: makespan %v below area bound %v", trial, r.Makespan, area)
+		}
+		// Classic Graham bound for list scheduling.
+		if r.Makespan > cp+area*float64(p)+1e-9 {
+			t.Fatalf("trial %d: makespan %v above Graham-style bound", trial, r.Makespan)
+		}
+		if err := r.Mapping.Validate(g); err != nil {
+			t.Fatalf("trial %d: mapping invalid: %v", trial, err)
+		}
+	}
+}
+
+func TestStartTimesRespectPrecedence(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	g := dag.New()
+	for i := 0; i < 12; i++ {
+		g.AddTask("t", rng.Float64()*3+0.5)
+	}
+	for i := 0; i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			if rng.Float64() < 0.25 {
+				g.MustEdge(i, j)
+			}
+		}
+	}
+	r, err := CriticalPath(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		u, v := e[0], e[1]
+		if r.Start[v] < r.Start[u]+g.Weight(u)-1e-9 {
+			t.Errorf("edge %v: start %v < finish %v", e, r.Start[v], r.Start[u]+g.Weight(u))
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	g := dag.ChainGraph(1)
+	if _, err := CriticalPath(g, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := CriticalPath(dag.New(), 1); err == nil {
+		t.Error("empty graph accepted")
+	}
+	cyc := dag.New()
+	a, b := cyc.AddTask("a", 1), cyc.AddTask("b", 1)
+	cyc.MustEdge(a, b)
+	cyc.MustEdge(b, a)
+	if _, err := CriticalPath(cyc, 1); err == nil {
+		t.Error("cycle accepted")
+	}
+}

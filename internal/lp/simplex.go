@@ -1,0 +1,327 @@
+// Package lp implements a dense two-phase primal simplex solver for
+// linear programs in the form
+//
+//	minimize    c·x
+//	subject to  a_k·x {≤,=,≥} b_k   for every constraint k
+//	            x ≥ 0
+//
+// It is the substrate for the paper's Section IV result that BI-CRIT
+// under the VDD-HOPPING model is solvable in polynomial time via a
+// linear program. Bland's anti-cycling rule guarantees termination;
+// problem sizes in this repository are small (hundreds of variables),
+// so a dense tableau is appropriate and keeps the implementation
+// auditable.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the direction of a linear constraint.
+type Sense int
+
+const (
+	// LE is a_k·x ≤ b_k.
+	LE Sense = iota
+	// GE is a_k·x ≥ b_k.
+	GE
+	// EQ is a_k·x = b_k.
+	EQ
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Sense(%d)", int(s))
+	}
+}
+
+// Constraint is one row a·x {≤,=,≥} rhs. Coeffs must have the
+// problem's NumVars entries.
+type Constraint struct {
+	Coeffs []float64
+	Sense  Sense
+	RHS    float64
+}
+
+// Problem is a minimization LP over non-negative variables.
+type Problem struct {
+	NumVars     int
+	Objective   []float64
+	Constraints []Constraint
+}
+
+// AddConstraint appends a constraint (convenience builder).
+func (p *Problem) AddConstraint(coeffs []float64, sense Sense, rhs float64) {
+	p.Constraints = append(p.Constraints, Constraint{Coeffs: coeffs, Sense: sense, RHS: rhs})
+}
+
+// Solution is an optimal basic feasible solution.
+type Solution struct {
+	X         []float64
+	Objective float64
+}
+
+// Errors returned by Solve.
+var (
+	ErrInfeasible = errors.New("lp: infeasible")
+	ErrUnbounded  = errors.New("lp: unbounded")
+)
+
+const eps = 1e-9
+
+// Solve returns an optimal solution, ErrInfeasible or ErrUnbounded.
+func Solve(p *Problem) (*Solution, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	n := p.NumVars
+	m := len(p.Constraints)
+
+	// Count auxiliary columns: one slack per LE, one surplus + one
+	// artificial per GE, one artificial per EQ. Rows are normalized to
+	// b ≥ 0 first.
+	rows := make([][]float64, m)
+	b := make([]float64, m)
+	senses := make([]Sense, m)
+	for k, c := range p.Constraints {
+		row := append([]float64(nil), c.Coeffs...)
+		rhs := c.RHS
+		sense := c.Sense
+		if rhs < 0 {
+			for j := range row {
+				row[j] = -row[j]
+			}
+			rhs = -rhs
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		rows[k] = row
+		b[k] = rhs
+		senses[k] = sense
+	}
+
+	nSlack := 0
+	nArt := 0
+	for _, s := range senses {
+		switch s {
+		case LE, GE:
+			nSlack++
+		}
+		if s != LE {
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+	a := make([][]float64, m)
+	basis := make([]int, m)
+	artStart := n + nSlack
+	slackCol := n
+	artCol := artStart
+	for k := 0; k < m; k++ {
+		a[k] = make([]float64, total)
+		copy(a[k], rows[k])
+		switch senses[k] {
+		case LE:
+			a[k][slackCol] = 1
+			basis[k] = slackCol
+			slackCol++
+		case GE:
+			a[k][slackCol] = -1
+			slackCol++
+			a[k][artCol] = 1
+			basis[k] = artCol
+			artCol++
+		case EQ:
+			a[k][artCol] = 1
+			basis[k] = artCol
+			artCol++
+		}
+	}
+
+	t := &tableau{m: m, n: total, a: a, b: b, basis: basis}
+
+	// Phase 1: minimize the sum of artificial variables.
+	if nArt > 0 {
+		c1 := make([]float64, total)
+		for j := artStart; j < total; j++ {
+			c1[j] = 1
+		}
+		z, err := t.simplex(c1, nil)
+		if err != nil {
+			return nil, err
+		}
+		if z > 1e-7 {
+			return nil, ErrInfeasible
+		}
+		// Drive remaining artificial variables out of the basis.
+		for r := 0; r < t.m; r++ {
+			if t.basis[r] >= artStart {
+				pivoted := false
+				for j := 0; j < artStart; j++ {
+					if math.Abs(t.a[r][j]) > eps {
+						t.pivot(r, j)
+						pivoted = true
+						break
+					}
+				}
+				if !pivoted {
+					// Redundant row; the artificial stays basic at value
+					// 0, harmless as long as it cannot re-enter with a
+					// positive value — it cannot, since the row is all
+					// zeros on structural columns.
+					t.b[r] = 0
+				}
+			}
+		}
+	}
+
+	// Phase 2: original objective, artificial columns barred.
+	c2 := make([]float64, total)
+	copy(c2, p.Objective)
+	barred := func(j int) bool { return j >= artStart }
+	if _, err := t.simplex(c2, barred); err != nil {
+		return nil, err
+	}
+
+	x := make([]float64, n)
+	for r := 0; r < m; r++ {
+		if t.basis[r] < n {
+			x[t.basis[r]] = t.b[r]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += p.Objective[j] * x[j]
+	}
+	return &Solution{X: x, Objective: obj}, nil
+}
+
+func validate(p *Problem) error {
+	if p.NumVars <= 0 {
+		return fmt.Errorf("lp: NumVars = %d", p.NumVars)
+	}
+	if len(p.Objective) != p.NumVars {
+		return fmt.Errorf("lp: objective has %d coefficients, want %d", len(p.Objective), p.NumVars)
+	}
+	for k, c := range p.Constraints {
+		if len(c.Coeffs) != p.NumVars {
+			return fmt.Errorf("lp: constraint %d has %d coefficients, want %d", k, len(c.Coeffs), p.NumVars)
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return fmt.Errorf("lp: constraint %d has invalid RHS %v", k, c.RHS)
+		}
+		for j, v := range c.Coeffs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("lp: constraint %d coefficient %d invalid: %v", k, j, v)
+			}
+		}
+	}
+	for j, v := range p.Objective {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("lp: objective coefficient %d invalid: %v", j, v)
+		}
+	}
+	return nil
+}
+
+// tableau is a dense simplex tableau kept in canonical form with
+// respect to the current basis.
+type tableau struct {
+	m, n  int
+	a     [][]float64 // m × n, updated in place
+	b     []float64   // m, current basic values (≥ 0)
+	basis []int       // basis[r] = variable basic in row r
+}
+
+// pivot performs a Gauss-Jordan pivot on (r, c) and updates the basis.
+func (t *tableau) pivot(r, c int) {
+	pv := t.a[r][c]
+	inv := 1 / pv
+	for j := 0; j < t.n; j++ {
+		t.a[r][j] *= inv
+	}
+	t.b[r] *= inv
+	t.a[r][c] = 1 // kill round-off
+	for i := 0; i < t.m; i++ {
+		if i == r {
+			continue
+		}
+		f := t.a[i][c]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			t.a[i][j] -= f * t.a[r][j]
+		}
+		t.b[i] -= f * t.b[r]
+		t.a[i][c] = 0
+		if t.b[i] < 0 && t.b[i] > -1e-11 {
+			t.b[i] = 0
+		}
+	}
+	t.basis[r] = c
+}
+
+// simplex minimizes cost over the current BFS using Bland's rule.
+// barred, when non-nil, excludes columns from entering. Returns the
+// optimal objective value of the basic solution.
+func (t *tableau) simplex(cost []float64, barred func(int) bool) (float64, error) {
+	maxIter := 50 * (t.m + t.n + 10)
+	for iter := 0; iter < maxIter; iter++ {
+		// Reduced costs: rc_j = c_j − Σ_r c_basis[r]·a[r][j].
+		enter := -1
+		for j := 0; j < t.n; j++ {
+			if barred != nil && barred(j) {
+				continue
+			}
+			rc := cost[j]
+			for r := 0; r < t.m; r++ {
+				cb := cost[t.basis[r]]
+				if cb != 0 {
+					rc -= cb * t.a[r][j]
+				}
+			}
+			if rc < -eps {
+				enter = j // Bland: first improving index
+				break
+			}
+		}
+		if enter == -1 {
+			z := 0.0
+			for r := 0; r < t.m; r++ {
+				z += cost[t.basis[r]] * t.b[r]
+			}
+			return z, nil
+		}
+		// Ratio test with Bland tie-breaking on basis index.
+		leave := -1
+		best := math.Inf(1)
+		for r := 0; r < t.m; r++ {
+			if t.a[r][enter] > eps {
+				ratio := t.b[r] / t.a[r][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave == -1 || t.basis[r] < t.basis[leave])) {
+					best = ratio
+					leave = r
+				}
+			}
+		}
+		if leave == -1 {
+			return 0, ErrUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return 0, errors.New("lp: iteration limit exceeded (cycling?)")
+}

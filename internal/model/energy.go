@@ -1,0 +1,61 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Energy returns the dynamic energy w·f² consumed by executing a task
+// of weight w at constant speed f (the f³·t cube law with t = w/f).
+func Energy(w, f float64) float64 { return w * f * f }
+
+// Power returns the dynamic power f³ dissipated at speed f.
+func Power(f float64) float64 { return f * f * f }
+
+// EnergyOverTime returns the energy f³·t consumed by running at speed f
+// for t time units (VDD-HOPPING accounts energy interval by interval).
+func EnergyOverTime(f, t float64) float64 { return f * f * f * t }
+
+// ExecTime returns the execution time w/f of a task of weight w at
+// constant speed f.
+func ExecTime(w, f float64) float64 { return w / f }
+
+// SpeedForTime returns the constant speed needed to execute weight w in
+// exactly t time units.
+func SpeedForTime(w, t float64) float64 { return w / t }
+
+// ChainEnergy returns the optimal CONTINUOUS energy (ΣW)³/D² of a
+// linear chain of total weight W executed within deadline D at the
+// uniform optimal speed W/D (ignoring speed bounds).
+func ChainEnergy(totalWeight, deadline float64) float64 {
+	f := totalWeight / deadline
+	return totalWeight * f * f
+}
+
+// CubicCombine implements the parallel composition rule for equivalent
+// weights under the CONTINUOUS model: W = (Σ Wⱼ³)^(1/3). It is the
+// algebraic heart of the paper's fork/tree/series-parallel closed
+// forms.
+func CubicCombine(weights ...float64) float64 {
+	s := 0.0
+	for _, w := range weights {
+		s += w * w * w
+	}
+	return math.Cbrt(s)
+}
+
+// CheckWeight validates a task weight.
+func CheckWeight(w float64) error {
+	if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+		return fmt.Errorf("model: task weight must be positive and finite, got %v", w)
+	}
+	return nil
+}
+
+// CheckDeadline validates a deadline bound.
+func CheckDeadline(d float64) error {
+	if math.IsNaN(d) || math.IsInf(d, 0) || d <= 0 {
+		return fmt.Errorf("model: deadline must be positive and finite, got %v", d)
+	}
+	return nil
+}

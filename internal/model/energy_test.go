@@ -1,0 +1,98 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnergyCubeLaw(t *testing.T) {
+	// w·f² must equal f³ · (w/f).
+	w, f := 3.0, 0.7
+	if got, want := Energy(w, f), EnergyOverTime(f, ExecTime(w, f)); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Energy=%v, EnergyOverTime=%v", got, want)
+	}
+}
+
+func TestEnergyMonotoneInSpeed(t *testing.T) {
+	prop := func(a, b float64) bool {
+		f1 := math.Mod(math.Abs(a), 1) + 0.1
+		f2 := f1 + math.Mod(math.Abs(b), 1) + 0.01
+		return Energy(2, f1) < Energy(2, f2)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedForTimeInvertsExecTime(t *testing.T) {
+	prop := func(a, b float64) bool {
+		w := math.Mod(math.Abs(a), 10) + 0.1
+		f := math.Mod(math.Abs(b), 2) + 0.1
+		d := ExecTime(w, f)
+		return math.Abs(SpeedForTime(w, d)-f) < 1e-9*f
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChainEnergyFormula(t *testing.T) {
+	// (ΣW)³/D² with W=6, D=2 → 216/4 = 54.
+	if got := ChainEnergy(6, 2); math.Abs(got-54) > 1e-12 {
+		t.Errorf("ChainEnergy = %v, want 54", got)
+	}
+}
+
+func TestCubicCombine(t *testing.T) {
+	// Equal weights: (n·w³)^(1/3) = w·n^(1/3).
+	got := CubicCombine(2, 2, 2)
+	want := 2 * math.Cbrt(3)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("CubicCombine = %v, want %v", got, want)
+	}
+	if CubicCombine() != 0 {
+		t.Error("empty combine should be 0")
+	}
+	if v := CubicCombine(5); math.Abs(v-5) > 1e-12 {
+		t.Errorf("singleton combine = %v, want 5", v)
+	}
+}
+
+// Property: cubic combine is bounded by sum and by max, i.e.
+// max(w) ≤ CubicCombine(w...) ≤ Σw — parallel execution never costs
+// more than serial and never less than its longest branch.
+func TestCubicCombineBounds(t *testing.T) {
+	prop := func(a, b, c float64) bool {
+		w := []float64{math.Mod(math.Abs(a), 5) + 0.1, math.Mod(math.Abs(b), 5) + 0.1, math.Mod(math.Abs(c), 5) + 0.1}
+		v := CubicCombine(w...)
+		maxw := math.Max(w[0], math.Max(w[1], w[2]))
+		sum := w[0] + w[1] + w[2]
+		return v >= maxw-1e-12 && v <= sum+1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckWeight(t *testing.T) {
+	if err := CheckWeight(1); err != nil {
+		t.Errorf("valid weight rejected: %v", err)
+	}
+	for _, w := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if err := CheckWeight(w); err == nil {
+			t.Errorf("weight %v accepted", w)
+		}
+	}
+}
+
+func TestCheckDeadline(t *testing.T) {
+	if err := CheckDeadline(10); err != nil {
+		t.Errorf("valid deadline rejected: %v", err)
+	}
+	for _, d := range []float64{0, -2, math.NaN(), math.Inf(-1)} {
+		if err := CheckDeadline(d); err == nil {
+			t.Errorf("deadline %v accepted", d)
+		}
+	}
+}

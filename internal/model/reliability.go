@@ -1,0 +1,164 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Reliability implements Eq. (1) of the paper:
+//
+//	Ri(f) = 1 − λ0 · exp(d·(fmax−f)/(fmax−fmin)) · wi/f
+//
+// where λ0 is the average fault rate at fmax and d ≥ 0 (Sensitivity
+// here, to avoid clashing with durations) captures how strongly DVFS
+// degrades the transient-fault rate: the slower a task runs, the more
+// likely it is to fail. This is the linearized exponential-rate model
+// of Zhu, Melhem and Mossé (ICCAD'04) that the paper adopts.
+type Reliability struct {
+	// Lambda0 is the fault rate at speed FMax (faults per unit work-time).
+	Lambda0 float64
+	// Sensitivity is the exponent d ≥ 0 of Eq. (1).
+	Sensitivity float64
+	// FMin, FMax bound the speed range used in the exponent.
+	FMin, FMax float64
+}
+
+// NewReliability validates and returns a reliability model.
+func NewReliability(lambda0, sensitivity, fmin, fmax float64) (Reliability, error) {
+	r := Reliability{Lambda0: lambda0, Sensitivity: sensitivity, FMin: fmin, FMax: fmax}
+	return r, r.Validate()
+}
+
+// Validate reports whether the parameters are admissible.
+func (r Reliability) Validate() error {
+	switch {
+	case math.IsNaN(r.Lambda0) || r.Lambda0 < 0:
+		return fmt.Errorf("model: lambda0 must be non-negative, got %v", r.Lambda0)
+	case math.IsNaN(r.Sensitivity) || r.Sensitivity < 0:
+		return fmt.Errorf("model: sensitivity d must be non-negative, got %v", r.Sensitivity)
+	case r.FMax <= r.FMin:
+		return fmt.Errorf("model: reliability requires fmin < fmax, got [%v,%v]", r.FMin, r.FMax)
+	case r.FMin < 0:
+		return errors.New("model: fmin must be non-negative")
+	}
+	return nil
+}
+
+// FaultRate returns λ(f) = λ0·exp(d·(fmax−f)/(fmax−fmin)), the
+// transient fault rate at speed f. It is decreasing in f: faster
+// execution is more reliable.
+func (r Reliability) FaultRate(f float64) float64 {
+	return r.Lambda0 * math.Exp(r.Sensitivity*(r.FMax-f)/(r.FMax-r.FMin))
+}
+
+// FailureProb returns the failure probability λ(f)·w/f of a single
+// execution of a task of weight w at constant speed f. This is the
+// complement of Eq. (1); it may exceed 1 for extreme parameters, in
+// which case the execution is certain to fail under the linearized
+// model.
+func (r Reliability) FailureProb(w, f float64) float64 {
+	p := r.FaultRate(f) * w / f
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// TaskReliability returns Ri(f) = 1 − λ(f)·wi/f for one execution.
+func (r Reliability) TaskReliability(w, f float64) float64 {
+	return 1 - r.FailureProb(w, f)
+}
+
+// ReExecReliability returns the reliability of executing a task twice,
+// at speeds f1 and f2: the task succeeds unless both attempts fail,
+// Ri = 1 − (1−Ri(f1))(1−Ri(f2)).
+func (r Reliability) ReExecReliability(w, f1, f2 float64) float64 {
+	return 1 - r.FailureProb(w, f1)*r.FailureProb(w, f2)
+}
+
+// MixedFailureProb returns the failure probability of a VDD-HOPPING
+// execution that spends alpha[s] time units at speed speeds[s]. The
+// linearized rate model composes additively over intervals:
+// p = Σ_s λ(f_s)·α_s (failure anywhere fails the execution).
+func (r Reliability) MixedFailureProb(alphas, speeds []float64) float64 {
+	p := 0.0
+	for s := range alphas {
+		p += r.FaultRate(speeds[s]) * alphas[s]
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Threshold returns the reliability threshold Ri(frel) a task of
+// weight w must reach, per the paper's local constraint Ri ≥ Ri(frel).
+func (r Reliability) Threshold(w, frel float64) float64 {
+	return r.TaskReliability(w, frel)
+}
+
+// MeetsSingle reports whether one execution at speed f satisfies the
+// reliability constraint with threshold speed frel. Since reliability
+// increases with speed this is equivalent to f ≥ frel (up to float
+// noise); we check the probabilistic definition directly.
+func (r Reliability) MeetsSingle(w, f, frel float64) bool {
+	return r.FailureProb(w, f) <= r.FailureProb(w, frel)*(1+1e-12)+1e-15
+}
+
+// MeetsReExec reports whether two executions at speeds f1, f2 satisfy
+// the reliability constraint with threshold speed frel:
+// (λ(f1)w/f1)·(λ(f2)w/f2) ≤ λ(frel)·w/frel.
+func (r Reliability) MeetsReExec(w, f1, f2, frel float64) bool {
+	lhs := r.FailureProb(w, f1) * r.FailureProb(w, f2)
+	rhs := r.FailureProb(w, frel)
+	return lhs <= rhs*(1+1e-12)+1e-15
+}
+
+// MinReExecSpeed returns the smallest speed f ∈ [fmin, fmax] such that
+// two executions both at speed f satisfy the reliability constraint
+// with threshold frel, i.e. (λ(f)·w/f)² ≤ λ(frel)·w/frel. The
+// left-hand side is decreasing in f, so the minimal speed is found by
+// bisection. Returns an error when even fmax does not satisfy the
+// constraint (degenerate parameters).
+//
+// Re-execution pays off exactly because this speed is usually far below
+// frel: two slow executions can be both cheaper and more reliable than
+// one fast execution.
+func (r Reliability) MinReExecSpeed(w, frel float64) (float64, error) {
+	target := r.FailureProb(w, frel)
+	if target <= 0 {
+		// Zero fault rate: any admissible speed works.
+		return r.FMin, nil
+	}
+	g := func(f float64) float64 { return r.FailureProb(w, f) * r.FailureProb(w, f) }
+	lo, hi := r.FMin, r.FMax
+	if lo <= 0 {
+		lo = math.Min(1e-9, hi/2)
+	}
+	if g(hi) > target {
+		return 0, fmt.Errorf("model: re-execution cannot reach reliability threshold (w=%v frel=%v)", w, frel)
+	}
+	if g(lo) <= target {
+		return lo, nil
+	}
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		if g(mid) <= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+		if hi-lo <= 1e-13*math.Max(1, hi) {
+			break
+		}
+	}
+	return hi, nil
+}
+
+// DefaultReliability returns the parameterization used across the
+// repository's experiments: λ0 = 1e-5, d = 3, matching the orders of
+// magnitude used in the papers the model originates from.
+func DefaultReliability(fmin, fmax float64) Reliability {
+	return Reliability{Lambda0: 1e-5, Sensitivity: 3, FMin: fmin, FMax: fmax}
+}

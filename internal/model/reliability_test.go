@@ -1,0 +1,188 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testRel() Reliability { return DefaultReliability(0.1, 1.0) }
+
+func TestReliabilityValidate(t *testing.T) {
+	if err := testRel().Validate(); err != nil {
+		t.Fatalf("default reliability invalid: %v", err)
+	}
+	bad := []Reliability{
+		{Lambda0: -1, Sensitivity: 1, FMin: 0, FMax: 1},
+		{Lambda0: 1, Sensitivity: -1, FMin: 0, FMax: 1},
+		{Lambda0: 1, Sensitivity: 1, FMin: 1, FMax: 1},
+		{Lambda0: 1, Sensitivity: 1, FMin: -1, FMax: 1},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("bad reliability %d accepted", i)
+		}
+	}
+}
+
+func TestNewReliability(t *testing.T) {
+	if _, err := NewReliability(1e-5, 3, 0.1, 1); err != nil {
+		t.Errorf("NewReliability: %v", err)
+	}
+	if _, err := NewReliability(-1, 3, 0.1, 1); err == nil {
+		t.Error("negative lambda0 accepted")
+	}
+}
+
+func TestFaultRateDecreasingInSpeed(t *testing.T) {
+	r := testRel()
+	prev := math.Inf(1)
+	for f := 0.1; f <= 1.0; f += 0.05 {
+		cur := r.FaultRate(f)
+		if cur > prev {
+			t.Fatalf("fault rate not decreasing at f=%v", f)
+		}
+		prev = cur
+	}
+	if got := r.FaultRate(1.0); math.Abs(got-r.Lambda0) > 1e-18 {
+		t.Errorf("FaultRate(fmax) = %v, want lambda0 = %v", got, r.Lambda0)
+	}
+}
+
+func TestFaultRateAtFMin(t *testing.T) {
+	r := testRel()
+	want := r.Lambda0 * math.Exp(r.Sensitivity)
+	if got := r.FaultRate(r.FMin); math.Abs(got-want) > 1e-15 {
+		t.Errorf("FaultRate(fmin) = %v, want λ0·e^d = %v", got, want)
+	}
+}
+
+func TestTaskReliabilityIncreasesWithSpeed(t *testing.T) {
+	r := testRel()
+	w := 5.0
+	prev := -1.0
+	for f := 0.1; f <= 1.0; f += 0.05 {
+		cur := r.TaskReliability(w, f)
+		if cur < prev {
+			t.Fatalf("reliability not increasing at f=%v", f)
+		}
+		prev = cur
+	}
+}
+
+func TestReExecReliabilityFormula(t *testing.T) {
+	r := testRel()
+	w := 2.0
+	p1, p2 := r.FailureProb(w, 0.3), r.FailureProb(w, 0.5)
+	want := 1 - p1*p2
+	if got := r.ReExecReliability(w, 0.3, 0.5); math.Abs(got-want) > 1e-15 {
+		t.Errorf("ReExecReliability = %v, want %v", got, want)
+	}
+}
+
+func TestMeetsSingleEquivalentToSpeedThreshold(t *testing.T) {
+	r := testRel()
+	w, frel := 3.0, 0.6
+	if !r.MeetsSingle(w, 0.7, frel) || !r.MeetsSingle(w, frel, frel) {
+		t.Error("faster/equal speed should meet the single-exec constraint")
+	}
+	if r.MeetsSingle(w, 0.5, frel) {
+		t.Error("slower speed should not meet the single-exec constraint")
+	}
+}
+
+func TestMinReExecSpeedSatisfiesConstraintTightly(t *testing.T) {
+	r := testRel()
+	w, frel := 4.0, 0.8
+	f, err := r.MinReExecSpeed(w, frel)
+	if err != nil {
+		t.Fatalf("MinReExecSpeed: %v", err)
+	}
+	if !r.MeetsReExec(w, f, f, frel) {
+		t.Errorf("returned speed %v does not meet constraint", f)
+	}
+	// Slightly slower must violate (unless clamped to fmin).
+	if f > r.FMin+1e-6 {
+		if r.MeetsReExec(w, f*0.99, f*0.99, frel) {
+			t.Errorf("speed %v not minimal", f)
+		}
+	}
+}
+
+func TestMinReExecSpeedBelowFrel(t *testing.T) {
+	// The whole point of re-execution: the required speed per attempt is
+	// (much) lower than frel.
+	r := testRel()
+	f, err := r.MinReExecSpeed(4.0, 0.8)
+	if err != nil {
+		t.Fatalf("MinReExecSpeed: %v", err)
+	}
+	if f >= 0.8 {
+		t.Errorf("re-exec speed %v not below frel", f)
+	}
+}
+
+func TestMinReExecSpeedZeroLambda(t *testing.T) {
+	r := Reliability{Lambda0: 0, Sensitivity: 3, FMin: 0.1, FMax: 1}
+	f, err := r.MinReExecSpeed(1, 0.5)
+	if err != nil || f != r.FMin {
+		t.Errorf("zero-lambda MinReExecSpeed = %v, %v; want fmin", f, err)
+	}
+}
+
+func TestMixedFailureProbMatchesSingle(t *testing.T) {
+	r := testRel()
+	w, f := 3.0, 0.5
+	// A "mix" consisting of the whole execution at one speed must agree
+	// with the single-execution failure probability.
+	got := r.MixedFailureProb([]float64{w / f}, []float64{f})
+	want := r.FailureProb(w, f)
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("MixedFailureProb = %v, want %v", got, want)
+	}
+}
+
+func TestMixedFailureProbCaps(t *testing.T) {
+	r := Reliability{Lambda0: 10, Sensitivity: 0, FMin: 0.1, FMax: 1}
+	if got := r.MixedFailureProb([]float64{100}, []float64{0.5}); got != 1 {
+		t.Errorf("MixedFailureProb should cap at 1, got %v", got)
+	}
+	if got := r.FailureProb(1000, 0.1); got != 1 {
+		t.Errorf("FailureProb should cap at 1, got %v", got)
+	}
+}
+
+// Property: re-executing at the minimal re-exec speed is at least as
+// reliable as a single execution at frel, for random weights/thresholds.
+func TestReExecConstraintProperty(t *testing.T) {
+	r := testRel()
+	prop := func(a, b float64) bool {
+		w := math.Mod(math.Abs(a), 10) + 0.1
+		frel := math.Mod(math.Abs(b), 0.7) + 0.3 // in [0.3, 1.0)
+		f, err := r.MinReExecSpeed(w, frel)
+		if err != nil {
+			return false
+		}
+		return r.ReExecReliability(w, f, f) >= r.Threshold(w, frel)-1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MeetsReExec is monotone — raising either speed preserves it.
+func TestMeetsReExecMonotone(t *testing.T) {
+	r := testRel()
+	prop := func(a float64) bool {
+		w := math.Mod(math.Abs(a), 5) + 0.5
+		frel := 0.7
+		f, err := r.MinReExecSpeed(w, frel)
+		if err != nil {
+			return false
+		}
+		return r.MeetsReExec(w, f*1.1, f, frel) && r.MeetsReExec(w, f, f*1.2, frel)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,73 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Replication support — the paper's Section V research direction:
+// "More efficient solutions to the tri-criteria optimization problem
+// could be achieved through combining replication with re-execution."
+// Replication (studied in Assayad, Girault & Kalla, SAFECOMP'11, the
+// paper's reference [1]) runs the same task on r processors
+// *simultaneously*: the task succeeds unless all replicas fail, so the
+// reliability formula is the same power law as r sequential
+// re-executions, but the time cost is a single execution while the
+// energy cost is r executions.
+
+// RedundantReliability returns the reliability of r independent
+// executions of a task of weight w all at speed f (whether sequential
+// re-executions or parallel replicas): 1 − (λ(f)·w/f)^r.
+func (r Reliability) RedundantReliability(w, f float64, k int) float64 {
+	p := r.FailureProb(w, f)
+	return 1 - math.Pow(p, float64(k))
+}
+
+// MeetsRedundant reports whether k executions at speed f meet the
+// reliability threshold frel: (λ(f)·w/f)^k ≤ λ(frel)·w/frel.
+func (r Reliability) MeetsRedundant(w, f, frel float64, k int) bool {
+	lhs := math.Pow(r.FailureProb(w, f), float64(k))
+	rhs := r.FailureProb(w, frel)
+	return lhs <= rhs*(1+1e-12)+1e-15
+}
+
+// MinRedundantSpeed returns the smallest speed f ∈ [FMin, FMax] such
+// that k executions at speed f (sequential or parallel) meet the
+// reliability threshold frel. k = 1 degenerates to frel itself;
+// k = 2 equals MinReExecSpeed. The function is the k-generalization of
+// the f_inf bound used by all TRI-CRIT solvers.
+func (r Reliability) MinRedundantSpeed(w, frel float64, k int) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("model: redundancy degree must be ≥ 1, got %d", k)
+	}
+	if k == 1 {
+		return math.Max(frel, r.FMin), nil
+	}
+	target := r.FailureProb(w, frel)
+	if target <= 0 {
+		return r.FMin, nil
+	}
+	g := func(f float64) float64 { return math.Pow(r.FailureProb(w, f), float64(k)) }
+	lo, hi := r.FMin, r.FMax
+	if lo <= 0 {
+		lo = math.Min(1e-9, hi/2)
+	}
+	if g(hi) > target {
+		return 0, fmt.Errorf("model: %d-fold redundancy cannot reach reliability threshold (w=%v frel=%v)", k, w, frel)
+	}
+	if g(lo) <= target {
+		return lo, nil
+	}
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		if g(mid) <= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+		if hi-lo <= 1e-13*math.Max(1, hi) {
+			break
+		}
+	}
+	return hi, nil
+}

@@ -1,0 +1,107 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRedundantReliabilityMatchesReExec(t *testing.T) {
+	r := testRel()
+	w, f := 3.0, 0.4
+	// k = 2 must equal the re-execution formula with equal speeds.
+	if got, want := r.RedundantReliability(w, f, 2), r.ReExecReliability(w, f, f); math.Abs(got-want) > 1e-15 {
+		t.Errorf("RedundantReliability(2) = %v, ReExecReliability = %v", got, want)
+	}
+	// k = 1 is a single execution.
+	if got, want := r.RedundantReliability(w, f, 1), r.TaskReliability(w, f); math.Abs(got-want) > 1e-15 {
+		t.Errorf("RedundantReliability(1) = %v, TaskReliability = %v", got, want)
+	}
+}
+
+func TestRedundancyImprovesReliability(t *testing.T) {
+	r := testRel()
+	w, f := 5.0, 0.3
+	prev := -1.0
+	for k := 1; k <= 4; k++ {
+		cur := r.RedundantReliability(w, f, k)
+		if cur <= prev {
+			t.Fatalf("reliability not increasing with redundancy at k=%d", k)
+		}
+		prev = cur
+	}
+}
+
+func TestMinRedundantSpeedMatchesMinReExecSpeed(t *testing.T) {
+	r := testRel()
+	w, frel := 4.0, 0.8
+	f2, err := r.MinRedundantSpeed(w, frel, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fre, err := r.MinReExecSpeed(w, frel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f2-fre) > 1e-9 {
+		t.Errorf("MinRedundantSpeed(2) = %v, MinReExecSpeed = %v", f2, fre)
+	}
+}
+
+func TestMinRedundantSpeedK1(t *testing.T) {
+	r := testRel()
+	f, err := r.MinRedundantSpeed(2, 0.7, 1)
+	if err != nil || f != 0.7 {
+		t.Errorf("k=1 speed = %v, %v; want frel", f, err)
+	}
+}
+
+func TestMinRedundantSpeedDecreasingInK(t *testing.T) {
+	// Use a hot rate so the bound is interior (not clamped at fmin).
+	r := Reliability{Lambda0: 0.01, Sensitivity: 2, FMin: 0.05, FMax: 1}
+	w, frel := 3.0, 0.8
+	prev := math.Inf(1)
+	for k := 1; k <= 4; k++ {
+		f, err := r.MinRedundantSpeed(w, frel, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if f > prev+1e-12 {
+			t.Fatalf("minimal speed not decreasing in k: %v → %v", prev, f)
+		}
+		prev = f
+	}
+}
+
+func TestMinRedundantSpeedErrors(t *testing.T) {
+	r := testRel()
+	if _, err := r.MinRedundantSpeed(1, 0.5, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+// Property: the returned speed meets the constraint, and (when not
+// clamped at fmin) marginally slower does not.
+func TestMinRedundantSpeedTight(t *testing.T) {
+	r := Reliability{Lambda0: 0.01, Sensitivity: 2, FMin: 0.05, FMax: 1}
+	prop := func(a float64) bool {
+		w := math.Mod(math.Abs(a), 5) + 0.5
+		frel := 0.8
+		for k := 2; k <= 3; k++ {
+			f, err := r.MinRedundantSpeed(w, frel, k)
+			if err != nil {
+				return false
+			}
+			if !r.MeetsRedundant(w, f, frel, k) {
+				return false
+			}
+			if f > r.FMin+1e-6 && r.MeetsRedundant(w, f*0.99, frel, k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,296 @@
+// Package model defines the speed, energy and reliability models of
+// Aupy, "Energy-aware scheduling: models and complexity results"
+// (IPDPSW 2012), Section II.
+//
+// Four speed models are supported:
+//
+//   - CONTINUOUS: any speed in [FMin, FMax], changeable at any time;
+//   - DISCRETE: a finite speed set f1 < ... < fm, one speed per task;
+//   - VDD-HOPPING: the same finite set, but a task may mix several
+//     speeds during its execution;
+//   - INCREMENTAL: the regular grid f = FMin + i·Delta, i = 0..(FMax-FMin)/Delta,
+//     one speed per task.
+//
+// Energy follows the classical dynamic-power cube law: a processor at
+// speed f for t time units consumes f³·t joules, so a task of weight w
+// run at constant speed f consumes w·f².
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Kind enumerates the four speed models of the paper.
+type Kind int
+
+const (
+	// Continuous allows arbitrary speeds in [FMin, FMax].
+	Continuous Kind = iota
+	// Discrete allows one speed per task from a finite set.
+	Discrete
+	// VddHopping allows mixing several speeds from a finite set within
+	// one task.
+	VddHopping
+	// Incremental allows one speed per task from the regular grid
+	// FMin + i*Delta.
+	Incremental
+)
+
+// String returns the paper's name for the model.
+func (k Kind) String() string {
+	switch k {
+	case Continuous:
+		return "CONTINUOUS"
+	case Discrete:
+		return "DISCRETE"
+	case VddHopping:
+		return "VDD-HOPPING"
+	case Incremental:
+		return "INCREMENTAL"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// SpeedEps is the absolute tolerance used when checking speed
+// admissibility. Solvers work in float64 and may return speeds a few
+// ulps outside the admissible set.
+const SpeedEps = 1e-9
+
+// SpeedModel describes the set of speeds a processor may use.
+//
+// The zero value is not valid; use one of the constructors.
+type SpeedModel struct {
+	Kind Kind
+	// FMin and FMax bound every admissible speed. For Discrete and
+	// VddHopping they equal the first and last level.
+	FMin, FMax float64
+	// Levels holds the admissible speeds, sorted ascending, for
+	// Discrete and VddHopping. Empty for Continuous. For Incremental it
+	// is materialized from FMin, FMax and Delta.
+	Levels []float64
+	// Delta is the minimum permissible speed increment (Incremental
+	// model only).
+	Delta float64
+}
+
+// NewContinuous returns the CONTINUOUS model over [fmin, fmax].
+func NewContinuous(fmin, fmax float64) (SpeedModel, error) {
+	if err := checkRange(fmin, fmax); err != nil {
+		return SpeedModel{}, err
+	}
+	return SpeedModel{Kind: Continuous, FMin: fmin, FMax: fmax}, nil
+}
+
+// NewDiscrete returns the DISCRETE model over the given speed set. The
+// levels are copied, sorted and deduplicated.
+func NewDiscrete(levels []float64) (SpeedModel, error) {
+	ls, err := normalizeLevels(levels)
+	if err != nil {
+		return SpeedModel{}, err
+	}
+	return SpeedModel{Kind: Discrete, FMin: ls[0], FMax: ls[len(ls)-1], Levels: ls}, nil
+}
+
+// NewVddHopping returns the VDD-HOPPING model over the given speed set.
+func NewVddHopping(levels []float64) (SpeedModel, error) {
+	ls, err := normalizeLevels(levels)
+	if err != nil {
+		return SpeedModel{}, err
+	}
+	return SpeedModel{Kind: VddHopping, FMin: ls[0], FMax: ls[len(ls)-1], Levels: ls}, nil
+}
+
+// NewIncremental returns the INCREMENTAL model with grid
+// fmin + i*delta capped at fmax. fmax is always included as the last
+// level even when fmax-fmin is not a multiple of delta, mirroring the
+// paper's "admissible speeds lie in [fmin, fmax]".
+func NewIncremental(fmin, fmax, delta float64) (SpeedModel, error) {
+	if err := checkRange(fmin, fmax); err != nil {
+		return SpeedModel{}, err
+	}
+	if delta <= 0 || math.IsNaN(delta) || math.IsInf(delta, 0) {
+		return SpeedModel{}, fmt.Errorf("model: delta must be positive and finite, got %v", delta)
+	}
+	n := int(math.Floor((fmax - fmin) / delta))
+	levels := make([]float64, 0, n+2)
+	for i := 0; i <= n; i++ {
+		levels = append(levels, fmin+float64(i)*delta)
+	}
+	if levels[len(levels)-1] < fmax-SpeedEps {
+		levels = append(levels, fmax)
+	} else {
+		levels[len(levels)-1] = fmax
+	}
+	return SpeedModel{Kind: Incremental, FMin: fmin, FMax: fmax, Levels: levels, Delta: delta}, nil
+}
+
+func checkRange(fmin, fmax float64) error {
+	switch {
+	case math.IsNaN(fmin) || math.IsNaN(fmax) || math.IsInf(fmin, 0) || math.IsInf(fmax, 0):
+		return errors.New("model: speed bounds must be finite")
+	case fmin < 0:
+		return fmt.Errorf("model: fmin must be non-negative, got %v", fmin)
+	case fmax <= 0:
+		return fmt.Errorf("model: fmax must be positive, got %v", fmax)
+	case fmin > fmax:
+		return fmt.Errorf("model: fmin (%v) exceeds fmax (%v)", fmin, fmax)
+	}
+	return nil
+}
+
+func normalizeLevels(levels []float64) ([]float64, error) {
+	if len(levels) == 0 {
+		return nil, errors.New("model: at least one speed level required")
+	}
+	ls := make([]float64, len(levels))
+	copy(ls, levels)
+	sort.Float64s(ls)
+	if ls[0] <= 0 || math.IsNaN(ls[0]) {
+		return nil, fmt.Errorf("model: speed levels must be positive, got %v", ls[0])
+	}
+	if math.IsInf(ls[len(ls)-1], 0) {
+		return nil, errors.New("model: speed levels must be finite")
+	}
+	out := ls[:1]
+	for _, f := range ls[1:] {
+		if f-out[len(out)-1] > SpeedEps {
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}
+
+// Validate reports whether the model is internally consistent.
+func (m SpeedModel) Validate() error {
+	switch m.Kind {
+	case Continuous:
+		return checkRange(m.FMin, m.FMax)
+	case Discrete, VddHopping, Incremental:
+		if len(m.Levels) == 0 {
+			return fmt.Errorf("model: %v requires speed levels", m.Kind)
+		}
+		for i := 1; i < len(m.Levels); i++ {
+			if m.Levels[i] <= m.Levels[i-1] {
+				return fmt.Errorf("model: levels not strictly increasing at index %d", i)
+			}
+		}
+		if m.Levels[0] <= 0 {
+			return errors.New("model: levels must be positive")
+		}
+		if math.Abs(m.FMin-m.Levels[0]) > SpeedEps || math.Abs(m.FMax-m.Levels[len(m.Levels)-1]) > SpeedEps {
+			return errors.New("model: FMin/FMax must match first/last level")
+		}
+		if m.Kind == Incremental && m.Delta <= 0 {
+			return errors.New("model: incremental model requires positive delta")
+		}
+		return nil
+	default:
+		return fmt.Errorf("model: unknown kind %d", int(m.Kind))
+	}
+}
+
+// IsDiscreteKind reports whether the model restricts speeds to a finite
+// set (DISCRETE, VDD-HOPPING or INCREMENTAL).
+func (m SpeedModel) IsDiscreteKind() bool { return m.Kind != Continuous }
+
+// Admissible reports whether a single constant speed f may be assigned
+// to a task under this model. For VddHopping this checks membership in
+// the level set (a constant speed is a degenerate mix).
+func (m SpeedModel) Admissible(f float64) bool {
+	if math.IsNaN(f) || f < m.FMin-SpeedEps || f > m.FMax+SpeedEps {
+		return false
+	}
+	if m.Kind == Continuous {
+		return true
+	}
+	_, ok := m.levelIndex(f)
+	return ok
+}
+
+func (m SpeedModel) levelIndex(f float64) (int, bool) {
+	i := sort.SearchFloat64s(m.Levels, f-SpeedEps)
+	if i < len(m.Levels) && math.Abs(m.Levels[i]-f) <= SpeedEps {
+		return i, true
+	}
+	return -1, false
+}
+
+// RoundUp returns the smallest admissible constant speed ≥ f, or an
+// error if f exceeds FMax. For the Continuous model it clamps f up to
+// FMin.
+func (m SpeedModel) RoundUp(f float64) (float64, error) {
+	if f > m.FMax+SpeedEps {
+		return 0, fmt.Errorf("model: speed %v exceeds fmax %v", f, m.FMax)
+	}
+	if m.Kind == Continuous {
+		return math.Min(math.Max(f, m.FMin), m.FMax), nil
+	}
+	i := sort.SearchFloat64s(m.Levels, f-SpeedEps)
+	if i == len(m.Levels) {
+		i--
+	}
+	return m.Levels[i], nil
+}
+
+// RoundDown returns the largest admissible constant speed ≤ f, or an
+// error if f is below FMin.
+func (m SpeedModel) RoundDown(f float64) (float64, error) {
+	if f < m.FMin-SpeedEps {
+		return 0, fmt.Errorf("model: speed %v below fmin %v", f, m.FMin)
+	}
+	if m.Kind == Continuous {
+		return math.Min(math.Max(f, m.FMin), m.FMax), nil
+	}
+	i := sort.SearchFloat64s(m.Levels, f+SpeedEps)
+	if i > 0 {
+		i--
+	}
+	return m.Levels[i], nil
+}
+
+// Bracket returns the two adjacent levels lo ≤ f ≤ hi surrounding f in
+// a discrete-kind model. When f coincides with a level both returns
+// equal that level. Used by VDD-HOPPING to mix the two closest speeds.
+func (m SpeedModel) Bracket(f float64) (lo, hi float64, err error) {
+	if m.Kind == Continuous {
+		return 0, 0, errors.New("model: Bracket undefined for CONTINUOUS")
+	}
+	if f < m.FMin-SpeedEps || f > m.FMax+SpeedEps {
+		return 0, 0, fmt.Errorf("model: speed %v outside [%v,%v]", f, m.FMin, m.FMax)
+	}
+	lo, err = m.RoundDown(f)
+	if err != nil {
+		return 0, 0, err
+	}
+	hi, err = m.RoundUp(f)
+	if err != nil {
+		return 0, 0, err
+	}
+	return lo, hi, nil
+}
+
+// NumLevels returns the number of admissible constant speeds, or 0 for
+// the Continuous model.
+func (m SpeedModel) NumLevels() int { return len(m.Levels) }
+
+// String implements fmt.Stringer.
+func (m SpeedModel) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v[%.3g,%.3g]", m.Kind, m.FMin, m.FMax)
+	if m.Kind == Incremental {
+		fmt.Fprintf(&b, " δ=%.3g", m.Delta)
+	}
+	if m.IsDiscreteKind() {
+		fmt.Fprintf(&b, " (%d levels)", len(m.Levels))
+	}
+	return b.String()
+}
+
+// XScaleLevels is the classic Intel XScale speed ladder (normalized to
+// GHz) used throughout the DVFS literature the paper cites.
+func XScaleLevels() []float64 { return []float64{0.15, 0.4, 0.6, 0.8, 1.0} }

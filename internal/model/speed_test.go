@@ -1,0 +1,230 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewContinuous(t *testing.T) {
+	m, err := NewContinuous(0.2, 1.0)
+	if err != nil {
+		t.Fatalf("NewContinuous: %v", err)
+	}
+	if m.Kind != Continuous || m.FMin != 0.2 || m.FMax != 1.0 {
+		t.Errorf("unexpected model %+v", m)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestNewContinuousRejectsBadRanges(t *testing.T) {
+	cases := []struct{ lo, hi float64 }{
+		{-1, 1}, {1, 0.5}, {0, 0}, {math.NaN(), 1}, {0, math.Inf(1)}, {0.1, math.NaN()},
+	}
+	for _, c := range cases {
+		if _, err := NewContinuous(c.lo, c.hi); err == nil {
+			t.Errorf("NewContinuous(%v,%v) accepted", c.lo, c.hi)
+		}
+	}
+}
+
+func TestNewDiscreteSortsAndDedups(t *testing.T) {
+	m, err := NewDiscrete([]float64{1.0, 0.4, 0.6, 0.4, 0.8})
+	if err != nil {
+		t.Fatalf("NewDiscrete: %v", err)
+	}
+	want := []float64{0.4, 0.6, 0.8, 1.0}
+	if len(m.Levels) != len(want) {
+		t.Fatalf("levels = %v, want %v", m.Levels, want)
+	}
+	for i := range want {
+		if m.Levels[i] != want[i] {
+			t.Errorf("level[%d] = %v, want %v", i, m.Levels[i], want[i])
+		}
+	}
+	if m.FMin != 0.4 || m.FMax != 1.0 {
+		t.Errorf("FMin/FMax = %v/%v", m.FMin, m.FMax)
+	}
+}
+
+func TestNewDiscreteRejectsBadLevels(t *testing.T) {
+	for _, ls := range [][]float64{nil, {}, {0}, {-1, 1}, {math.Inf(1)}} {
+		if _, err := NewDiscrete(ls); err == nil {
+			t.Errorf("NewDiscrete(%v) accepted", ls)
+		}
+	}
+}
+
+func TestNewIncrementalGrid(t *testing.T) {
+	m, err := NewIncremental(0.2, 1.0, 0.2)
+	if err != nil {
+		t.Fatalf("NewIncremental: %v", err)
+	}
+	if got := len(m.Levels); got != 5 {
+		t.Fatalf("levels = %v, want 5 entries", m.Levels)
+	}
+	for i, want := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		if math.Abs(m.Levels[i]-want) > 1e-12 {
+			t.Errorf("level[%d] = %v, want %v", i, m.Levels[i], want)
+		}
+	}
+}
+
+func TestNewIncrementalIncludesFMaxWhenNotAligned(t *testing.T) {
+	m, err := NewIncremental(0.25, 1.0, 0.3)
+	if err != nil {
+		t.Fatalf("NewIncremental: %v", err)
+	}
+	last := m.Levels[len(m.Levels)-1]
+	if last != 1.0 {
+		t.Errorf("last level = %v, want fmax=1.0 (levels %v)", last, m.Levels)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestNewIncrementalRejectsBadDelta(t *testing.T) {
+	for _, d := range []float64{0, -0.1, math.NaN(), math.Inf(1)} {
+		if _, err := NewIncremental(0.1, 1, d); err == nil {
+			t.Errorf("delta %v accepted", d)
+		}
+	}
+}
+
+func TestAdmissible(t *testing.T) {
+	cont, _ := NewContinuous(0.2, 1.0)
+	disc, _ := NewDiscrete([]float64{0.4, 0.8, 1.0})
+
+	if !cont.Admissible(0.5) || !cont.Admissible(0.2) || !cont.Admissible(1.0) {
+		t.Error("continuous admissibility inside range failed")
+	}
+	if cont.Admissible(0.1) || cont.Admissible(1.1) || cont.Admissible(math.NaN()) {
+		t.Error("continuous admissibility outside range failed")
+	}
+	if !disc.Admissible(0.8) || disc.Admissible(0.5) {
+		t.Error("discrete admissibility failed")
+	}
+}
+
+func TestRoundUpDown(t *testing.T) {
+	m, _ := NewDiscrete([]float64{0.4, 0.8, 1.0})
+	up, err := m.RoundUp(0.5)
+	if err != nil || up != 0.8 {
+		t.Errorf("RoundUp(0.5) = %v, %v; want 0.8", up, err)
+	}
+	down, err := m.RoundDown(0.5)
+	if err != nil || down != 0.4 {
+		t.Errorf("RoundDown(0.5) = %v, %v; want 0.4", down, err)
+	}
+	if _, err := m.RoundUp(1.5); err == nil {
+		t.Error("RoundUp above fmax accepted")
+	}
+	if _, err := m.RoundDown(0.1); err == nil {
+		t.Error("RoundDown below fmin accepted")
+	}
+	// Exact levels round to themselves.
+	if v, _ := m.RoundUp(0.8); v != 0.8 {
+		t.Errorf("RoundUp(0.8) = %v", v)
+	}
+	if v, _ := m.RoundDown(0.8); v != 0.8 {
+		t.Errorf("RoundDown(0.8) = %v", v)
+	}
+}
+
+func TestBracket(t *testing.T) {
+	m, _ := NewVddHopping([]float64{0.4, 0.8, 1.0})
+	lo, hi, err := m.Bracket(0.6)
+	if err != nil || lo != 0.4 || hi != 0.8 {
+		t.Errorf("Bracket(0.6) = %v,%v,%v", lo, hi, err)
+	}
+	lo, hi, err = m.Bracket(0.8)
+	if err != nil || lo != 0.8 || hi != 0.8 {
+		t.Errorf("Bracket(0.8) = %v,%v,%v", lo, hi, err)
+	}
+	cont, _ := NewContinuous(0.1, 1)
+	if _, _, err := cont.Bracket(0.5); err == nil {
+		t.Error("Bracket on continuous accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		Continuous: "CONTINUOUS", Discrete: "DISCRETE",
+		VddHopping: "VDD-HOPPING", Incremental: "INCREMENTAL",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+func TestSpeedModelString(t *testing.T) {
+	m, _ := NewIncremental(0.2, 1.0, 0.2)
+	if s := m.String(); s == "" {
+		t.Error("empty String()")
+	}
+}
+
+// Property: RoundUp never returns a speed below its argument and always
+// returns an admissible speed.
+func TestRoundUpProperty(t *testing.T) {
+	m, _ := NewIncremental(0.1, 2.0, 0.07)
+	prop := func(x float64) bool {
+		f := math.Mod(math.Abs(x), 1.9) + 0.1 // in [0.1, 2.0)
+		up, err := m.RoundUp(f)
+		if err != nil {
+			return false
+		}
+		return up >= f-SpeedEps && m.Admissible(up)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Bracket always sandwiches its argument between two adjacent
+// admissible levels.
+func TestBracketProperty(t *testing.T) {
+	m, _ := NewVddHopping([]float64{0.15, 0.4, 0.6, 0.8, 1.0})
+	prop := func(x float64) bool {
+		f := math.Mod(math.Abs(x), 0.85) + 0.15
+		lo, hi, err := m.Bracket(f)
+		if err != nil {
+			return false
+		}
+		if !(lo <= f+SpeedEps && f <= hi+SpeedEps) {
+			return false
+		}
+		return m.Admissible(lo) && m.Admissible(hi)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXScaleLevels(t *testing.T) {
+	if _, err := NewDiscrete(XScaleLevels()); err != nil {
+		t.Fatalf("XScale levels invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	m, _ := NewDiscrete([]float64{0.4, 0.8})
+	m.Levels[1] = 0.3 // not increasing
+	if err := m.Validate(); err == nil {
+		t.Error("corrupted levels accepted")
+	}
+	m2, _ := NewDiscrete([]float64{0.4, 0.8})
+	m2.FMax = 2.0
+	if err := m2.Validate(); err == nil {
+		t.Error("mismatched FMax accepted")
+	}
+	m3 := SpeedModel{Kind: Kind(99)}
+	if err := m3.Validate(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

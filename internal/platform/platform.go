@@ -1,0 +1,169 @@
+// Package platform models the execution platform of the paper: p
+// identical processors onto which the task graph has already been
+// mapped ("we assume that the mapping is given, say by an ordered list
+// of tasks to execute on each processor"). A Mapping fixes, for every
+// processor, the ordered list of tasks it executes; solvers may only
+// choose speeds (and re-executions), never move tasks.
+package platform
+
+import (
+	"fmt"
+
+	"energysched/internal/dag"
+)
+
+// Mapping assigns every task to a processor and fixes the execution
+// order on each processor.
+type Mapping struct {
+	// P is the number of processors.
+	P int
+	// Proc[i] is the processor executing task i.
+	Proc []int
+	// Order[q] lists the tasks of processor q in execution order.
+	Order [][]int
+}
+
+// NewMapping returns an empty mapping for n tasks on p processors; all
+// tasks start unassigned (Proc[i] = -1).
+func NewMapping(p, n int) *Mapping {
+	m := &Mapping{P: p, Proc: make([]int, n), Order: make([][]int, p)}
+	for i := range m.Proc {
+		m.Proc[i] = -1
+	}
+	return m
+}
+
+// Assign appends task t to the order of processor q.
+func (m *Mapping) Assign(t, q int) error {
+	if q < 0 || q >= m.P {
+		return fmt.Errorf("platform: processor %d out of range [0,%d)", q, m.P)
+	}
+	if t < 0 || t >= len(m.Proc) {
+		return fmt.Errorf("platform: task %d out of range [0,%d)", t, len(m.Proc))
+	}
+	if m.Proc[t] != -1 {
+		return fmt.Errorf("platform: task %d already assigned to processor %d", t, m.Proc[t])
+	}
+	m.Proc[t] = q
+	m.Order[q] = append(m.Order[q], t)
+	return nil
+}
+
+// MustAssign is Assign that panics on error.
+func (m *Mapping) MustAssign(t, q int) {
+	if err := m.Assign(t, q); err != nil {
+		panic(err)
+	}
+}
+
+// SingleProcessor maps all tasks of g onto one processor in topological
+// order — the "linear chain" setting of the paper's TRI-CRIT hardness
+// result.
+func SingleProcessor(g *dag.Graph) (*Mapping, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	m := NewMapping(1, g.N())
+	for _, t := range order {
+		m.MustAssign(t, 0)
+	}
+	return m, nil
+}
+
+// OneTaskPerProcessor maps task i onto processor i — the fully
+// parallel setting used for forks, trees and series-parallel closed
+// forms, where processor exclusivity never binds.
+func OneTaskPerProcessor(g *dag.Graph) *Mapping {
+	m := NewMapping(g.N(), g.N())
+	for i := 0; i < g.N(); i++ {
+		m.MustAssign(i, i)
+	}
+	return m
+}
+
+// Validate checks that the mapping covers every task exactly once and
+// that each processor's order is compatible with the precedence
+// constraints of g (a task never ordered before one of its graph
+// ancestors on the same processor).
+func (m *Mapping) Validate(g *dag.Graph) error {
+	if len(m.Proc) != g.N() {
+		return fmt.Errorf("platform: mapping for %d tasks, graph has %d", len(m.Proc), g.N())
+	}
+	seen := make([]bool, g.N())
+	for q, order := range m.Order {
+		for _, t := range order {
+			if t < 0 || t >= g.N() {
+				return fmt.Errorf("platform: task %d out of range", t)
+			}
+			if seen[t] {
+				return fmt.Errorf("platform: task %d appears twice", t)
+			}
+			seen[t] = true
+			if m.Proc[t] != q {
+				return fmt.Errorf("platform: task %d listed on processor %d but Proc says %d", t, q, m.Proc[t])
+			}
+		}
+	}
+	for t := range seen {
+		if !seen[t] {
+			return fmt.Errorf("platform: task %d unassigned", t)
+		}
+	}
+	// The combined constraint graph must stay acyclic; a cycle means
+	// the per-processor order contradicts the DAG.
+	cg, err := m.ConstraintGraph(g)
+	if err != nil {
+		return err
+	}
+	if _, err := cg.TopoOrder(); err != nil {
+		return fmt.Errorf("platform: processor order contradicts precedence: %w", err)
+	}
+	return nil
+}
+
+// ConstraintGraph returns the DAG whose edges are the union of g's
+// precedence edges and the consecutive-on-same-processor edges implied
+// by the mapping. A schedule is feasible iff every task starts after
+// its predecessors in this graph finish; the makespan with durations d
+// is the longest path. This is the "problem as a whole" view the paper
+// takes instead of local backfilling.
+func (m *Mapping) ConstraintGraph(g *dag.Graph) (*dag.Graph, error) {
+	if len(m.Proc) != g.N() {
+		return nil, fmt.Errorf("platform: mapping for %d tasks, graph has %d", len(m.Proc), g.N())
+	}
+	cg := g.Clone()
+	for _, order := range m.Order {
+		for i := 1; i < len(order); i++ {
+			if err := cg.AddEdge(order[i-1], order[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return cg, nil
+}
+
+// NumProcessorsUsed returns the number of processors with ≥1 task.
+func (m *Mapping) NumProcessorsUsed() int {
+	n := 0
+	for _, o := range m.Order {
+		if len(o) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the mapping.
+func (m *Mapping) Clone() *Mapping {
+	c := &Mapping{P: m.P, Proc: append([]int(nil), m.Proc...), Order: make([][]int, len(m.Order))}
+	for i := range m.Order {
+		c.Order[i] = append([]int(nil), m.Order[i]...)
+	}
+	return c
+}
+
+// String summarizes the mapping.
+func (m *Mapping) String() string {
+	return fmt.Sprintf("mapping(p=%d, used=%d, n=%d)", m.P, m.NumProcessorsUsed(), len(m.Proc))
+}

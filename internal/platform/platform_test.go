@@ -1,0 +1,152 @@
+package platform
+
+import (
+	"testing"
+
+	"energysched/internal/dag"
+)
+
+func diamond() *dag.Graph {
+	g := dag.New()
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 2)
+	c := g.AddTask("c", 3)
+	d := g.AddTask("d", 4)
+	g.MustEdge(a, b)
+	g.MustEdge(a, c)
+	g.MustEdge(b, d)
+	g.MustEdge(c, d)
+	return g
+}
+
+func TestAssign(t *testing.T) {
+	m := NewMapping(2, 3)
+	if err := m.Assign(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Assign(0, 1); err == nil {
+		t.Error("double assignment accepted")
+	}
+	if err := m.Assign(1, 5); err == nil {
+		t.Error("bad processor accepted")
+	}
+	if err := m.Assign(9, 0); err == nil {
+		t.Error("bad task accepted")
+	}
+}
+
+func TestSingleProcessor(t *testing.T) {
+	g := diamond()
+	m, err := SingleProcessor(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(g); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if m.P != 1 || len(m.Order[0]) != 4 {
+		t.Errorf("unexpected mapping %v", m)
+	}
+}
+
+func TestOneTaskPerProcessor(t *testing.T) {
+	g := diamond()
+	m := OneTaskPerProcessor(g)
+	if err := m.Validate(g); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if m.NumProcessorsUsed() != 4 {
+		t.Errorf("used = %d", m.NumProcessorsUsed())
+	}
+}
+
+func TestValidateDetectsUnassigned(t *testing.T) {
+	g := diamond()
+	m := NewMapping(2, 4)
+	m.MustAssign(0, 0)
+	if err := m.Validate(g); err == nil {
+		t.Error("partial mapping accepted")
+	}
+}
+
+func TestValidateDetectsOrderContradiction(t *testing.T) {
+	g := diamond()
+	// Put d before a on the same processor: contradicts a →* d.
+	m := NewMapping(1, 4)
+	m.MustAssign(3, 0)
+	m.MustAssign(0, 0)
+	m.MustAssign(1, 0)
+	m.MustAssign(2, 0)
+	if err := m.Validate(g); err == nil {
+		t.Error("contradictory order accepted")
+	}
+}
+
+func TestValidateDetectsProcMismatch(t *testing.T) {
+	g := diamond()
+	m, _ := SingleProcessor(g)
+	m.Proc[2] = 0 // still says 0, now corrupt Order instead
+	m.Order = [][]int{{0, 1, 2, 2}}
+	if err := m.Validate(g); err == nil {
+		t.Error("duplicated task in order accepted")
+	}
+}
+
+func TestConstraintGraph(t *testing.T) {
+	g := diamond()
+	m, _ := SingleProcessor(g)
+	cg, err := m.ConstraintGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On one processor the constraint graph serializes everything:
+	// longest path = total weight.
+	_, max, err := cg.LongestPath(g.Weights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max != g.TotalWeight() {
+		t.Errorf("serialized makespan = %v, want %v", max, g.TotalWeight())
+	}
+}
+
+func TestConstraintGraphFullyParallel(t *testing.T) {
+	g := diamond()
+	m := OneTaskPerProcessor(g)
+	cg, err := m.ConstraintGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With one task per processor the constraint graph adds nothing.
+	if cg.M() != g.M() {
+		t.Errorf("edges = %d, want %d", cg.M(), g.M())
+	}
+}
+
+func TestMappingClone(t *testing.T) {
+	g := diamond()
+	m, _ := SingleProcessor(g)
+	c := m.Clone()
+	c.Order[0][0] = 99
+	if m.Order[0][0] == 99 {
+		t.Error("clone shares order storage")
+	}
+}
+
+func TestMappingString(t *testing.T) {
+	m := NewMapping(2, 3)
+	if m.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestMappingSizeMismatch(t *testing.T) {
+	g := diamond()
+	m := NewMapping(1, 2)
+	if err := m.Validate(g); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := m.ConstraintGraph(g); err == nil {
+		t.Error("ConstraintGraph size mismatch accepted")
+	}
+}

@@ -1,0 +1,153 @@
+package schedule
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"energysched/internal/dag"
+	"energysched/internal/model"
+	"energysched/internal/platform"
+)
+
+// Property: for any positive duration vector, the ASAP realization on
+// a single processor validates against a deadline equal to its own
+// makespan, and the makespan equals the duration sum (full
+// serialization).
+func TestFromDurationsAlwaysValidates(t *testing.T) {
+	cm, _ := model.NewContinuous(1e-9, 1e12)
+	prop := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 10 {
+			raw = raw[:10]
+		}
+		ws := make([]float64, len(raw))
+		durs := make([]float64, len(raw))
+		sum := 0.0
+		for i, r := range raw {
+			h := math.Mod(math.Abs(r), 5)
+			if math.IsNaN(h) {
+				h = 1
+			}
+			ws[i] = h + 0.1
+			durs[i] = math.Mod(h*1.7, 3) + 0.1
+			sum += durs[i]
+		}
+		g := dag.IndependentGraph(ws...)
+		mp, err := platform.SingleProcessor(g)
+		if err != nil {
+			return false
+		}
+		s, err := FromDurations(g, mp, durs)
+		if err != nil {
+			return false
+		}
+		if math.Abs(s.Makespan()-sum) > 1e-6*sum {
+			return false
+		}
+		return s.Validate(Constraints{Model: cm, Deadline: s.Makespan() * (1 + 1e-9)}) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: worst-case accounting — a plan's schedule energy equals
+// the sum over all executions regardless of re-execution flags, and
+// the makespan on one processor equals Σ(1+reexec)·w/f.
+func TestFromPlanWorstCaseAccounting(t *testing.T) {
+	cm, _ := model.NewContinuous(1e-9, 1e12)
+	prop := func(raw []float64, mask uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 8 {
+			raw = raw[:8]
+		}
+		n := len(raw)
+		ws := make([]float64, n)
+		speeds := make([]float64, n)
+		reexec := make([]float64, n)
+		wantEnergy := 0.0
+		wantTime := 0.0
+		for i, r := range raw {
+			h := math.Mod(math.Abs(r), 4)
+			if math.IsNaN(h) {
+				h = 1
+			}
+			ws[i] = h + 0.2
+			speeds[i] = math.Mod(h*3.1, 2) + 0.2
+			wantEnergy += model.Energy(ws[i], speeds[i])
+			wantTime += ws[i] / speeds[i]
+			if mask&(1<<uint(i%8)) != 0 {
+				reexec[i] = speeds[i] * 0.9
+				wantEnergy += model.Energy(ws[i], reexec[i])
+				wantTime += ws[i] / reexec[i]
+			}
+		}
+		g := dag.IndependentGraph(ws...)
+		mp, err := platform.SingleProcessor(g)
+		if err != nil {
+			return false
+		}
+		plan, err := NewConstantPlan(g, speeds, reexec)
+		if err != nil {
+			return false
+		}
+		s, err := FromPlan(g, mp, plan)
+		if err != nil {
+			return false
+		}
+		if math.Abs(s.Energy()-wantEnergy) > 1e-6*math.Max(1, wantEnergy) {
+			return false
+		}
+		if math.Abs(s.Makespan()-wantTime) > 1e-6*math.Max(1, wantTime) {
+			return false
+		}
+		return s.Validate(Constraints{Model: cm, Deadline: wantTime * (1 + 1e-9)}) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: on random DAG + random mapping, the ASAP schedule respects
+// every precedence and exclusivity constraint by construction.
+func TestFromDurationsRandomDAGsValidate(t *testing.T) {
+	cm, _ := model.NewContinuous(1e-9, 1e12)
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(10) + 2
+		g := dag.New()
+		for i := 0; i < n; i++ {
+			g.AddTask("t", rng.Float64()*4+0.2)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.25 {
+					g.MustEdge(i, j)
+				}
+			}
+		}
+		p := rng.Intn(3) + 1
+		mp := platform.NewMapping(p, n)
+		order, _ := g.TopoOrder()
+		for _, tsk := range order {
+			mp.MustAssign(tsk, rng.Intn(p))
+		}
+		durs := make([]float64, n)
+		for i := range durs {
+			durs[i] = rng.Float64()*2 + 0.1
+		}
+		s, err := FromDurations(g, mp, durs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := s.Validate(Constraints{Model: cm, Deadline: s.Makespan() * (1 + 1e-9)}); err != nil {
+			t.Fatalf("trial %d: ASAP schedule invalid: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,404 @@
+// Package schedule represents and validates complete schedules: for
+// every task, one or two executions, each a sequence of
+// constant-speed segments (so VDD-HOPPING fits naturally), with start
+// times. The validator is the repository's ground truth — every
+// solver's output is checked against it, covering precedence,
+// processor exclusivity, deadline, speed admissibility and
+// reliability.
+package schedule
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"energysched/internal/dag"
+	"energysched/internal/model"
+	"energysched/internal/platform"
+)
+
+// TimeEps is the absolute tolerance for time comparisons in the
+// validator.
+const TimeEps = 1e-6
+
+// Segment is a constant-speed interval of an execution.
+type Segment struct {
+	Speed    float64
+	Duration float64
+}
+
+// Execution is one attempt at a task: a start time and one or more
+// constant-speed segments executed back to back. Under CONTINUOUS,
+// DISCRETE and INCREMENTAL there is exactly one segment; VDD-HOPPING
+// may use several.
+type Execution struct {
+	Start    float64
+	Segments []Segment
+}
+
+// Constant returns a single-segment execution of weight w at speed f
+// starting at the given time.
+func Constant(start, w, f float64) Execution {
+	return Execution{Start: start, Segments: []Segment{{Speed: f, Duration: w / f}}}
+}
+
+// Duration returns the total duration of the execution.
+func (e Execution) Duration() float64 {
+	d := 0.0
+	for _, s := range e.Segments {
+		d += s.Duration
+	}
+	return d
+}
+
+// End returns Start + Duration.
+func (e Execution) End() float64 { return e.Start + e.Duration() }
+
+// Work returns the total work Σ f·t processed by the execution.
+func (e Execution) Work() float64 {
+	w := 0.0
+	for _, s := range e.Segments {
+		w += s.Speed * s.Duration
+	}
+	return w
+}
+
+// Energy returns Σ f³·t over the segments.
+func (e Execution) Energy() float64 {
+	en := 0.0
+	for _, s := range e.Segments {
+		en += model.EnergyOverTime(s.Speed, s.Duration)
+	}
+	return en
+}
+
+// FailureProb returns the failure probability of the execution under
+// the linearized rate model (additive over segments).
+func (e Execution) FailureProb(rel model.Reliability) float64 {
+	p := 0.0
+	for _, s := range e.Segments {
+		p += rel.FaultRate(s.Speed) * s.Duration
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// TaskSchedule holds the executions of one task: one normally, two
+// when the task is re-executed.
+type TaskSchedule struct {
+	Execs []Execution
+}
+
+// ReExecuted reports whether the task has a second execution.
+func (ts TaskSchedule) ReExecuted() bool { return len(ts.Execs) == 2 }
+
+// Energy returns the worst-case energy of the task: the paper always
+// accounts for both executions, "even when the first execution is
+// successful".
+func (ts TaskSchedule) Energy() float64 {
+	e := 0.0
+	for _, ex := range ts.Execs {
+		e += ex.Energy()
+	}
+	return e
+}
+
+// End returns the finish time of the last execution.
+func (ts TaskSchedule) End() float64 {
+	end := 0.0
+	for _, ex := range ts.Execs {
+		if ex.End() > end {
+			end = ex.End()
+		}
+	}
+	return end
+}
+
+// Schedule is a complete solution: graph, mapping and per-task
+// executions.
+type Schedule struct {
+	G       *dag.Graph
+	Mapping *platform.Mapping
+	Tasks   []TaskSchedule
+}
+
+// Energy returns the total worst-case energy consumption E = Σ Ei.
+func (s *Schedule) Energy() float64 {
+	e := 0.0
+	for _, ts := range s.Tasks {
+		e += ts.Energy()
+	}
+	return e
+}
+
+// Makespan returns the time at which the last execution finishes.
+func (s *Schedule) Makespan() float64 {
+	m := 0.0
+	for _, ts := range s.Tasks {
+		if end := ts.End(); end > m {
+			m = end
+		}
+	}
+	return m
+}
+
+// NumReExecuted returns the number of re-executed tasks.
+func (s *Schedule) NumReExecuted() int {
+	n := 0
+	for _, ts := range s.Tasks {
+		if ts.ReExecuted() {
+			n++
+		}
+	}
+	return n
+}
+
+// Constraints bundles everything the validator checks a schedule
+// against.
+type Constraints struct {
+	// Model is the speed model every segment speed must be admissible
+	// in.
+	Model model.SpeedModel
+	// Deadline is the bound D on the makespan.
+	Deadline float64
+	// Rel, when non-nil, enables the TRI-CRIT reliability check with
+	// threshold speed FRel.
+	Rel  *model.Reliability
+	FRel float64
+}
+
+// Validate checks the schedule against the constraints. It verifies:
+//
+//  1. every task has 1 or 2 executions, each processing exactly the
+//     task's weight;
+//  2. every segment speed is admissible under the model (and only
+//     VDD-HOPPING may use more than one segment);
+//  3. both executions of a re-executed task run on the task's
+//     processor and do not overlap (worst-case accounting: the deadline
+//     must hold even if every first execution fails);
+//  4. precedence: no execution of a task starts before every execution
+//     of each predecessor ends;
+//  5. processor exclusivity: executions on one processor do not
+//     overlap;
+//  6. makespan ≤ Deadline;
+//  7. if Rel is set: every task meets the reliability threshold
+//     Ri ≥ Ri(FRel).
+func (s *Schedule) Validate(c Constraints) error {
+	if s.G == nil || s.Mapping == nil {
+		return errors.New("schedule: missing graph or mapping")
+	}
+	n := s.G.N()
+	if len(s.Tasks) != n {
+		return fmt.Errorf("schedule: %d task schedules for %d tasks", len(s.Tasks), n)
+	}
+	if err := s.Mapping.Validate(s.G); err != nil {
+		return err
+	}
+	for i, ts := range s.Tasks {
+		if len(ts.Execs) < 1 || len(ts.Execs) > 2 {
+			return fmt.Errorf("schedule: task %d has %d executions", i, len(ts.Execs))
+		}
+		for k, ex := range ts.Execs {
+			if len(ex.Segments) == 0 {
+				return fmt.Errorf("schedule: task %d execution %d has no segments", i, k)
+			}
+			if len(ex.Segments) > 1 && c.Model.Kind != model.VddHopping && c.Model.Kind != model.Continuous {
+				return fmt.Errorf("schedule: task %d execution %d mixes speeds under %v", i, k, c.Model.Kind)
+			}
+			for _, seg := range ex.Segments {
+				if seg.Duration < -TimeEps {
+					return fmt.Errorf("schedule: task %d negative segment duration %v", i, seg.Duration)
+				}
+				if !c.Model.Admissible(seg.Speed) {
+					return fmt.Errorf("schedule: task %d speed %v not admissible under %v", i, seg.Speed, c.Model)
+				}
+			}
+			if ex.Start < -TimeEps {
+				return fmt.Errorf("schedule: task %d execution %d starts at %v < 0", i, k, ex.Start)
+			}
+			if w := ex.Work(); math.Abs(w-s.G.Weight(i)) > TimeEps*math.Max(1, s.G.Weight(i)) {
+				return fmt.Errorf("schedule: task %d execution %d work %v ≠ weight %v", i, k, w, s.G.Weight(i))
+			}
+		}
+		if len(ts.Execs) == 2 && overlap(ts.Execs[0], ts.Execs[1]) {
+			return fmt.Errorf("schedule: task %d executions overlap", i)
+		}
+	}
+	// Precedence.
+	for _, e := range s.G.Edges() {
+		u, v := e[0], e[1]
+		uEnd := s.Tasks[u].End()
+		for k, ex := range s.Tasks[v].Execs {
+			if ex.Start < uEnd-TimeEps {
+				return fmt.Errorf("schedule: task %d exec %d starts %v before predecessor %d ends %v", v, k, ex.Start, u, uEnd)
+			}
+		}
+	}
+	// Processor exclusivity.
+	for q := 0; q < s.Mapping.P; q++ {
+		var execs []Execution
+		for _, t := range s.Mapping.Order[q] {
+			execs = append(execs, s.Tasks[t].Execs...)
+		}
+		for i := 0; i < len(execs); i++ {
+			for j := i + 1; j < len(execs); j++ {
+				if overlap(execs[i], execs[j]) {
+					return fmt.Errorf("schedule: processor %d has overlapping executions", q)
+				}
+			}
+		}
+	}
+	// Deadline.
+	if ms := s.Makespan(); ms > c.Deadline+TimeEps*math.Max(1, c.Deadline) {
+		return fmt.Errorf("schedule: makespan %v exceeds deadline %v", ms, c.Deadline)
+	}
+	// Reliability.
+	if c.Rel != nil {
+		for i, ts := range s.Tasks {
+			w := s.G.Weight(i)
+			threshold := c.Rel.FailureProb(w, c.FRel)
+			var p float64
+			switch len(ts.Execs) {
+			case 1:
+				p = ts.Execs[0].FailureProb(*c.Rel)
+			case 2:
+				p = ts.Execs[0].FailureProb(*c.Rel) * ts.Execs[1].FailureProb(*c.Rel)
+			}
+			if p > threshold*(1+1e-9)+1e-12 {
+				return fmt.Errorf("schedule: task %d reliability %v below threshold %v", i, 1-p, 1-threshold)
+			}
+		}
+	}
+	return nil
+}
+
+func overlap(a, b Execution) bool {
+	return a.Start < b.End()-TimeEps && b.Start < a.End()-TimeEps
+}
+
+// FromDurations builds the ASAP schedule in which task i runs once for
+// durations[i] time units at the constant speed w_i/durations[i],
+// respecting the mapping's constraint graph. This is the canonical way
+// BI-CRIT solvers materialize their duration vectors.
+func FromDurations(g *dag.Graph, m *platform.Mapping, durations []float64) (*Schedule, error) {
+	if len(durations) != g.N() {
+		return nil, fmt.Errorf("schedule: %d durations for %d tasks", len(durations), g.N())
+	}
+	cg, err := m.ConstraintGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	order, err := cg.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	finish := make([]float64, g.N())
+	tasks := make([]TaskSchedule, g.N())
+	for _, u := range order {
+		start := 0.0
+		for _, p := range cg.Preds(u) {
+			if finish[p] > start {
+				start = finish[p]
+			}
+		}
+		f := g.Weight(u) / durations[u]
+		tasks[u] = TaskSchedule{Execs: []Execution{Constant(start, g.Weight(u), f)}}
+		finish[u] = start + durations[u]
+	}
+	return &Schedule{G: g, Mapping: m, Tasks: tasks}, nil
+}
+
+// FromSpeeds builds the ASAP schedule with task i at constant speed
+// speeds[i].
+func FromSpeeds(g *dag.Graph, m *platform.Mapping, speeds []float64) (*Schedule, error) {
+	if len(speeds) != g.N() {
+		return nil, fmt.Errorf("schedule: %d speeds for %d tasks", len(speeds), g.N())
+	}
+	d := make([]float64, g.N())
+	for i := range d {
+		if speeds[i] <= 0 {
+			return nil, fmt.Errorf("schedule: task %d non-positive speed %v", i, speeds[i])
+		}
+		d[i] = g.Weight(i) / speeds[i]
+	}
+	return FromDurations(g, m, d)
+}
+
+// Plan describes per-task execution decisions for the ASAP builder
+// used by TRI-CRIT solvers: speeds for the first (and optionally
+// second) execution, or explicit VDD segment mixes.
+type Plan struct {
+	// First holds the segments of the first execution of each task.
+	First [][]Segment
+	// Second, when non-nil for a task, holds the segments of its
+	// re-execution.
+	Second [][]Segment
+}
+
+// NewConstantPlan builds a Plan from constant speeds: speeds[i] for
+// the first execution, and for each i with reexec[i] != 0, a second
+// execution at reexec[i].
+func NewConstantPlan(g *dag.Graph, speeds, reexec []float64) (*Plan, error) {
+	if len(speeds) != g.N() || len(reexec) != g.N() {
+		return nil, fmt.Errorf("schedule: plan length mismatch (%d, %d) for %d tasks", len(speeds), len(reexec), g.N())
+	}
+	p := &Plan{First: make([][]Segment, g.N()), Second: make([][]Segment, g.N())}
+	for i := 0; i < g.N(); i++ {
+		if speeds[i] <= 0 {
+			return nil, fmt.Errorf("schedule: task %d non-positive speed %v", i, speeds[i])
+		}
+		w := g.Weight(i)
+		p.First[i] = []Segment{{Speed: speeds[i], Duration: w / speeds[i]}}
+		if reexec[i] > 0 {
+			p.Second[i] = []Segment{{Speed: reexec[i], Duration: w / reexec[i]}}
+		}
+	}
+	return p, nil
+}
+
+// FromPlan builds the ASAP schedule realizing the plan: both
+// executions of a task run back to back on the task's processor
+// (worst-case accounting), and successors wait for the last execution.
+func FromPlan(g *dag.Graph, m *platform.Mapping, plan *Plan) (*Schedule, error) {
+	if len(plan.First) != g.N() {
+		return nil, fmt.Errorf("schedule: plan for %d tasks, graph has %d", len(plan.First), g.N())
+	}
+	cg, err := m.ConstraintGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	order, err := cg.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	segsDur := func(segs []Segment) float64 {
+		d := 0.0
+		for _, s := range segs {
+			d += s.Duration
+		}
+		return d
+	}
+	finish := make([]float64, g.N())
+	tasks := make([]TaskSchedule, g.N())
+	for _, u := range order {
+		start := 0.0
+		for _, p := range cg.Preds(u) {
+			if finish[p] > start {
+				start = finish[p]
+			}
+		}
+		ex1 := Execution{Start: start, Segments: append([]Segment(nil), plan.First[u]...)}
+		ts := TaskSchedule{Execs: []Execution{ex1}}
+		end := ex1.End()
+		if plan.Second != nil && plan.Second[u] != nil {
+			ex2 := Execution{Start: end, Segments: append([]Segment(nil), plan.Second[u]...)}
+			ts.Execs = append(ts.Execs, ex2)
+			end += segsDur(plan.Second[u])
+		}
+		tasks[u] = ts
+		finish[u] = end
+	}
+	return &Schedule{G: g, Mapping: m, Tasks: tasks}, nil
+}

@@ -1,0 +1,226 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"energysched/internal/dag"
+	"energysched/internal/model"
+	"energysched/internal/platform"
+)
+
+func contModel() model.SpeedModel {
+	m, _ := model.NewContinuous(0.05, 10)
+	return m
+}
+
+func chain3() (*dag.Graph, *platform.Mapping) {
+	g := dag.ChainGraph(1, 2, 3)
+	m, _ := platform.SingleProcessor(g)
+	return g, m
+}
+
+func TestConstantExecution(t *testing.T) {
+	e := Constant(1, 4, 2)
+	if e.Duration() != 2 || e.End() != 3 {
+		t.Errorf("duration=%v end=%v", e.Duration(), e.End())
+	}
+	if math.Abs(e.Work()-4) > 1e-12 {
+		t.Errorf("work = %v", e.Work())
+	}
+	// Energy = f³·t = 8·2 = 16 = w·f² = 4·4.
+	if math.Abs(e.Energy()-16) > 1e-12 {
+		t.Errorf("energy = %v", e.Energy())
+	}
+}
+
+func TestMultiSegmentWorkAndEnergy(t *testing.T) {
+	e := Execution{Start: 0, Segments: []Segment{{Speed: 1, Duration: 2}, {Speed: 2, Duration: 1}}}
+	if math.Abs(e.Work()-4) > 1e-12 {
+		t.Errorf("work = %v", e.Work())
+	}
+	if math.Abs(e.Energy()-(1*2+8*1)) > 1e-12 {
+		t.Errorf("energy = %v", e.Energy())
+	}
+}
+
+func TestFromDurationsChain(t *testing.T) {
+	g, m := chain3()
+	s, err := FromDurations(g, m, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms := s.Makespan(); math.Abs(ms-6) > 1e-12 {
+		t.Errorf("makespan = %v", ms)
+	}
+	// Unit speeds → energy = Σ w·1².
+	if en := s.Energy(); math.Abs(en-6) > 1e-12 {
+		t.Errorf("energy = %v", en)
+	}
+	if err := s.Validate(Constraints{Model: contModel(), Deadline: 6}); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestFromSpeeds(t *testing.T) {
+	g, m := chain3()
+	s, err := FromSpeeds(g, m, []float64{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms := s.Makespan(); math.Abs(ms-3) > 1e-12 {
+		t.Errorf("makespan = %v", ms)
+	}
+	if _, err := FromSpeeds(g, m, []float64{1, -1, 1}); err == nil {
+		t.Error("negative speed accepted")
+	}
+}
+
+func TestValidateDeadline(t *testing.T) {
+	g, m := chain3()
+	s, _ := FromSpeeds(g, m, []float64{1, 1, 1})
+	if err := s.Validate(Constraints{Model: contModel(), Deadline: 5}); err == nil {
+		t.Error("deadline violation accepted")
+	}
+}
+
+func TestValidateSpeedAdmissibility(t *testing.T) {
+	g, m := chain3()
+	s, _ := FromSpeeds(g, m, []float64{20, 20, 20}) // above fmax=10
+	if err := s.Validate(Constraints{Model: contModel(), Deadline: 100}); err == nil {
+		t.Error("inadmissible speed accepted")
+	}
+}
+
+func TestValidatePrecedenceViolation(t *testing.T) {
+	g, m := chain3()
+	s, _ := FromSpeeds(g, m, []float64{1, 1, 1})
+	// Move the second task before its predecessor ends.
+	s.Tasks[1].Execs[0].Start = 0.1
+	if err := s.Validate(Constraints{Model: contModel(), Deadline: 100}); err == nil {
+		t.Error("precedence violation accepted")
+	}
+}
+
+func TestValidateExclusivityViolation(t *testing.T) {
+	g := dag.IndependentGraph(1, 1)
+	m, _ := platform.SingleProcessor(g)
+	s, _ := FromSpeeds(g, m, []float64{1, 1})
+	// Overlap both tasks on the single processor.
+	s.Tasks[1].Execs[0].Start = 0
+	if err := s.Validate(Constraints{Model: contModel(), Deadline: 100}); err == nil {
+		t.Error("exclusivity violation accepted")
+	}
+}
+
+func TestValidateWorkMismatch(t *testing.T) {
+	g, m := chain3()
+	s, _ := FromSpeeds(g, m, []float64{1, 1, 1})
+	s.Tasks[0].Execs[0].Segments[0].Duration = 0.1 // work no longer equals weight
+	if err := s.Validate(Constraints{Model: contModel(), Deadline: 100}); err == nil {
+		t.Error("work mismatch accepted")
+	}
+}
+
+func TestValidateMultiSegmentUnderDiscrete(t *testing.T) {
+	g := dag.IndependentGraph(2)
+	m, _ := platform.SingleProcessor(g)
+	disc, _ := model.NewDiscrete([]float64{1, 2})
+	s := &Schedule{G: g, Mapping: m, Tasks: []TaskSchedule{{
+		Execs: []Execution{{Start: 0, Segments: []Segment{{Speed: 1, Duration: 1}, {Speed: 2, Duration: 0.5}}}},
+	}}}
+	if err := s.Validate(Constraints{Model: disc, Deadline: 10}); err == nil {
+		t.Error("multi-segment execution accepted under DISCRETE")
+	}
+	vdd, _ := model.NewVddHopping([]float64{1, 2})
+	if err := s.Validate(Constraints{Model: vdd, Deadline: 10}); err != nil {
+		t.Errorf("multi-segment execution rejected under VDD-HOPPING: %v", err)
+	}
+}
+
+func TestValidateReliability(t *testing.T) {
+	g := dag.IndependentGraph(4)
+	m, _ := platform.SingleProcessor(g)
+	rel := model.DefaultReliability(0.05, 10)
+	frel := 5.0
+	// Single execution at frel: meets threshold exactly.
+	sOK, _ := FromSpeeds(g, m, []float64{5})
+	if err := sOK.Validate(Constraints{Model: contModel(), Deadline: 100, Rel: &rel, FRel: frel}); err != nil {
+		t.Errorf("threshold execution rejected: %v", err)
+	}
+	// Single slower execution: violates.
+	sBad, _ := FromSpeeds(g, m, []float64{2})
+	if err := sBad.Validate(Constraints{Model: contModel(), Deadline: 100, Rel: &rel, FRel: frel}); err == nil {
+		t.Error("sub-threshold reliability accepted")
+	}
+}
+
+func TestValidateReExecutionReliability(t *testing.T) {
+	g := dag.IndependentGraph(4)
+	m, _ := platform.SingleProcessor(g)
+	rel := model.DefaultReliability(0.05, 10)
+	frel := 5.0
+	fre, err := rel.MinReExecSpeed(4, frel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewConstantPlan(g, []float64{fre}, []float64{fre})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := FromPlan(g, m, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Tasks[0].ReExecuted() || s.NumReExecuted() != 1 {
+		t.Fatal("plan did not produce a re-execution")
+	}
+	if err := s.Validate(Constraints{Model: contModel(), Deadline: 100, Rel: &rel, FRel: frel}); err != nil {
+		t.Errorf("re-executed schedule rejected: %v", err)
+	}
+	// Energy counts both executions.
+	want := 2 * model.Energy(4, fre)
+	if got := s.Energy(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("energy = %v, want %v", got, want)
+	}
+}
+
+func TestFromPlanWorstCaseSerialization(t *testing.T) {
+	// Re-executions occupy the processor: a successor on the same
+	// processor starts only after the second execution.
+	g := dag.ChainGraph(1, 1)
+	m, _ := platform.SingleProcessor(g)
+	plan, _ := NewConstantPlan(g, []float64{1, 1}, []float64{1, 0})
+	s, err := FromPlan(g, m, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start := s.Tasks[1].Execs[0].Start; math.Abs(start-2) > 1e-12 {
+		t.Errorf("successor starts at %v, want 2 (after re-execution)", start)
+	}
+	if ms := s.Makespan(); math.Abs(ms-3) > 1e-12 {
+		t.Errorf("makespan = %v, want 3", ms)
+	}
+}
+
+func TestValidateCountsMissingExecutions(t *testing.T) {
+	g := dag.IndependentGraph(1)
+	m, _ := platform.SingleProcessor(g)
+	s := &Schedule{G: g, Mapping: m, Tasks: []TaskSchedule{{}}}
+	if err := s.Validate(Constraints{Model: contModel(), Deadline: 10}); err == nil {
+		t.Error("task without executions accepted")
+	}
+}
+
+func TestLengthMismatches(t *testing.T) {
+	g, m := chain3()
+	if _, err := FromDurations(g, m, []float64{1}); err == nil {
+		t.Error("FromDurations length mismatch accepted")
+	}
+	if _, err := FromSpeeds(g, m, []float64{1}); err == nil {
+		t.Error("FromSpeeds length mismatch accepted")
+	}
+	if _, err := NewConstantPlan(g, []float64{1}, []float64{0}); err == nil {
+		t.Error("NewConstantPlan length mismatch accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package tabulate
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBasicTable(t *testing.T) {
+	tb := New("title", "a", "bb")
+	tb.AddRow(1, 2.5)
+	tb.AddRow("x", "y")
+	out := tb.String()
+	if !strings.Contains(out, "title") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "bb") {
+		t.Error("header missing")
+	}
+	if !strings.Contains(out, "2.5000") {
+		t.Errorf("float formatting missing: %q", out)
+	}
+}
+
+func TestColumnsAligned(t *testing.T) {
+	tb := New("", "col", "v")
+	tb.AddRow("short", 1)
+	tb.AddRow("a-much-longer-cell", 2)
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	// header, separator, 2 rows.
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), lines)
+	}
+	// Both data rows end with the value at the same column.
+	if strings.Index(lines[2], "1") != strings.Index(lines[3], "2") {
+		t.Errorf("misaligned rows:\n%s", tb)
+	}
+}
+
+func TestNotes(t *testing.T) {
+	tb := New("t", "h")
+	tb.AddNote("hello %d", 42)
+	if !strings.Contains(tb.String(), "note: hello 42") {
+		t.Errorf("note missing: %q", tb.String())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1.5:     "1.5000",
+		123.456: "123.5",
+		2e7:     "2.000e+07",
+		2e-5:    "2.000e-05",
+		-3.25:   "-3.2500",
+	}
+	for v, want := range cases {
+		if got := FormatFloat(v); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestRowsLongerThanHeader(t *testing.T) {
+	tb := New("t", "one")
+	tb.AddRow(1, 2, 3)
+	out := tb.String()
+	if !strings.Contains(out, "3") {
+		t.Errorf("extra cell dropped: %q", out)
+	}
+}
+
+func TestHeaderlessTable(t *testing.T) {
+	tb := &Table{Title: "raw"}
+	tb.AddRow("a", "b")
+	out := tb.String()
+	if strings.Contains(out, "---") {
+		t.Error("separator printed without header")
+	}
+	if !strings.Contains(out, "a") {
+		t.Error("row missing")
+	}
+}

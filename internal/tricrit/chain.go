@@ -1,0 +1,145 @@
+package tricrit
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxExactChainTasks bounds the subset enumeration of SolveChainExact.
+const MaxExactChainTasks = 22
+
+// SolveChainExact computes the optimal TRI-CRIT solution for a linear
+// chain of tasks on one processor by enumerating every re-execution
+// subset and water-filling each (the problem is NP-hard — Section III —
+// so this is exponential by necessity; n is capped at
+// MaxExactChainTasks).
+func SolveChainExact(weights []float64, in Instance) (*Config, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("tricrit: empty chain")
+	}
+	if n > MaxExactChainTasks {
+		return nil, fmt.Errorf("tricrit: %d tasks exceed exact-solver cap %d", n, MaxExactChainTasks)
+	}
+	loSingle, loRe, err := in.LowerBounds(weights)
+	if err != nil {
+		return nil, err
+	}
+	var best *Config
+	reexec := make([]bool, n)
+	lo := make([]float64, n)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				reexec[i] = true
+				lo[i] = loRe[i]
+			} else {
+				reexec[i] = false
+				lo[i] = loSingle[i]
+			}
+		}
+		cfg, err := waterfill(weights, reexec, lo, in.FMax, in.Deadline)
+		if err != nil {
+			continue // this subset is infeasible
+		}
+		if best == nil || cfg.Energy < best.Energy {
+			best = cfg
+		}
+	}
+	if best == nil {
+		return nil, ErrInfeasible
+	}
+	return best, nil
+}
+
+// ChainFirst is the paper's chain strategy as a heuristic: start with
+// no re-executions (all tasks slowed equally to the deadline, clamped
+// at frel), then greedily move the task with the best energy gain into
+// the re-execution set, re-water-filling after each move, until no
+// move improves. O(n²) water-fills.
+//
+// On linear-chain-like instances this tracks the exact optimum closely
+// (experiment C4/C12); on highly parallel instances ParallelFirst
+// dominates — the two are complementary by design.
+func ChainFirst(weights []float64, in Instance) (*Config, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("tricrit: empty chain")
+	}
+	loSingle, loRe, err := in.LowerBounds(weights)
+	if err != nil {
+		return nil, err
+	}
+	reexec := make([]bool, n)
+	lo := append([]float64(nil), loSingle...)
+	cur, err := waterfill(weights, reexec, lo, in.FMax, in.Deadline)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		bestIdx := -1
+		var bestCfg *Config
+		for i := 0; i < n; i++ {
+			if reexec[i] {
+				continue
+			}
+			reexec[i] = true
+			lo[i] = loRe[i]
+			cfg, err := waterfill(weights, reexec, lo, in.FMax, in.Deadline)
+			reexec[i] = false
+			lo[i] = loSingle[i]
+			if err != nil {
+				continue
+			}
+			if cfg.Energy < cur.Energy-1e-12 && (bestCfg == nil || cfg.Energy < bestCfg.Energy) {
+				bestCfg = cfg
+				bestIdx = i
+			}
+		}
+		if bestIdx == -1 {
+			return cur, nil
+		}
+		reexec[bestIdx] = true
+		lo[bestIdx] = loRe[bestIdx]
+		cur = bestCfg
+	}
+}
+
+// ChainEnergyLowerBound returns max(BI-CRIT bound, all-re-executed
+// bound): the TRI-CRIT optimum of a chain is at least the energy of
+// the bi-criteria relaxation that drops reliability entirely
+// ((Σw)³/D² clipped by fmin), and at least n·independent per-task
+// minima. Used to normalize heuristic comparisons when the exact
+// solver is out of reach.
+func ChainEnergyLowerBound(weights []float64, in Instance) float64 {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	f := total / in.Deadline
+	if f < in.FMin {
+		f = in.FMin
+	}
+	biCrit := total * f * f
+	// Per-task floor: each task independently needs at least
+	// min(w·frel², 2w·f_inf²) joules.
+	perTask := 0.0
+	for _, w := range weights {
+		eSingle := w * in.FRel * in.FRel
+		finf, err := in.Rel.MinReExecSpeed(w, in.FRel)
+		if err != nil {
+			perTask += eSingle
+			continue
+		}
+		finf = math.Max(finf, in.FMin)
+		eRe := 2 * w * finf * finf
+		perTask += math.Min(eSingle, eRe)
+	}
+	return math.Max(biCrit, perTask)
+}

@@ -1,0 +1,283 @@
+package tricrit
+
+import (
+	"fmt"
+	"math"
+
+	"energysched/internal/convex"
+	"energysched/internal/dag"
+	"energysched/internal/platform"
+	"energysched/internal/schedule"
+)
+
+// EvalConfig computes the optimal speeds (and energy) for a *fixed*
+// re-execution set on an arbitrary mapped DAG, by solving the
+// continuous convex program with effective weights: a re-executed task
+// contributes weight 2w (both executions back to back at equal speed)
+// with lower speed bound f_inf(i); a single-executed task contributes
+// w with lower bound frel.
+func EvalConfig(g *dag.Graph, mp *platform.Mapping, reexec []bool, in Instance) (*Config, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	if len(reexec) != n {
+		return nil, fmt.Errorf("tricrit: reexec length %d for %d tasks", len(reexec), n)
+	}
+	loSingle, loRe, err := in.LowerBounds(g.Weights())
+	if err != nil {
+		return nil, err
+	}
+	cg, err := mp.ConstraintGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	eff := make([]float64, n)
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if reexec[i] {
+			eff[i] = 2 * g.Weight(i)
+			lo[i] = loRe[i]
+		} else {
+			eff[i] = g.Weight(i)
+			lo[i] = loSingle[i]
+		}
+		hi[i] = in.FMax
+	}
+	res, err := convex.MinimizeEnergy(cg, in.Deadline, eff, lo, hi, convex.Options{})
+	if err != nil {
+		if err == convex.ErrInfeasible {
+			return nil, ErrInfeasible
+		}
+		return nil, err
+	}
+	cfg := &Config{ReExec: append([]bool(nil), reexec...), Speeds: res.Speeds, Energy: res.Energy}
+	return cfg, nil
+}
+
+// Schedule materializes a configuration as a validated worst-case
+// schedule (both executions of re-executed tasks occupy the
+// processor).
+func (c *Config) Schedule(g *dag.Graph, mp *platform.Mapping) (*schedule.Schedule, error) {
+	plan, err := schedule.NewConstantPlan(g, c.Speeds, c.ReExecSpeeds())
+	if err != nil {
+		return nil, err
+	}
+	return schedule.FromPlan(g, mp, plan)
+}
+
+// MaxExactDAGTasks bounds the subset enumeration of SolveDAGExact.
+const MaxExactDAGTasks = 16
+
+// SolveDAGExact enumerates every re-execution subset of a mapped DAG
+// and evaluates each with EvalConfig — exponential, for validating
+// heuristics on small instances only.
+func SolveDAGExact(g *dag.Graph, mp *platform.Mapping, in Instance) (*Config, error) {
+	n := g.N()
+	if n > MaxExactDAGTasks {
+		return nil, fmt.Errorf("tricrit: %d tasks exceed exact-solver cap %d", n, MaxExactDAGTasks)
+	}
+	var best *Config
+	reexec := make([]bool, n)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		for i := 0; i < n; i++ {
+			reexec[i] = mask&(1<<uint(i)) != 0
+		}
+		cfg, err := EvalConfig(g, mp, reexec, in)
+		if err != nil {
+			continue
+		}
+		if best == nil || cfg.Energy < best.Energy {
+			best = cfg
+		}
+	}
+	if best == nil {
+		return nil, ErrInfeasible
+	}
+	return best, nil
+}
+
+// DAGChainFirst generalizes the ChainFirst heuristic to arbitrary
+// mapped DAGs: start from the all-single configuration (every task
+// slowed as much as reliability and deadline allow) and greedily grow
+// the re-execution set by the move with the best energy gain,
+// re-evaluating with the convex solver after each move. O(n²) convex
+// solves.
+func DAGChainFirst(g *dag.Graph, mp *platform.Mapping, in Instance) (*Config, error) {
+	n := g.N()
+	reexec := make([]bool, n)
+	cur, err := EvalConfig(g, mp, reexec, in)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		bestIdx := -1
+		var bestCfg *Config
+		for i := 0; i < n; i++ {
+			if reexec[i] {
+				continue
+			}
+			reexec[i] = true
+			cfg, err := EvalConfig(g, mp, reexec, in)
+			reexec[i] = false
+			if err != nil {
+				continue
+			}
+			if cfg.Energy < cur.Energy*(1-1e-9) && (bestCfg == nil || cfg.Energy < bestCfg.Energy) {
+				bestCfg = cfg
+				bestIdx = i
+			}
+		}
+		if bestIdx == -1 {
+			return cur, nil
+		}
+		reexec[bestIdx] = true
+		cur = bestCfg
+	}
+}
+
+// DAGParallelFirst is the fork-inspired heuristic for arbitrary mapped
+// DAGs: it ranks tasks by *slack* — how much a task's window could
+// stretch without violating the deadline in the all-single continuous
+// solution — and offers re-execution to the most parallelizable
+// (highest-slack) tasks first, keeping each move that lowers energy.
+// One pass, O(n) convex solves. On highly parallel DAGs (forks, wide
+// layers) this matches the polynomial fork strategy; on chains it
+// degenerates gracefully.
+func DAGParallelFirst(g *dag.Graph, mp *platform.Mapping, in Instance) (*Config, error) {
+	n := g.N()
+	reexec := make([]bool, n)
+	cur, err := EvalConfig(g, mp, reexec, in)
+	if err != nil {
+		return nil, err
+	}
+	cg, err := mp.ConstraintGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	slack, err := taskSlacks(cg, cur, in.Deadline, g)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Highest slack first; ties by heavier weight (more energy at
+	// stake).
+	for i := 1; i < n; i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if slack[b] > slack[a] || (slack[b] == slack[a] && g.Weight(b) > g.Weight(a)) {
+				order[j-1], order[j] = order[j], order[j-1]
+			} else {
+				break
+			}
+		}
+	}
+	for _, i := range order {
+		reexec[i] = true
+		cfg, err := EvalConfig(g, mp, reexec, in)
+		if err != nil || cfg.Energy >= cur.Energy*(1-1e-9) {
+			reexec[i] = false
+			continue
+		}
+		cur = cfg
+	}
+	return cur, nil
+}
+
+// taskSlacks returns D − (longest constraint-graph path through each
+// task) under the configuration's durations: the amount of extra time
+// the task could absorb alone.
+func taskSlacks(cg *dag.Graph, cfg *Config, deadline float64, g *dag.Graph) ([]float64, error) {
+	n := cg.N()
+	dur := make([]float64, n)
+	for i := 0; i < n; i++ {
+		mult := 1.0
+		if cfg.ReExec[i] {
+			mult = 2
+		}
+		dur[i] = mult * g.Weight(i) / cfg.Speeds[i]
+	}
+	top, _, err := cg.LongestPath(dur) // longest path ending at i, inclusive
+	if err != nil {
+		return nil, err
+	}
+	order, err := cg.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	// tail[i]: longest path starting right after i.
+	tail := make([]float64, n)
+	for k := len(order) - 1; k >= 0; k-- {
+		u := order[k]
+		best := 0.0
+		for _, v := range cg.Succs(u) {
+			if t := tail[v] + dur[v]; t > best {
+				best = t
+			}
+		}
+		tail[u] = best
+	}
+	slack := make([]float64, n)
+	for i := 0; i < n; i++ {
+		slack[i] = deadline - (top[i] + tail[i])
+	}
+	return slack, nil
+}
+
+// BestOf runs both heuristic families and returns the cheaper
+// configuration — the paper's "taking the best result out of those two
+// heuristics always gives the best result over all simulations".
+func BestOf(g *dag.Graph, mp *platform.Mapping, in Instance) (*Config, error) {
+	a, errA := DAGChainFirst(g, mp, in)
+	b, errB := DAGParallelFirst(g, mp, in)
+	switch {
+	case errA != nil && errB != nil:
+		return nil, errA
+	case errA != nil:
+		return b, nil
+	case errB != nil:
+		return a, nil
+	case a.Energy <= b.Energy:
+		return a, nil
+	default:
+		return b, nil
+	}
+}
+
+// BiCritLowerBound returns the energy of the bi-criteria relaxation
+// (reliability constraints dropped, single execution per task, speeds
+// free down to fmin) — a lower bound on any TRI-CRIT solution, used to
+// normalize heuristic comparisons.
+func BiCritLowerBound(g *dag.Graph, mp *platform.Mapping, in Instance) (float64, error) {
+	cg, err := mp.ConstraintGraph(g)
+	if err != nil {
+		return 0, err
+	}
+	n := g.N()
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	for i := range lo {
+		lo[i] = in.FMin
+		hi[i] = in.FMax
+	}
+	res, err := convex.MinimizeEnergy(cg, in.Deadline, g.Weights(), lo, hi, convex.Options{})
+	if err != nil {
+		if err == convex.ErrInfeasible {
+			return 0, ErrInfeasible
+		}
+		return 0, err
+	}
+	return res.Energy, nil
+}
+
+// Gap returns (energy − lower) / lower, guarding degenerate bounds.
+func Gap(energy, lower float64) float64 {
+	if lower <= 0 {
+		return math.Inf(1)
+	}
+	return energy/lower - 1
+}

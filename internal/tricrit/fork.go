@@ -1,0 +1,176 @@
+package tricrit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// taskConfig is the best single-task decision within a time window.
+type taskConfig struct {
+	speed    float64
+	reexec   bool
+	energy   float64
+	feasible bool
+}
+
+// bestTaskConfig returns the cheapest feasible way to run one task of
+// weight w inside a window of length T: a single execution at
+// max(w/T, loSingle) or a re-execution (both attempts) at
+// max(2w/T, loRe), whichever costs less, subject to fmax.
+func bestTaskConfig(w, T, loSingle, loRe, fmax float64) taskConfig {
+	out := taskConfig{}
+	if T <= 0 {
+		return out
+	}
+	// Single execution.
+	fs := math.Max(w/T, loSingle)
+	if fs <= fmax*(1+1e-12) {
+		out = taskConfig{speed: fs, reexec: false, energy: w * fs * fs, feasible: true}
+	}
+	// Re-execution.
+	fr := math.Max(2*w/T, loRe)
+	if fr <= fmax*(1+1e-12) {
+		e := 2 * w * fr * fr
+		if !out.feasible || e < out.energy {
+			out = taskConfig{speed: fr, reexec: true, energy: e, feasible: true}
+		}
+	}
+	return out
+}
+
+// SolveForkPoly is the polynomial-time TRI-CRIT algorithm for fork
+// graphs (Section III): a source T0 of weight w0 followed by n
+// independent branch tasks, each on its own processor.
+//
+// Key observation: once the source's window [0, t0] is fixed, the
+// branch decisions decouple — every branch independently picks its
+// cheapest configuration inside the remaining window D − t0. The total
+// energy E(t0) is piecewise smooth and convex between regime
+// breakpoints (points where some task's optimal speed hits its
+// reliability bound, fmax, or switches between single execution and
+// re-execution), so a golden-section search per segment finds the
+// global optimum in polynomial time. This is the "totally different
+// strategy" from chains: the algorithm naturally prefers spending the
+// window on the highly parallelizable branch tasks.
+func SolveForkPoly(w0 float64, branches []float64, in Instance) (*Config, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if len(branches) == 0 {
+		return nil, fmt.Errorf("tricrit: fork needs at least one branch")
+	}
+	weights := append([]float64{w0}, branches...)
+	loSingle, loRe, err := in.LowerBounds(weights)
+	if err != nil {
+		return nil, err
+	}
+	n := len(branches)
+	D := in.Deadline
+
+	// Feasibility interval for t0: the source must fit before, every
+	// branch after.
+	t0Min := w0 / in.FMax
+	maxBranch := 0.0
+	for _, w := range branches {
+		if w > maxBranch {
+			maxBranch = w
+		}
+	}
+	t0Max := D - maxBranch/in.FMax
+	if t0Min > t0Max*(1+1e-12) {
+		return nil, ErrInfeasible
+	}
+
+	total := func(t0 float64) float64 {
+		src := bestTaskConfig(w0, t0, loSingle[0], loRe[0], in.FMax)
+		if !src.feasible {
+			return math.Inf(1)
+		}
+		e := src.energy
+		T := D - t0
+		for i := 0; i < n; i++ {
+			bc := bestTaskConfig(branches[i], T, loSingle[i+1], loRe[i+1], in.FMax)
+			if !bc.feasible {
+				return math.Inf(1)
+			}
+			e += bc.energy
+		}
+		return e
+	}
+
+	// Regime breakpoints in t0.
+	bps := []float64{t0Min, t0Max}
+	addBP := func(t float64) {
+		if t > t0Min+1e-12 && t < t0Max-1e-12 {
+			bps = append(bps, t)
+		}
+	}
+	// Source regimes (window = t0).
+	addBP(w0 / loSingle[0])                  // single speed hits frel
+	addBP(2 * w0 / loRe[0])                  // re-exec speed hits f_inf
+	addBP(2 * w0 / in.FMax)                  // re-exec becomes feasible
+	addBP(2 * math.Sqrt2 * w0 / loSingle[0]) // single/re-exec crossing
+	// Branch regimes (window = D − t0).
+	for i := 0; i < n; i++ {
+		w := branches[i]
+		addBP(D - w/loSingle[i+1])
+		addBP(D - 2*w/loRe[i+1])
+		addBP(D - 2*w/in.FMax)
+		addBP(D - 2*math.Sqrt2*w/loSingle[i+1])
+	}
+	sort.Float64s(bps)
+
+	bestT0 := math.NaN()
+	bestE := math.Inf(1)
+	consider := func(t0, e float64) {
+		if e < bestE {
+			bestE = e
+			bestT0 = t0
+		}
+	}
+	for _, t := range bps {
+		consider(t, total(t))
+	}
+	const phi = 0.6180339887498949
+	for k := 0; k+1 < len(bps); k++ {
+		a, b := bps[k], bps[k+1]
+		if b-a < 1e-12 {
+			continue
+		}
+		x1 := b - phi*(b-a)
+		x2 := a + phi*(b-a)
+		f1, f2 := total(x1), total(x2)
+		for it := 0; it < 120 && b-a > 1e-12*D; it++ {
+			if f1 < f2 {
+				b, x2, f2 = x2, x1, f1
+				x1 = b - phi*(b-a)
+				f1 = total(x1)
+			} else {
+				a, x1, f1 = x1, x2, f2
+				x2 = a + phi*(b-a)
+				f2 = total(x2)
+			}
+		}
+		mid := 0.5 * (a + b)
+		consider(mid, total(mid))
+	}
+	if math.IsInf(bestE, 1) {
+		return nil, ErrInfeasible
+	}
+
+	// Materialize the winning configuration.
+	cfg := &Config{ReExec: make([]bool, n+1), Speeds: make([]float64, n+1)}
+	src := bestTaskConfig(w0, bestT0, loSingle[0], loRe[0], in.FMax)
+	cfg.ReExec[0] = src.reexec
+	cfg.Speeds[0] = src.speed
+	cfg.Energy = src.energy
+	T := D - bestT0
+	for i := 0; i < n; i++ {
+		bc := bestTaskConfig(branches[i], T, loSingle[i+1], loRe[i+1], in.FMax)
+		cfg.ReExec[i+1] = bc.reexec
+		cfg.Speeds[i+1] = bc.speed
+		cfg.Energy += bc.energy
+	}
+	return cfg, nil
+}

@@ -1,0 +1,179 @@
+package tricrit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"energysched/internal/dag"
+	"energysched/internal/platform"
+)
+
+// Water-filling optimality, checked adversarially: no random feasible
+// perturbation of the per-task speeds may beat the water-fill energy
+// for the same re-execution set.
+func TestWaterfillLocalOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(5) + 2
+		weights := make([]float64, n)
+		reexec := make([]bool, n)
+		lo := make([]float64, n)
+		for i := range weights {
+			weights[i] = rng.Float64()*3 + 0.3
+			reexec[i] = rng.Intn(2) == 0
+			lo[i] = 0.2 + rng.Float64()*0.4
+		}
+		fmax := 1.0
+		// Deadline with some slack so the instance is feasible.
+		need := 0.0
+		for i := range weights {
+			c := 1.0
+			if reexec[i] {
+				c = 2
+			}
+			need += c * weights[i] / fmax
+		}
+		deadline := need * (1.2 + rng.Float64()*2)
+		cfg, err := waterfill(weights, reexec, lo, fmax, deadline)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Try 30 random feasible perturbations.
+		for p := 0; p < 30; p++ {
+			speeds := make([]float64, n)
+			time := 0.0
+			energy := 0.0
+			ok := true
+			for i := range speeds {
+				f := cfg.Speeds[i] * (0.7 + rng.Float64()*0.8)
+				if f < lo[i] {
+					f = lo[i]
+				}
+				if f > fmax {
+					f = fmax
+				}
+				speeds[i] = f
+				c := 1.0
+				if reexec[i] {
+					c = 2
+				}
+				time += c * weights[i] / f
+				energy += c * weights[i] * f * f
+			}
+			if time > deadline {
+				ok = false // infeasible perturbation, skip
+			}
+			if ok && energy < cfg.Energy*(1-1e-9) {
+				t.Fatalf("trial %d: perturbation beats water-fill: %v < %v", trial, energy, cfg.Energy)
+			}
+		}
+	}
+}
+
+// Exact chain solutions must dominate every heuristic and every fixed
+// subset's water-fill.
+func TestChainExactDominatesRandomSubsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	in := testInstance(0)
+	for trial := 0; trial < 15; trial++ {
+		n := rng.Intn(5) + 2
+		ws := make([]float64, n)
+		sum := 0.0
+		for i := range ws {
+			ws[i] = rng.Float64()*2 + 0.3
+			sum += ws[i]
+		}
+		in.Deadline = sum * (1.5 + rng.Float64()*6)
+		exact, err := SolveChainExact(ws, in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		loS, loR, _ := in.LowerBounds(ws)
+		for p := 0; p < 10; p++ {
+			reexec := make([]bool, n)
+			lo := make([]float64, n)
+			for i := range reexec {
+				reexec[i] = rng.Intn(2) == 0
+				if reexec[i] {
+					lo[i] = loR[i]
+				} else {
+					lo[i] = loS[i]
+				}
+			}
+			cfg, err := waterfill(ws, reexec, lo, in.FMax, in.Deadline)
+			if err != nil {
+				continue
+			}
+			if cfg.Energy < exact.Energy*(1-1e-9) {
+				t.Fatalf("trial %d: subset %v beats exact: %v < %v", trial, reexec, cfg.Energy, exact.Energy)
+			}
+		}
+	}
+}
+
+// The fork algorithm's energy must be monotone non-increasing in the
+// deadline.
+func TestForkPolyMonotoneInDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	w0 := 1.0
+	br := []float64{2, 1.3, 0.7, 1.8}
+	in := testInstance(0)
+	prev := math.Inf(1)
+	base := 4.0
+	for k := 0; k < 8; k++ {
+		in.Deadline = base * math.Pow(1.6, float64(k))
+		cfg, err := SolveForkPoly(w0, br, in)
+		if err != nil {
+			t.Fatalf("D=%v: %v", in.Deadline, err)
+		}
+		if cfg.Energy > prev*(1+1e-9) {
+			t.Fatalf("energy increased with deadline at D=%v: %v → %v", in.Deadline, prev, cfg.Energy)
+		}
+		prev = cfg.Energy
+	}
+	_ = rng
+}
+
+// EvalConfig energies must be monotone in the re-execution set only in
+// the weak sense (adding a re-execution can help or hurt) but the
+// all-single configuration must never beat the BI-CRIT bound from
+// below.
+func TestEvalConfigAboveBiCritBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 8; trial++ {
+		n := rng.Intn(4) + 2
+		ws := make([]float64, n)
+		sum := 0.0
+		for i := range ws {
+			ws[i] = rng.Float64()*2 + 0.3
+			sum += ws[i]
+		}
+		in := testInstance(sum * (2 + rng.Float64()*4))
+		g := chainGraph(ws)
+		mp := singleProc(t, g)
+		cfg, err := EvalConfig(g, mp, make([]bool, n), in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		lb, err := BiCritLowerBound(g, mp, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Energy < lb*(1-1e-6) {
+			t.Fatalf("trial %d: config energy %v below bi-crit bound %v", trial, cfg.Energy, lb)
+		}
+	}
+}
+
+// Helpers shared by property tests.
+func chainGraph(ws []float64) *dag.Graph { return dag.ChainGraph(ws...) }
+
+func singleProc(t *testing.T, g *dag.Graph) *platform.Mapping {
+	t.Helper()
+	mp, err := platform.SingleProcessor(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mp
+}

@@ -1,0 +1,239 @@
+package tricrit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Replication — the paper's Section V direction: "search for the best
+// trade-offs that can be achieved between these techniques [replication
+// and re-execution] that both increase reliability, but whose impact on
+// execution time and energy consumption is very different."
+//
+// For a task of weight w at speed f with threshold frel:
+//
+//	             time   energy   reliability constraint
+//	single       w/f    w·f²     f ≥ frel
+//	re-execute   2w/f   2w·f²    f ≥ f_inf(2)   (sequential)
+//	replicate    w/f    2w·f²    f ≥ f_inf(2)   (needs a 2nd processor)
+//
+// Replication and re-execution share the reliability bound f_inf(2)
+// (both succeed unless two independent executions fail) and the energy
+// formula, but replication pays in processors instead of time — so with
+// a spare processor it dominates re-execution at tight deadlines and
+// ties it at loose ones. SolveForkTechniques makes that trade-off
+// measurable.
+
+// Technique enumerates the redundancy mechanisms.
+type Technique int
+
+const (
+	// TechSingle is one execution at f ≥ frel.
+	TechSingle Technique = iota
+	// TechReExec is two sequential executions on the task's processor.
+	TechReExec
+	// TechReplicate is two simultaneous executions on two processors.
+	TechReplicate
+)
+
+func (t Technique) String() string {
+	switch t {
+	case TechSingle:
+		return "single"
+	case TechReExec:
+		return "re-execute"
+	case TechReplicate:
+		return "replicate"
+	default:
+		return fmt.Sprintf("Technique(%d)", int(t))
+	}
+}
+
+// TechniqueChoice is the per-task outcome of SolveForkTechniques.
+type TechniqueChoice struct {
+	Technique Technique
+	Speed     float64
+	Energy    float64
+	// Duration is the wall-clock occupancy on the task's primary
+	// processor (2w/f for re-execution, w/f otherwise).
+	Duration float64
+	// ExtraProcs is 1 for replication, else 0.
+	ExtraProcs int
+}
+
+// TechniqueResult is a full fork solution with techniques.
+type TechniqueResult struct {
+	Choices []TechniqueChoice // index 0 = source, then branches
+	Energy  float64
+	// ProcessorTime is Σ (per-processor busy time) including replicas —
+	// the resource price of replication.
+	ProcessorTime float64
+}
+
+// bestTechniqueConfig picks the cheapest feasible way to run one task
+// of weight w in a window of length T, over the allowed techniques.
+func bestTechniqueConfig(w, T, loSingle, loRe, fmax float64, allowRe, allowRep bool) (TechniqueChoice, bool) {
+	best := TechniqueChoice{}
+	found := false
+	consider := func(c TechniqueChoice) {
+		if !found || c.Energy < best.Energy {
+			best = c
+			found = true
+		}
+	}
+	// Single execution.
+	if fs := math.Max(w/T, loSingle); fs <= fmax*(1+1e-12) {
+		consider(TechniqueChoice{Technique: TechSingle, Speed: fs, Energy: w * fs * fs, Duration: w / fs})
+	}
+	// Sequential re-execution: both attempts in the window.
+	if allowRe {
+		if fr := math.Max(2*w/T, loRe); fr <= fmax*(1+1e-12) {
+			consider(TechniqueChoice{Technique: TechReExec, Speed: fr, Energy: 2 * w * fr * fr, Duration: 2 * w / fr})
+		}
+	}
+	// Replication: one execution time, two processors, same
+	// reliability bound as re-execution.
+	if allowRep {
+		if fp := math.Max(w/T, loRe); fp <= fmax*(1+1e-12) {
+			consider(TechniqueChoice{Technique: TechReplicate, Speed: fp, Energy: 2 * w * fp * fp, Duration: w / fp, ExtraProcs: 1})
+		}
+	}
+	return best, found
+}
+
+// SolveForkTechniques extends the polynomial fork algorithm with
+// replication: every task (source and branches) may run once, be
+// re-executed sequentially, or be replicated on a spare processor.
+// Same window-decomposition structure as SolveForkPoly; replication
+// adds breakpoints but keeps the per-segment convexity.
+func SolveForkTechniques(w0 float64, branches []float64, in Instance, allowRe, allowRep bool) (*TechniqueResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if len(branches) == 0 {
+		return nil, fmt.Errorf("tricrit: fork needs at least one branch")
+	}
+	weights := append([]float64{w0}, branches...)
+	loSingle, loRe, err := in.LowerBounds(weights)
+	if err != nil {
+		return nil, err
+	}
+	n := len(branches)
+	D := in.Deadline
+
+	t0Min := w0 / in.FMax
+	maxBranch := 0.0
+	for _, w := range branches {
+		if w > maxBranch {
+			maxBranch = w
+		}
+	}
+	t0Max := D - maxBranch/in.FMax
+	if t0Min > t0Max*(1+1e-12) {
+		return nil, ErrInfeasible
+	}
+
+	total := func(t0 float64) float64 {
+		src, ok := bestTechniqueConfig(w0, t0, loSingle[0], loRe[0], in.FMax, allowRe, allowRep)
+		if !ok {
+			return math.Inf(1)
+		}
+		e := src.Energy
+		T := D - t0
+		for i := 0; i < n; i++ {
+			bc, ok := bestTechniqueConfig(branches[i], T, loSingle[i+1], loRe[i+1], in.FMax, allowRe, allowRep)
+			if !ok {
+				return math.Inf(1)
+			}
+			e += bc.Energy
+		}
+		return e
+	}
+
+	bps := []float64{t0Min, t0Max}
+	addBP := func(t float64) {
+		if t > t0Min+1e-12 && t < t0Max-1e-12 {
+			bps = append(bps, t)
+		}
+	}
+	addTaskBPs := func(w, loS, loR float64, toT0 func(T float64) float64) {
+		addBP(toT0(w / loS))                  // single hits frel
+		addBP(toT0(2 * w / loR))              // re-exec hits f_inf
+		addBP(toT0(w / loR))                  // replication hits f_inf
+		addBP(toT0(2 * w / in.FMax))          // re-exec feasible
+		addBP(toT0(2 * math.Sqrt2 * w / loS)) // single/re-exec crossing
+		// single/replication crossing: w·a² = 2w(w/T)² → T = √2·w/a.
+		addBP(toT0(math.Sqrt2 * w / loS))
+	}
+	addTaskBPs(w0, loSingle[0], loRe[0], func(T float64) float64 { return T })
+	for i := 0; i < n; i++ {
+		addTaskBPs(branches[i], loSingle[i+1], loRe[i+1], func(T float64) float64 { return D - T })
+	}
+	sort.Float64s(bps)
+
+	bestT0 := math.NaN()
+	bestE := math.Inf(1)
+	consider := func(t0, e float64) {
+		if e < bestE {
+			bestE = e
+			bestT0 = t0
+		}
+	}
+	for _, t := range bps {
+		consider(t, total(t))
+	}
+	const phi = 0.6180339887498949
+	for k := 0; k+1 < len(bps); k++ {
+		a, b := bps[k], bps[k+1]
+		if b-a < 1e-12 {
+			continue
+		}
+		x1 := b - phi*(b-a)
+		x2 := a + phi*(b-a)
+		f1, f2 := total(x1), total(x2)
+		for it := 0; it < 120 && b-a > 1e-12*D; it++ {
+			if f1 < f2 {
+				b, x2, f2 = x2, x1, f1
+				x1 = b - phi*(b-a)
+				f1 = total(x1)
+			} else {
+				a, x1, f1 = x1, x2, f2
+				x2 = a + phi*(b-a)
+				f2 = total(x2)
+			}
+		}
+		mid := 0.5 * (a + b)
+		consider(mid, total(mid))
+	}
+	if math.IsInf(bestE, 1) {
+		return nil, ErrInfeasible
+	}
+
+	res := &TechniqueResult{Choices: make([]TechniqueChoice, n+1)}
+	src, _ := bestTechniqueConfig(w0, bestT0, loSingle[0], loRe[0], in.FMax, allowRe, allowRep)
+	res.Choices[0] = src
+	T := D - bestT0
+	for i := 0; i < n; i++ {
+		bc, _ := bestTechniqueConfig(branches[i], T, loSingle[i+1], loRe[i+1], in.FMax, allowRe, allowRep)
+		res.Choices[i+1] = bc
+	}
+	for _, c := range res.Choices {
+		res.Energy += c.Energy
+		busy := c.Duration
+		if c.Technique == TechReplicate {
+			busy *= 2 // two processors busy for the (single-length) execution
+		}
+		res.ProcessorTime += busy
+	}
+	return res, nil
+}
+
+// CountTechniques tallies the chosen techniques.
+func (r *TechniqueResult) CountTechniques() map[Technique]int {
+	out := make(map[Technique]int)
+	for _, c := range r.Choices {
+		out[c.Technique]++
+	}
+	return out
+}

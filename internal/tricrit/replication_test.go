@@ -1,0 +1,133 @@
+package tricrit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTechniqueString(t *testing.T) {
+	if TechSingle.String() != "single" || TechReExec.String() != "re-execute" || TechReplicate.String() != "replicate" {
+		t.Error("technique names wrong")
+	}
+}
+
+func TestReplicationDominatesReExecutionAtTightDeadlines(t *testing.T) {
+	// With a tight deadline there is no room for the second sequential
+	// execution, but replication still fits: allowing replication must
+	// reduce energy (it avoids the fast single execution at frel).
+	in := testInstance(0) // deadline filled below
+	w0, br := 1.0, []float64{2, 2, 2}
+	in.Deadline = 7.5 // Σw = 7, barely above Σw/fmax on the critical path
+	reOnly, err := SolveForkTechniques(w0, br, in, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := SolveForkTechniques(w0, br, in, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.Energy > reOnly.Energy+1e-9 {
+		t.Errorf("allowing replication increased energy: %v vs %v", both.Energy, reOnly.Energy)
+	}
+	counts := both.CountTechniques()
+	if counts[TechReplicate] == 0 {
+		t.Errorf("replication never chosen at tight deadline: %v", counts)
+	}
+}
+
+func TestReplicationTiesReExecutionAtLooseDeadlines(t *testing.T) {
+	// At a loose deadline both techniques can slow to f_inf, so their
+	// energies coincide; replication just spends processor-time instead
+	// of wall-clock time.
+	in := testInstance(60)
+	w0, br := 1.0, []float64{2, 2}
+	reOnly, err := SolveForkTechniques(w0, br, in, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repOnly, err := SolveForkTechniques(w0, br, in, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff := math.Abs(reOnly.Energy-repOnly.Energy) / reOnly.Energy; relDiff > 1e-6 {
+		t.Errorf("loose-deadline energies differ: %v vs %v", reOnly.Energy, repOnly.Energy)
+	}
+}
+
+func TestTechniquesNeverWorseThanPolyFork(t *testing.T) {
+	// With replication disabled, SolveForkTechniques must reproduce
+	// SolveForkPoly exactly.
+	in := testInstance(20)
+	w0, br := 1.5, []float64{2, 1, 0.8, 2.5}
+	poly, err := SolveForkPoly(w0, br, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech, err := SolveForkTechniques(w0, br, in, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := math.Abs(poly.Energy-tech.Energy) / poly.Energy; re > 1e-9 {
+		t.Errorf("techniques(re-only) %v ≠ poly %v", tech.Energy, poly.Energy)
+	}
+	// Allowing replication can only help.
+	both, err := SolveForkTechniques(w0, br, in, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.Energy > poly.Energy*(1+1e-9) {
+		t.Errorf("adding replication hurt: %v vs %v", both.Energy, poly.Energy)
+	}
+}
+
+func TestReplicationChargesProcessorTime(t *testing.T) {
+	in := testInstance(40)
+	w0, br := 1.0, []float64{3}
+	repOnly, err := SolveForkTechniques(w0, br, in, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Processor time must count both replicas.
+	var manual float64
+	for _, c := range repOnly.Choices {
+		busy := c.Duration
+		if c.Technique == TechReplicate {
+			busy *= 2
+		}
+		manual += busy
+	}
+	if math.Abs(manual-repOnly.ProcessorTime) > 1e-9 {
+		t.Errorf("processor time %v ≠ manual %v", repOnly.ProcessorTime, manual)
+	}
+}
+
+func TestSolveForkTechniquesInfeasible(t *testing.T) {
+	if _, err := SolveForkTechniques(10, []float64{1}, testInstance(5), true, true); err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveForkTechniquesValidation(t *testing.T) {
+	if _, err := SolveForkTechniques(1, nil, testInstance(5), true, true); err == nil {
+		t.Error("empty branches accepted")
+	}
+}
+
+func TestSingleOnlyMatchesNoRedundancy(t *testing.T) {
+	// With both techniques disabled the result must price every task at
+	// max(w/T, frel).
+	in := testInstance(100)
+	w0, br := 1.0, []float64{2}
+	res, err := SolveForkTechniques(w0, br, in, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range res.Choices {
+		if c.Technique != TechSingle {
+			t.Errorf("choice %d = %v, want single", i, c.Technique)
+		}
+		if c.Speed < in.FRel-1e-9 {
+			t.Errorf("choice %d speed %v below frel", i, c.Speed)
+		}
+	}
+}

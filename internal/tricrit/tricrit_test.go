@@ -1,0 +1,437 @@
+package tricrit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"energysched/internal/dag"
+	"energysched/internal/model"
+	"energysched/internal/platform"
+	"energysched/internal/schedule"
+)
+
+// testInstance returns parameters under which re-execution is
+// genuinely attractive (f_inf well below frel).
+func testInstance(deadline float64) Instance {
+	return Instance{
+		Deadline: deadline,
+		FMin:     0.1,
+		FMax:     1.0,
+		FRel:     0.8,
+		Rel:      model.Reliability{Lambda0: 1e-5, Sensitivity: 3, FMin: 0.1, FMax: 1.0},
+	}
+}
+
+func TestInstanceValidate(t *testing.T) {
+	if err := testInstance(5).Validate(); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+	bad := testInstance(5)
+	bad.FRel = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("frel > fmax accepted")
+	}
+	bad2 := testInstance(-1)
+	if err := bad2.Validate(); err == nil {
+		t.Error("negative deadline accepted")
+	}
+	bad3 := testInstance(5)
+	bad3.FMin = 2
+	if err := bad3.Validate(); err == nil {
+		t.Error("fmin > fmax accepted")
+	}
+}
+
+func TestLowerBounds(t *testing.T) {
+	in := testInstance(5)
+	single, re, err := in.LowerBounds([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range single {
+		if single[i] != 0.8 {
+			t.Errorf("single[%d] = %v, want frel", i, single[i])
+		}
+		if re[i] >= single[i] {
+			t.Errorf("reexec bound %v not below frel — re-execution would never pay", re[i])
+		}
+		if re[i] < in.FMin {
+			t.Errorf("reexec bound %v below fmin", re[i])
+		}
+	}
+	if _, _, err := in.LowerBounds([]float64{-1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestWaterfillUniformWhenUnclamped(t *testing.T) {
+	// No re-executions, bounds low: tight deadline forces water level
+	// above frel → uniform speed Σw/D, the BI-CRIT chain optimum.
+	weights := []float64{1, 2, 3}
+	lo := []float64{0.8, 0.8, 0.8}
+	cfg, err := waterfill(weights, make([]bool, 3), lo, 10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range cfg.Speeds {
+		if math.Abs(f-1.0) > 1e-9 {
+			t.Errorf("speed[%d] = %v, want uniform 1.0", i, f)
+		}
+	}
+	if math.Abs(cfg.Energy-6) > 1e-6 {
+		t.Errorf("energy = %v, want 6", cfg.Energy)
+	}
+}
+
+func TestWaterfillClampsAtLowerBounds(t *testing.T) {
+	// Loose deadline: every task sits at its lower bound.
+	weights := []float64{1, 1}
+	lo := []float64{0.8, 0.5}
+	cfg, err := waterfill(weights, make([]bool, 2), lo, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Speeds[0] != 0.8 || cfg.Speeds[1] != 0.5 {
+		t.Errorf("speeds = %v, want lower bounds", cfg.Speeds)
+	}
+}
+
+func TestWaterfillInfeasible(t *testing.T) {
+	weights := []float64{10}
+	if _, err := waterfill(weights, []bool{false}, []float64{0.5}, 1, 5); err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestWaterfillReExecutionAccounting(t *testing.T) {
+	// One re-executed task: time 2w/f, energy 2w·f².
+	weights := []float64{2}
+	cfg, err := waterfill(weights, []bool{true}, []float64{0.4}, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.ReExec[0] {
+		t.Fatal("reexec flag lost")
+	}
+	// 2·2/f ≤ 10 → f ≥ 0.4 = bound; energy = 2·2·0.16 = 0.64.
+	if math.Abs(cfg.Speeds[0]-0.4) > 1e-9 || math.Abs(cfg.Energy-0.64) > 1e-9 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+}
+
+func TestSolveChainExactUsesReExecutionWhenLoose(t *testing.T) {
+	weights := []float64{1, 1, 1}
+	in := testInstance(60) // very loose: re-execution at low speed wins
+	cfg, err := SolveChainExact(weights, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumReExec() == 0 {
+		t.Error("no re-execution chosen despite loose deadline")
+	}
+	// Energy must beat the best single-execution-only configuration
+	// (all tasks at frel).
+	allSingle := 3 * model.Energy(1, 0.8)
+	if cfg.Energy >= allSingle {
+		t.Errorf("energy %v not below all-single %v", cfg.Energy, allSingle)
+	}
+}
+
+func TestSolveChainExactTightDeadlineNoReExec(t *testing.T) {
+	weights := []float64{1, 1, 1}
+	in := testInstance(3.2) // barely above Σw/fmax = 3: no room to re-execute
+	cfg, err := SolveChainExact(weights, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumReExec() != 0 {
+		t.Errorf("re-execution chosen under tight deadline: %+v", cfg)
+	}
+}
+
+func TestSolveChainExactInfeasible(t *testing.T) {
+	if _, err := SolveChainExact([]float64{5, 5}, testInstance(2)); err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveChainExactCap(t *testing.T) {
+	ws := make([]float64, MaxExactChainTasks+1)
+	for i := range ws {
+		ws[i] = 1
+	}
+	if _, err := SolveChainExact(ws, testInstance(1000)); err == nil {
+		t.Error("oversize enumeration accepted")
+	}
+}
+
+func TestChainExactScheduleValidates(t *testing.T) {
+	weights := []float64{1, 2, 1.5}
+	in := testInstance(30)
+	cfg, err := SolveChainExact(weights, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dag.ChainGraph(weights...)
+	mp, _ := platform.SingleProcessor(g)
+	s, err := cfg.Schedule(g, mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, _ := model.NewContinuous(in.FMin, in.FMax)
+	err = s.Validate(schedule.Constraints{Model: cm, Deadline: in.Deadline, Rel: &in.Rel, FRel: in.FRel})
+	if err != nil {
+		t.Errorf("schedule invalid: %v", err)
+	}
+	if math.Abs(s.Energy()-cfg.Energy)/cfg.Energy > 1e-6 {
+		t.Errorf("schedule energy %v ≠ config %v", s.Energy(), cfg.Energy)
+	}
+}
+
+func TestChainFirstNearOptimalOnChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		n := rng.Intn(6) + 3
+		ws := make([]float64, n)
+		sum := 0.0
+		for i := range ws {
+			ws[i] = rng.Float64()*2 + 0.3
+			sum += ws[i]
+		}
+		in := testInstance(sum * (2 + rng.Float64()*10))
+		exact, err := SolveChainExact(ws, in)
+		if err != nil {
+			t.Fatalf("trial %d exact: %v", trial, err)
+		}
+		heur, err := ChainFirst(ws, in)
+		if err != nil {
+			t.Fatalf("trial %d heuristic: %v", trial, err)
+		}
+		if heur.Energy < exact.Energy*(1-1e-9) {
+			t.Fatalf("trial %d: heuristic %v beats exact %v", trial, heur.Energy, exact.Energy)
+		}
+		if gap := Gap(heur.Energy, exact.Energy); gap > 0.05 {
+			t.Errorf("trial %d: ChainFirst gap %.3f on a chain (E=%v vs %v)", trial, gap, heur.Energy, exact.Energy)
+		}
+	}
+}
+
+func TestChainEnergyLowerBound(t *testing.T) {
+	ws := []float64{1, 2}
+	in := testInstance(10)
+	lb := ChainEnergyLowerBound(ws, in)
+	exact, err := SolveChainExact(ws, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Energy < lb-1e-9 {
+		t.Errorf("exact %v below lower bound %v", exact.Energy, lb)
+	}
+}
+
+func TestForkPolyMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 6; trial++ {
+		w0 := rng.Float64()*1.5 + 0.3
+		nb := rng.Intn(3) + 2
+		br := make([]float64, nb)
+		for i := range br {
+			br[i] = rng.Float64()*1.5 + 0.3
+		}
+		in := testInstance((w0 + 2) * (3 + rng.Float64()*6))
+		poly, err := SolveForkPoly(w0, br, in)
+		if err != nil {
+			t.Fatalf("trial %d poly: %v", trial, err)
+		}
+		g := dag.ForkGraph(w0, br...)
+		mp := platform.OneTaskPerProcessor(g)
+		exact, err := SolveDAGExact(g, mp, in)
+		if err != nil {
+			t.Fatalf("trial %d exact: %v", trial, err)
+		}
+		rel := math.Abs(poly.Energy-exact.Energy) / exact.Energy
+		if rel > 5e-3 {
+			t.Errorf("trial %d: poly %v vs exact %v (rel %v)", trial, poly.Energy, exact.Energy, rel)
+		}
+	}
+}
+
+func TestForkPolyPrefersBranchReExecution(t *testing.T) {
+	// Loose deadline, heavy source: the branches (highly parallelizable
+	// tasks) get re-executed, exactly the Section III strategy.
+	in := testInstance(30)
+	cfg, err := SolveForkPoly(2, []float64{1, 1, 1, 1}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	branchRe := 0
+	for i := 1; i < len(cfg.ReExec); i++ {
+		if cfg.ReExec[i] {
+			branchRe++
+		}
+	}
+	if branchRe == 0 {
+		t.Errorf("no branch re-executed: %+v", cfg)
+	}
+}
+
+func TestForkPolyInfeasible(t *testing.T) {
+	if _, err := SolveForkPoly(10, []float64{1}, testInstance(5)); err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestForkPolyValidation(t *testing.T) {
+	if _, err := SolveForkPoly(1, nil, testInstance(5)); err == nil {
+		t.Error("empty branches accepted")
+	}
+}
+
+func TestForkPolyScheduleValidates(t *testing.T) {
+	in := testInstance(20)
+	w0, br := 1.0, []float64{2, 1.5, 0.8}
+	cfg, err := SolveForkPoly(w0, br, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dag.ForkGraph(w0, br...)
+	mp := platform.OneTaskPerProcessor(g)
+	s, err := cfg.Schedule(g, mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, _ := model.NewContinuous(in.FMin, in.FMax)
+	err = s.Validate(schedule.Constraints{Model: cm, Deadline: in.Deadline, Rel: &in.Rel, FRel: in.FRel})
+	if err != nil {
+		t.Errorf("schedule invalid: %v", err)
+	}
+}
+
+func TestEvalConfigMatchesWaterfillOnChain(t *testing.T) {
+	weights := []float64{1, 2, 1.2}
+	in := testInstance(15)
+	g := dag.ChainGraph(weights...)
+	mp, _ := platform.SingleProcessor(g)
+	reexec := []bool{true, false, true}
+	cfg, err := EvalConfig(g, mp, reexec, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loS, loR, _ := in.LowerBounds(weights)
+	lo := []float64{loR[0], loS[1], loR[2]}
+	wf, err := waterfill(weights, reexec, lo, in.FMax, in.Deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(cfg.Energy-wf.Energy) / wf.Energy; rel > 1e-3 {
+		t.Errorf("convex %v vs waterfill %v (rel %v)", cfg.Energy, wf.Energy, rel)
+	}
+}
+
+func TestDAGHeuristicsAboveLowerBoundAndValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	cm, _ := model.NewContinuous(0.1, 1.0)
+	for trial := 0; trial < 4; trial++ {
+		g := randomLayeredDAG(rng, 6, 2)
+		mp, _ := platform.SingleProcessor(g)
+		in := testInstance(g.TotalWeight() * (3 + rng.Float64()*5))
+		for name, h := range map[string]func(*dag.Graph, *platform.Mapping, Instance) (*Config, error){
+			"ChainFirst": DAGChainFirst, "ParallelFirst": DAGParallelFirst, "BestOf": BestOf,
+		} {
+			cfg, err := h(g, mp, in)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
+			lb, err := BiCritLowerBound(g, mp, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cfg.Energy < lb*(1-1e-6) {
+				t.Errorf("trial %d %s: energy %v below bi-crit bound %v", trial, name, cfg.Energy, lb)
+			}
+			s, err := cfg.Schedule(g, mp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = s.Validate(schedule.Constraints{Model: cm, Deadline: in.Deadline, Rel: &in.Rel, FRel: in.FRel})
+			if err != nil {
+				t.Errorf("trial %d %s: schedule invalid: %v", trial, name, err)
+			}
+		}
+	}
+}
+
+func TestBestOfNeverWorseThanEither(t *testing.T) {
+	g := dag.ForkGraph(1, 1, 1, 1)
+	mp := platform.OneTaskPerProcessor(g)
+	in := testInstance(25)
+	a, err := DAGChainFirst(g, mp, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DAGParallelFirst(g, mp, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := BestOf(g, mp, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Energy > math.Min(a.Energy, b.Energy)+1e-9 {
+		t.Errorf("BestOf %v worse than min(%v, %v)", best.Energy, a.Energy, b.Energy)
+	}
+}
+
+func TestSolveDAGExactCap(t *testing.T) {
+	g := dag.IndependentGraph(make([]float64, MaxExactDAGTasks+1)...)
+	// IndependentGraph rejects zero weights at Validate time inside
+	// EvalConfig, but the cap must fire first.
+	mp, _ := platform.SingleProcessor(g)
+	if _, err := SolveDAGExact(g, mp, testInstance(10)); err == nil {
+		t.Error("oversize enumeration accepted")
+	}
+}
+
+func TestEnergyMonotoneInDeadline(t *testing.T) {
+	weights := []float64{1, 1.5, 0.7}
+	prev := math.Inf(1)
+	for _, d := range []float64{4, 6, 10, 20, 40} {
+		cfg, err := SolveChainExact(weights, testInstance(d))
+		if err != nil {
+			t.Fatalf("D=%v: %v", d, err)
+		}
+		if cfg.Energy > prev*(1+1e-9) {
+			t.Errorf("energy increased with deadline: %v → %v at D=%v", prev, cfg.Energy, d)
+		}
+		prev = cfg.Energy
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	c := &Config{ReExec: []bool{true, false}, Speeds: []float64{0.5, 0.9}}
+	rs := c.ReExecSpeeds()
+	if rs[0] != 0.5 || rs[1] != 0 {
+		t.Errorf("ReExecSpeeds = %v", rs)
+	}
+	if c.NumReExec() != 1 {
+		t.Errorf("NumReExec = %d", c.NumReExec())
+	}
+}
+
+func randomLayeredDAG(rng *rand.Rand, n, layers int) *dag.Graph {
+	g := dag.New()
+	layer := make([]int, n)
+	for i := 0; i < n; i++ {
+		g.AddTask("t", rng.Float64()*2+0.3)
+		layer[i] = rng.Intn(layers)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if layer[i] < layer[j] && rng.Float64() < 0.4 {
+				g.MustEdge(i, j)
+			}
+		}
+	}
+	return g
+}

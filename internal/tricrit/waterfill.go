@@ -1,0 +1,179 @@
+// Package tricrit implements the TRI-CRIT problem of the paper:
+// minimize energy subject to a deadline bound D and per-task
+// reliability constraints Ri ≥ Ri(frel), deciding which tasks to
+// re-execute and at which speeds (Definitions 1–2, Sections III–IV).
+//
+// Structure of the implementation, mirroring the paper's results:
+//
+//   - waterfill.go: the KKT water-filling core — for a *fixed*
+//     re-execution set on a single-processor chain, the optimal speeds
+//     are a single water level clamped to per-task lower bounds
+//     (f_rel for single execution, f_inf(i) for re-execution);
+//   - chain.go: exact chain solver (subset enumeration, NP-hard in
+//     general — Section III) and the ChainFirst heuristic ("first slow
+//     the execution of all tasks equally, then choose the tasks to be
+//     re-executed");
+//   - fork.go: the polynomial-time fork algorithm (decomposition over
+//     the source window; "highly parallelizable tasks should be
+//     preferred when allocating time slots for re-execution or
+//     deceleration");
+//   - dag.go: general-DAG machinery — configuration evaluation through
+//     the convex solver, exact subset enumeration for small DAGs, the
+//     ChainFirst/ParallelFirst heuristic pair and their BestOf
+//     combination (Section III: "two heuristics that are
+//     complementary").
+package tricrit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"energysched/internal/model"
+)
+
+// Instance groups the TRI-CRIT parameters shared by all solvers.
+type Instance struct {
+	// Deadline is the makespan bound D.
+	Deadline float64
+	// FMin, FMax bound admissible speeds.
+	FMin, FMax float64
+	// FRel is the reliability threshold speed: a single execution must
+	// run at least this fast.
+	FRel float64
+	// Rel is the fault-rate model (Eq. 1).
+	Rel model.Reliability
+}
+
+// Validate checks parameter sanity.
+func (in Instance) Validate() error {
+	if err := model.CheckDeadline(in.Deadline); err != nil {
+		return err
+	}
+	if in.FMin < 0 || in.FMax <= 0 || in.FMin > in.FMax {
+		return fmt.Errorf("tricrit: invalid speed range [%v,%v]", in.FMin, in.FMax)
+	}
+	if in.FRel <= 0 || in.FRel > in.FMax*(1+1e-12) {
+		return fmt.Errorf("tricrit: frel %v outside (0, fmax]", in.FRel)
+	}
+	return in.Rel.Validate()
+}
+
+// LowerBounds returns, for every task weight, the minimal admissible
+// per-execution speed in the two modes: single execution (= frel) and
+// re-execution (= f_inf(i) from Eq. 1, the speed at which two
+// executions exactly reach the threshold). Both are clamped to FMin.
+func (in Instance) LowerBounds(weights []float64) (single, reexec []float64, err error) {
+	single = make([]float64, len(weights))
+	reexec = make([]float64, len(weights))
+	for i, w := range weights {
+		if err := model.CheckWeight(w); err != nil {
+			return nil, nil, fmt.Errorf("tricrit: task %d: %w", i, err)
+		}
+		single[i] = math.Max(in.FRel, in.FMin)
+		finf, err := in.Rel.MinReExecSpeed(w, in.FRel)
+		if err != nil {
+			return nil, nil, fmt.Errorf("tricrit: task %d: %w", i, err)
+		}
+		reexec[i] = math.Max(finf, in.FMin)
+	}
+	return single, reexec, nil
+}
+
+// Config is a complete TRI-CRIT decision: which tasks are re-executed
+// and the per-execution speed of every task (both executions of a
+// re-executed task run at the same speed, which the paper shows is
+// optimal on chains and which all our solvers adopt).
+type Config struct {
+	ReExec []bool
+	Speeds []float64
+	Energy float64
+}
+
+// ReExecSpeeds returns the plan vector expected by
+// schedule.NewConstantPlan: Speeds[i] for re-executed tasks, 0
+// otherwise.
+func (c *Config) ReExecSpeeds() []float64 {
+	out := make([]float64, len(c.ReExec))
+	for i, r := range c.ReExec {
+		if r {
+			out[i] = c.Speeds[i]
+		}
+	}
+	return out
+}
+
+// NumReExec counts re-executed tasks.
+func (c *Config) NumReExec() int {
+	n := 0
+	for _, r := range c.ReExec {
+		if r {
+			n++
+		}
+	}
+	return n
+}
+
+// ErrInfeasible is returned when no speed assignment meets deadline
+// and reliability simultaneously.
+var ErrInfeasible = errors.New("tricrit: infeasible instance")
+
+// waterfill computes the optimal speeds for a fixed re-execution set
+// on a single-processor chain. Execution count c_i ∈ {1,2} and lower
+// bound lo_i (frel or f_inf) per task; the total time is
+// Σ c_i·w_i/f_i and the energy Σ c_i·w_i·f_i². By the KKT conditions
+// the optimum is f_i = clamp(u, lo_i, fmax) for a single water level
+// u — the paper's "slow the execution of all tasks equally" made
+// precise. The minimal feasible u is found by bisection.
+func waterfill(weights []float64, reexec []bool, lo []float64, fmax, deadline float64) (*Config, error) {
+	n := len(weights)
+	cnt := make([]float64, n)
+	for i := range cnt {
+		cnt[i] = 1
+		if reexec[i] {
+			cnt[i] = 2
+		}
+	}
+	timeAt := func(u float64) float64 {
+		t := 0.0
+		for i := 0; i < n; i++ {
+			f := math.Max(u, lo[i])
+			if f > fmax {
+				f = fmax
+			}
+			t += cnt[i] * weights[i] / f
+		}
+		return t
+	}
+	if timeAt(fmax) > deadline*(1+1e-12) {
+		return nil, ErrInfeasible
+	}
+	var u float64
+	if timeAt(0) <= deadline {
+		u = 0 // every task can sit at its lower bound
+	} else {
+		loU, hiU := 0.0, fmax
+		for it := 0; it < 200; it++ {
+			mid := 0.5 * (loU + hiU)
+			if timeAt(mid) <= deadline {
+				hiU = mid
+			} else {
+				loU = mid
+			}
+			if hiU-loU < 1e-14*fmax {
+				break
+			}
+		}
+		u = hiU
+	}
+	cfg := &Config{ReExec: append([]bool(nil), reexec...), Speeds: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		f := math.Max(u, lo[i])
+		if f > fmax {
+			f = fmax
+		}
+		cfg.Speeds[i] = f
+		cfg.Energy += cnt[i] * model.Energy(weights[i], f)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,227 @@
+// Package workload generates the DAG classes the paper's underlying
+// simulation campaigns ran on: linear chains, forks, joins, fork-joins,
+// random out-trees, random series-parallel graphs and layered random
+// DAGs, with uniform or heavy-tailed task weights. All generators are
+// deterministic given a seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"energysched/internal/dag"
+)
+
+// WeightDist selects the task-weight distribution.
+type WeightDist int
+
+const (
+	// UniformWeights draws weights uniformly from [0.5, 5).
+	UniformWeights WeightDist = iota
+	// HeavyTailWeights draws Pareto-like weights (shape 1.5) clipped to
+	// [0.5, 50): a few large tasks dominate, as in the irregular
+	// applications the paper's introduction motivates.
+	HeavyTailWeights
+)
+
+func (d WeightDist) String() string {
+	switch d {
+	case UniformWeights:
+		return "uniform"
+	case HeavyTailWeights:
+		return "heavy-tail"
+	default:
+		return fmt.Sprintf("WeightDist(%d)", int(d))
+	}
+}
+
+// Weight draws one task weight.
+func (d WeightDist) Weight(rng *rand.Rand) float64 {
+	switch d {
+	case HeavyTailWeights:
+		u := rng.Float64()
+		w := 0.5 * math.Pow(1-u, -1/1.5)
+		if w > 50 {
+			w = 50
+		}
+		return w
+	default:
+		return 0.5 + rng.Float64()*4.5
+	}
+}
+
+// Weights draws n task weights.
+func (d WeightDist) Weights(rng *rand.Rand, n int) []float64 {
+	ws := make([]float64, n)
+	for i := range ws {
+		ws[i] = d.Weight(rng)
+	}
+	return ws
+}
+
+// Chain returns a linear chain of n tasks.
+func Chain(rng *rand.Rand, n int, d WeightDist) *dag.Graph {
+	return dag.ChainGraph(d.Weights(rng, n)...)
+}
+
+// Fork returns a fork with one source and n branches.
+func Fork(rng *rand.Rand, n int, d WeightDist) *dag.Graph {
+	ws := d.Weights(rng, n+1)
+	return dag.ForkGraph(ws[0], ws[1:]...)
+}
+
+// Join returns n independent tasks followed by a sink.
+func Join(rng *rand.Rand, n int, d WeightDist) *dag.Graph {
+	ws := d.Weights(rng, n+1)
+	sp := dag.JoinSP(ws[0], ws[1:]...)
+	g, err := sp.Graph()
+	if err != nil {
+		panic(err) // generator invariant
+	}
+	return g
+}
+
+// ForkJoin returns source → n branches → sink.
+func ForkJoin(rng *rand.Rand, n int, d WeightDist) *dag.Graph {
+	ws := d.Weights(rng, n+2)
+	sp := dag.ForkJoinSP(ws[0], ws[1], ws[2:]...)
+	g, err := sp.Graph()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Tree returns a random out-tree of n tasks: each non-root node picks
+// a uniformly random earlier node as its parent.
+func Tree(rng *rand.Rand, n int, d WeightDist) *dag.Graph {
+	g := dag.New()
+	for i := 0; i < n; i++ {
+		g.AddTask(fmt.Sprintf("T%d", i), d.Weight(rng))
+		if i > 0 {
+			g.MustEdge(rng.Intn(i), i)
+		}
+	}
+	return g
+}
+
+// SeriesParallel returns a random series-parallel graph of n tasks
+// (uniform random recursive series/parallel splits) plus its
+// decomposition tree.
+func SeriesParallel(rng *rand.Rand, n int, d WeightDist) (*dag.Graph, *dag.SP) {
+	sp := randomSP(rng, n, d)
+	g, err := sp.Graph()
+	if err != nil {
+		panic(err)
+	}
+	return g, sp
+}
+
+func randomSP(rng *rand.Rand, n int, d WeightDist) *dag.SP {
+	if n == 1 {
+		return dag.Leaf("t", d.Weight(rng))
+	}
+	k := rng.Intn(n-1) + 1
+	l, r := randomSP(rng, k, d), randomSP(rng, n-k, d)
+	if rng.Intn(2) == 0 {
+		return dag.Series(l, r)
+	}
+	return dag.Parallel(l, r)
+}
+
+// Layered returns a layered random DAG: n tasks spread over the given
+// number of layers, with each forward cross-layer edge present with
+// probability p. The paper's "general DAG" test class.
+func Layered(rng *rand.Rand, n, layers int, p float64, d WeightDist) *dag.Graph {
+	if layers < 1 {
+		layers = 1
+	}
+	g := dag.New()
+	layer := make([]int, n)
+	for i := 0; i < n; i++ {
+		g.AddTask(fmt.Sprintf("T%d", i), d.Weight(rng))
+		layer[i] = i * layers / n // balanced layer sizes, in order
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if layer[i] < layer[j] && rng.Float64() < p {
+				g.MustEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// Class identifies a generator for sweep experiments.
+type Class int
+
+const (
+	ClassChain Class = iota
+	ClassFork
+	ClassJoin
+	ClassForkJoin
+	ClassTree
+	ClassSeriesParallel
+	ClassLayered
+)
+
+// AllClasses lists every generator class in presentation order.
+func AllClasses() []Class {
+	return []Class{ClassChain, ClassFork, ClassJoin, ClassForkJoin, ClassTree, ClassSeriesParallel, ClassLayered}
+}
+
+func (c Class) String() string {
+	switch c {
+	case ClassChain:
+		return "chain"
+	case ClassFork:
+		return "fork"
+	case ClassJoin:
+		return "join"
+	case ClassForkJoin:
+		return "fork-join"
+	case ClassTree:
+		return "tree"
+	case ClassSeriesParallel:
+		return "series-parallel"
+	case ClassLayered:
+		return "layered"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Generate builds an instance of the class with n tasks.
+func (c Class) Generate(rng *rand.Rand, n int, d WeightDist) *dag.Graph {
+	switch c {
+	case ClassChain:
+		return Chain(rng, n, d)
+	case ClassFork:
+		return Fork(rng, n-1, d)
+	case ClassJoin:
+		return Join(rng, n-1, d)
+	case ClassForkJoin:
+		if n < 3 {
+			n = 3
+		}
+		return ForkJoin(rng, n-2, d)
+	case ClassTree:
+		return Tree(rng, n, d)
+	case ClassSeriesParallel:
+		g, _ := SeriesParallel(rng, n, d)
+		return g
+	case ClassLayered:
+		return Layered(rng, n, intSqrt(n), 0.35, d)
+	default:
+		panic(fmt.Sprintf("workload: unknown class %d", int(c)))
+	}
+}
+
+func intSqrt(n int) int {
+	r := int(math.Sqrt(float64(n)))
+	if r < 1 {
+		return 1
+	}
+	return r
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"energysched/internal/dag"
+)
+
+func TestAllClassesGenerateValidDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range AllClasses() {
+		for _, n := range []int{3, 8, 20} {
+			g := c.Generate(rng, n, UniformWeights)
+			if err := g.Validate(); err != nil {
+				t.Errorf("%v n=%d: %v", c, n, err)
+			}
+			if g.N() == 0 {
+				t.Errorf("%v n=%d: empty graph", c, n)
+			}
+		}
+	}
+}
+
+func TestClassShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	chain := Chain(rng, 5, UniformWeights)
+	if chain.M() != 4 || len(chain.Sources()) != 1 || len(chain.Sinks()) != 1 {
+		t.Errorf("chain shape wrong: m=%d", chain.M())
+	}
+	fork := Fork(rng, 6, UniformWeights)
+	if len(fork.Sources()) != 1 || len(fork.Sinks()) != 6 {
+		t.Errorf("fork shape wrong: sinks=%d", len(fork.Sinks()))
+	}
+	join := Join(rng, 6, UniformWeights)
+	if len(join.Sources()) != 6 || len(join.Sinks()) != 1 {
+		t.Errorf("join shape wrong")
+	}
+	fj := ForkJoin(rng, 5, UniformWeights)
+	if len(fj.Sources()) != 1 || len(fj.Sinks()) != 1 || fj.N() != 7 {
+		t.Errorf("fork-join shape wrong: n=%d", fj.N())
+	}
+	tree := Tree(rng, 9, UniformWeights)
+	if tree.M() != 8 {
+		t.Errorf("tree must have n-1 edges, got %d", tree.M())
+	}
+	for i := 1; i < 9; i++ {
+		if len(tree.Preds(i)) != 1 {
+			t.Errorf("tree node %d has %d parents", i, len(tree.Preds(i)))
+		}
+	}
+}
+
+func TestSeriesParallelIsRecognizable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		g, sp := SeriesParallel(rng, rng.Intn(12)+2, UniformWeights)
+		if sp.NumTasks() != g.N() {
+			t.Fatalf("trial %d: tree has %d leaves, graph %d tasks", trial, sp.NumTasks(), g.N())
+		}
+		if _, err := dag.Decompose(g); err != nil {
+			t.Errorf("trial %d: generated SP graph not recognized: %v", trial, err)
+		}
+	}
+}
+
+func TestLayeredRespectsLayers(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := Layered(rng, 20, 4, 0.5, UniformWeights)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Edges only go forward in index order by construction.
+	for _, e := range g.Edges() {
+		if e[0] >= e[1] {
+			t.Errorf("backward edge %v", e)
+		}
+	}
+}
+
+func TestWeightDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, d := range []WeightDist{UniformWeights, HeavyTailWeights} {
+		ws := d.Weights(rng, 2000)
+		for _, w := range ws {
+			if w <= 0 || w > 50 {
+				t.Fatalf("%v: weight %v out of range", d, w)
+			}
+		}
+	}
+	// Heavy tail should produce a markedly larger max than uniform.
+	rngA := rand.New(rand.NewSource(6))
+	rngB := rand.New(rand.NewSource(6))
+	maxU, maxH := 0.0, 0.0
+	for i := 0; i < 3000; i++ {
+		if w := UniformWeights.Weight(rngA); w > maxU {
+			maxU = w
+		}
+		if w := HeavyTailWeights.Weight(rngB); w > maxH {
+			maxH = w
+		}
+	}
+	if maxH <= maxU {
+		t.Errorf("heavy tail max %v not above uniform max %v", maxH, maxU)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Layered(rand.New(rand.NewSource(9)), 15, 3, 0.3, UniformWeights)
+	b := Layered(rand.New(rand.NewSource(9)), 15, 3, 0.3, UniformWeights)
+	if a.M() != b.M() || a.TotalWeight() != b.TotalWeight() {
+		t.Error("same seed produced different graphs")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, c := range AllClasses() {
+		if c.String() == "" {
+			t.Error("empty class name")
+		}
+	}
+	if UniformWeights.String() != "uniform" || HeavyTailWeights.String() != "heavy-tail" {
+		t.Error("weight dist names wrong")
+	}
+}
