@@ -4,19 +4,24 @@
 //
 // Usage:
 //
-//	energysched -in instance.json [-strategy best-of] [-v]
+//	energysched -in instance.json [-strategy best-of] [-solver name] [-timeout 30s] [-json] [-v]
 //	dagen -class fork -n 10 | energysched
 //
-// The tool dispatches on the instance: BI-CRIT without a "reliability"
-// block, TRI-CRIT with one. The produced schedule is always validated
-// before being reported.
+// The tool dispatches on the instance through the core solver
+// registry: BI-CRIT without a "reliability" block, TRI-CRIT with one.
+// The produced schedule is always validated before being reported.
+// With -json the solved result (diagnostics + full schedule) is
+// emitted as machine-readable JSON for pipelines.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
+	"time"
 
 	"energysched/internal/core"
 	"energysched/internal/tabulate"
@@ -25,9 +30,18 @@ import (
 func main() {
 	inPath := flag.String("in", "-", "instance JSON file ('-' for stdin)")
 	strategy := flag.String("strategy", "best-of", "TRI-CRIT strategy: best-of | chain-first | parallel-first | exact")
+	solver := flag.String("solver", "", "pin a registered solver by name (default: auto-dispatch); 'list' prints the registry")
+	timeout := flag.Duration("timeout", 0, "abort solving after this wall time (e.g. 30s; 0 = no limit)")
+	exactLimit := flag.Int("exact-limit", core.DefaultExactSizeLimit, "largest n×levels solved exactly under DISCRETE/INCREMENTAL")
+	roundUpK := flag.Int("k", core.DefaultRoundUpK, "accuracy parameter K of the round-up approximation")
+	jsonOut := flag.Bool("json", false, "emit the solved result as JSON instead of the text report")
 	verbose := flag.Bool("v", false, "print the per-task schedule")
 	flag.Parse()
 
+	if *solver == "list" {
+		fmt.Println(strings.Join(core.SolverNames(), "\n"))
+		return
+	}
 	data, err := readInput(*inPath)
 	if err != nil {
 		fail(err)
@@ -36,35 +50,47 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	var sol *core.Solution
-	if in.TriCrit() {
-		strat, err := parseStrategy(*strategy)
-		if err != nil {
-			fail(err)
-		}
-		sol, err = core.SolveTriCrit(in, strat)
-		if err != nil {
-			fail(err)
-		}
-	} else {
-		sol, err = core.SolveBiCrit(in)
-		if err != nil {
-			fail(err)
-		}
+	strat, err := core.ParseStrategy(*strategy)
+	if err != nil {
+		fail(err)
 	}
-	if err := sol.Schedule.Validate(in.Constraints()); err != nil {
-		fail(fmt.Errorf("internal error: produced schedule failed validation: %w", err))
+	opts := []core.Option{
+		core.WithStrategy(strat),
+		core.WithExactSizeLimit(*exactLimit),
+		core.WithRoundUpK(*roundUpK),
+		core.WithTimeout(*timeout),
+		core.WithLowerBound(true),
+	}
+	if *solver != "" {
+		opts = append(opts, core.WithSolver(*solver))
+	}
+	res, err := core.Solve(context.Background(), in, opts...)
+	if err != nil {
+		fail(err)
+	}
+	if *jsonOut {
+		out, err := core.MarshalResult(res)
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(out)
+		fmt.Println()
+		return
 	}
 	fmt.Printf("problem:   %s\n", problemName(in))
 	fmt.Printf("model:     %v\n", in.Speed)
-	fmt.Printf("method:    %s (exact=%v)\n", sol.Method, sol.Exact)
-	fmt.Printf("energy:    %s\n", tabulate.FormatFloat(sol.Energy))
-	fmt.Printf("makespan:  %s (deadline %s)\n", tabulate.FormatFloat(sol.Schedule.Makespan()), tabulate.FormatFloat(in.Deadline))
-	fmt.Printf("reexec:    %d of %d tasks\n", sol.Schedule.NumReExecuted(), in.Graph.N())
+	fmt.Printf("solver:    %s / %s (exact=%v)\n", res.Solver, res.Method, res.Exact)
+	fmt.Printf("energy:    %s\n", tabulate.FormatFloat(res.Energy))
+	if gap := res.Gap(); gap >= 0 {
+		fmt.Printf("gap:       ≤ %.3g%% above the lower bound %s\n", 100*gap, tabulate.FormatFloat(res.LowerBound))
+	}
+	fmt.Printf("makespan:  %s (deadline %s)\n", tabulate.FormatFloat(res.Schedule.Makespan()), tabulate.FormatFloat(in.Deadline))
+	fmt.Printf("reexec:    %d of %d tasks\n", res.Schedule.NumReExecuted(), in.Graph.N())
+	fmt.Printf("wall:      %v\n", res.WallTime.Round(time.Microsecond))
 	if *verbose {
 		t := tabulate.New("schedule", "task", "proc", "exec", "start", "speed(s)", "duration")
 		for i := 0; i < in.Graph.N(); i++ {
-			for k, ex := range sol.Schedule.Tasks[i].Execs {
+			for k, ex := range res.Schedule.Tasks[i].Execs {
 				speeds := ""
 				for j, seg := range ex.Segments {
 					if j > 0 {
@@ -85,21 +111,6 @@ func problemName(in *core.Instance) string {
 		return fmt.Sprintf("TRI-CRIT (n=%d, p=%d, frel=%g)", in.Graph.N(), in.Mapping.P, in.FRel)
 	}
 	return fmt.Sprintf("BI-CRIT (n=%d, p=%d)", in.Graph.N(), in.Mapping.P)
-}
-
-func parseStrategy(s string) (core.Strategy, error) {
-	switch s {
-	case "best-of":
-		return core.StrategyBestOf, nil
-	case "chain-first":
-		return core.StrategyChainFirst, nil
-	case "parallel-first":
-		return core.StrategyParallelFirst, nil
-	case "exact":
-		return core.StrategyExact, nil
-	default:
-		return 0, fmt.Errorf("unknown strategy %q", s)
-	}
 }
 
 func readInput(path string) ([]byte, error) {

@@ -3,12 +3,14 @@
 //
 // Usage:
 //
-//	experiments            # run everything
-//	experiments E04 E12    # run selected experiments
-//	experiments -list      # list available experiments
+//	experiments                 # run everything
+//	experiments E04 E12         # run selected experiments
+//	experiments -list           # list available experiments
+//	experiments -timeout 2m     # bound the whole run
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +22,7 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
+	timeout := flag.Duration("timeout", 0, "stop starting new experiments after this wall time (a running experiment finishes; 0 = no limit)")
 	flag.Parse()
 
 	all := experiments.All()
@@ -29,6 +32,12 @@ func main() {
 		}
 		return
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	want := map[string]bool{}
 	for _, a := range flag.Args() {
 		want[strings.ToUpper(a)] = true
@@ -37,6 +46,10 @@ func main() {
 	for _, e := range all {
 		if len(want) > 0 && !want[e.ID] {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: stopping before %s: %v\n", e.ID, err)
+			os.Exit(1)
 		}
 		start := time.Now()
 		rep := e.Run()

@@ -5,9 +5,10 @@
 // execution of all tasks equally, then choose the tasks to be
 // re-executed". This example compares, across deadlines:
 //
-//   - the exact exponential solver (subset enumeration + KKT
-//     water-filling),
-//   - the ChainFirst heuristic implementing the paper's strategy,
+//   - the exact exponential solver (core.Solve with StrategyExact:
+//     subset enumeration + KKT water-filling),
+//   - the ChainFirst heuristic implementing the paper's strategy
+//     (core.Solve with StrategyChainFirst),
 //   - a no-re-execution baseline (every task at frel or faster),
 //
 // and then injects faults to show the reliability constraint is really
@@ -17,15 +18,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"energysched/internal/core"
 	"energysched/internal/dag"
 	"energysched/internal/faultsim"
 	"energysched/internal/model"
 	"energysched/internal/platform"
 	"energysched/internal/tabulate"
-	"energysched/internal/tricrit"
 )
 
 func main() {
@@ -38,17 +40,29 @@ func main() {
 	// section below shows visible failures; the schedule is optimized
 	// for the same rate, so the reliability threshold is still met.
 	rel := model.Reliability{Lambda0: 1e-3, Sensitivity: 3, FMin: 0.1, FMax: 1}
-	in := tricrit.Instance{FMin: 0.1, FMax: 1, FRel: 0.8, Rel: rel}
+	const frel = 0.8
+	g := dag.ChainGraph(weights...)
+	mp, err := platform.SingleProcessor(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sm, err := model.NewContinuous(0.1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	instance := func(deadline float64) *core.Instance {
+		return &core.Instance{Graph: g, Mapping: mp, Speed: sm, Deadline: deadline, Rel: &rel, FRel: frel}
+	}
 
 	t := tabulate.New("TRI-CRIT on a 7-task chain (1 processor)",
 		"deadline/Σw", "E_exact", "E_chainfirst", "E_no_reexec", "reexec_tasks", "saving_vs_no_reexec_%")
 	for _, slack := range []float64{1.5, 2, 4, 8, 16} {
-		in.Deadline = sum * slack
-		exact, err := tricrit.SolveChainExact(weights, in)
+		exact, err := core.Solve(ctx, instance(sum*slack), core.WithStrategy(core.StrategyExact))
 		if err != nil {
 			log.Fatal(err)
 		}
-		heur, err := tricrit.ChainFirst(weights, in)
+		heur, err := core.Solve(ctx, instance(sum*slack), core.WithStrategy(core.StrategyChainFirst))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -56,30 +70,20 @@ func main() {
 		// clamped at frel).
 		base := 0.0
 		for _, w := range weights {
-			f := maxf(sum/in.Deadline, in.FRel)
+			f := maxf(1/slack, frel)
 			base += model.Energy(w, f)
 		}
 		saving := 100 * (1 - exact.Energy/base)
-		t.AddRow(slack, exact.Energy, heur.Energy, base, exact.NumReExec(), saving)
+		t.AddRow(slack, exact.Energy, heur.Energy, base, exact.Schedule.NumReExecuted(), saving)
 	}
 	fmt.Println(t)
 
 	// Fault injection on the loosest-deadline exact schedule.
-	in.Deadline = sum * 16
-	cfg, err := tricrit.SolveChainExact(weights, in)
+	res, err := core.Solve(ctx, instance(sum*16), core.WithStrategy(core.StrategyExact))
 	if err != nil {
 		log.Fatal(err)
 	}
-	g := dag.ChainGraph(weights...)
-	mp, err := platform.SingleProcessor(g)
-	if err != nil {
-		log.Fatal(err)
-	}
-	s, err := cfg.Schedule(g, mp)
-	if err != nil {
-		log.Fatal(err)
-	}
-	stats, err := faultsim.SimulateSchedule(s, rel, 100000, 42)
+	stats, err := faultsim.SimulateSchedule(res.Schedule, rel, 100000, 42)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,10 +91,10 @@ func main() {
 	fmt.Printf("  schedule success rate: %.4f\n", stats.ScheduleSuccess)
 	for i, ok := range stats.TaskSuccess {
 		mark := " "
-		if cfg.ReExec[i] {
+		if res.Schedule.Tasks[i].ReExecuted() {
 			mark = "re-executed"
 		}
-		threshold := 1 - rel.FailureProb(weights[i], in.FRel)
+		threshold := 1 - rel.FailureProb(weights[i], frel)
 		fmt.Printf("  task %d: success %.4f (threshold %.4f), first-exec failures %d %s\n",
 			i, ok, threshold, stats.FirstExecFailures[i], mark)
 	}

@@ -3,29 +3,28 @@
 // A 60-task layered DAG (the "general DAG" class) is mapped onto 8
 // processors with critical-path list scheduling — exactly the coupling
 // the paper recommends — and then every speed model's solver reclaims
-// energy within the same deadline:
+// energy within the same deadline, all through the one core.Solve
+// entry point with registry auto-dispatch:
 //
-//   - CONTINUOUS (convex / geometric programming),
-//   - VDD-HOPPING (exact LP),
-//   - DISCRETE (round-up approximation on the XScale ladder),
-//   - and TRI-CRIT BestOf with re-execution under CONTINUOUS.
+//   - CONTINUOUS → continuous-convex (geometric programming),
+//   - VDD-HOPPING → vdd-lp (exact LP),
+//   - DISCRETE → discrete-roundup (exact is NP-complete at n=60),
+//   - CONTINUOUS + reliability → tricrit-best-of with re-execution.
 //
 // Run: go run ./examples/cluster
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
-	"energysched/internal/convex"
-	"energysched/internal/discrete"
+	"energysched/internal/core"
 	"energysched/internal/listsched"
 	"energysched/internal/model"
-	"energysched/internal/schedule"
 	"energysched/internal/tabulate"
-	"energysched/internal/tricrit"
-	"energysched/internal/vdd"
 	"energysched/internal/workload"
 )
 
@@ -37,84 +36,61 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmax := 1.0
+	fmin, fmax := 0.15, 1.0
 	makespanAtFmax := ls.Makespan / fmax
 	deadline := makespanAtFmax * 2
 	fmt.Printf("workload: %d tasks, %d edges, Σw=%.1f on %d processors\n",
 		g.N(), g.M(), g.TotalWeight(), p)
 	fmt.Printf("list-schedule makespan at fmax: %.2f, deadline: %.2f\n\n", makespanAtFmax, deadline)
 
-	cg, err := ls.Mapping.ConstraintGraph(g)
-	if err != nil {
-		log.Fatal(err)
-	}
 	eAtFmax := 0.0
 	for i := 0; i < g.N(); i++ {
 		eAtFmax += model.Energy(g.Weight(i), fmax)
 	}
 
-	t := tabulate.New("energy per speed model (same mapping, same deadline)",
-		"model", "method", "energy", "vs_fmax_%", "valid")
-	t.AddRow("baseline", "everything at fmax", eAtFmax, 0.0, "true")
-
-	// CONTINUOUS.
-	lo := make([]float64, g.N())
-	hi := make([]float64, g.N())
-	for i := range lo {
-		lo[i], hi[i] = 0.15, fmax
-	}
-	cont, err := convex.MinimizeEnergy(cg, deadline, g.Weights(), lo, hi, convex.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	smC, _ := model.NewContinuous(0.15, fmax)
-	sC, err := schedule.FromDurations(g, ls.Mapping, cont.Durations)
-	if err != nil {
-		log.Fatal(err)
-	}
-	t.AddRow("CONTINUOUS", "convex (GP)", cont.Energy, 100*(1-cont.Energy/eAtFmax),
-		fmt.Sprintf("%v", sC.Validate(schedule.Constraints{Model: smC, Deadline: deadline}) == nil))
-
-	// VDD-HOPPING.
+	smC, _ := model.NewContinuous(fmin, fmax)
 	smV, _ := model.NewVddHopping(model.XScaleLevels())
-	vres, err := vdd.SolveBiCrit(g, ls.Mapping, smV, deadline)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sV, err := vres.Schedule(g, ls.Mapping)
-	if err != nil {
-		log.Fatal(err)
-	}
-	t.AddRow("VDD-HOPPING", "exact LP", vres.Energy, 100*(1-vres.Energy/eAtFmax),
-		fmt.Sprintf("%v", sV.Validate(schedule.Constraints{Model: smV, Deadline: deadline}) == nil))
-
-	// DISCRETE (round-up approximation; exact is NP-complete at n=60).
 	smD, _ := model.NewDiscrete(model.XScaleLevels())
-	dres, err := discrete.Approximate(g, ls.Mapping, smD, deadline, 10)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sD, err := dres.Schedule(g, ls.Mapping)
-	if err != nil {
-		log.Fatal(err)
-	}
-	t.AddRow("DISCRETE", "round-up approx", dres.Energy, 100*(1-dres.Energy/eAtFmax),
-		fmt.Sprintf("%v", sD.Validate(schedule.Constraints{Model: smD, Deadline: deadline}) == nil))
+	rel := model.Reliability{Lambda0: 1e-5, Sensitivity: 3, FMin: fmin, FMax: fmax}
 
-	// TRI-CRIT under CONTINUOUS: BestOf heuristic with re-execution.
-	rel := model.Reliability{Lambda0: 1e-5, Sensitivity: 3, FMin: 0.15, FMax: fmax}
-	in := tricrit.Instance{Deadline: deadline, FMin: 0.15, FMax: fmax, FRel: 0.8, Rel: rel}
-	tri, err := tricrit.BestOf(g, ls.Mapping, in)
-	if err != nil {
-		log.Fatal(err)
+	instances := []struct {
+		label string
+		in    *core.Instance
+	}{
+		{"CONTINUOUS", &core.Instance{Graph: g, Mapping: ls.Mapping, Speed: smC, Deadline: deadline}},
+		{"VDD-HOPPING", &core.Instance{Graph: g, Mapping: ls.Mapping, Speed: smV, Deadline: deadline}},
+		{"DISCRETE", &core.Instance{Graph: g, Mapping: ls.Mapping, Speed: smD, Deadline: deadline}},
+		{"CONT+reliability", &core.Instance{Graph: g, Mapping: ls.Mapping, Speed: smC, Deadline: deadline, Rel: &rel, FRel: 0.8}},
 	}
-	sT, err := tri.Schedule(g, ls.Mapping)
-	if err != nil {
-		log.Fatal(err)
-	}
-	t.AddRow("CONT+reliability", fmt.Sprintf("tri-crit BestOf (%d reexec)", tri.NumReExec()),
-		tri.Energy, 100*(1-tri.Energy/eAtFmax),
-		fmt.Sprintf("%v", sT.Validate(schedule.Constraints{Model: smC, Deadline: deadline, Rel: &rel, FRel: 0.8}) == nil))
 
+	t := tabulate.New("energy per speed model (same mapping, same deadline, one core.Solve entry point)",
+		"model", "solver", "energy", "vs_fmax_%", "exact", "reexec", "wall_ms")
+	t.AddRow("baseline", "everything at fmax", eAtFmax, 0.0, "true", 0, 0.0)
+	ctx := context.Background()
+	for _, c := range instances {
+		// Every schedule is validated inside Solve before it returns.
+		res, err := core.Solve(ctx, c.in)
+		if err != nil {
+			log.Fatalf("%s: %v", c.label, err)
+		}
+		t.AddRow(c.label, res.Solver, res.Energy, 100*(1-res.Energy/eAtFmax),
+			fmt.Sprintf("%v", res.Exact), res.Schedule.NumReExecuted(),
+			float64(res.WallTime.Microseconds())/1000)
+	}
 	fmt.Println(t)
+
+	// The same four instances again, but as one parallel batch.
+	ins := make([]*core.Instance, len(instances))
+	for i, c := range instances {
+		ins[i] = c.in
+	}
+	start := time.Now()
+	items := core.SolveAll(ctx, ins)
+	for i, it := range items {
+		if it.Err != nil {
+			log.Fatalf("batch item %d: %v", i, it.Err)
+		}
+	}
+	fmt.Printf("core.SolveAll solved the same %d instances in parallel in %v\n",
+		len(items), time.Since(start).Round(time.Millisecond))
 }

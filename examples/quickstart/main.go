@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -46,15 +47,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// core.Solve validates the produced schedule and picks the solver
+	// from the registry by instance capability — here continuous-convex.
 	in := &core.Instance{Graph: g, Mapping: mp, Speed: sm, Deadline: deadline}
-	sol, err := core.SolveBiCrit(in)
+	sol, err := core.Solve(context.Background(), in)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := sol.Schedule.Validate(in.Constraints()); err != nil {
-		log.Fatalf("schedule failed validation: %v", err)
-	}
-	fmt.Printf("numerical solver (%s):\n", sol.Method)
+	fmt.Printf("numerical solver (%s, %d iterations, %v):\n", sol.Solver, sol.Iterations, sol.WallTime)
 	fmt.Printf("  E  = %.6f\n", sol.Energy)
 	fmt.Printf("  makespan = %.6f (deadline %.1f)\n\n", sol.Schedule.Makespan(), deadline)
 

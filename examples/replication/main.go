@@ -9,16 +9,22 @@
 // This example sweeps the deadline on a fork and, per slack, solves
 // the TRI-CRIT problem three ways: re-execution only, replication
 // only, and both. It prints the energy, the chosen techniques, and the
-// processor-time bill — the currency replication pays in.
+// processor-time bill — the currency replication pays in. A BI-CRIT
+// column (no reliability constraint) is batch-solved in parallel with
+// core.SolveAll and shows the total energy price of reliability.
 //
 // Run: go run ./examples/replication
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"energysched/internal/core"
+	"energysched/internal/dag"
 	"energysched/internal/model"
+	"energysched/internal/platform"
 	"energysched/internal/tabulate"
 	"energysched/internal/tricrit"
 )
@@ -27,15 +33,33 @@ func main() {
 	w0 := 1.0
 	branches := []float64{2, 1.5, 2.5, 1, 1.8}
 	cp := w0 + 2.5 // critical path at fmax = (w0 + max branch)/1.0
+	slacks := []float64{1.1, 1.3, 1.8, 3, 8, 25}
 	in := tricrit.Instance{
 		FMin: 0.1, FMax: 1, FRel: 0.8,
 		Rel: model.Reliability{Lambda0: 1e-5, Sensitivity: 3, FMin: 0.1, FMax: 1},
 	}
 
+	// The reliability-free lower envelope: one BI-CRIT instance per
+	// slack, batch-solved through the registry in parallel.
+	g := dag.ForkGraph(w0, branches...)
+	mp := platform.OneTaskPerProcessor(g)
+	smC, err := model.NewContinuous(in.FMin, in.FMax)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bis := make([]*core.Instance, len(slacks))
+	for i, slack := range slacks {
+		bis[i] = &core.Instance{Graph: g, Mapping: mp, Speed: smC, Deadline: cp * slack}
+	}
+	items := core.SolveAll(context.Background(), bis)
+
 	t := tabulate.New("replication vs re-execution on a 5-branch fork",
-		"D/cp", "E_reexec", "E_replicate", "E_both", "techniques(both)", "proc_time(both)")
-	for _, slack := range []float64{1.1, 1.3, 1.8, 3, 8, 25} {
+		"D/cp", "E_bicrit", "E_reexec", "E_replicate", "E_both", "techniques(both)", "proc_time(both)")
+	for i, slack := range slacks {
 		in.Deadline = cp * slack
+		if items[i].Err != nil {
+			log.Fatal(items[i].Err)
+		}
 		re, err := tricrit.SolveForkTechniques(w0, branches, in, true, false)
 		if err != nil {
 			log.Fatal(err)
@@ -51,7 +75,7 @@ func main() {
 		counts := both.CountTechniques()
 		mix := fmt.Sprintf("%ds/%dr/%dp",
 			counts[tricrit.TechSingle], counts[tricrit.TechReExec], counts[tricrit.TechReplicate])
-		t.AddRow(slack, re.Energy, rp.Energy, both.Energy, mix, both.ProcessorTime)
+		t.AddRow(slack, items[i].Result.Energy, re.Energy, rp.Energy, both.Energy, mix, both.ProcessorTime)
 	}
 	fmt.Println(t)
 	fmt.Println("s = single execution, r = re-executed, p = replicated")

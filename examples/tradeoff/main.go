@@ -5,23 +5,24 @@
 // would plot: the CONTINUOUS curve is the lower envelope, DISCRETE is
 // a staircase above it, and VDD-HOPPING smooths the staircase back
 // down toward the envelope. A second sweep varies the reliability
-// threshold frel and shows its energy price.
+// threshold frel and shows its energy price. Every point is produced
+// by the one core.Solve entry point; the registry picks
+// continuous-convex, vdd-lp, discrete-bb (n·levels is small enough
+// for the exact branch-and-bound) and tricrit-best-of.
 //
 // Run: go run ./examples/tradeoff
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"energysched/internal/convex"
-	"energysched/internal/discrete"
+	"energysched/internal/core"
 	"energysched/internal/listsched"
 	"energysched/internal/model"
 	"energysched/internal/tabulate"
-	"energysched/internal/tricrit"
-	"energysched/internal/vdd"
 	"energysched/internal/workload"
 )
 
@@ -36,7 +37,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmax := 1.0
+	fmin, fmax := 0.15, 1.0
 	durs := make([]float64, g.N())
 	for i := range durs {
 		durs[i] = g.Weight(i) / fmax
@@ -47,45 +48,38 @@ func main() {
 	}
 
 	levels := model.XScaleLevels()
+	smC, _ := model.NewContinuous(fmin, fmax)
 	smV, _ := model.NewVddHopping(levels)
 	smD, _ := model.NewDiscrete(levels)
-	lo := make([]float64, g.N())
-	hi := make([]float64, g.N())
-	for i := range lo {
-		lo[i], hi[i] = 0.15, fmax
+	ctx := context.Background()
+
+	solve := func(sm model.SpeedModel, D float64) *core.Result {
+		res, err := core.Solve(ctx, &core.Instance{Graph: g, Mapping: ls.Mapping, Speed: sm, Deadline: D})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
 	}
 
 	t := tabulate.New("energy vs deadline (fork-join, 4 processors)",
 		"D/cp", "E_continuous", "E_vdd", "E_discrete")
 	for _, slack := range []float64{1.05, 1.2, 1.5, 2, 3, 4, 6} {
 		D := cp * slack
-		cont, err := convex.MinimizeEnergy(cg, D, g.Weights(), lo, hi, convex.Options{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		vres, err := vdd.SolveBiCrit(g, ls.Mapping, smV, D)
-		if err != nil {
-			log.Fatal(err)
-		}
-		dres, err := discrete.SolveExact(g, ls.Mapping, smD, D)
-		if err != nil {
-			log.Fatal(err)
-		}
-		t.AddRow(slack, cont.Energy, vres.Energy, dres.Energy)
+		t.AddRow(slack, solve(smC, D).Energy, solve(smV, D).Energy, solve(smD, D).Energy)
 	}
 	fmt.Println(t)
 
 	// Reliability price: sweep frel at a fixed deadline.
-	rel := model.Reliability{Lambda0: 1e-5, Sensitivity: 3, FMin: 0.1, FMax: fmax}
+	rel := model.Reliability{Lambda0: 1e-5, Sensitivity: 3, FMin: fmin, FMax: fmax}
 	t2 := tabulate.New("energy vs reliability threshold (same workload, D = 3×cp)",
 		"frel", "E_tricrit_bestof", "reexec_tasks")
 	for _, frel := range []float64{0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
-		in := tricrit.Instance{Deadline: cp * 3, FMin: 0.1, FMax: fmax, FRel: frel, Rel: rel}
-		cfg, err := tricrit.BestOf(g, ls.Mapping, in)
+		in := &core.Instance{Graph: g, Mapping: ls.Mapping, Speed: smC, Deadline: cp * 3, Rel: &rel, FRel: frel}
+		res, err := core.Solve(ctx, in, core.WithStrategy(core.StrategyBestOf))
 		if err != nil {
 			log.Fatal(err)
 		}
-		t2.AddRow(frel, cfg.Energy, cfg.NumReExec())
+		t2.AddRow(frel, res.Energy, res.Schedule.NumReExecuted())
 	}
 	fmt.Println(t2)
 	fmt.Println("higher reliability thresholds cost energy; re-execution softens the price where slack allows")

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"context"
+	"sync"
+)
+
+// BatchItem pairs one input instance of a SolveAll call with its
+// outcome. Exactly one of Result and Err is set.
+type BatchItem struct {
+	// Index is the instance's position in the input slice; SolveAll
+	// returns items sorted by it.
+	Index    int
+	Instance *Instance
+	Result   *Result
+	Err      error
+}
+
+// SolveAll solves a batch of instances on a worker pool (size
+// WithWorkers, default GOMAXPROCS) and returns one BatchItem per
+// input, in input order, each carrying the instance's Result or Err.
+// A batch never fails as a whole: per-instance errors — including
+// infeasibility and per-call WithTimeout expiry — land in the item.
+// Cancelling the context stops the batch early; instances not yet
+// solved report the context error in their item.
+func SolveAll(ctx context.Context, ins []*Instance, opts ...Option) []BatchItem {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	items := make([]BatchItem, len(ins))
+	if len(ins) == 0 {
+		return items
+	}
+	cfg, err := newConfig(opts...)
+	if err != nil {
+		// Invalid options fail every item identically rather than
+		// panicking mid-pool.
+		for i := range items {
+			items[i] = BatchItem{Index: i, Instance: ins[i], Err: err}
+		}
+		return items
+	}
+	workers := cfg.Workers
+	if workers > len(ins) {
+		workers = len(ins)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				// solve checks ctx up front, so after cancellation the
+				// remaining items drain quickly with ctx.Err(). The
+				// waitAbandoned flag keeps a timed-out item's solver
+				// goroutine attached to its worker slot, so the pool
+				// never runs more than Workers solvers at once.
+				res, err := solve(ctx, ins[i], cfg, true)
+				items[i] = BatchItem{Index: i, Instance: ins[i], Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range ins {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return items
+}

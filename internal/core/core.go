@@ -1,11 +1,13 @@
 // Package core is the public facade of the library: problem instances
 // (graph + mapping + speed model + deadline + optional reliability),
-// solver dispatch across the paper's four speed models for both the
-// BI-CRIT and TRI-CRIT problems, and JSON (de)serialization for the
-// command-line tools.
+// a single context-aware Solve entry point backed by a pluggable
+// solver registry covering the paper's four speed models for both the
+// BI-CRIT and TRI-CRIT problems, a parallel SolveAll batch API, and
+// JSON (de)serialization for the command-line tools.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -62,6 +64,16 @@ func (in *Instance) Validate() error {
 	return nil
 }
 
+// Constraints returns the validator constraints matching the instance.
+func (in *Instance) Constraints() schedule.Constraints {
+	c := schedule.Constraints{Model: in.Speed, Deadline: in.Deadline}
+	if in.Rel != nil {
+		c.Rel = in.Rel
+		c.FRel = in.FRel
+	}
+	return c
+}
+
 // Solution is a solved instance: a validated schedule plus metadata.
 type Solution struct {
 	Schedule *schedule.Schedule
@@ -83,88 +95,6 @@ func mapInfeasible(err error) error {
 	default:
 		return err
 	}
-}
-
-// exactSizeLimit is the largest n·levels product for which the
-// dispatcher uses the exponential exact DISCRETE solver before falling
-// back to the approximation.
-const exactSizeLimit = 64
-
-// SolveBiCrit solves the BI-CRIT problem with the algorithm matching
-// the instance's speed model:
-//
-//   - CONTINUOUS: the convex (geometric-programming) solver — exact;
-//   - VDD-HOPPING: the Section IV linear program — exact, polynomial;
-//   - DISCRETE / INCREMENTAL: exact branch-and-bound when the instance
-//     is small (NP-complete in general), otherwise the round-up
-//     approximation with guarantee (1+δ/fmin)²(1+1/K)².
-func SolveBiCrit(in *Instance) (*Solution, error) {
-	if err := in.Validate(); err != nil {
-		return nil, err
-	}
-	if in.TriCrit() {
-		return nil, errors.New("core: instance has reliability constraints; use SolveTriCrit")
-	}
-	switch in.Speed.Kind {
-	case model.Continuous:
-		return solveBiCritContinuous(in)
-	case model.VddHopping:
-		res, err := vdd.SolveBiCrit(in.Graph, in.Mapping, in.Speed, in.Deadline)
-		if err != nil {
-			return nil, mapInfeasible(err)
-		}
-		s, err := res.Schedule(in.Graph, in.Mapping)
-		if err != nil {
-			return nil, err
-		}
-		return &Solution{Schedule: s, Energy: res.Energy, Method: "vdd-lp", Exact: true}, nil
-	case model.Discrete, model.Incremental:
-		if in.Graph.N()*in.Speed.NumLevels() <= exactSizeLimit {
-			res, err := discrete.SolveExact(in.Graph, in.Mapping, in.Speed, in.Deadline)
-			if err != nil {
-				return nil, mapInfeasible(err)
-			}
-			s, err := res.Schedule(in.Graph, in.Mapping)
-			if err != nil {
-				return nil, err
-			}
-			return &Solution{Schedule: s, Energy: res.Energy, Method: "discrete-bb", Exact: true}, nil
-		}
-		res, err := discrete.Approximate(in.Graph, in.Mapping, in.Speed, in.Deadline, 10)
-		if err != nil {
-			return nil, mapInfeasible(err)
-		}
-		s, err := res.Schedule(in.Graph, in.Mapping)
-		if err != nil {
-			return nil, err
-		}
-		return &Solution{Schedule: s, Energy: res.Energy, Method: "discrete-roundup", Exact: false}, nil
-	default:
-		return nil, fmt.Errorf("core: unknown speed model %v", in.Speed.Kind)
-	}
-}
-
-func solveBiCritContinuous(in *Instance) (*Solution, error) {
-	cg, err := in.Mapping.ConstraintGraph(in.Graph)
-	if err != nil {
-		return nil, err
-	}
-	n := in.Graph.N()
-	lo := make([]float64, n)
-	hi := make([]float64, n)
-	for i := range lo {
-		lo[i] = in.Speed.FMin
-		hi[i] = in.Speed.FMax
-	}
-	res, err := convex.MinimizeEnergy(cg, in.Deadline, in.Graph.Weights(), lo, hi, convex.Options{})
-	if err != nil {
-		return nil, mapInfeasible(err)
-	}
-	s, err := schedule.FromDurations(in.Graph, in.Mapping, res.Durations)
-	if err != nil {
-		return nil, err
-	}
-	return &Solution{Schedule: s, Energy: res.Energy, Method: "continuous-convex", Exact: true}, nil
 }
 
 // Strategy selects a TRI-CRIT algorithm.
@@ -197,12 +127,46 @@ func (s Strategy) String() string {
 	}
 }
 
-// SolveTriCrit solves the TRI-CRIT problem. Under CONTINUOUS speeds
-// the chosen strategy runs directly; under VDD-HOPPING the continuous
-// solution is adapted by mixing the two closest levels per execution
-// while preserving execution times and reliability (Section IV). The
-// DISCRETE and INCREMENTAL models have no TRI-CRIT solver in the paper
-// and are rejected.
+// ParseStrategy is the inverse of Strategy.String, for flag parsing.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "best-of":
+		return StrategyBestOf, nil
+	case "chain-first":
+		return StrategyChainFirst, nil
+	case "parallel-first":
+		return StrategyParallelFirst, nil
+	case "exact":
+		return StrategyExact, nil
+	default:
+		return 0, fmt.Errorf("core: unknown strategy %q", s)
+	}
+}
+
+// SolveBiCrit solves the BI-CRIT problem with the algorithm matching
+// the instance's speed model.
+//
+// Deprecated: use Solve, which dispatches through the solver registry
+// and adds context cancellation, options, and diagnostics.
+func SolveBiCrit(in *Instance) (*Solution, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if in.TriCrit() {
+		return nil, errors.New("core: instance has reliability constraints; use SolveTriCrit")
+	}
+	res, err := Solve(context.Background(), in)
+	if err != nil {
+		return nil, err
+	}
+	return &res.Solution, nil
+}
+
+// SolveTriCrit solves the TRI-CRIT problem with the given strategy.
+//
+// Deprecated: use Solve with WithStrategy, which dispatches through
+// the solver registry and adds context cancellation, options, and
+// diagnostics.
 func SolveTriCrit(in *Instance, strat Strategy) (*Solution, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
@@ -210,65 +174,9 @@ func SolveTriCrit(in *Instance, strat Strategy) (*Solution, error) {
 	if !in.TriCrit() {
 		return nil, errors.New("core: instance has no reliability constraints; use SolveBiCrit")
 	}
-	tin := tricrit.Instance{
-		Deadline: in.Deadline,
-		FMin:     in.Speed.FMin,
-		FMax:     in.Speed.FMax,
-		FRel:     in.FRel,
-		Rel:      *in.Rel,
-	}
-	if in.Speed.Kind == model.Discrete || in.Speed.Kind == model.Incremental {
-		return nil, fmt.Errorf("core: TRI-CRIT under %v is not supported (the paper treats CONTINUOUS and VDD-HOPPING)", in.Speed.Kind)
-	}
-	// For VDD-HOPPING the continuous sub-solver must search the full
-	// speed range of the ladder.
-	cfg, err := runStrategy(in, tin, strat)
+	res, err := Solve(context.Background(), in, WithStrategy(strat))
 	if err != nil {
-		return nil, mapInfeasible(err)
+		return nil, err
 	}
-	switch in.Speed.Kind {
-	case model.Continuous:
-		s, err := cfg.Schedule(in.Graph, in.Mapping)
-		if err != nil {
-			return nil, err
-		}
-		return &Solution{Schedule: s, Energy: s.Energy(), Method: "tricrit-" + strat.String(), Exact: strat == StrategyExact}, nil
-	case model.VddHopping:
-		plan, err := vdd.RoundPlan(in.Graph, in.Speed, cfg.Speeds, cfg.ReExecSpeeds(), in.Rel, in.FRel)
-		if err != nil {
-			return nil, err
-		}
-		s, err := schedule.FromPlan(in.Graph, in.Mapping, plan)
-		if err != nil {
-			return nil, err
-		}
-		return &Solution{Schedule: s, Energy: s.Energy(), Method: "tricrit-" + strat.String() + "+vdd-round", Exact: false}, nil
-	default:
-		return nil, fmt.Errorf("core: unknown speed model %v", in.Speed.Kind)
-	}
-}
-
-func runStrategy(in *Instance, tin tricrit.Instance, strat Strategy) (*tricrit.Config, error) {
-	switch strat {
-	case StrategyBestOf:
-		return tricrit.BestOf(in.Graph, in.Mapping, tin)
-	case StrategyChainFirst:
-		return tricrit.DAGChainFirst(in.Graph, in.Mapping, tin)
-	case StrategyParallelFirst:
-		return tricrit.DAGParallelFirst(in.Graph, in.Mapping, tin)
-	case StrategyExact:
-		return tricrit.SolveDAGExact(in.Graph, in.Mapping, tin)
-	default:
-		return nil, fmt.Errorf("core: unknown strategy %v", strat)
-	}
-}
-
-// Constraints returns the validator constraints matching the instance.
-func (in *Instance) Constraints() schedule.Constraints {
-	c := schedule.Constraints{Model: in.Speed, Deadline: in.Deadline}
-	if in.Rel != nil {
-		c.Rel = in.Rel
-		c.FRel = in.FRel
-	}
-	return c
+	return &res.Solution, nil
 }

@@ -99,11 +99,11 @@ func UnmarshalInstance(data []byte) (*Instance, error) {
 			return nil, err
 		}
 	}
-	if j.Processors <= 0 {
-		j.Processors = 1
-	}
 	var mp *platform.Mapping
 	if len(j.Mapping) > 0 {
+		if j.Processors > 0 && j.Processors != len(j.Mapping) {
+			return nil, fmt.Errorf("core: \"processors\" is %d but \"mapping\" lists %d processors", j.Processors, len(j.Mapping))
+		}
 		mp = platform.NewMapping(len(j.Mapping), g.N())
 		for q, order := range j.Mapping {
 			for _, t := range order {
@@ -113,6 +113,9 @@ func UnmarshalInstance(data []byte) (*Instance, error) {
 			}
 		}
 	} else {
+		if j.Processors <= 0 {
+			return nil, fmt.Errorf("core: \"processors\" must be ≥ 1, got %d", j.Processors)
+		}
 		res, err := listsched.CriticalPath(g, j.Processors)
 		if err != nil {
 			return nil, err
@@ -151,4 +154,73 @@ func UnmarshalInstance(data []byte) (*Instance, error) {
 		return nil, err
 	}
 	return in, nil
+}
+
+// resultJSON is the machine-readable representation of a Result.
+type resultJSON struct {
+	Solver        string           `json:"solver"`
+	Method        string           `json:"method"`
+	Exact         bool             `json:"exact"`
+	Energy        float64          `json:"energy"`
+	Makespan      float64          `json:"makespan"`
+	LowerBound    float64          `json:"lowerBound,omitempty"`
+	Gap           *float64         `json:"gap,omitempty"`
+	WallTimeMS    float64          `json:"wallTimeMs"`
+	Nodes         int64            `json:"nodes,omitempty"`
+	Iterations    int              `json:"iterations,omitempty"`
+	NumReExecuted int              `json:"numReExecuted"`
+	Tasks         []resultTaskJSON `json:"tasks"`
+}
+
+type resultTaskJSON struct {
+	Name  string     `json:"name"`
+	Proc  int        `json:"proc"`
+	Execs []execJSON `json:"execs"`
+}
+
+type execJSON struct {
+	Start    float64       `json:"start"`
+	Segments []segmentJSON `json:"segments"`
+}
+
+type segmentJSON struct {
+	Speed    float64 `json:"speed"`
+	Duration float64 `json:"duration"`
+}
+
+// MarshalResult serializes a solved Result — diagnostics plus the full
+// per-task schedule — to JSON, the output-side counterpart of
+// MarshalInstance.
+func MarshalResult(r *Result) ([]byte, error) {
+	if r == nil || r.Schedule == nil {
+		return nil, errors.New("core: result has no schedule")
+	}
+	s := r.Schedule
+	j := resultJSON{
+		Solver:        r.Solver,
+		Method:        r.Method,
+		Exact:         r.Exact,
+		Energy:        r.Energy,
+		Makespan:      s.Makespan(),
+		LowerBound:    r.LowerBound,
+		WallTimeMS:    float64(r.WallTime.Microseconds()) / 1000,
+		Nodes:         r.Nodes,
+		Iterations:    r.Iterations,
+		NumReExecuted: s.NumReExecuted(),
+	}
+	if g := r.Gap(); g >= 0 {
+		j.Gap = &g
+	}
+	for i := range s.Tasks {
+		tj := resultTaskJSON{Name: s.G.Task(i).Name, Proc: s.Mapping.Proc[i]}
+		for _, ex := range s.Tasks[i].Execs {
+			ej := execJSON{Start: ex.Start}
+			for _, seg := range ex.Segments {
+				ej.Segments = append(ej.Segments, segmentJSON{Speed: seg.Speed, Duration: seg.Duration})
+			}
+			tj.Execs = append(tj.Execs, ej)
+		}
+		j.Tasks = append(j.Tasks, tj)
+	}
+	return json.MarshalIndent(j, "", "  ")
 }

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Solver is a registered algorithm. Supports reports capability on the
+// instance shape alone (problem kind and speed model); tunable gating
+// — e.g. "exact only below this size" — goes through the optional
+// dispatchGate interface so that WithSolver can still force a capable
+// solver onto any instance.
+type Solver interface {
+	// Name is the registry key, e.g. "continuous-convex".
+	Name() string
+	// Supports reports whether the solver can handle the instance.
+	Supports(in *Instance) bool
+	// Solve runs the algorithm. The schedule is validated by the
+	// caller when Config.Validate is set, so implementations return
+	// raw results.
+	Solve(ctx context.Context, in *Instance, cfg *Config) (*Result, error)
+}
+
+// dispatchGate is an optional Solver refinement consulted only during
+// auto-dispatch: a solver may support an instance (so WithSolver can
+// force it) yet decline it under the current Config — the exact
+// DISCRETE solver declines instances above ExactSizeLimit, and each
+// TRI-CRIT solver declines strategies other than its own.
+type dispatchGate interface {
+	dispatchable(in *Instance, cfg *Config) bool
+}
+
+// prioritized is an optional Solver refinement: higher priority wins
+// auto-dispatch when several gated solvers support an instance.
+// Unprioritized solvers default to 0.
+type prioritized interface {
+	priority() int
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Solver{}
+)
+
+// Register adds a named solver to the global registry, making it
+// eligible for auto-dispatch and selectable with WithSolver. It
+// panics on a nil solver, an empty or mismatched name, or a duplicate
+// registration — registration is an init-time programming act, like
+// http.Handle or database/sql drivers.
+func Register(name string, s Solver) {
+	if s == nil {
+		panic("core: Register called with nil solver")
+	}
+	if name == "" || name != s.Name() {
+		panic(fmt.Sprintf("core: Register name %q does not match solver name %q", name, s.Name()))
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("core: solver %q registered twice", name))
+	}
+	registry[name] = s
+}
+
+// Lookup returns the registered solver with the given name.
+func Lookup(name string) (Solver, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// SolverNames lists the registered solver names, sorted.
+func SolverNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// solversByPriority snapshots the registry ordered by descending
+// priority, name-ascending within ties, so auto-dispatch is
+// deterministic.
+func solversByPriority() []Solver {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]Solver, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := solverPriority(out[i]), solverPriority(out[j])
+		if pi != pj {
+			return pi > pj
+		}
+		return out[i].Name() < out[j].Name()
+	})
+	return out
+}
+
+func solverPriority(s Solver) int {
+	if p, ok := s.(prioritized); ok {
+		return p.priority()
+	}
+	return 0
+}
+
+// dispatch resolves the solver for an instance: the pinned one when
+// WithSolver was given, otherwise the highest-priority registered
+// solver that supports the instance and passes its dispatch gate.
+func dispatch(in *Instance, cfg *Config) (Solver, error) {
+	if cfg.Solver != "" {
+		s, ok := Lookup(cfg.Solver)
+		if !ok {
+			return nil, fmt.Errorf("core: no solver %q registered (have %s)",
+				cfg.Solver, strings.Join(SolverNames(), ", "))
+		}
+		if !s.Supports(in) {
+			return nil, fmt.Errorf("core: solver %q does not support this instance (model %v, tri-crit=%v)",
+				cfg.Solver, in.Speed.Kind, in.TriCrit())
+		}
+		return s, nil
+	}
+	for _, s := range solversByPriority() {
+		if !s.Supports(in) {
+			continue
+		}
+		if g, ok := s.(dispatchGate); ok && !g.dispatchable(in, cfg) {
+			continue
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("core: no registered solver supports this instance (model %v, tri-crit=%v, strategy %v)",
+		in.Speed.Kind, in.TriCrit(), cfg.Strategy)
+}

@@ -5,7 +5,10 @@ import (
 	"math"
 	"math/rand"
 
+	"context"
+
 	"energysched/internal/convex"
+	"energysched/internal/core"
 	"energysched/internal/dag"
 	"energysched/internal/discrete"
 	"energysched/internal/faultsim"
@@ -43,13 +46,19 @@ func E09ModelHierarchy() *Report {
 	}
 	fmin, fmax := 0.1, 1.0
 	D := g.TotalWeight() * 2
-	lo, hi := uniformSpeedBounds(g.N(), fmin, fmax)
-	cont, err := convex.MinimizeEnergy(g.Clone(), D, g.Weights(), lo, hi, convex.Options{})
+	// Every point is produced by core.Solve: the registry picks
+	// continuous-convex, vdd-lp, and — governed by the default
+	// ExactSizeLimit, exactly the cutover this driver used to
+	// hand-roll — discrete-bb below it, discrete-roundup above.
+	ctx := context.Background()
+	smC, err := model.NewContinuous(fmin, fmax)
 	if err != nil {
 		panic(err)
 	}
-	// Chain on one processor: the constraint graph equals the chain
-	// itself, so the clone above suffices.
+	cont, err := core.Solve(ctx, &core.Instance{Graph: g, Mapping: mp, Speed: smC, Deadline: D})
+	if err != nil {
+		panic(err)
+	}
 	prevGap := math.Inf(1)
 	monotone := true
 	var lastGap float64
@@ -62,24 +71,16 @@ func E09ModelHierarchy() *Report {
 		if err != nil {
 			panic(err)
 		}
-		vres, err := vdd.SolveBiCrit(g, mp, smV, D)
+		vres, err := core.Solve(ctx, &core.Instance{Graph: g, Mapping: mp, Speed: smV, Deadline: D})
 		if err != nil {
 			panic(err)
 		}
-		var eIncr float64
-		if g.N()*smI.NumLevels() <= 64 {
-			ires, err := discrete.SolveExact(g, mp, smI, D)
-			if err != nil {
-				panic(err)
-			}
-			eIncr = ires.Energy
-		} else {
-			ares, err := discrete.Approximate(g, mp, smI, D, 20)
-			if err != nil {
-				panic(err)
-			}
-			eIncr = ares.Energy
+		ires, err := core.Solve(ctx, &core.Instance{Graph: g, Mapping: mp, Speed: smI, Deadline: D},
+			core.WithRoundUpK(20))
+		if err != nil {
+			panic(err)
 		}
+		eIncr := ires.Energy
 		gap := 100 * (eIncr/cont.Energy - 1)
 		if gap > prevGap+1e-6 {
 			monotone = false
@@ -440,5 +441,6 @@ func All() []struct {
 		{"E15", E15ListSchedule},
 		{"E16", E16ReplicationVsReexec},
 		{"E17", E17DPvsBranchAndBound},
+		{"E18", E18BatchSolve},
 	}
 }
