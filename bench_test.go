@@ -7,11 +7,17 @@
 package energysched_test
 
 import (
+	"bytes"
+	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"energysched/internal/closedform"
 	"energysched/internal/convex"
+	"energysched/internal/core"
 	"energysched/internal/dag"
 	"energysched/internal/discrete"
 	"energysched/internal/experiments"
@@ -21,6 +27,7 @@ import (
 	"energysched/internal/model"
 	"energysched/internal/platform"
 	"energysched/internal/schedule"
+	"energysched/internal/server"
 	"energysched/internal/tricrit"
 	"energysched/internal/vdd"
 	"energysched/internal/workload"
@@ -411,4 +418,72 @@ func mustMap(b *testing.B, g *dag.Graph, p int) *platform.Mapping {
 		b.Fatal(err)
 	}
 	return res.Mapping
+}
+
+// --- Service benchmarks: the energyschedd cache hit path ---
+
+const benchInstanceJSON = `{
+  "tasks": [{"name": "t1", "weight": 1}, {"name": "t2", "weight": 2}, {"name": "t3", "weight": 3}],
+  "edges": [[0, 1], [1, 2]],
+  "processors": 1,
+  "speedModel": {"kind": "continuous", "fmin": 0.05, "fmax": 10},
+  "deadline": 4
+}`
+
+// Benchmark_ServerSolveCacheHit measures the full HTTP hit path of
+// POST /v1/solve — routing, body read, instance unmarshal, Hash,
+// LRU lookup, cached-bytes write — with the solver warmed out of the
+// loop. This is the latency repeated production traffic sees.
+func Benchmark_ServerSolveCacheHit(b *testing.B) {
+	srv := server.New(server.Config{CacheSize: 128})
+	h := srv.Handler()
+	body := []byte(`{"instance":` + benchInstanceJSON + `}`)
+	warm := httptest.NewRecorder()
+	h.ServeHTTP(warm, httptest.NewRequest(http.MethodPost, "/v1/solve", bytes.NewReader(body)))
+	if warm.Code != http.StatusOK {
+		b.Fatalf("warm-up status %d: %s", warm.Code, warm.Body.Bytes())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/solve", bytes.NewReader(body)))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+// Benchmark_ServerSolveCacheMiss is the contrast case: every request
+// carries a fresh deadline, so each one runs the continuous solver.
+func Benchmark_ServerSolveCacheMiss(b *testing.B) {
+	srv := server.New(server.Config{CacheSize: 2}) // too small to ever hit
+	h := srv.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := []byte(fmt.Sprintf(`{"instance":%s,"timeoutMs":%d}`,
+			strings.Replace(benchInstanceJSON, `"deadline": 4`, fmt.Sprintf(`"deadline": %.9f`, 4+float64(i)*1e-6), 1), 30000))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/solve", bytes.NewReader(body)))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+		}
+	}
+}
+
+// Benchmark_InstanceHash isolates the canonical digest that keys the
+// cache.
+func Benchmark_InstanceHash(b *testing.B) {
+	in, err := core.UnmarshalInstance([]byte(benchInstanceJSON))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if h := in.Hash(); len(h) != 32 {
+			b.Fatal("bad hash")
+		}
+	}
 }

@@ -1,0 +1,79 @@
+// Command energyschedd is the long-running HTTP JSON solve service: a
+// network front end for the core solver registry with an LRU result
+// cache, a per-request solve timeout, a global in-flight cap and
+// graceful shutdown on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	energyschedd [-addr :8080] [-cache-size 1024] [-max-inflight 0]
+//	             [-timeout 30s] [-max-body 8388608] [-workers 0]
+//
+// Endpoints (see internal/server and the README for request formats):
+//
+//	POST /v1/solve   solve one instance
+//	POST /v1/batch   solve a batch on a worker pool
+//	GET  /v1/solvers list registered solvers
+//	GET  /healthz    liveness probe
+//	GET  /stats      request / solve / cache counters
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"energysched/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheSize := flag.Int("cache-size", server.DefaultCacheSize, "result cache capacity in entries")
+	maxInFlight := flag.Int("max-inflight", 0, "max requests solving at once (0 = 2×GOMAXPROCS)")
+	timeout := flag.Duration("timeout", server.DefaultSolveTimeout, "per-request solve timeout")
+	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "max request body bytes")
+	workers := flag.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		CacheSize:    *cacheSize,
+		MaxInFlight:  *maxInFlight,
+		SolveTimeout: *timeout,
+		MaxBodyBytes: *maxBody,
+		Workers:      *workers,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("energyschedd listening on %s (timeout %v, cache %d entries)", *addr, *timeout, *cacheSize)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		stop() // a second signal kills immediately via the default handler
+		log.Print("energyschedd shutting down, draining in-flight solves")
+		// Allow one full solve timeout (plus margin) for the drain.
+		sctx, cancel := context.WithTimeout(context.Background(), *timeout+5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("forced shutdown: %v", err)
+			hs.Close()
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package cache provides a concurrency-safe, sharded LRU used by the
+// solve service to memoize solver results. Keys are strings — the
+// service combines core.Instance.Hash with core.Config.Fingerprint —
+// and the key space is split over fixed shards so that concurrent
+// requests rarely contend on one mutex. Eviction is per shard in
+// strict LRU order; hit, miss and eviction totals are kept for the
+// service's /stats endpoint.
+package cache
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// numShards is a power of two so the shard index is a cheap mask. 16
+// shards keep contention negligible up to a few hundred concurrent
+// requests without inflating the per-cache footprint.
+const numShards = 16
+
+// Cache is a sharded LRU from string keys to values of type V. The
+// zero value is not usable; call New.
+type Cache[V any] struct {
+	shards                  [numShards]shard[V]
+	hits, misses, evictions atomic.Int64
+	capacity                int
+}
+
+type shard[V any] struct {
+	mu       sync.Mutex
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	capacity int
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// New returns a cache holding at most capacity entries in total,
+// spread evenly over the shards (rounded up, so the effective total
+// can exceed capacity by up to numShards−1). Capacities below one
+// entry per shard are raised to that minimum.
+func New[V any](capacity int) *Cache[V] {
+	perShard := (capacity + numShards - 1) / numShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache[V]{capacity: perShard * numShards}
+	for i := range c.shards {
+		c.shards[i] = shard[V]{
+			ll:       list.New(),
+			items:    make(map[string]*list.Element),
+			capacity: perShard,
+		}
+	}
+	return c
+}
+
+func (c *Cache[V]) shard(key string) *shard[V] {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()&(numShards-1)]
+}
+
+// Get returns the value stored under key and marks it most recently
+// used. Every call counts as exactly one hit or one miss.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*entry[V]).val, true
+	}
+	c.misses.Add(1)
+	var zero V
+	return zero, false
+}
+
+// Put stores value under key as the most recently used entry,
+// replacing any existing value and evicting the shard's least recently
+// used entry when the shard is full.
+func (c *Cache[V]) Put(key string, val V) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*entry[V]).val = val
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.ll.PushFront(&entry[V]{key: key, val: val})
+	if s.ll.Len() > s.capacity {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.items, oldest.Value.(*entry[V]).key)
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the current number of entries across all shards.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+}
+
+// Stats snapshots the counters. Hits+misses equals the number of Get
+// calls; entries never exceeds capacity.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+		Capacity:  c.capacity,
+	}
+}

@@ -1,0 +1,125 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPutBasics(t *testing.T) {
+	c := New[string](64)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put("a", "1")
+	if v, ok := c.Get("a"); !ok || v != "1" {
+		t.Fatalf("Get(a) = %q, %v; want 1, true", v, ok)
+	}
+	c.Put("a", "2")
+	if v, _ := c.Get("a"); v != "2" {
+		t.Fatalf("Put did not replace: got %q", v)
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v, want 2 hits / 1 miss / 0 evictions", st)
+	}
+}
+
+func TestEvictionIsLRUPerShard(t *testing.T) {
+	// Capacity numShards means exactly one entry per shard, so any two
+	// keys landing in one shard evict each other in LRU order.
+	c := New[int](numShards)
+	if c.Stats().Capacity != numShards {
+		t.Fatalf("capacity = %d, want %d", c.Stats().Capacity, numShards)
+	}
+	// Find two keys that share a shard.
+	var a, b string
+	ref := c.shard("k0")
+	for i := 1; ; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if c.shard(k) == ref {
+			a, b = "k0", k
+			break
+		}
+	}
+	c.Put(a, 1)
+	c.Put(b, 2) // evicts a
+	if _, ok := c.Get(a); ok {
+		t.Fatalf("%s survived eviction", a)
+	}
+	if v, ok := c.Get(b); !ok || v != 2 {
+		t.Fatalf("%s = %d, %v; want 2, true", b, v, ok)
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestGetRefreshesRecency(t *testing.T) {
+	c := New[int](numShards)
+	ref := c.shard("k0")
+	var sibs []string
+	for i := 1; len(sibs) < 2; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if c.shard(k) == ref {
+			sibs = append(sibs, k)
+		}
+	}
+	// One-entry shards cannot show recency; grow the shard to two.
+	c2 := New[int](2 * numShards)
+	c2.Put("k0", 0)
+	c2.Put(sibs[0], 1)
+	c2.Get("k0")       // k0 becomes most recent
+	c2.Put(sibs[1], 2) // evicts sibs[0], not k0
+	if _, ok := c2.Get("k0"); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if _, ok := c2.Get(sibs[0]); ok {
+		t.Fatal("least recently used entry survived")
+	}
+}
+
+func TestTinyCapacityClamped(t *testing.T) {
+	c := New[int](0)
+	c.Put("a", 1)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("clamped cache unusable: %d, %v", v, ok)
+	}
+	if c.Stats().Capacity < numShards {
+		t.Fatalf("capacity = %d, want ≥ %d", c.Stats().Capacity, numShards)
+	}
+}
+
+// TestConcurrentAccess exercises the sharded locks under the race
+// detector: hammering Get/Put/Stats from many goroutines must be safe
+// and never lose the invariant entries ≤ capacity.
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int](128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("g%d-i%d", g, i%100)
+				c.Get(k) // first round misses, later rounds mostly hit
+				c.Put(k, i)
+				c.Get(k)
+				if i%50 == 0 {
+					c.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Entries > st.Capacity {
+		t.Fatalf("entries %d exceed capacity %d", st.Entries, st.Capacity)
+	}
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("expected both hits and misses, got %+v", st)
+	}
+}

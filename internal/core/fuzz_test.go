@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzUnmarshalInstance hardens the JSON ingest path: arbitrary bytes
+// must either be rejected with an error or yield an instance that (a)
+// passes Validate, (b) marshals back, (c) survives the round trip, and
+// (d) has a stable canonical Hash across the round trip. Panics and
+// accepted-but-invalid instances are the bugs this hunts.
+func FuzzUnmarshalInstance(f *testing.F) {
+	for _, in := range []*Instance{contInstance(2), triInstance(6)} {
+		data, err := MarshalInstance(in)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"tasks":[]}`))
+	f.Add([]byte(`{"tasks":[{"name":"a","weight":1}],"processors":1,"speedModel":{"kind":"continuous","fmin":0.1,"fmax":1},"deadline":10}`))
+	f.Add([]byte(`{"tasks":[{"name":"a","weight":1e999}],"processors":1,"speedModel":{"kind":"continuous","fmin":0.1,"fmax":1},"deadline":10}`))
+	f.Add([]byte(`{"tasks":[{"name":"a","weight":-1}],"processors":1,"speedModel":{"kind":"continuous","fmin":0.1,"fmax":1},"deadline":10}`))
+	f.Add([]byte(`{"tasks":[{"name":"a","weight":1}],"edges":[[0,0]],"processors":1,"speedModel":{"kind":"continuous","fmin":0.1,"fmax":1},"deadline":10}`))
+	f.Add([]byte(`{"tasks":[{"name":"a","weight":1}],"processors":0,"speedModel":{"kind":"discrete","levels":[0.5,1]},"deadline":1}`))
+	f.Add([]byte(`{"tasks":[{"name":"a","weight":1}],"processors":1,"speedModel":{"kind":"incremental","fmin":0.1,"fmax":1,"delta":0.01},"deadline":1,"reliability":{"lambda0":1e-5,"d":3,"frel":0.8}}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"tasks":[{"name":"a","weight":`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := UnmarshalInstance(data)
+		if err != nil {
+			return // rejection is always a legal outcome
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("UnmarshalInstance accepted an instance that fails Validate: %v\ninput: %q", err, data)
+		}
+		h := in.Hash()
+		if len(h) != 32 {
+			t.Fatalf("Hash() = %q, want 32 hex chars", h)
+		}
+		out, err := MarshalInstance(in)
+		if err != nil {
+			t.Fatalf("accepted instance fails MarshalInstance: %v\ninput: %q", err, data)
+		}
+		back, err := UnmarshalInstance(out)
+		if err != nil {
+			t.Fatalf("canonical marshal does not round-trip: %v\nmarshal: %s", err, out)
+		}
+		if back.Hash() != h {
+			t.Fatalf("Hash unstable across round trip: %s → %s\nmarshal: %s", h, back.Hash(), out)
+		}
+	})
+}

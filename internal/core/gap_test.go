@@ -1,0 +1,50 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// Regression: Gap used to return a negative value when float drift
+// left LowerBound a few ulps above Energy, making "no bound" (−1) and
+// "bound slightly exceeded" indistinguishable to callers testing
+// gap >= 0.
+func TestGapClampAndSentinel(t *testing.T) {
+	cases := []struct {
+		name             string
+		energy, lb, want float64
+	}{
+		{"no bound", 10, 0, -1},
+		{"negative bound is no bound", 10, -1, -1},
+		{"exact match", 10, 10, 0},
+		{"real gap", 12, 10, 0.2},
+		{"drift above energy clamps to zero", 10, 10 * (1 + 1e-13), 0},
+		{"large drift still clamps", 1, 2, 0},
+	}
+	for _, c := range cases {
+		r := &Result{Solution: Solution{Energy: c.energy}, LowerBound: c.lb}
+		got := r.Gap()
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: Gap() = %v, want %v", c.name, got, c.want)
+		}
+		if c.lb > 0 && got < 0 {
+			t.Errorf("%s: Gap() negative (%v) despite a bound being present", c.name, got)
+		}
+	}
+}
+
+// An exact solve reports its own energy as the bound; end to end the
+// gap must come back 0, never negative, and survive MarshalResult.
+func TestGapEndToEndNonNegative(t *testing.T) {
+	res, err := Solve(context.Background(), contInstance(2), WithLowerBound(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LowerBound <= 0 {
+		t.Skip("solver reported no bound")
+	}
+	if g := res.Gap(); g < 0 {
+		t.Errorf("exact solve Gap() = %v, want ≥ 0", g)
+	}
+}

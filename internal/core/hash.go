@@ -1,0 +1,123 @@
+package core
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"sort"
+)
+
+// instanceHashVersion is folded into every digest so that a future
+// change to the canonical byte stream changes every hash instead of
+// silently colliding with old ones.
+const instanceHashVersion = 1
+
+// Hash returns a canonical 128-bit FNV-1a digest of the instance as a
+// 32-character lowercase hex string. Two instances hash equal exactly
+// when they describe the same problem: same task names and weights (in
+// task order), same dependence edges (as a set), same mapping, same
+// speed model, same deadline and same reliability constraints. The
+// digest is independent of edge insertion order, of the process, and
+// of the platform, so it is a stable cache / dedup key across runs and
+// machines; it is versioned, so it may change between releases of this
+// module when the instance format grows.
+//
+// Hash assumes a structurally valid instance (Graph and Mapping
+// non-nil); call Validate first on untrusted input.
+func (in *Instance) Hash() string {
+	h := fnv.New128a()
+	writeString(h, fmt.Sprintf("energysched/instance/v%d", instanceHashVersion))
+
+	n := in.Graph.N()
+	writeUint64(h, uint64(n))
+	for i := 0; i < n; i++ {
+		t := in.Graph.Task(i)
+		writeString(h, t.Name)
+		writeFloat64(h, t.Weight)
+	}
+
+	edges := in.Graph.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	writeUint64(h, uint64(len(edges)))
+	for _, e := range edges {
+		writeUint64(h, uint64(e[0]))
+		writeUint64(h, uint64(e[1]))
+	}
+
+	writeUint64(h, uint64(in.Mapping.P))
+	for q := 0; q < in.Mapping.P; q++ {
+		order := in.Mapping.Order[q]
+		writeUint64(h, uint64(len(order)))
+		for _, t := range order {
+			writeUint64(h, uint64(t))
+		}
+	}
+
+	writeUint64(h, uint64(in.Speed.Kind))
+	writeFloat64(h, in.Speed.FMin)
+	writeFloat64(h, in.Speed.FMax)
+	writeFloat64(h, in.Speed.Delta)
+	writeUint64(h, uint64(len(in.Speed.Levels)))
+	for _, l := range in.Speed.Levels {
+		writeFloat64(h, l)
+	}
+
+	writeFloat64(h, in.Deadline)
+	if in.Rel == nil {
+		writeUint64(h, 0)
+	} else {
+		writeUint64(h, 1)
+		writeFloat64(h, in.Rel.Lambda0)
+		writeFloat64(h, in.Rel.Sensitivity)
+		writeFloat64(h, in.Rel.FMin)
+		writeFloat64(h, in.Rel.FMax)
+		writeFloat64(h, in.FRel)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeString writes a length-prefixed string so that adjacent fields
+// cannot alias ("ab","c" vs "a","bc").
+func writeString(w io.Writer, s string) {
+	writeUint64(w, uint64(len(s)))
+	io.WriteString(w, s)
+}
+
+func writeUint64(w io.Writer, v uint64) {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	w.Write(buf[:])
+}
+
+// writeFloat64 hashes the IEEE-754 bit pattern, so -0.0 and 0.0 (and
+// different NaN payloads) hash differently — bit-exact instances are
+// the equality contract.
+func writeFloat64(w io.Writer, v float64) {
+	writeUint64(w, math.Float64bits(v))
+}
+
+// NewConfig materializes a functional option list into a validated
+// Config, exactly as Solve and SolveAll do internally. Callers that
+// need the resolved knobs without solving — e.g. to build a cache key
+// from Fingerprint — use it to share one source of truth with the
+// solve path.
+func NewConfig(opts ...Option) (*Config, error) { return newConfig(opts...) }
+
+// Fingerprint returns a canonical encoding of the result-affecting
+// knobs: pinned solver, strategy, exact size limit, round-up K and
+// lower-bound computation. Timeout, Validate and Workers change how a
+// solve runs, never which solution it returns, so configs differing
+// only there share a fingerprint. Combined with Instance.Hash it forms
+// a stable memoization key for solver results.
+func (c *Config) Fingerprint() string {
+	return fmt.Sprintf("solver=%s|strategy=%s|exact=%d|k=%d|lb=%t",
+		c.Solver, c.Strategy, c.ExactSizeLimit, c.RoundUpK, c.LowerBound)
+}

@@ -29,13 +29,20 @@ type Result struct {
 	Iterations int
 }
 
-// Gap returns the relative optimality gap Energy/LowerBound − 1, or
-// −1 when no lower bound is available.
+// Gap returns the relative optimality gap Energy/LowerBound − 1,
+// clamped to 0 when float drift leaves the reported bound a few ulps
+// above the energy (exact solvers report their own energy as the
+// bound, so tiny negative raw gaps are noise, not information). It
+// returns −1 only when no lower bound is available, keeping the two
+// cases — "no bound" and "bound met exactly" — distinguishable.
 func (r *Result) Gap() float64 {
 	if r.LowerBound <= 0 {
 		return -1
 	}
-	return r.Energy/r.LowerBound - 1
+	if g := r.Energy/r.LowerBound - 1; g > 0 {
+		return g
+	}
+	return 0
 }
 
 // Solve is the single entry point of the library: it validates the

@@ -1,0 +1,97 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"energysched/internal/server"
+)
+
+// FuzzSolveHandler hardens the service ingest path: arbitrary request
+// bodies — malformed JSON, out-of-range weights, zero-task instances,
+// absurd options — must always produce an HTTP response (never a
+// panic), always valid JSON, and 4xx for anything that is not a
+// solvable instance. The tiny SolveTimeout bounds the damage of a
+// fuzzer-built instance that actually dispatches a solver.
+func FuzzSolveHandler(f *testing.F) {
+	f.Add([]byte(`{"instance":` + chainInstance + `}`))
+	f.Add([]byte(`{"instance":` + chainInstance + `,"solver":"continuous-convex","roundUpK":5}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"instance":{}}`))
+	f.Add([]byte(`{"instance":{"tasks":[]}}`))
+	f.Add([]byte(`{"instance":{"tasks":[{"name":"a","weight":1e999}],"processors":1,"speedModel":{"kind":"continuous","fmin":0.1,"fmax":1},"deadline":1}}`))
+	f.Add([]byte(`{"instance":{"tasks":[{"name":"a","weight":-1}],"processors":1,"speedModel":{"kind":"continuous","fmin":0.1,"fmax":1},"deadline":1}}`))
+	f.Add([]byte(`{"instance":{"tasks":[{"name":"a","weight":1}],"edges":[[0,9]],"processors":1,"speedModel":{"kind":"discrete","levels":[1]},"deadline":1}}`))
+	f.Add([]byte(`{"instance":` + chainInstance + `,"solver":"no-such"}`))
+	f.Add([]byte(`{"instance":` + chainInstance + `,"strategy":"bogus"}`))
+	f.Add([]byte(`{"instance":` + chainInstance + `,"timeoutMs":-5}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"instance":`))
+
+	srv := server.New(server.Config{
+		SolveTimeout: 200 * time.Millisecond,
+		CacheSize:    64,
+		MaxBodyBytes: 1 << 16,
+	})
+	h := srv.Handler()
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest("POST", "/v1/solve", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req) // a panic here fails the fuzz run
+		if rec.Code != 200 && (rec.Code < 400 || rec.Code > 599) {
+			t.Fatalf("status %d outside {200, 4xx, 5xx}\ninput: %q", rec.Code, body)
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("response is not valid JSON: %q\ninput: %q", rec.Body.Bytes(), body)
+		}
+		// A zero-task instance must be rejected client-side, never
+		// accepted or crashed on.
+		var probe struct {
+			Instance struct {
+				Tasks []json.RawMessage `json:"tasks"`
+			} `json:"instance"`
+		}
+		if err := json.Unmarshal(body, &probe); err == nil &&
+			strings.Contains(string(body), `"tasks"`) && len(probe.Instance.Tasks) == 0 {
+			if rec.Code < 400 || rec.Code > 499 {
+				t.Fatalf("zero-task instance got status %d, want 4xx\ninput: %q", rec.Code, body)
+			}
+		}
+	})
+}
+
+// FuzzBatchHandler gives the batch ingest path the same treatment; a
+// whole-batch request must degrade to per-item errors, never a panic
+// or a non-JSON response.
+func FuzzBatchHandler(f *testing.F) {
+	f.Add([]byte(`{"instances":[` + chainInstance + `]}`))
+	f.Add([]byte(`{"instances":[{"tasks":[]},` + chainInstance + `],"workers":2}`))
+	f.Add([]byte(`{"instances":[]}`))
+	f.Add([]byte(`{"instances":"nope"}`))
+	f.Add([]byte(`garbage`))
+
+	srv := server.New(server.Config{
+		SolveTimeout: 200 * time.Millisecond,
+		CacheSize:    64,
+		MaxBodyBytes: 1 << 16,
+	})
+	h := srv.Handler()
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest("POST", "/v1/batch", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 && (rec.Code < 400 || rec.Code > 599) {
+			t.Fatalf("status %d outside {200, 4xx, 5xx}\ninput: %q", rec.Code, body)
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("response is not valid JSON: %q\ninput: %q", rec.Body.Bytes(), body)
+		}
+	})
+}

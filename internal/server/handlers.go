@@ -1,0 +1,283 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"energysched/internal/cache"
+	"energysched/internal/core"
+)
+
+// solveOptions is the tunable subset of core's functional options a
+// request may set. Zero/absent fields keep the solver defaults; the
+// two resource knobs (timeoutMs, workers on batch) may only lower the
+// server's caps.
+type solveOptions struct {
+	Solver         string `json:"solver,omitempty"`
+	Strategy       string `json:"strategy,omitempty"`
+	ExactSizeLimit *int   `json:"exactSizeLimit,omitempty"`
+	RoundUpK       *int   `json:"roundUpK,omitempty"`
+	LowerBound     *bool  `json:"lowerBound,omitempty"`
+	TimeoutMS      int64  `json:"timeoutMs,omitempty"`
+}
+
+// coreOptions translates the request options into a core option list
+// plus the resolved Config whose Fingerprint keys the cache. Unknown
+// solvers and strategies are rejected here so they surface as 400
+// before any solving work.
+func (o *solveOptions) coreOptions() ([]core.Option, *core.Config, error) {
+	var opts []core.Option
+	if o.Solver != "" {
+		if _, ok := core.Lookup(o.Solver); !ok {
+			return nil, nil, &httpError{status: http.StatusBadRequest,
+				msg: fmt.Sprintf("unknown solver %q (have %s)", o.Solver, strings.Join(core.SolverNames(), ", "))}
+		}
+		opts = append(opts, core.WithSolver(o.Solver))
+	}
+	if o.Strategy != "" {
+		strat, err := core.ParseStrategy(o.Strategy)
+		if err != nil {
+			return nil, nil, &httpError{status: http.StatusBadRequest, msg: err.Error()}
+		}
+		opts = append(opts, core.WithStrategy(strat))
+	}
+	if o.ExactSizeLimit != nil {
+		opts = append(opts, core.WithExactSizeLimit(*o.ExactSizeLimit))
+	}
+	if o.RoundUpK != nil {
+		opts = append(opts, core.WithRoundUpK(*o.RoundUpK))
+	}
+	if o.LowerBound != nil {
+		opts = append(opts, core.WithLowerBound(*o.LowerBound))
+	}
+	cfg, err := core.NewConfig(opts...)
+	if err != nil {
+		return nil, nil, &httpError{status: http.StatusBadRequest, msg: err.Error()}
+	}
+	return opts, cfg, nil
+}
+
+type solveRequest struct {
+	Instance json.RawMessage `json:"instance"`
+	solveOptions
+}
+
+// handleSolve serves POST /v1/solve: unmarshal, consult the cache,
+// otherwise take a semaphore slot and solve under the request
+// deadline. The response body is core.MarshalResult JSON, byte-cached
+// so a hit costs no solver or encoder work.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	body, err := s.readBody(w, r)
+	if err != nil {
+		s.writeHTTPError(w, err)
+		return
+	}
+	var req solveRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "parsing request: "+err.Error())
+		return
+	}
+	if len(req.Instance) == 0 {
+		s.writeError(w, http.StatusBadRequest, `request is missing "instance"`)
+		return
+	}
+	in, err := core.UnmarshalInstance(req.Instance)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	opts, cfg, err := req.coreOptions()
+	if err != nil {
+		s.writeHTTPError(w, err)
+		return
+	}
+	key := in.Hash() + "|" + cfg.Fingerprint()
+	if out, ok := s.cache.Get(key); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "hit")
+		w.Write(out)
+		return
+	}
+	ctx, cancel := s.solveContext(r, req.TimeoutMS)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		s.writeError(w, s.solveStatus(err), "waiting for a solve slot: "+err.Error())
+		return
+	}
+	defer s.release()
+	res, err := core.Solve(ctx, in, opts...)
+	if err != nil {
+		s.writeError(w, s.solveStatus(err), err.Error())
+		return
+	}
+	out, err := core.MarshalResult(res)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.cache.Put(key, out)
+	s.solved.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", "miss")
+	w.Write(out)
+}
+
+type batchRequest struct {
+	Instances []json.RawMessage `json:"instances"`
+	Workers   int               `json:"workers,omitempty"`
+	solveOptions
+}
+
+// batchItemJSON is one per-instance outcome; exactly one of Result and
+// Error is set. Cached marks results served from the LRU.
+type batchItemJSON struct {
+	Index  int             `json:"index"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Cached bool            `json:"cached,omitempty"`
+}
+
+type batchResponse struct {
+	Items     []batchItemJSON `json:"items"`
+	CacheHits int             `json:"cacheHits"`
+}
+
+// handleBatch serves POST /v1/batch: per-instance cache lookups first,
+// then one core.SolveAll worker pool over the misses. Like SolveAll, a
+// batch never fails as a whole — malformed instances and per-instance
+// solve errors land in their item while the rest solve normally.
+// Items are returned in input order.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := s.readBody(w, r)
+	if err != nil {
+		s.writeHTTPError(w, err)
+		return
+	}
+	var req batchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "parsing request: "+err.Error())
+		return
+	}
+	if len(req.Instances) == 0 {
+		s.writeError(w, http.StatusBadRequest, `request is missing "instances"`)
+		return
+	}
+	opts, cfg, err := req.coreOptions()
+	if err != nil {
+		s.writeHTTPError(w, err)
+		return
+	}
+	workers := s.cfg.Workers
+	if req.Workers > 0 && req.Workers < workers {
+		workers = req.Workers
+	}
+	opts = append(opts, core.WithWorkers(workers))
+
+	resp := batchResponse{Items: make([]batchItemJSON, len(req.Instances))}
+	keys := make([]string, len(req.Instances))
+	fp := cfg.Fingerprint()
+	var toSolve []int // representative item index per solve slot
+	var instances []*core.Instance
+	slotByKey := map[string]int{} // dedups identical instances within the batch
+	dups := map[int][]int{}       // slot → additional item indices sharing its key
+	for i, raw := range req.Instances {
+		resp.Items[i].Index = i
+		in, err := core.UnmarshalInstance(raw)
+		if err != nil {
+			resp.Items[i].Error = err.Error()
+			continue
+		}
+		keys[i] = in.Hash() + "|" + fp
+		if out, ok := s.cache.Get(keys[i]); ok {
+			resp.Items[i].Result = out
+			resp.Items[i].Cached = true
+			resp.CacheHits++
+			continue
+		}
+		if slot, ok := slotByKey[keys[i]]; ok {
+			dups[slot] = append(dups[slot], i)
+			continue
+		}
+		slotByKey[keys[i]] = len(toSolve)
+		toSolve = append(toSolve, i)
+		instances = append(instances, in)
+	}
+	if len(toSolve) > 0 {
+		ctx, cancel := s.solveContext(r, req.TimeoutMS)
+		defer cancel()
+		if err := s.acquire(ctx); err != nil {
+			s.writeError(w, s.solveStatus(err), "waiting for a solve slot: "+err.Error())
+			return
+		}
+		defer s.release()
+		for j, item := range core.SolveAll(ctx, instances, opts...) {
+			i := toSolve[j]
+			if item.Err != nil {
+				msg := item.Err.Error()
+				if s.solveStatus(item.Err) == http.StatusGatewayTimeout {
+					msg = "timeout: " + msg
+				}
+				resp.Items[i].Error = msg
+				for _, d := range dups[j] {
+					resp.Items[d].Error = msg
+				}
+				continue
+			}
+			out, err := core.MarshalResult(item.Result)
+			if err != nil {
+				resp.Items[i].Error = err.Error()
+				for _, d := range dups[j] {
+					resp.Items[d].Error = err.Error()
+				}
+				continue
+			}
+			s.cache.Put(keys[i], out)
+			s.solved.Add(1)
+			resp.Items[i].Result = out
+			for _, d := range dups[j] {
+				resp.Items[d].Result = out
+			}
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// handleSolvers serves GET /v1/solvers with the sorted registry names.
+func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string][]string{"solvers": core.SolverNames()})
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// statsJSON is the GET /stats payload.
+type statsJSON struct {
+	UptimeSeconds float64     `json:"uptimeSeconds"`
+	Requests      int64       `json:"requests"`
+	Solved        int64       `json:"solved"`
+	Errors        int64       `json:"errors"`
+	Timeouts      int64       `json:"timeouts"`
+	InFlight      int64       `json:"inFlight"`
+	MaxInFlight   int         `json:"maxInFlight"`
+	Cache         cache.Stats `json:"cache"`
+}
+
+// handleStats serves GET /stats with request, solve and cache
+// counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, statsJSON{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		Solved:        s.solved.Load(),
+		Errors:        s.errors.Load(),
+		Timeouts:      s.timeouts.Load(),
+		InFlight:      s.inflight.Load(),
+		MaxInFlight:   s.cfg.MaxInFlight,
+		Cache:         s.cache.Stats(),
+	})
+}

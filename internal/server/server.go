@@ -1,0 +1,208 @@
+// Package server implements energyschedd, the long-running HTTP JSON
+// solve service in front of the core solver registry:
+//
+//	POST /v1/solve   — solve one instance, returns core.MarshalResult JSON
+//	POST /v1/batch   — solve many instances on a worker pool (core.SolveAll)
+//	GET  /v1/solvers — list the registered solver names
+//	GET  /healthz    — liveness probe
+//	GET  /stats      — request, solve and cache counters
+//
+// Solved results are memoized in a sharded LRU keyed by
+// (core.Instance.Hash, core.Config.Fingerprint), so repeated instances
+// skip the solver entirely. Every request runs under a wall-time cap,
+// solver work is bounded by a global in-flight semaphore, and the
+// service drains gracefully through the standard http.Server.Shutdown
+// path (handlers observe the request context, which the semaphore and
+// solvers honor).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"energysched/internal/cache"
+	"energysched/internal/core"
+)
+
+// Defaults applied by New for zero Config fields.
+const (
+	DefaultCacheSize    = 1024
+	DefaultSolveTimeout = 30 * time.Second
+	DefaultMaxBodyBytes = 8 << 20 // 8 MiB
+)
+
+// Config tunes one Server. The zero value is usable: New substitutes
+// the package defaults.
+type Config struct {
+	// CacheSize is the result cache capacity in entries (default
+	// DefaultCacheSize).
+	CacheSize int
+	// MaxInFlight caps the number of requests executing solvers at
+	// once; excess requests queue on the semaphore until a slot frees
+	// or their deadline expires (default 2×GOMAXPROCS).
+	MaxInFlight int
+	// SolveTimeout bounds the solving wall time of every request; a
+	// request may only lower it via "timeoutMs" (default
+	// DefaultSolveTimeout).
+	SolveTimeout time.Duration
+	// MaxBodyBytes bounds the request body; larger bodies get 413
+	// (default DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// Workers is the default worker-pool size for /v1/batch; a request
+	// may only lower it via "workers" (default GOMAXPROCS).
+	Workers int
+}
+
+// Server is the handler state: resolved config, result cache,
+// in-flight semaphore and counters. Create with New; it is safe for
+// concurrent use.
+type Server struct {
+	cfg   Config
+	cache *cache.Cache[[]byte]
+	sem   chan struct{}
+	mux   *http.ServeMux
+	start time.Time
+
+	requests atomic.Int64 // HTTP requests accepted (all endpoints)
+	solved   atomic.Int64 // instances solved by a solver (cache misses)
+	errors   atomic.Int64 // requests answered with a 4xx/5xx status
+	timeouts atomic.Int64 // solves aborted by deadline or disconnect
+	inflight atomic.Int64 // requests currently holding a semaphore slot
+}
+
+// New returns a ready-to-serve Server with cfg's zero fields replaced
+// by defaults.
+func New(cfg Config) *Server {
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.SolveTimeout <= 0 {
+		cfg.SolveTimeout = DefaultSolveTimeout
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: cache.New[[]byte](cfg.CacheSize),
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// Handler returns the service's http.Handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// acquire takes an in-flight slot, waiting until one frees or the
+// request's deadline expires.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		s.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() {
+	s.inflight.Add(-1)
+	<-s.sem
+}
+
+// solveContext derives the per-request solving context: the server cap
+// lowered — never raised — by the request's timeoutMs.
+func (s *Server) solveContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.SolveTimeout
+	if req := time.Duration(timeoutMS) * time.Millisecond; timeoutMS > 0 && req < timeout {
+		timeout = req
+	}
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+// readBody reads the request body under the MaxBodyBytes cap,
+// distinguishing an oversized body (http.MaxBytesError → 413) from
+// transport errors.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, &httpError{status: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes)}
+		}
+		return nil, &httpError{status: http.StatusBadRequest, msg: "reading request body: " + err.Error()}
+	}
+	return body, nil
+}
+
+// httpError pairs a client-facing message with its status code.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// writeError emits the uniform JSON error envelope and counts the
+// failed request.
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	s.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func (s *Server) writeHTTPError(w http.ResponseWriter, err error) {
+	var he *httpError
+	if errors.As(err, &he) {
+		s.writeError(w, he.status, he.msg)
+		return
+	}
+	s.writeError(w, http.StatusBadRequest, err.Error())
+}
+
+// solveStatus maps a core.Solve error to an HTTP status: deadline or
+// cancellation → 504, infeasible instance → 422, anything else (bad
+// instance, unsupported solver/instance pairing) → 400.
+func (s *Server) solveStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.timeouts.Add(1)
+		return http.StatusGatewayTimeout
+	case errors.Is(err, core.ErrInfeasible):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
