@@ -1,0 +1,55 @@
+# energysched build/test/bench entry points.
+#
+# The kernel benchmarks named in GATED_BENCHES form the performance
+# contract of the numeric core; their baseline lives in
+# BENCH_kernels.json and is enforced by cmd/benchgate (>10% time/op or
+# allocs/op regression fails `make bench-check` and the CI `bench`
+# job). After an intentional kernel change, refresh the baseline with
+# `make bench` and commit the JSON alongside the change.
+
+GO ?= go
+
+# The named kernel benchmarks guarded by the regression gate.
+GATED_BENCHES = BenchmarkConvexSolve64Tasks|BenchmarkChainFirstHeuristic64Tasks|BenchmarkSimplexSolve|BenchmarkDiscreteExact12Tasks|BenchmarkFaultSim10kTrials|BenchmarkAblation_WaterfillChain32
+
+BENCH_FLAGS = -run='^$$' -bench='^($(GATED_BENCHES))$$' -benchmem -benchtime=10x -count=5
+
+# Relative regression tolerances for the gate. The committed baseline
+# is measured by `make bench` on the machine of record; when checking
+# on substantially different hardware, widen the time tolerance
+# (allocs/op transfers across machines and stays strict):
+#   make bench-check BENCHGATE_TIME_TOL=0.5
+BENCHGATE_TIME_TOL ?= 0.10
+BENCHGATE_ALLOC_TOL ?= 0.10
+
+.PHONY: build test race bench bench-check fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the gated kernel benchmarks and refreshes the committed
+# baseline BENCH_kernels.json.
+bench:
+	$(GO) test $(BENCH_FLAGS) . | tee bench.out
+	$(GO) run ./cmd/benchgate -update -in bench.out -baseline BENCH_kernels.json
+	@rm -f bench.out
+
+# bench-check runs the same benchmarks and fails on >10% time/op or
+# allocs/op regression against the committed baseline.
+bench-check:
+	$(GO) test $(BENCH_FLAGS) . > bench.out
+	$(GO) run ./cmd/benchgate -in bench.out -baseline BENCH_kernels.json \
+		-time-tol $(BENCHGATE_TIME_TOL) -alloc-tol $(BENCHGATE_ALLOC_TOL)
+	@rm -f bench.out

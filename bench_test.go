@@ -262,9 +262,12 @@ func BenchmarkFaultSim10kTrials(b *testing.B) {
 		b.Fatal(err)
 	}
 	rel := model.Reliability{Lambda0: 0.002, Sensitivity: 3, FMin: 0.1, FMax: 1}
+	sim := faultsim.NewSimulator()
+	var st faultsim.Stats
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := faultsim.SimulateSchedule(s, rel, 10000, int64(i)); err != nil {
+		if err := sim.SimulateInto(&st, s, rel, 10000, int64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,6 +7,7 @@
 //
 //	energyschedd [-addr :8080] [-cache-size 1024] [-max-inflight 0]
 //	             [-timeout 30s] [-max-body 8388608] [-workers 0]
+//	             [-pprof]
 //
 // Endpoints (see internal/server and the README for request formats):
 //
@@ -23,6 +24,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,6 +40,7 @@ func main() {
 	timeout := flag.Duration("timeout", server.DefaultSolveTimeout, "per-request solve timeout")
 	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "max request body bytes")
 	workers := flag.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
 	flag.Parse()
 
 	srv := server.New(server.Config{
@@ -47,9 +50,24 @@ func main() {
 		MaxBodyBytes: *maxBody,
 		Workers:      *workers,
 	})
+	handler := srv.Handler()
+	if *pprofOn {
+		// Mount the profiler explicitly instead of relying on the
+		// DefaultServeMux side-effect registration, so the service mux
+		// stays authoritative for every other path.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Print("pprof enabled on /debug/pprof/")
+	}
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -17,10 +17,18 @@
 // TRI-CRIT solvers a re-executed task contributes Wᵢ = 2wᵢ, which
 // keeps the same algebraic form.
 //
-// The solver is a log-barrier interior-point method with
-// Barzilai-Borwein gradient steps and Armijo backtracking — compact,
-// dependency-free and accurate to ~1e-5 relative on the instances in
-// this repository (validated against the paper's closed forms).
+// The solver is a log-barrier interior-point method with damped Newton
+// steps. Every constraint involves at most one duration variable, so
+// the (d,d) block of the barrier Hessian is diagonal and each Newton
+// system reduces, by Schur complement, to an n×n system over the start
+// times whose sparsity is the constraint graph (plus sibling fill-in).
+// Under a topological ordering that system is banded — bandwidth 1 on
+// chains, small on series-parallel graphs — so a Newton step on a
+// chain costs O(n) instead of the O(n³) of a dense factorization; on
+// general DAGs the band widens until it degenerates gracefully into a
+// dense (still half-dimension) factorization. All intermediate storage
+// lives in a reusable Workspace, making repeated solves free of
+// steady-state allocations.
 package convex
 
 import (
@@ -79,7 +87,21 @@ var ErrInfeasible = errors.New("convex: deadline infeasible even at fmax")
 // edges). effWeights[i] is the effective weight Wᵢ; lo[i] and hi[i]
 // bound the speed of task i (hi[i] may be +Inf for "no upper duration
 // bound", i.e. fmin = 0).
+//
+// Scratch buffers come from an internal pool; callers running many
+// solves on one goroutine can avoid even the pool handoff by holding
+// their own Workspace and calling MinimizeEnergyWS.
 func MinimizeEnergy(cg *dag.Graph, deadline float64, effWeights, lo, hi []float64, opt Options) (*Result, error) {
+	ws := wsPool.Get().(*Workspace)
+	res, err := MinimizeEnergyWS(ws, cg, deadline, effWeights, lo, hi, opt)
+	wsPool.Put(ws)
+	return res, err
+}
+
+// MinimizeEnergyWS is MinimizeEnergy solving through the caller's
+// Workspace. The workspace grows as needed and may be reused across
+// solves of any size; only the Result allocates.
+func MinimizeEnergyWS(ws *Workspace, cg *dag.Graph, deadline float64, effWeights, lo, hi []float64, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	n := cg.N()
 	if len(effWeights) != n || len(lo) != n || len(hi) != n {
@@ -88,8 +110,10 @@ func MinimizeEnergy(cg *dag.Graph, deadline float64, effWeights, lo, hi []float6
 	if deadline <= 0 || math.IsNaN(deadline) {
 		return nil, fmt.Errorf("convex: invalid deadline %v", deadline)
 	}
-	lbD := make([]float64, n) // duration lower bounds W/hi
-	ubD := make([]float64, n) // duration upper bounds W/lo (may be +Inf)
+	if err := ws.prepare(cg); err != nil {
+		return nil, err
+	}
+	lbD, ubD := ws.lbD, ws.ubD
 	for i := 0; i < n; i++ {
 		if effWeights[i] <= 0 {
 			return nil, fmt.Errorf("convex: non-positive effective weight for task %d", i)
@@ -107,10 +131,7 @@ func MinimizeEnergy(cg *dag.Graph, deadline float64, effWeights, lo, hi []float6
 			ubD[i] = math.Inf(1)
 		}
 	}
-	_, msMin, err := cg.LongestPath(lbD)
-	if err != nil {
-		return nil, err
-	}
+	_, msMin := ws.longestPath(cg, lbD)
 	if msMin > deadline*(1+1e-9) {
 		return nil, ErrInfeasible
 	}
@@ -119,20 +140,14 @@ func MinimizeEnergy(cg *dag.Graph, deadline float64, effWeights, lo, hi []float6
 		// No interior: the deadline equals the fmax critical path.
 		// Everything runs at full speed; this is within O(1e-6) of
 		// optimal since no task has slack to exploit.
-		starts, _, _ := cg.LongestPath(lbD)
-		res := &Result{Durations: lbD, Speeds: make([]float64, n), Starts: make([]float64, n), Energy: energyOf(effWeights, lbD)}
-		for i := 0; i < n; i++ {
-			res.Speeds[i] = effWeights[i] / lbD[i]
-			res.Starts[i] = starts[i] - lbD[i]
-		}
-		return res, nil
+		return ws.fmaxResult(cg, effWeights)
 	}
 
 	// Strictly feasible initial point: inflate the fmax durations
 	// toward the deadline but keep ~10% slack, clamp inside duration
 	// boxes, then ASAP with 1% inflated durations to open slack on
 	// every precedence edge, plus a uniform shift for s > 0.
-	d0 := make([]float64, n)
+	d0, s0, inflated := ws.d0, ws.s0, ws.inflated
 	for i := 0; i < n; i++ {
 		grow := 1 + 0.85*(stretch-1)
 		d0[i] = lbD[i] * grow
@@ -140,14 +155,10 @@ func MinimizeEnergy(cg *dag.Graph, deadline float64, effWeights, lo, hi []float6
 			d0[i] = lbD[i] + 0.95*(ubD[i]-lbD[i])
 		}
 	}
-	inflated := make([]float64, n)
 	for i := range inflated {
 		inflated[i] = d0[i] * 1.005
 	}
-	fin, ms0, err := cg.LongestPath(inflated)
-	if err != nil {
-		return nil, err
-	}
+	fin, ms0 := ws.longestPath(cg, inflated)
 	// Shrink everything if inflation overshot the deadline.
 	if ms0 >= deadline {
 		shrink := 0.98 * deadline / ms0
@@ -158,22 +169,12 @@ func MinimizeEnergy(cg *dag.Graph, deadline float64, effWeights, lo, hi []float6
 			}
 			inflated[i] = d0[i] * 1.005
 		}
-		fin, ms0, err = cg.LongestPath(inflated)
-		if err != nil {
-			return nil, err
-		}
+		fin, ms0 = ws.longestPath(cg, inflated)
 		if ms0 >= deadline {
 			// Extremely tight instance: fall back to fmax.
-			starts, _, _ := cg.LongestPath(lbD)
-			res := &Result{Durations: lbD, Speeds: make([]float64, n), Starts: make([]float64, n), Energy: energyOf(effWeights, lbD)}
-			for i := 0; i < n; i++ {
-				res.Speeds[i] = effWeights[i] / lbD[i]
-				res.Starts[i] = starts[i] - lbD[i]
-			}
-			return res, nil
+			return ws.fmaxResult(cg, effWeights)
 		}
 	}
-	s0 := make([]float64, n)
 	shift := 0.25 * (deadline - ms0)
 	if shift > 0.01*deadline {
 		shift = 0.01 * deadline
@@ -182,8 +183,8 @@ func MinimizeEnergy(cg *dag.Graph, deadline float64, effWeights, lo, hi []float6
 		s0[i] = fin[i] - inflated[i] + shift
 	}
 
-	p := &problem{cg: cg, W: effWeights, lbD: lbD, ubD: ubD, D: deadline, n: n}
-	z := make([]float64, 2*n)
+	p := &problem{ws: ws, cg: cg, W: effWeights, D: deadline, n: n}
+	z := ws.z
 	copy(z[:n], d0)
 	copy(z[n:], s0)
 	if !p.feasible(z) {
@@ -210,10 +211,7 @@ func MinimizeEnergy(cg *dag.Graph, deadline float64, effWeights, lo, hi []float6
 			d[i] = ubD[i]
 		}
 	}
-	fin2, ms2, err := cg.LongestPath(d)
-	if err != nil {
-		return nil, err
-	}
+	fin2, ms2 := ws.longestPath(cg, d)
 	if ms2 > deadline {
 		// Numerical overshoot: scale down uniformly (stays within
 		// bounds since lbD scaled durations remain above lbD only if
@@ -222,7 +220,7 @@ func MinimizeEnergy(cg *dag.Graph, deadline float64, effWeights, lo, hi []float6
 		for i := range d {
 			d[i] = math.Max(d[i]*scale, lbD[i])
 		}
-		fin2, ms2, _ = cg.LongestPath(d)
+		fin2, ms2 = ws.longestPath(cg, d)
 		if ms2 > deadline*(1+1e-9) {
 			return nil, errors.New("convex: failed to recover a feasible schedule")
 		}
@@ -231,6 +229,20 @@ func MinimizeEnergy(cg *dag.Graph, deadline float64, effWeights, lo, hi []float6
 	for i := 0; i < n; i++ {
 		res.Speeds[i] = effWeights[i] / d[i]
 		res.Starts[i] = fin2[i] - d[i]
+	}
+	return res, nil
+}
+
+// fmaxResult materializes the everything-at-fmax schedule, the
+// fallback for deadline-critical instances.
+func (ws *Workspace) fmaxResult(cg *dag.Graph, effWeights []float64) (*Result, error) {
+	n := ws.n
+	lbD := append([]float64(nil), ws.lbD[:n]...)
+	starts, _ := ws.longestPath(cg, lbD)
+	res := &Result{Durations: lbD, Speeds: make([]float64, n), Starts: make([]float64, n), Energy: energyOf(effWeights, lbD)}
+	for i := 0; i < n; i++ {
+		res.Speeds[i] = effWeights[i] / lbD[i]
+		res.Starts[i] = starts[i] - lbD[i]
 	}
 	return res, nil
 }
@@ -245,38 +257,41 @@ func energyOf(w, d []float64) float64 {
 
 // problem carries the barrier formulation. Variables z = (d, s).
 type problem struct {
-	cg       *dag.Graph
-	W        []float64
-	lbD, ubD []float64
-	D        float64
-	n        int
+	ws *Workspace
+	cg *dag.Graph
+	W  []float64
+	D  float64
+	n  int
 }
 
 func (p *problem) numConstraints() int {
 	c := p.cg.M() + 3*p.n // edges + deadline + s≥0 + d≥lb
 	for i := 0; i < p.n; i++ {
-		if !math.IsInf(p.ubD[i], 1) {
+		if !math.IsInf(p.ws.ubD[i], 1) {
 			c++
 		}
 	}
 	return c
 }
 
-// slacks appends every constraint value g_k(z) (all must be > 0).
+// feasible reports whether every constraint value g_k(z) is > 0.
 func (p *problem) feasible(z []float64) bool {
 	n := p.n
 	d, s := z[:n], z[n:]
+	lbD, ubD := p.ws.lbD, p.ws.ubD
 	for i := 0; i < n; i++ {
-		if d[i] <= p.lbD[i] || s[i] <= 0 || p.D-s[i]-d[i] <= 0 {
+		if d[i] <= lbD[i] || s[i] <= 0 || p.D-s[i]-d[i] <= 0 {
 			return false
 		}
-		if !math.IsInf(p.ubD[i], 1) && d[i] >= p.ubD[i] {
+		if !math.IsInf(ubD[i], 1) && d[i] >= ubD[i] {
 			return false
 		}
 	}
-	for _, e := range p.cg.Edges() {
-		if s[e[1]]-s[e[0]]-d[e[0]] <= 0 {
-			return false
+	for u := 0; u < n; u++ {
+		for _, v := range p.cg.Succs(u) {
+			if s[v]-s[u]-d[u] <= 0 {
+				return false
+			}
 		}
 	}
 	return true
@@ -287,10 +302,11 @@ func (p *problem) feasible(z []float64) bool {
 func (p *problem) value(z []float64, mu float64) float64 {
 	n := p.n
 	d, s := z[:n], z[n:]
+	lbD, ubD := p.ws.lbD, p.ws.ubD
 	v := 0.0
 	logs := 0.0
 	for i := 0; i < n; i++ {
-		if d[i] <= p.lbD[i] || s[i] <= 0 {
+		if d[i] <= lbD[i] || s[i] <= 0 {
 			return math.Inf(1)
 		}
 		v += p.W[i] * p.W[i] * p.W[i] / (d[i] * d[i])
@@ -298,21 +314,23 @@ func (p *problem) value(z []float64, mu float64) float64 {
 		if g <= 0 {
 			return math.Inf(1)
 		}
-		logs += math.Log(g) + math.Log(s[i]) + math.Log(d[i]-p.lbD[i])
-		if !math.IsInf(p.ubD[i], 1) {
-			gu := p.ubD[i] - d[i]
+		logs += math.Log(g) + math.Log(s[i]) + math.Log(d[i]-lbD[i])
+		if !math.IsInf(ubD[i], 1) {
+			gu := ubD[i] - d[i]
 			if gu <= 0 {
 				return math.Inf(1)
 			}
 			logs += math.Log(gu)
 		}
 	}
-	for _, e := range p.cg.Edges() {
-		g := s[e[1]] - s[e[0]] - d[e[0]]
-		if g <= 0 {
-			return math.Inf(1)
+	for u := 0; u < n; u++ {
+		for _, v2 := range p.cg.Succs(u) {
+			g := s[v2] - s[u] - d[u]
+			if g <= 0 {
+				return math.Inf(1)
+			}
+			logs += math.Log(g)
 		}
-		logs += math.Log(g)
 	}
 	return v - mu*logs
 }
@@ -321,157 +339,140 @@ func (p *problem) value(z []float64, mu float64) float64 {
 func (p *problem) gradient(z []float64, mu float64, grad []float64) {
 	n := p.n
 	d, s := z[:n], z[n:]
+	lbD, ubD := p.ws.lbD, p.ws.ubD
 	for i := range grad {
 		grad[i] = 0
 	}
 	for i := 0; i < n; i++ {
 		grad[i] += -2 * p.W[i] * p.W[i] * p.W[i] / (d[i] * d[i] * d[i])
-		// −μ log(D − s_i − d_i): ∂/∂d_i = μ/(g), ∂/∂s_i = μ/g.
+		// −μ log(D − s_i − d_i): ∂/∂d_i = μ/g, ∂/∂s_i = μ/g.
 		g := p.D - s[i] - d[i]
 		grad[i] += mu / g
 		grad[n+i] += mu / g
 		// −μ log(s_i): ∂/∂s_i = −μ/s_i.
 		grad[n+i] += -mu / s[i]
 		// −μ log(d_i − lb): ∂/∂d_i = −μ/(d_i−lb).
-		grad[i] += -mu / (d[i] - p.lbD[i])
-		if !math.IsInf(p.ubD[i], 1) {
-			grad[i] += mu / (p.ubD[i] - d[i])
+		grad[i] += -mu / (d[i] - lbD[i])
+		if !math.IsInf(ubD[i], 1) {
+			grad[i] += mu / (ubD[i] - d[i])
 		}
 	}
-	for _, e := range p.cg.Edges() {
-		u, v := e[0], e[1]
-		g := s[v] - s[u] - d[u]
-		// −μ log(g): ∂/∂s_v = −μ/g, ∂/∂s_u = +μ/g, ∂/∂d_u = +μ/g.
-		grad[n+v] += -mu / g
-		grad[n+u] += mu / g
-		grad[u] += mu / g
+	for u := 0; u < n; u++ {
+		for _, v := range p.cg.Succs(u) {
+			g := s[v] - s[u] - d[u]
+			// −μ log(g): ∂/∂s_v = −μ/g, ∂/∂s_u = +μ/g, ∂/∂d_u = +μ/g.
+			grad[n+v] += -mu / g
+			grad[n+u] += mu / g
+			grad[u] += mu / g
+		}
 	}
 }
 
-// hessian assembles the barrier Hessian into h (dim×dim, dense). The
-// objective contributes a diagonal 6W³/d⁴ on the duration block; every
-// linear constraint g_k contributes the rank-1 term μ·∇g_k∇g_kᵀ/g_k²
-// (the −μ∇²g/g part vanishes because the constraints are linear).
-func (p *problem) hessian(z []float64, mu float64, h [][]float64) {
+// newtonStep solves H·step = grad via the Schur complement of the
+// diagonal (d,d) block, writing the step in natural (d,s) layout.
+// Every barrier constraint touches at most one duration variable, so
+// with H = [[A, B], [Bᵀ, C]] the block A is diagonal, B has one
+// diagonal entry plus one entry per out-edge, and the system reduces
+// to (C − Bᵀ A⁻¹ B)·x_s = g_s − Bᵀ A⁻¹ g_d followed by a diagonal
+// solve for x_d. The Schur matrix is assembled directly in banded
+// form over the topological ordering. Returns false if factorization
+// fails even with regularization.
+func (p *problem) newtonStep(z []float64, mu float64, grad, step []float64) bool {
+	ws := p.ws
 	n := p.n
-	dim := 2 * n
 	d, s := z[:n], z[n:]
-	for i := 0; i < dim; i++ {
-		for j := 0; j < dim; j++ {
-			h[i][j] = 0
-		}
-	}
-	for i := 0; i < n; i++ {
-		h[i][i] += 6 * p.W[i] * p.W[i] * p.W[i] / (d[i] * d[i] * d[i] * d[i])
-		// Deadline D − s_i − d_i ≥ 0: ∇g = (−1 on d_i, −1 on s_i).
-		g := p.D - s[i] - d[i]
-		c := mu / (g * g)
-		h[i][i] += c
-		h[i][n+i] += c
-		h[n+i][i] += c
-		h[n+i][n+i] += c
-		// s_i ≥ 0.
-		h[n+i][n+i] += mu / (s[i] * s[i])
-		// d_i − lb ≥ 0.
-		gl := d[i] - p.lbD[i]
-		h[i][i] += mu / (gl * gl)
-		if !math.IsInf(p.ubD[i], 1) {
-			gu := p.ubD[i] - d[i]
-			h[i][i] += mu / (gu * gu)
-		}
-	}
-	for _, e := range p.cg.Edges() {
-		u, v := e[0], e[1]
-		g := s[v] - s[u] - d[u]
-		c := mu / (g * g)
-		// ∇g nonzeros: s_v: +1, s_u: −1, d_u: −1.
-		idx := [3]int{n + v, n + u, u}
-		sgn := [3]float64{1, -1, -1}
-		for a := 0; a < 3; a++ {
-			for b := 0; b < 3; b++ {
-				h[idx[a]][idx[b]] += c * sgn[a] * sgn[b]
-			}
-		}
-	}
-}
+	gd, gs := grad[:n], grad[n:]
+	lbD, ubD := ws.lbD, ws.ubD
+	pos := ws.pos
 
-// cholSolve solves h·x = rhs in place via Cholesky with adaptive
-// diagonal regularization; returns false if the matrix resists even
-// heavy regularization.
-func cholSolve(h [][]float64, rhs []float64, x []float64) bool {
-	dim := len(rhs)
-	l := make([][]float64, dim)
-	for i := range l {
-		l[i] = make([]float64, dim)
+	for i := range ws.sb[:n*(ws.bw+1)] {
+		ws.sb[i] = 0
 	}
-	reg := 0.0
-	for attempt := 0; attempt < 8; attempt++ {
-		ok := true
-		for i := 0; i < dim && ok; i++ {
-			for j := 0; j <= i; j++ {
-				sum := h[i][j]
-				if i == j {
-					sum += reg
+	// prhs starts as the permuted s-gradient and accumulates the
+	// −Bᵀ A⁻¹ g_d correction during assembly.
+	for i := 0; i < n; i++ {
+		ws.prhs[pos[i]] = gs[i]
+	}
+	for u := 0; u < n; u++ {
+		w3 := p.W[u] * p.W[u] * p.W[u]
+		g1 := p.D - s[u] - d[u]
+		c1 := mu / (g1 * g1)
+		gl := d[u] - lbD[u]
+		au := 6*w3/(d[u]*d[u]*d[u]*d[u]) + c1 + mu/(gl*gl)
+		if !math.IsInf(ubD[u], 1) {
+			gu := ubD[u] - d[u]
+			au += mu / (gu * gu)
+		}
+		bu := c1
+		qu := pos[u]
+		// Deadline and s_u ≥ 0 contributions to the (s,s) block.
+		ws.addS(qu, qu, c1+mu/(s[u]*s[u]))
+		succs := p.cg.Succs(u)
+		for k, v := range succs {
+			ge := s[v] - s[u] - d[u]
+			ce := mu / (ge * ge)
+			ws.ce[k] = ce
+			au += ce
+			bu += ce
+			qv := pos[v]
+			ws.addS(qu, qu, ce)
+			ws.addS(qv, qv, ce)
+			ws.addS(qv, qu, -ce)
+		}
+		ws.a[u] = au
+		ws.bdiag[u] = bu
+		// Rank-1 Schur update −b_u·b_uᵀ/A_uu, where b_u is supported
+		// on s_u (value bu) and the successors' s (value −ce).
+		inv := 1 / au
+		ws.addS(qu, qu, -bu*bu*inv)
+		for k, v := range succs {
+			qv := pos[v]
+			ws.addS(qv, qu, bu*ws.ce[k]*inv)
+			for l, v2 := range succs {
+				if pos[v2] > qv {
+					continue // lower triangle once; diagonal when equal
 				}
-				for k := 0; k < j; k++ {
-					sum -= l[i][k] * l[j][k]
-				}
-				if i == j {
-					if sum <= 0 {
-						ok = false
-						break
-					}
-					l[i][i] = math.Sqrt(sum)
-				} else {
-					l[i][j] = sum / l[j][j]
-				}
+				ws.addS(qv, pos[v2], -ws.ce[k]*ws.ce[l]*inv)
 			}
 		}
-		if ok {
-			// Forward/back substitution.
-			y := make([]float64, dim)
-			for i := 0; i < dim; i++ {
-				sum := rhs[i]
-				for k := 0; k < i; k++ {
-					sum -= l[i][k] * y[k]
-				}
-				y[i] = sum / l[i][i]
-			}
-			for i := dim - 1; i >= 0; i-- {
-				sum := y[i]
-				for k := i + 1; k < dim; k++ {
-					sum -= l[k][i] * x[k]
-				}
-				x[i] = sum / l[i][i]
-			}
-			return true
-		}
-		if reg == 0 {
-			reg = 1e-10
-		} else {
-			reg *= 100
+		// Right-hand side correction −Bᵀ A⁻¹ g_d.
+		t := gd[u] * inv
+		ws.prhs[qu] -= bu * t
+		for k, v := range succs {
+			ws.prhs[pos[v]] += ws.ce[k] * t
 		}
 	}
-	return false
+	if !ws.bandCholSolve() {
+		return false
+	}
+	// Scatter x_s back and recover x_d from the diagonal block.
+	xd, xs := step[:n], step[n:]
+	for i := 0; i < n; i++ {
+		xs[i] = ws.prhs[pos[i]]
+	}
+	for u := 0; u < n; u++ {
+		acc := gd[u] - ws.bdiag[u]*xs[u]
+		for _, v := range p.cg.Succs(u) {
+			ge := s[v] - s[u] - d[u]
+			acc += mu / (ge * ge) * xs[v]
+		}
+		xd[u] = acc / ws.a[u]
+	}
+	return true
 }
 
 // minimizeBarrier runs damped Newton on the barrier objective for a
 // fixed μ, stopping on the Newton decrement. Returns iterations used.
 func (p *problem) minimizeBarrier(z []float64, mu float64, maxIter int) int {
-	dim := len(z)
-	grad := make([]float64, dim)
-	step := make([]float64, dim)
-	trial := make([]float64, dim)
-	h := make([][]float64, dim)
-	for i := range h {
-		h[i] = make([]float64, dim)
-	}
+	dim := 2 * p.n
+	grad := p.ws.grad
+	step := p.ws.step
+	trial := p.ws.trial
 	fz := p.value(z, mu)
 	it := 0
 	for ; it < maxIter; it++ {
 		p.gradient(z, mu, grad)
-		p.hessian(z, mu, h)
-		if !cholSolve(h, grad, step) {
+		if !p.newtonStep(z, mu, grad, step) {
 			break
 		}
 		// Newton decrement² = gradᵀ·step.

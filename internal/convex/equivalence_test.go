@@ -1,0 +1,185 @@
+package convex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"energysched/internal/dag"
+	"energysched/internal/workload"
+)
+
+// relDiff is the symmetric relative difference used by the
+// equivalence assertions.
+func relDiff(a, b float64) float64 {
+	scale := math.Max(math.Max(math.Abs(a), math.Abs(b)), 1e-30)
+	return math.Abs(a-b) / scale
+}
+
+// randomInstances yields a mix of chain, fork, series-parallel and
+// layered graphs with randomized weights, deadlines and speed boxes.
+func randomInstances(rng *rand.Rand, trials int, visit func(g *dag.Graph, deadline float64, lo, hi []float64)) {
+	for trial := 0; trial < trials; trial++ {
+		var g *dag.Graph
+		switch trial % 4 {
+		case 0:
+			g = workload.Chain(rng, rng.Intn(20)+2, workload.UniformWeights)
+		case 1:
+			g = workload.Fork(rng, rng.Intn(12)+2, workload.UniformWeights)
+		case 2:
+			_, sp := workload.SeriesParallel(rng, rng.Intn(24)+2, workload.UniformWeights)
+			var err error
+			g, err = sp.Graph()
+			if err != nil {
+				panic(err)
+			}
+		default:
+			g = workload.Layered(rng, rng.Intn(24)+4, 4, 0.3, workload.UniformWeights)
+		}
+		n := g.N()
+		lo := make([]float64, n)
+		hi := make([]float64, n)
+		fmax := 0.5 + rng.Float64()*2
+		for i := range lo {
+			hi[i] = fmax
+			if rng.Intn(2) == 0 {
+				lo[i] = fmax * rng.Float64() * 0.3
+			}
+		}
+		durs := make([]float64, n)
+		for i := range durs {
+			durs[i] = g.Weight(i) / fmax
+		}
+		_, cp, err := g.LongestPath(durs)
+		if err != nil {
+			panic(err)
+		}
+		deadline := cp * (1.2 + rng.Float64()*3)
+		visit(g, deadline, lo, hi)
+	}
+}
+
+// TestOptimizedMatchesReference checks the workspace/Schur solver
+// against the preserved pre-optimization dense solver on randomized
+// instances: energies agree within 1e-9 relative and the returned
+// schedules are feasible.
+func TestOptimizedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	ws := NewWorkspace()
+	randomInstances(rng, 40, func(g *dag.Graph, deadline float64, lo, hi []float64) {
+		want, errRef := refMinimizeEnergy(g, deadline, g.Weights(), lo, hi, Options{})
+		got, errNew := MinimizeEnergyWS(ws, g, deadline, g.Weights(), lo, hi, Options{})
+		if (errRef == nil) != (errNew == nil) {
+			t.Fatalf("error mismatch: reference %v vs optimized %v", errRef, errNew)
+		}
+		if errRef != nil {
+			return
+		}
+		if d := relDiff(want.Energy, got.Energy); d > 1e-9 {
+			t.Errorf("n=%d D=%v: energy %v vs reference %v (rel %v)", g.N(), deadline, got.Energy, want.Energy, d)
+		}
+		if _, ms, err := g.LongestPath(got.Durations); err != nil || ms > deadline*(1+1e-9) {
+			t.Errorf("n=%d: optimized schedule makespan %v exceeds deadline %v", g.N(), ms, deadline)
+		}
+	})
+}
+
+// TestBandedMatchesDense forces the dense-equivalent factorization
+// (bandwidth n−1) and checks it agrees with the banded path selected
+// automatically on narrow graphs.
+func TestBandedMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	banded := NewWorkspace()
+	dense := NewWorkspace()
+	dense.forceDense = true
+	randomInstances(rng, 32, func(g *dag.Graph, deadline float64, lo, hi []float64) {
+		a, errA := MinimizeEnergyWS(banded, g, deadline, g.Weights(), lo, hi, Options{})
+		b, errB := MinimizeEnergyWS(dense, g, deadline, g.Weights(), lo, hi, Options{})
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("error mismatch: banded %v vs dense %v", errA, errB)
+		}
+		if errA != nil {
+			return
+		}
+		if d := relDiff(a.Energy, b.Energy); d > 1e-9 {
+			t.Errorf("n=%d: banded energy %v vs dense %v (rel %v)", g.N(), a.Energy, b.Energy, d)
+		}
+	})
+}
+
+// TestChainBandwidthIsOne pins the structural claim behind the O(n)
+// chain Newton step: a chain constraint graph yields a Schur system
+// of bandwidth 1 regardless of length.
+func TestChainBandwidthIsOne(t *testing.T) {
+	for _, n := range []int{2, 8, 32, 128} {
+		ws := NewWorkspace()
+		ws.prepare(chainN(n))
+		if ws.bw != 1 {
+			t.Errorf("chain of %d tasks: bandwidth %d, want 1", n, ws.bw)
+		}
+	}
+}
+
+func chainN(n int) *dag.Graph {
+	ws := make([]float64, n)
+	for i := range ws {
+		ws[i] = float64(i%3) + 1
+	}
+	return dag.ChainGraph(ws...)
+}
+
+// TestWorkspaceReuseAcrossSizes checks a single workspace solving
+// instances of growing and shrinking size stays correct.
+func TestWorkspaceReuseAcrossSizes(t *testing.T) {
+	ws := NewWorkspace()
+	for _, n := range []int{16, 4, 32, 2, 9} {
+		g := chainN(n)
+		lo := make([]float64, n)
+		hi := make([]float64, n)
+		for i := range hi {
+			hi[i] = 1
+		}
+		D := g.TotalWeight() * 2
+		got, err := MinimizeEnergyWS(ws, g, D, g.Weights(), lo, hi, Options{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want, err := refMinimizeEnergy(g, D, g.Weights(), lo, hi, Options{})
+		if err != nil {
+			t.Fatalf("n=%d reference: %v", n, err)
+		}
+		if d := relDiff(got.Energy, want.Energy); d > 1e-9 {
+			t.Errorf("n=%d: energy %v vs reference %v (rel %v)", n, got.Energy, want.Energy, d)
+		}
+	}
+}
+
+// TestAllocsChain32 is the allocation-regression gate on the chain-32
+// convex path: with a warmed workspace, a solve allocates only the
+// Result and its three vectors (a handful of allocations), never
+// per-iteration scratch.
+func TestAllocsChain32(t *testing.T) {
+	g := chainN(32)
+	n := g.N()
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	for i := range hi {
+		hi[i] = 1
+	}
+	D := g.TotalWeight() * 2
+	ws := NewWorkspace()
+	if _, err := MinimizeEnergyWS(ws, g, D, g.Weights(), lo, hi, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := MinimizeEnergyWS(ws, g, D, g.Weights(), lo, hi, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Result + Durations + Speeds + Starts = 4; allow slack for the
+	// runtime, but fail loudly if per-iteration allocation creeps back
+	// (the pre-workspace solver allocated thousands per solve).
+	if allocs > 12 {
+		t.Errorf("chain-32 solve allocates %v objects per run, want ≤ 12", allocs)
+	}
+}

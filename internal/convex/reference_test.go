@@ -1,0 +1,396 @@
+package convex
+
+// This file preserves the pre-optimization barrier solver verbatim
+// (dense [][]float64 Hessian, allocating Cholesky) as a reference
+// oracle. The equivalence property tests in equivalence_test.go check
+// that the optimized workspace/Schur-complement solver agrees with it
+// within 1e-9 on randomized instances. Test-only: it never ships in
+// the library binary.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"energysched/internal/dag"
+)
+
+func refMinimizeEnergy(cg *dag.Graph, deadline float64, effWeights, lo, hi []float64, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	n := cg.N()
+	if len(effWeights) != n || len(lo) != n || len(hi) != n {
+		return nil, fmt.Errorf("convex: vector lengths (%d,%d,%d) for %d tasks", len(effWeights), len(lo), len(hi), n)
+	}
+	if deadline <= 0 || math.IsNaN(deadline) {
+		return nil, fmt.Errorf("convex: invalid deadline %v", deadline)
+	}
+	lbD := make([]float64, n)
+	ubD := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if effWeights[i] <= 0 {
+			return nil, fmt.Errorf("convex: non-positive effective weight for task %d", i)
+		}
+		if hi[i] <= 0 || math.IsInf(hi[i], 1) || math.IsNaN(hi[i]) {
+			return nil, fmt.Errorf("convex: invalid speed upper bound %v for task %d", hi[i], i)
+		}
+		if lo[i] < 0 || lo[i] > hi[i]+1e-12 {
+			return nil, fmt.Errorf("convex: invalid speed bounds [%v,%v] for task %d", lo[i], hi[i], i)
+		}
+		lbD[i] = effWeights[i] / hi[i]
+		if lo[i] > 0 {
+			ubD[i] = effWeights[i] / lo[i]
+		} else {
+			ubD[i] = math.Inf(1)
+		}
+	}
+	_, msMin, err := cg.LongestPath(lbD)
+	if err != nil {
+		return nil, err
+	}
+	if msMin > deadline*(1+1e-9) {
+		return nil, ErrInfeasible
+	}
+	stretch := deadline / msMin
+	if stretch < 1+1e-6 {
+		starts, _, _ := cg.LongestPath(lbD)
+		res := &Result{Durations: lbD, Speeds: make([]float64, n), Starts: make([]float64, n), Energy: energyOf(effWeights, lbD)}
+		for i := 0; i < n; i++ {
+			res.Speeds[i] = effWeights[i] / lbD[i]
+			res.Starts[i] = starts[i] - lbD[i]
+		}
+		return res, nil
+	}
+
+	d0 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		grow := 1 + 0.85*(stretch-1)
+		d0[i] = lbD[i] * grow
+		if d0[i] > ubD[i] {
+			d0[i] = lbD[i] + 0.95*(ubD[i]-lbD[i])
+		}
+	}
+	inflated := make([]float64, n)
+	for i := range inflated {
+		inflated[i] = d0[i] * 1.005
+	}
+	fin, ms0, err := cg.LongestPath(inflated)
+	if err != nil {
+		return nil, err
+	}
+	if ms0 >= deadline {
+		shrink := 0.98 * deadline / ms0
+		for i := range d0 {
+			d0[i] *= shrink
+			if d0[i] < lbD[i] {
+				d0[i] = lbD[i] * (1 + 1e-7)
+			}
+			inflated[i] = d0[i] * 1.005
+		}
+		fin, ms0, err = cg.LongestPath(inflated)
+		if err != nil {
+			return nil, err
+		}
+		if ms0 >= deadline {
+			starts, _, _ := cg.LongestPath(lbD)
+			res := &Result{Durations: lbD, Speeds: make([]float64, n), Starts: make([]float64, n), Energy: energyOf(effWeights, lbD)}
+			for i := 0; i < n; i++ {
+				res.Speeds[i] = effWeights[i] / lbD[i]
+				res.Starts[i] = starts[i] - lbD[i]
+			}
+			return res, nil
+		}
+	}
+	s0 := make([]float64, n)
+	shift := 0.25 * (deadline - ms0)
+	if shift > 0.01*deadline {
+		shift = 0.01 * deadline
+	}
+	for i := 0; i < n; i++ {
+		s0[i] = fin[i] - inflated[i] + shift
+	}
+
+	p := &refProblem{cg: cg, W: effWeights, lbD: lbD, ubD: ubD, D: deadline, n: n}
+	z := make([]float64, 2*n)
+	copy(z[:n], d0)
+	copy(z[n:], s0)
+	if !p.feasible(z) {
+		return nil, errors.New("convex: internal error: initial point not strictly feasible")
+	}
+
+	f0 := energyOf(effWeights, d0)
+	mu := f0 / float64(p.numConstraints())
+	muMin := opt.Tol * math.Max(f0, 1) / float64(p.numConstraints())
+	iters := 0
+	for outer := 0; outer < opt.MaxOuter && mu > muMin; outer++ {
+		iters += p.minimizeBarrier(z, mu, opt.MaxInner)
+		mu *= 0.15
+	}
+	iters += p.minimizeBarrier(z, muMin, opt.MaxInner)
+
+	d := append([]float64(nil), z[:n]...)
+	for i := 0; i < n; i++ {
+		if d[i] < lbD[i] {
+			d[i] = lbD[i]
+		}
+		if d[i] > ubD[i] {
+			d[i] = ubD[i]
+		}
+	}
+	fin2, ms2, err := cg.LongestPath(d)
+	if err != nil {
+		return nil, err
+	}
+	if ms2 > deadline {
+		scale := deadline / ms2
+		for i := range d {
+			d[i] = math.Max(d[i]*scale, lbD[i])
+		}
+		fin2, ms2, _ = cg.LongestPath(d)
+		if ms2 > deadline*(1+1e-9) {
+			return nil, errors.New("convex: failed to recover a feasible schedule")
+		}
+	}
+	res := &Result{Durations: d, Speeds: make([]float64, n), Starts: make([]float64, n), Energy: energyOf(effWeights, d), Iterations: iters}
+	for i := 0; i < n; i++ {
+		res.Speeds[i] = effWeights[i] / d[i]
+		res.Starts[i] = fin2[i] - d[i]
+	}
+	return res, nil
+}
+
+type refProblem struct {
+	cg       *dag.Graph
+	W        []float64
+	lbD, ubD []float64
+	D        float64
+	n        int
+}
+
+func (p *refProblem) numConstraints() int {
+	c := p.cg.M() + 3*p.n
+	for i := 0; i < p.n; i++ {
+		if !math.IsInf(p.ubD[i], 1) {
+			c++
+		}
+	}
+	return c
+}
+
+func (p *refProblem) feasible(z []float64) bool {
+	n := p.n
+	d, s := z[:n], z[n:]
+	for i := 0; i < n; i++ {
+		if d[i] <= p.lbD[i] || s[i] <= 0 || p.D-s[i]-d[i] <= 0 {
+			return false
+		}
+		if !math.IsInf(p.ubD[i], 1) && d[i] >= p.ubD[i] {
+			return false
+		}
+	}
+	for _, e := range p.cg.Edges() {
+		if s[e[1]]-s[e[0]]-d[e[0]] <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *refProblem) value(z []float64, mu float64) float64 {
+	n := p.n
+	d, s := z[:n], z[n:]
+	v := 0.0
+	logs := 0.0
+	for i := 0; i < n; i++ {
+		if d[i] <= p.lbD[i] || s[i] <= 0 {
+			return math.Inf(1)
+		}
+		v += p.W[i] * p.W[i] * p.W[i] / (d[i] * d[i])
+		g := p.D - s[i] - d[i]
+		if g <= 0 {
+			return math.Inf(1)
+		}
+		logs += math.Log(g) + math.Log(s[i]) + math.Log(d[i]-p.lbD[i])
+		if !math.IsInf(p.ubD[i], 1) {
+			gu := p.ubD[i] - d[i]
+			if gu <= 0 {
+				return math.Inf(1)
+			}
+			logs += math.Log(gu)
+		}
+	}
+	for _, e := range p.cg.Edges() {
+		g := s[e[1]] - s[e[0]] - d[e[0]]
+		if g <= 0 {
+			return math.Inf(1)
+		}
+		logs += math.Log(g)
+	}
+	return v - mu*logs
+}
+
+func (p *refProblem) gradient(z []float64, mu float64, grad []float64) {
+	n := p.n
+	d, s := z[:n], z[n:]
+	for i := range grad {
+		grad[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		grad[i] += -2 * p.W[i] * p.W[i] * p.W[i] / (d[i] * d[i] * d[i])
+		g := p.D - s[i] - d[i]
+		grad[i] += mu / g
+		grad[n+i] += mu / g
+		grad[n+i] += -mu / s[i]
+		grad[i] += -mu / (d[i] - p.lbD[i])
+		if !math.IsInf(p.ubD[i], 1) {
+			grad[i] += mu / (p.ubD[i] - d[i])
+		}
+	}
+	for _, e := range p.cg.Edges() {
+		u, v := e[0], e[1]
+		g := s[v] - s[u] - d[u]
+		grad[n+v] += -mu / g
+		grad[n+u] += mu / g
+		grad[u] += mu / g
+	}
+}
+
+func (p *refProblem) hessian(z []float64, mu float64, h [][]float64) {
+	n := p.n
+	dim := 2 * n
+	d, s := z[:n], z[n:]
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			h[i][j] = 0
+		}
+	}
+	for i := 0; i < n; i++ {
+		h[i][i] += 6 * p.W[i] * p.W[i] * p.W[i] / (d[i] * d[i] * d[i] * d[i])
+		g := p.D - s[i] - d[i]
+		c := mu / (g * g)
+		h[i][i] += c
+		h[i][n+i] += c
+		h[n+i][i] += c
+		h[n+i][n+i] += c
+		h[n+i][n+i] += mu / (s[i] * s[i])
+		gl := d[i] - p.lbD[i]
+		h[i][i] += mu / (gl * gl)
+		if !math.IsInf(p.ubD[i], 1) {
+			gu := p.ubD[i] - d[i]
+			h[i][i] += mu / (gu * gu)
+		}
+	}
+	for _, e := range p.cg.Edges() {
+		u, v := e[0], e[1]
+		g := s[v] - s[u] - d[u]
+		c := mu / (g * g)
+		idx := [3]int{n + v, n + u, u}
+		sgn := [3]float64{1, -1, -1}
+		for a := 0; a < 3; a++ {
+			for b := 0; b < 3; b++ {
+				h[idx[a]][idx[b]] += c * sgn[a] * sgn[b]
+			}
+		}
+	}
+}
+
+func refCholSolve(h [][]float64, rhs []float64, x []float64) bool {
+	dim := len(rhs)
+	l := make([][]float64, dim)
+	for i := range l {
+		l[i] = make([]float64, dim)
+	}
+	reg := 0.0
+	for attempt := 0; attempt < 8; attempt++ {
+		ok := true
+		for i := 0; i < dim && ok; i++ {
+			for j := 0; j <= i; j++ {
+				sum := h[i][j]
+				if i == j {
+					sum += reg
+				}
+				for k := 0; k < j; k++ {
+					sum -= l[i][k] * l[j][k]
+				}
+				if i == j {
+					if sum <= 0 {
+						ok = false
+						break
+					}
+					l[i][i] = math.Sqrt(sum)
+				} else {
+					l[i][j] = sum / l[j][j]
+				}
+			}
+		}
+		if ok {
+			y := make([]float64, dim)
+			for i := 0; i < dim; i++ {
+				sum := rhs[i]
+				for k := 0; k < i; k++ {
+					sum -= l[i][k] * y[k]
+				}
+				y[i] = sum / l[i][i]
+			}
+			for i := dim - 1; i >= 0; i-- {
+				sum := y[i]
+				for k := i + 1; k < dim; k++ {
+					sum -= l[k][i] * x[k]
+				}
+				x[i] = sum / l[i][i]
+			}
+			return true
+		}
+		if reg == 0 {
+			reg = 1e-10
+		} else {
+			reg *= 100
+		}
+	}
+	return false
+}
+
+func (p *refProblem) minimizeBarrier(z []float64, mu float64, maxIter int) int {
+	dim := len(z)
+	grad := make([]float64, dim)
+	step := make([]float64, dim)
+	trial := make([]float64, dim)
+	h := make([][]float64, dim)
+	for i := range h {
+		h[i] = make([]float64, dim)
+	}
+	fz := p.value(z, mu)
+	it := 0
+	for ; it < maxIter; it++ {
+		p.gradient(z, mu, grad)
+		p.hessian(z, mu, h)
+		if !refCholSolve(h, grad, step) {
+			break
+		}
+		dec := 0.0
+		for j := 0; j < dim; j++ {
+			dec += grad[j] * step[j]
+		}
+		if dec < 1e-12*(1+math.Abs(fz)) {
+			break
+		}
+		alpha := 1.0
+		accepted := false
+		for bt := 0; bt < 50; bt++ {
+			for j := 0; j < dim; j++ {
+				trial[j] = z[j] - alpha*step[j]
+			}
+			ft := p.value(trial, mu)
+			if ft <= fz-0.25*alpha*dec {
+				copy(z, trial)
+				fz = ft
+				accepted = true
+				break
+			}
+			alpha *= 0.5
+		}
+		if !accepted {
+			break
+		}
+	}
+	return it
+}

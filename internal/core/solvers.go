@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"energysched/internal/convex"
 	"energysched/internal/discrete"
@@ -45,6 +46,11 @@ func (continuousSolver) Supports(in *Instance) bool {
 	return !in.TriCrit() && in.Speed.Kind == model.Continuous
 }
 
+// convexWorkspaces pools barrier-solver workspaces across Solve
+// calls, so repeated service requests reuse the flat Hessian and
+// Newton buffers instead of reallocating them per request.
+var convexWorkspaces = sync.Pool{New: func() any { return convex.NewWorkspace() }}
+
 func (continuousSolver) Solve(ctx context.Context, in *Instance, cfg *Config) (*Result, error) {
 	cg, err := in.Mapping.ConstraintGraph(in.Graph)
 	if err != nil {
@@ -57,7 +63,9 @@ func (continuousSolver) Solve(ctx context.Context, in *Instance, cfg *Config) (*
 		lo[i] = in.Speed.FMin
 		hi[i] = in.Speed.FMax
 	}
-	res, err := convex.MinimizeEnergy(cg, in.Deadline, in.Graph.Weights(), lo, hi, convex.Options{})
+	ws := convexWorkspaces.Get().(*convex.Workspace)
+	res, err := convex.MinimizeEnergyWS(ws, cg, in.Deadline, in.Graph.Weights(), lo, hi, convex.Options{})
+	convexWorkspaces.Put(ws)
 	if err != nil {
 		return nil, mapInfeasible(err)
 	}
@@ -116,6 +124,14 @@ func (discreteExactSolver) dispatchable(in *Instance, cfg *Config) bool {
 }
 
 func (discreteExactSolver) Solve(ctx context.Context, in *Instance, cfg *Config) (*Result, error) {
+	// Always the sequential search here: discrete.SolveExactParallel
+	// returns bit-identical energies and assignments, but its Nodes
+	// diagnostic depends on cross-subtree pruning timing, and Nodes is
+	// part of the serialized Result while Config.Fingerprint excludes
+	// Workers — auto-dispatching on cfg.Workers would make cached
+	// response bytes depend on which path populated them (and stack
+	// Workers² goroutines under SolveAll). Callers who want the
+	// parallel search use discrete.SolveExactParallel directly.
 	res, err := discrete.SolveExact(in.Graph, in.Mapping, in.Speed, in.Deadline)
 	if err != nil {
 		return nil, mapInfeasible(err)

@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"energysched/internal/convex"
 	"energysched/internal/dag"
@@ -63,8 +65,222 @@ func SolveExact(g *dag.Graph, mp *platform.Mapping, sm model.SpeedModel, deadlin
 	return SolveExactOpts(g, mp, sm, deadline, BBOptions{})
 }
 
+// SolveExactParallel is SolveExact exploring disjoint subtrees of the
+// branch tree on up to workers goroutines. The result — energy AND
+// chosen assignment — is bit-identical to the sequential solver:
+// workers only consume incumbents published by subtrees that precede
+// theirs in depth-first order (pruning never stronger than the
+// sequential run at the same point), and subtree bests are merged in
+// that same order with strict improvement. Nodes counts the total
+// nodes explored across workers, which may exceed the sequential
+// count because cross-subtree pruning information arrives late.
+func SolveExactParallel(g *dag.Graph, mp *platform.Mapping, sm model.SpeedModel, deadline float64, workers int) (*ExactResult, error) {
+	return solveExact(g, mp, sm, deadline, BBOptions{}, workers)
+}
+
 // SolveExactOpts is SolveExact with ablation switches.
 func SolveExactOpts(g *dag.Graph, mp *platform.Mapping, sm model.SpeedModel, deadline float64, opt BBOptions) (*ExactResult, error) {
+	return solveExact(g, mp, sm, deadline, opt, 1)
+}
+
+// bbProblem is the immutable branch-and-bound context shared by every
+// worker: precomputed per-(task, level) duration and energy tables and
+// the two bound tables, so the search loop touches no math.* calls and
+// recomputes nothing from scratch.
+type bbProblem struct {
+	g        *dag.Graph
+	cg       *dag.Graph
+	order    []int
+	levels   []float64
+	n, m     int
+	durTab   []float64 // durTab[t*m+s] = w_t / levels[s]
+	eTab     []float64 // eTab[t*m+s] = Energy(w_t, levels[s])
+	sufMin   []float64 // sufMin[k]: remaining tasks at slowest level
+	tailFmax []float64 // longest fmax path strictly after t
+	dlTol    float64   // deadline*(1+1e-9)
+	deadline float64
+	opt      BBOptions
+}
+
+// bbWorker carries one goroutine's mutable search state. All slices
+// are preallocated once per solve; the explicit stack replaces the
+// historic recursion.
+type bbWorker struct {
+	assign []int
+	finish []float64
+	start  []float64 // start[k]: ready time of order[k] on the current path
+	sIdx   []int     // sIdx[k]: level currently tried at depth k
+	accE   []float64 // accE[k]: energy of the first k assigned tasks
+	durs   []float64 // leaf feasibility scratch (ablation mode only)
+	nodes  int64
+
+	best       float64
+	bestAssign []int
+	hasBest    bool
+}
+
+func newBBWorker(n int, uniformEnergy float64) *bbWorker {
+	return &bbWorker{
+		assign:     make([]int, n),
+		finish:     make([]float64, n),
+		start:      make([]float64, n),
+		sIdx:       make([]int, n),
+		accE:       make([]float64, n+1),
+		bestAssign: make([]int, n),
+		best:       uniformEnergy,
+	}
+}
+
+// explore runs the iterative depth-first search over the subtree in
+// which the first p0 tasks of the topological order are fixed to
+// prefix. bound() supplies the freshest admissible incumbent (never
+// smaller than what the sequential run would have known at the same
+// point); publish() is invoked on every subtree-local improvement.
+func (w *bbWorker) explore(p *bbProblem, prefix []int, bound func() float64, publish func(float64)) {
+	n, m := p.n, p.m
+	p0 := len(prefix)
+	ePrune := !p.opt.DisableEnergyPrune
+	dPrune := !p.opt.DisableDeadlinePrune
+
+	// Commit the prefix, applying the same per-child cuts the
+	// sequential solver would apply on the path to this subtree.
+	for k := 0; k < p0; k++ {
+		t := p.order[k]
+		s := prefix[k]
+		st := 0.0
+		for _, pr := range p.cg.Preds(t) {
+			if w.finish[pr] > st {
+				st = w.finish[pr]
+			}
+		}
+		e := p.eTab[t*m+s]
+		if ePrune && w.accE[k]+e+p.sufMin[k+1] >= w.best {
+			return
+		}
+		end := st + p.durTab[t*m+s]
+		if dPrune && end+p.tailFmax[t] > p.dlTol {
+			return
+		}
+		w.assign[t] = s
+		w.finish[t] = end
+		w.accE[k+1] = w.accE[k] + e
+	}
+
+	// Enter depth p0 (the subtree root).
+	w.nodes++
+	if p0 == n {
+		w.leaf(p)
+		return
+	}
+	if ePrune && w.accE[p0]+p.sufMin[p0] >= w.best {
+		return
+	}
+	// The historic recursion also re-checked the energy bound on entry
+	// to every node, but that check is identical to the per-child cut
+	// its parent just evaluated (accE[k+1] = accE[k]+e against the
+	// same incumbent), so the explicit-stack loop performs it only
+	// once, at the subtree root above.
+	order, durTab, eTab := p.order, p.durTab, p.eTab
+	sufMin, tailFmax := p.sufMin, p.tailFmax
+	assign, finish, start, sIdx, accE := w.assign, w.finish, w.start, w.sIdx, w.accE
+	cg := p.cg
+	dlTol := p.dlTol
+	best := w.best
+	nodes := w.nodes
+	{
+		t := order[p0]
+		st := 0.0
+		for _, pr := range cg.Preds(t) {
+			if f := finish[pr]; f > st {
+				st = f
+			}
+		}
+		start[p0] = st
+		sIdx[p0] = -1
+	}
+	k := p0
+	steps := 0
+	for k >= p0 {
+		sIdx[k]++
+		s := sIdx[k]
+		if s >= m {
+			k--
+			continue
+		}
+		t := order[k]
+		e := eTab[t*m+s]
+		if ePrune && accE[k]+e+sufMin[k+1] >= best {
+			continue
+		}
+		end := start[k] + durTab[t*m+s]
+		if dPrune && end+tailFmax[t] > dlTol {
+			continue
+		}
+		assign[t] = s
+		finish[t] = end
+		accE[k+1] = accE[k] + e
+		nodes++
+		if k+1 == n {
+			w.best = best
+			if w.leaf(p) {
+				best = w.best
+				if publish != nil {
+					publish(best)
+				}
+			}
+			continue
+		}
+		k++
+		t2 := order[k]
+		st := 0.0
+		for _, pr := range cg.Preds(t2) {
+			if f := finish[pr]; f > st {
+				st = f
+			}
+		}
+		start[k] = st
+		sIdx[k] = -1
+		// Periodically fold in incumbents published by earlier
+		// subtrees; a stale value only weakens pruning, never the
+		// result.
+		if steps++; steps&1023 == 0 && bound != nil {
+			if b := bound(); b < best {
+				best = b
+				w.hasBest = false // bound came from another subtree
+			}
+		}
+	}
+	w.best = best
+	w.nodes = nodes
+}
+
+// leaf checks a complete assignment against the incumbent; reports
+// whether it was accepted.
+func (w *bbWorker) leaf(p *bbProblem) bool {
+	n := p.n
+	if w.accE[n] >= w.best {
+		return false
+	}
+	if p.opt.DisableDeadlinePrune {
+		// Without the incremental feasibility cut, leaves must be
+		// checked before acceptance.
+		if w.durs == nil {
+			w.durs = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			w.durs[i] = p.durTab[i*p.m+w.assign[i]]
+		}
+		if _, ms, _ := p.cg.LongestPath(w.durs); ms > p.dlTol {
+			return false
+		}
+	}
+	w.best = w.accE[n]
+	copy(w.bestAssign, w.assign)
+	w.hasBest = true
+	return true
+}
+
+func solveExact(g *dag.Graph, mp *platform.Mapping, sm model.SpeedModel, deadline float64, opt BBOptions, workers int) (*ExactResult, error) {
 	if sm.Kind != model.Discrete && sm.Kind != model.Incremental {
 		return nil, fmt.Errorf("discrete: speed model is %v, want DISCRETE or INCREMENTAL", sm.Kind)
 	}
@@ -119,11 +335,27 @@ func SolveExactOpts(g *dag.Graph, mp *platform.Mapping, sm model.SpeedModel, dea
 		}
 	}
 
+	p := &bbProblem{
+		g: g, cg: cg, order: order, levels: levels, n: n, m: m,
+		durTab:   make([]float64, n*m),
+		eTab:     make([]float64, n*m),
+		sufMin:   make([]float64, n+1),
+		tailFmax: make([]float64, n),
+		dlTol:    deadline * (1 + 1e-9),
+		deadline: deadline,
+		opt:      opt,
+	}
+	for t := 0; t < n; t++ {
+		w := g.Weight(t)
+		for s := 0; s < m; s++ {
+			p.durTab[t*m+s] = w / levels[s]
+			p.eTab[t*m+s] = model.Energy(w, levels[s])
+		}
+	}
 	// Suffix minimum-energy bound: remaining tasks at the slowest
 	// level.
-	sufMinEnergy := make([]float64, n+1)
 	for k := n - 1; k >= 0; k-- {
-		sufMinEnergy[k] = sufMinEnergy[k+1] + model.Energy(g.Weight(order[k]), levels[0])
+		p.sufMin[k] = p.sufMin[k+1] + p.eTab[order[k]*m]
 	}
 	// tailFmax[t]: longest constraint-graph path strictly after t with
 	// every task at fmax — the cheapest possible completion of any path
@@ -131,81 +363,116 @@ func SolveExactOpts(g *dag.Graph, mp *platform.Mapping, sm model.SpeedModel, dea
 	// finish[t] + tailFmax[t] ≤ D at every assignment prunes exactly as
 	// strongly as recomputing the full longest path, at O(degree) per
 	// node instead of O(n+m).
-	tailFmax := make([]float64, n)
 	for k := n - 1; k >= 0; k-- {
 		t := order[k]
 		best := 0.0
 		for _, v := range cg.Succs(t) {
-			if c := g.Weight(v)/sm.FMax + tailFmax[v]; c > best {
+			if c := p.durTab[v*m+m-1] + p.tailFmax[v]; c > best {
 				best = c
 			}
 		}
-		tailFmax[t] = best
+		p.tailFmax[t] = best
 	}
 
-	assign := make([]int, n)
-	finish := make([]float64, n) // finish time of assigned tasks
 	var nodes int64
-	energySoFar := 0.0
-	var rec func(k int)
-	rec = func(k int) {
-		nodes++
-		if k == n {
-			if energySoFar < bestEnergy {
-				if opt.DisableDeadlinePrune {
-					// Without the incremental feasibility cut, leaves
-					// must be checked before acceptance.
-					durs := make([]float64, n)
-					for i := 0; i < n; i++ {
-						durs[i] = g.Weight(i) / levels[assign[i]]
-					}
-					if _, ms, _ := cg.LongestPath(durs); ms > deadline*(1+1e-9) {
-						return
-					}
-				}
-				bestEnergy = energySoFar
-				copy(bestAssign, assign)
-			}
-			return
-		}
-		t := order[k]
-		w := g.Weight(t)
-		if !opt.DisableEnergyPrune && energySoFar+sufMinEnergy[k] >= bestEnergy {
-			return
-		}
-		start := 0.0
-		for _, p := range cg.Preds(t) {
-			if finish[p] > start {
-				start = finish[p]
-			}
-		}
-		// Try slow levels first: depth-first toward low energy.
-		for s := 0; s < m; s++ {
-			assign[t] = s
-			e := model.Energy(w, levels[s])
-			if !opt.DisableEnergyPrune && energySoFar+e+sufMinEnergy[k+1] >= bestEnergy {
-				continue
-			}
-			end := start + w/levels[s]
-			if !opt.DisableDeadlinePrune && end+tailFmax[t] > deadline*(1+1e-9) {
-				continue
-			}
-			finish[t] = end
-			energySoFar += e
-			rec(k + 1)
-			energySoFar -= e
+	resultE := bestEnergy
+	if workers > 1 && n >= 2 {
+		resultE, nodes = p.solveParallel(bestEnergy, bestAssign, workers)
+	} else {
+		w := newBBWorker(n, bestEnergy)
+		w.explore(p, nil, nil, nil)
+		nodes = w.nodes
+		if w.hasBest {
+			resultE = w.best
+			copy(bestAssign, w.bestAssign)
 		}
 	}
-	rec(0)
 
-	if math.IsInf(bestEnergy, 1) {
+	if math.IsInf(resultE, 1) {
 		return nil, ErrInfeasible
 	}
-	res := &ExactResult{LevelIdx: bestAssign, Speeds: make([]float64, n), Energy: bestEnergy, Nodes: nodes}
+	res := &ExactResult{LevelIdx: bestAssign, Speeds: make([]float64, n), Energy: resultE, Nodes: nodes}
 	for i := 0; i < n; i++ {
 		res.Speeds[i] = levels[bestAssign[i]]
 	}
 	return res, nil
+}
+
+// solveParallel partitions the branch tree at the first one or two
+// topological levels into K subtrees in depth-first order, explores
+// them on min(workers, GOMAXPROCS-bounded) goroutines, and merges the
+// per-subtree bests in subtree order with strict improvement. Pruning
+// across subtrees flows only backwards (subtree k reads incumbents
+// published by subtrees j < k), which keeps the merged result
+// bit-identical to the sequential search while still sharing most of
+// the bound tightening.
+func (p *bbProblem) solveParallel(uniformEnergy float64, bestAssign []int, workers int) (float64, int64) {
+	n, m := p.n, p.m
+	// Two fixed levels when that yields better load balance.
+	depth := 1
+	if n >= 2 && m < 2*workers {
+		depth = 2
+	}
+	numSub := m
+	if depth == 2 {
+		numSub = m * m
+	}
+	if workers > numSub {
+		workers = numSub
+	}
+
+	pubs := make([]atomic.Uint64, numSub)
+	for i := range pubs {
+		pubs[i].Store(math.Float64bits(math.Inf(1)))
+	}
+	results := make([]*bbWorker, numSub)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			prefix := make([]int, depth)
+			for sub := wk; sub < numSub; sub += workers {
+				w := newBBWorker(n, uniformEnergy)
+				if depth == 2 {
+					prefix[0], prefix[1] = sub/m, sub%m
+				} else {
+					prefix[0] = sub
+				}
+				bound := func() float64 {
+					b := math.Inf(1)
+					for j := 0; j < sub; j++ {
+						if v := math.Float64frombits(pubs[j].Load()); v < b {
+							b = v
+						}
+					}
+					return b
+				}
+				publish := func(e float64) { pubs[sub].Store(math.Float64bits(e)) }
+				if b := bound(); b < w.best {
+					w.best = b
+					w.hasBest = false
+				}
+				w.explore(p, prefix, bound, publish)
+				results[sub] = w
+			}
+		}(wk)
+	}
+	wg.Wait()
+
+	best := uniformEnergy
+	var nodes int64
+	for _, w := range results {
+		if w == nil {
+			continue
+		}
+		nodes += w.nodes
+		if w.hasBest && w.best < best {
+			best = w.best
+			copy(bestAssign, w.bestAssign)
+		}
+	}
+	return best, nodes
 }
 
 // Schedule materializes an exact result as a validated ASAP schedule.

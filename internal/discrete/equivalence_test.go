@@ -1,0 +1,155 @@
+package discrete
+
+import (
+	"math/rand"
+	"testing"
+
+	"energysched/internal/dag"
+	"energysched/internal/listsched"
+	"energysched/internal/model"
+	"energysched/internal/platform"
+	"energysched/internal/workload"
+)
+
+// randomBBInstance builds a small random DISCRETE instance, sometimes
+// multi-processor, with a deadline tight enough that pruning matters.
+func randomBBInstance(t *testing.T, rng *rand.Rand) (*dag.Graph, *platform.Mapping, model.SpeedModel, float64) {
+	t.Helper()
+	var g *dag.Graph
+	switch rng.Intn(3) {
+	case 0:
+		g = workload.Chain(rng, rng.Intn(8)+2, workload.UniformWeights)
+	case 1:
+		g = workload.ForkJoin(rng, rng.Intn(6)+2, workload.UniformWeights)
+	default:
+		g = workload.Layered(rng, rng.Intn(8)+4, 3, 0.4, workload.UniformWeights)
+	}
+	procs := rng.Intn(2) + 1
+	res, err := listsched.CriticalPath(g, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := model.NewDiscrete([]float64{0.4, 0.6, 0.8, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := g.TotalWeight() * (0.9 + rng.Float64())
+	return g, res.Mapping, sm, deadline
+}
+
+// TestIterativeMatchesRecursiveReference checks the explicit-stack
+// branch-and-bound against the preserved recursive implementation on
+// randomized instances, across the ablation switch matrix. Energies
+// must agree within 1e-9 relative: the reference accumulates partial
+// energy with += / −= pairs whose float drift the prefix-sum version
+// avoids, so bit-equality is deliberately not demanded — near-tie
+// prunes may then resolve differently, which the energy bound still
+// catches.
+func TestIterativeMatchesRecursiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	opts := []BBOptions{
+		{},
+		{DisableEnergyPrune: true},
+		{DisableDeadlinePrune: true},
+		{DisableEnergyPrune: true, DisableDeadlinePrune: true},
+	}
+	for trial := 0; trial < 40; trial++ {
+		g, mp, sm, deadline := randomBBInstance(t, rng)
+		opt := opts[trial%len(opts)]
+		got, errNew := SolveExactOpts(g, mp, sm, deadline, opt)
+		want, errRef := refSolveExact(g, mp, sm, deadline, opt)
+		if (errNew == nil) != (errRef == nil) {
+			t.Fatalf("trial %d: error mismatch: optimized %v vs reference %v", trial, errNew, errRef)
+		}
+		if errNew != nil {
+			continue
+		}
+		if d := got.Energy - want.Energy; d > 1e-9*want.Energy || d < -1e-9*want.Energy {
+			t.Errorf("trial %d: energy %v vs reference %v", trial, got.Energy, want.Energy)
+		}
+		// The returned assignment must reproduce the reported energy
+		// and meet the deadline regardless of tie resolution.
+		e := 0.0
+		durs := make([]float64, g.N())
+		for i, s := range got.LevelIdx {
+			e += model.Energy(g.Weight(i), sm.Levels[s])
+			durs[i] = g.Weight(i) / sm.Levels[s]
+		}
+		if d := e - got.Energy; d > 1e-9*e || d < -1e-9*e {
+			t.Errorf("trial %d: assignment energy %v inconsistent with reported %v", trial, e, got.Energy)
+		}
+		cg, err := mp.ConstraintGraph(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ms, _ := cg.LongestPath(durs); ms > deadline*(1+1e-9) {
+			t.Errorf("trial %d: assignment misses deadline: %v > %v", trial, ms, deadline)
+		}
+	}
+}
+
+// TestParallelMatchesSequential checks the deterministic-by-
+// construction claim of SolveExactParallel: energy and assignment are
+// bit-identical to the sequential solver for every worker count.
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(38))
+	for trial := 0; trial < 25; trial++ {
+		g, mp, sm, deadline := randomBBInstance(t, rng)
+		want, errSeq := SolveExact(g, mp, sm, deadline)
+		for _, workers := range []int{2, 4, 7} {
+			got, errPar := SolveExactParallel(g, mp, sm, deadline, workers)
+			if (errSeq == nil) != (errPar == nil) {
+				t.Fatalf("trial %d workers=%d: error mismatch: %v vs %v", trial, workers, errSeq, errPar)
+			}
+			if errSeq != nil {
+				continue
+			}
+			if got.Energy != want.Energy {
+				t.Errorf("trial %d workers=%d: energy %v vs sequential %v", trial, workers, got.Energy, want.Energy)
+			}
+			for i := range got.LevelIdx {
+				if got.LevelIdx[i] != want.LevelIdx[i] {
+					t.Errorf("trial %d workers=%d: assignment[%d] = %d vs sequential %d",
+						trial, workers, i, got.LevelIdx[i], want.LevelIdx[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestParallelTieBreaksLikeSequential pins the tie case explicitly:
+// symmetric equal-weight tasks admit many optimal assignments, and
+// the parallel solver must return the one the sequential depth-first
+// order finds first.
+func TestParallelTieBreaksLikeSequential(t *testing.T) {
+	g := dag.IndependentGraph(2, 2, 2, 2, 2, 2)
+	mp, err := platform.SingleProcessor(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := model.NewDiscrete([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := g.TotalWeight() * 0.75 // forces some (but not all) tasks to speed 2
+	want, err := SolveExact(g, mp, sm, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for workers := 2; workers <= 8; workers++ {
+		got, err := SolveExactParallel(g, mp, sm, deadline, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Energy != want.Energy {
+			t.Fatalf("workers=%d: energy %v vs %v", workers, got.Energy, want.Energy)
+		}
+		for i := range got.LevelIdx {
+			if got.LevelIdx[i] != want.LevelIdx[i] {
+				t.Errorf("workers=%d: assignment %v vs sequential %v", workers, got.LevelIdx, want.LevelIdx)
+				break
+			}
+		}
+	}
+}

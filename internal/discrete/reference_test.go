@@ -1,0 +1,146 @@
+package discrete
+
+// This file preserves the pre-optimization recursive branch-and-bound
+// verbatim as the reference oracle for the equivalence tests.
+// Test-only: it never ships in the library binary.
+
+import (
+	"fmt"
+	"math"
+
+	"energysched/internal/dag"
+	"energysched/internal/model"
+	"energysched/internal/platform"
+)
+
+func refSolveExact(g *dag.Graph, mp *platform.Mapping, sm model.SpeedModel, deadline float64, opt BBOptions) (*ExactResult, error) {
+	if sm.Kind != model.Discrete && sm.Kind != model.Incremental {
+		return nil, fmt.Errorf("discrete: speed model is %v, want DISCRETE or INCREMENTAL", sm.Kind)
+	}
+	if err := sm.Validate(); err != nil {
+		return nil, err
+	}
+	if err := model.CheckDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	cg, err := mp.ConstraintGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	order, err := cg.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	levels := sm.Levels
+	m := len(levels)
+
+	durations := make([]float64, n)
+	for i := range durations {
+		durations[i] = g.Weight(i) / sm.FMax
+	}
+	if _, ms, err := cg.LongestPath(durations); err != nil {
+		return nil, err
+	} else if ms > deadline*(1+1e-9) {
+		return nil, ErrInfeasible
+	}
+
+	bestEnergy := math.Inf(1)
+	bestAssign := make([]int, n)
+	for s := 0; s < m; s++ {
+		for i := range durations {
+			durations[i] = g.Weight(i) / levels[s]
+		}
+		if _, ms, _ := cg.LongestPath(durations); ms <= deadline*(1+1e-9) {
+			e := 0.0
+			for i := 0; i < n; i++ {
+				e += model.Energy(g.Weight(i), levels[s])
+			}
+			bestEnergy = e
+			for i := range bestAssign {
+				bestAssign[i] = s
+			}
+			break
+		}
+	}
+
+	sufMinEnergy := make([]float64, n+1)
+	for k := n - 1; k >= 0; k-- {
+		sufMinEnergy[k] = sufMinEnergy[k+1] + model.Energy(g.Weight(order[k]), levels[0])
+	}
+	tailFmax := make([]float64, n)
+	for k := n - 1; k >= 0; k-- {
+		t := order[k]
+		best := 0.0
+		for _, v := range cg.Succs(t) {
+			if c := g.Weight(v)/sm.FMax + tailFmax[v]; c > best {
+				best = c
+			}
+		}
+		tailFmax[t] = best
+	}
+
+	assign := make([]int, n)
+	finish := make([]float64, n)
+	var nodes int64
+	energySoFar := 0.0
+	var rec func(k int)
+	rec = func(k int) {
+		nodes++
+		if k == n {
+			if energySoFar < bestEnergy {
+				if opt.DisableDeadlinePrune {
+					durs := make([]float64, n)
+					for i := 0; i < n; i++ {
+						durs[i] = g.Weight(i) / levels[assign[i]]
+					}
+					if _, ms, _ := cg.LongestPath(durs); ms > deadline*(1+1e-9) {
+						return
+					}
+				}
+				bestEnergy = energySoFar
+				copy(bestAssign, assign)
+			}
+			return
+		}
+		t := order[k]
+		w := g.Weight(t)
+		if !opt.DisableEnergyPrune && energySoFar+sufMinEnergy[k] >= bestEnergy {
+			return
+		}
+		start := 0.0
+		for _, p := range cg.Preds(t) {
+			if finish[p] > start {
+				start = finish[p]
+			}
+		}
+		for s := 0; s < m; s++ {
+			assign[t] = s
+			e := model.Energy(w, levels[s])
+			if !opt.DisableEnergyPrune && energySoFar+e+sufMinEnergy[k+1] >= bestEnergy {
+				continue
+			}
+			end := start + w/levels[s]
+			if !opt.DisableDeadlinePrune && end+tailFmax[t] > deadline*(1+1e-9) {
+				continue
+			}
+			finish[t] = end
+			energySoFar += e
+			rec(k + 1)
+			energySoFar -= e
+		}
+	}
+	rec(0)
+
+	if math.IsInf(bestEnergy, 1) {
+		return nil, ErrInfeasible
+	}
+	res := &ExactResult{LevelIdx: bestAssign, Speeds: make([]float64, n), Energy: bestEnergy, Nodes: nodes}
+	for i := 0; i < n; i++ {
+		res.Speeds[i] = levels[bestAssign[i]]
+	}
+	return res, nil
+}

@@ -5,12 +5,18 @@
 // itself is theory-only, so injecting faults from the very law the
 // model postulates is the faithful way to validate schedules
 // end-to-end (DESIGN.md, substitutions table).
+//
+// The trial loop is allocation-free: per-execution failure
+// probabilities are computed once per campaign into a preallocated
+// scratch (not once per trial), and randomness comes from counter-
+// split splitmix64 streams — one stream per trial derived by pure
+// arithmetic from the seed — instead of a heap-allocated math/rand
+// source.
 package faultsim
 
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 
 	"energysched/internal/model"
 	"energysched/internal/schedule"
@@ -33,51 +39,131 @@ type Stats struct {
 	FirstExecFailures []int
 }
 
-// SimulateSchedule runs trials Monte-Carlo executions of the schedule
-// under the reliability model. Each execution of a task fails
-// independently with its linearized failure probability (segment-wise
-// for VDD mixes); a re-executed task fails only if both attempts fail.
-func SimulateSchedule(s *schedule.Schedule, rel model.Reliability, trials int, seed int64) (*Stats, error) {
+// splitmix64 is the counter-based PRNG behind the injector: cheap,
+// allocation-free, and splittable — any (seed, trial) pair addresses
+// an independent stream without generating the preceding ones.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 draws a uniform sample in [0, 1) with 53 random bits.
+func (s *splitmix64) float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// trialStream returns the stream for one (seed, trial) pair: the
+// stream split is a multiply-free state jump, so per-trial streams
+// cost nothing to derive.
+func trialStream(seed int64, trial int) splitmix64 {
+	s := splitmix64(uint64(seed) * 0x9e3779b97f4a7c15)
+	s.next()
+	return s + splitmix64(uint64(trial))*0x2545f4914f6cdd1d
+}
+
+// Simulator owns the preallocated per-campaign scratch: per-task
+// failure probabilities and success counters. A zero Simulator is
+// ready to use; reusing one across campaigns makes SimulateInto free
+// of steady-state allocations. Not safe for concurrent use.
+type Simulator struct {
+	p1, p2   []float64 // per-task failure probabilities (p2 < 0: no re-execution)
+	taskOK   []int
+	firstRef []int
+}
+
+// NewSimulator returns an empty simulator; buffers grow on first use.
+func NewSimulator() *Simulator { return &Simulator{} }
+
+func (sim *Simulator) resize(n int) {
+	if cap(sim.p1) < n {
+		sim.p1 = make([]float64, n)
+		sim.p2 = make([]float64, n)
+		sim.taskOK = make([]int, n)
+		sim.firstRef = make([]int, n)
+	}
+	sim.p1 = sim.p1[:n]
+	sim.p2 = sim.p2[:n]
+	sim.taskOK = sim.taskOK[:n]
+	sim.firstRef = sim.firstRef[:n]
+}
+
+// SimulateInto runs the campaign and fills st, reusing st's slices
+// when they have capacity; with a warmed Simulator and Stats the call
+// performs zero allocations.
+func (sim *Simulator) SimulateInto(st *Stats, s *schedule.Schedule, rel model.Reliability, trials int, seed int64) error {
 	if s == nil || s.G == nil {
-		return nil, errors.New("faultsim: nil schedule")
+		return errors.New("faultsim: nil schedule")
 	}
 	if trials <= 0 {
-		return nil, fmt.Errorf("faultsim: trials must be positive, got %d", trials)
+		return fmt.Errorf("faultsim: trials must be positive, got %d", trials)
 	}
 	if err := rel.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	n := s.G.N()
-	rng := rand.New(rand.NewSource(seed))
-	taskOK := make([]int, n)
-	firstFail := make([]int, n)
+	sim.resize(n)
+	for i := 0; i < n; i++ {
+		ts := s.Tasks[i]
+		sim.p1[i] = ts.Execs[0].FailureProb(rel)
+		if ts.ReExecuted() {
+			sim.p2[i] = ts.Execs[1].FailureProb(rel)
+		} else {
+			sim.p2[i] = -1
+		}
+		sim.taskOK[i] = 0
+		sim.firstRef[i] = 0
+	}
 	allOK := 0
 	for trial := 0; trial < trials; trial++ {
+		rng := trialStream(seed, trial)
 		ok := true
 		for i := 0; i < n; i++ {
-			ts := s.Tasks[i]
-			p1 := ts.Execs[0].FailureProb(rel)
-			fail := rng.Float64() < p1
+			fail := rng.float64() < sim.p1[i]
 			if fail {
-				firstFail[i]++
-				if ts.ReExecuted() {
-					p2 := ts.Execs[1].FailureProb(rel)
-					fail = rng.Float64() < p2
+				sim.firstRef[i]++
+				if sim.p2[i] >= 0 {
+					fail = rng.float64() < sim.p2[i]
 				}
 			}
 			if fail {
 				ok = false
 			} else {
-				taskOK[i]++
+				sim.taskOK[i]++
 			}
 		}
 		if ok {
 			allOK++
 		}
 	}
-	st := &Stats{Trials: trials, TaskSuccess: make([]float64, n), ScheduleSuccess: float64(allOK) / float64(trials), FirstExecFailures: firstFail}
+	st.Trials = trials
+	st.ScheduleSuccess = float64(allOK) / float64(trials)
+	if cap(st.TaskSuccess) < n {
+		st.TaskSuccess = make([]float64, n)
+		st.FirstExecFailures = make([]int, n)
+	}
+	st.TaskSuccess = st.TaskSuccess[:n]
+	st.FirstExecFailures = st.FirstExecFailures[:n]
 	for i := 0; i < n; i++ {
-		st.TaskSuccess[i] = float64(taskOK[i]) / float64(trials)
+		st.TaskSuccess[i] = float64(sim.taskOK[i]) / float64(trials)
+		st.FirstExecFailures[i] = sim.firstRef[i]
+	}
+	return nil
+}
+
+// SimulateSchedule runs trials Monte-Carlo executions of the schedule
+// under the reliability model. Each execution of a task fails
+// independently with its linearized failure probability (segment-wise
+// for VDD mixes); a re-executed task fails only if both attempts fail.
+func SimulateSchedule(s *schedule.Schedule, rel model.Reliability, trials int, seed int64) (*Stats, error) {
+	var sim Simulator
+	st := &Stats{}
+	if err := sim.SimulateInto(st, s, rel, trials, seed); err != nil {
+		return nil, err
 	}
 	return st, nil
 }
@@ -87,11 +173,11 @@ func SimulateSchedule(s *schedule.Schedule, rel model.Reliability, trials int, s
 // the experiment suite to check the injector against the analytic
 // model.
 func EmpiricalFailureRate(rel model.Reliability, w, f float64, trials int, seed int64) float64 {
-	rng := rand.New(rand.NewSource(seed))
 	p := rel.FailureProb(w, f)
+	rng := trialStream(seed, 0)
 	fails := 0
 	for i := 0; i < trials; i++ {
-		if rng.Float64() < p {
+		if rng.float64() < p {
 			fails++
 		}
 	}

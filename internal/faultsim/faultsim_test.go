@@ -126,3 +126,53 @@ func TestDeterministicGivenSeed(t *testing.T) {
 		t.Error("same seed produced different results")
 	}
 }
+
+func TestSimulateIntoAllocFree(t *testing.T) {
+	g := dag.IndependentGraph(4, 2, 3)
+	mp := platform.OneTaskPerProcessor(g)
+	s, err := schedule.FromSpeeds(g, mp, []float64{0.4, 0.5, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := hotRel()
+	sim := NewSimulator()
+	var st Stats
+	if err := sim.SimulateInto(&st, s, rel, 1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := sim.SimulateInto(&st, s, rel, 1000, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warmed SimulateInto allocates %v objects per run, want 0", allocs)
+	}
+}
+
+func TestSimulateIntoMatchesSimulateSchedule(t *testing.T) {
+	g := dag.IndependentGraph(4, 2, 3)
+	mp := platform.OneTaskPerProcessor(g)
+	s, err := schedule.FromSpeeds(g, mp, []float64{0.3, 0.5, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := hotRel()
+	want, err := SimulateSchedule(s, rel, 5000, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator()
+	var st Stats
+	if err := sim.SimulateInto(&st, s, rel, 5000, 99); err != nil {
+		t.Fatal(err)
+	}
+	if st.ScheduleSuccess != want.ScheduleSuccess {
+		t.Errorf("ScheduleSuccess %v vs %v", st.ScheduleSuccess, want.ScheduleSuccess)
+	}
+	for i := range st.TaskSuccess {
+		if st.TaskSuccess[i] != want.TaskSuccess[i] || st.FirstExecFailures[i] != want.FirstExecFailures[i] {
+			t.Errorf("task %d: (%v,%d) vs (%v,%d)", i, st.TaskSuccess[i], st.FirstExecFailures[i], want.TaskSuccess[i], want.FirstExecFailures[i])
+		}
+	}
+}

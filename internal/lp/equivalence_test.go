@@ -1,0 +1,68 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomLP builds a random LP that is feasible by construction (the
+// constraints are anchored around a known non-negative point) with a
+// mix of senses.
+func randomLP(rng *rand.Rand) *Problem {
+	n := rng.Intn(20) + 2
+	m := rng.Intn(15) + 1
+	p := &Problem{NumVars: n, Objective: make([]float64, n)}
+	x0 := make([]float64, n)
+	for j := range x0 {
+		x0[j] = rng.Float64() * 5
+		p.Objective[j] = rng.Float64() + 0.05
+	}
+	for k := 0; k < m; k++ {
+		coeffs := make([]float64, n)
+		dot := 0.0
+		for j := range coeffs {
+			coeffs[j] = rng.Float64()*2 - 0.5
+			dot += coeffs[j] * x0[j]
+		}
+		switch rng.Intn(3) {
+		case 0:
+			p.AddConstraint(coeffs, LE, dot+rng.Float64()+0.1)
+		case 1:
+			p.AddConstraint(coeffs, GE, dot-rng.Float64()-0.1)
+		default:
+			p.AddConstraint(coeffs, EQ, dot)
+		}
+	}
+	return p
+}
+
+// TestSimplexMatchesReference runs the contiguous-tableau solver and
+// the preserved pre-optimization solver over randomized LPs and
+// demands identical feasibility verdicts and objectives within 1e-9.
+func TestSimplexMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 60; trial++ {
+		p := randomLP(rng)
+		got, errNew := Solve(p)
+		want, errRef := refSolve(p)
+		if (errNew == nil) != (errRef == nil) {
+			t.Fatalf("trial %d: error mismatch: optimized %v vs reference %v", trial, errNew, errRef)
+		}
+		if errNew != nil {
+			if errNew != errRef {
+				t.Errorf("trial %d: error %v vs reference %v", trial, errNew, errRef)
+			}
+			continue
+		}
+		scale := math.Max(math.Abs(want.Objective), 1)
+		if math.Abs(got.Objective-want.Objective)/scale > 1e-9 {
+			t.Errorf("trial %d: objective %v vs reference %v", trial, got.Objective, want.Objective)
+		}
+		for j := range got.X {
+			if math.Abs(got.X[j]-want.X[j]) > 1e-7*scale {
+				t.Errorf("trial %d: x[%d] = %v vs reference %v", trial, j, got.X[j], want.X[j])
+			}
+		}
+	}
+}

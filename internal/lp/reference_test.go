@@ -1,0 +1,212 @@
+package lp
+
+// This file preserves the pre-optimization simplex solver verbatim
+// (row-of-slices tableau, column-wise reduced costs) as the reference
+// oracle for the equivalence property tests. Test-only: it never
+// ships in the library binary.
+
+import (
+	"errors"
+	"math"
+)
+
+func refSolve(p *Problem) (*Solution, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	n := p.NumVars
+	m := len(p.Constraints)
+
+	rows := make([][]float64, m)
+	b := make([]float64, m)
+	senses := make([]Sense, m)
+	for k, c := range p.Constraints {
+		row := append([]float64(nil), c.Coeffs...)
+		rhs := c.RHS
+		sense := c.Sense
+		if rhs < 0 {
+			for j := range row {
+				row[j] = -row[j]
+			}
+			rhs = -rhs
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		rows[k] = row
+		b[k] = rhs
+		senses[k] = sense
+	}
+
+	nSlack := 0
+	nArt := 0
+	for _, s := range senses {
+		switch s {
+		case LE, GE:
+			nSlack++
+		}
+		if s != LE {
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+	a := make([][]float64, m)
+	basis := make([]int, m)
+	artStart := n + nSlack
+	slackCol := n
+	artCol := artStart
+	for k := 0; k < m; k++ {
+		a[k] = make([]float64, total)
+		copy(a[k], rows[k])
+		switch senses[k] {
+		case LE:
+			a[k][slackCol] = 1
+			basis[k] = slackCol
+			slackCol++
+		case GE:
+			a[k][slackCol] = -1
+			slackCol++
+			a[k][artCol] = 1
+			basis[k] = artCol
+			artCol++
+		case EQ:
+			a[k][artCol] = 1
+			basis[k] = artCol
+			artCol++
+		}
+	}
+
+	t := &refTableau{m: m, n: total, a: a, b: b, basis: basis}
+
+	if nArt > 0 {
+		c1 := make([]float64, total)
+		for j := artStart; j < total; j++ {
+			c1[j] = 1
+		}
+		z, err := t.simplex(c1, nil)
+		if err != nil {
+			return nil, err
+		}
+		if z > 1e-7 {
+			return nil, ErrInfeasible
+		}
+		for r := 0; r < t.m; r++ {
+			if t.basis[r] >= artStart {
+				pivoted := false
+				for j := 0; j < artStart; j++ {
+					if math.Abs(t.a[r][j]) > eps {
+						t.pivot(r, j)
+						pivoted = true
+						break
+					}
+				}
+				if !pivoted {
+					t.b[r] = 0
+				}
+			}
+		}
+	}
+
+	c2 := make([]float64, total)
+	copy(c2, p.Objective)
+	barred := func(j int) bool { return j >= artStart }
+	if _, err := t.simplex(c2, barred); err != nil {
+		return nil, err
+	}
+
+	x := make([]float64, n)
+	for r := 0; r < m; r++ {
+		if t.basis[r] < n {
+			x[t.basis[r]] = t.b[r]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += p.Objective[j] * x[j]
+	}
+	return &Solution{X: x, Objective: obj}, nil
+}
+
+type refTableau struct {
+	m, n  int
+	a     [][]float64
+	b     []float64
+	basis []int
+}
+
+func (t *refTableau) pivot(r, c int) {
+	pv := t.a[r][c]
+	inv := 1 / pv
+	for j := 0; j < t.n; j++ {
+		t.a[r][j] *= inv
+	}
+	t.b[r] *= inv
+	t.a[r][c] = 1
+	for i := 0; i < t.m; i++ {
+		if i == r {
+			continue
+		}
+		f := t.a[i][c]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			t.a[i][j] -= f * t.a[r][j]
+		}
+		t.b[i] -= f * t.b[r]
+		t.a[i][c] = 0
+		if t.b[i] < 0 && t.b[i] > -1e-11 {
+			t.b[i] = 0
+		}
+	}
+	t.basis[r] = c
+}
+
+func (t *refTableau) simplex(cost []float64, barred func(int) bool) (float64, error) {
+	maxIter := 50 * (t.m + t.n + 10)
+	for iter := 0; iter < maxIter; iter++ {
+		enter := -1
+		for j := 0; j < t.n; j++ {
+			if barred != nil && barred(j) {
+				continue
+			}
+			rc := cost[j]
+			for r := 0; r < t.m; r++ {
+				cb := cost[t.basis[r]]
+				if cb != 0 {
+					rc -= cb * t.a[r][j]
+				}
+			}
+			if rc < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			z := 0.0
+			for r := 0; r < t.m; r++ {
+				z += cost[t.basis[r]] * t.b[r]
+			}
+			return z, nil
+		}
+		leave := -1
+		best := math.Inf(1)
+		for r := 0; r < t.m; r++ {
+			if t.a[r][enter] > eps {
+				ratio := t.b[r] / t.a[r][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave == -1 || t.basis[r] < t.basis[leave])) {
+					best = ratio
+					leave = r
+				}
+			}
+		}
+		if leave == -1 {
+			return 0, ErrUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return 0, errors.New("lp: iteration limit exceeded (cycling?)")
+}

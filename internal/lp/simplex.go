@@ -10,7 +10,10 @@
 // linear program. Bland's anti-cycling rule guarantees termination;
 // problem sizes in this repository are small (hundreds of variables),
 // so a dense tableau is appropriate and keeps the implementation
-// auditable.
+// auditable. The tableau lives in one contiguous row-major array and
+// reduced costs are accumulated row-wise, so pivots and pricing walk
+// memory sequentially and the solver performs no per-pivot
+// allocation.
 package lp
 
 import (
@@ -88,17 +91,46 @@ func Solve(p *Problem) (*Solution, error) {
 
 	// Count auxiliary columns: one slack per LE, one surplus + one
 	// artificial per GE, one artificial per EQ. Rows are normalized to
-	// b ≥ 0 first.
-	rows := make([][]float64, m)
-	b := make([]float64, m)
-	senses := make([]Sense, m)
+	// b ≥ 0 while being copied into the tableau.
+	nSlack := 0
+	nArt := 0
+	for _, c := range p.Constraints {
+		sense := c.Sense
+		if c.RHS < 0 {
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		switch sense {
+		case LE, GE:
+			nSlack++
+		}
+		if sense != LE {
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+	t := &tableau{
+		m:     m,
+		n:     total,
+		a:     make([]float64, m*total),
+		b:     make([]float64, m),
+		basis: make([]int, m),
+		rc:    make([]float64, total),
+	}
+	artStart := n + nSlack
+	slackCol := n
+	artCol := artStart
 	for k, c := range p.Constraints {
-		row := append([]float64(nil), c.Coeffs...)
+		row := t.a[k*total : k*total+total]
 		rhs := c.RHS
 		sense := c.Sense
 		if rhs < 0 {
-			for j := range row {
-				row[j] = -row[j]
+			for j, v := range c.Coeffs {
+				row[j] = -v
 			}
 			rhs = -rhs
 			switch sense {
@@ -107,51 +139,27 @@ func Solve(p *Problem) (*Solution, error) {
 			case GE:
 				sense = LE
 			}
+		} else {
+			copy(row, c.Coeffs)
 		}
-		rows[k] = row
-		b[k] = rhs
-		senses[k] = sense
-	}
-
-	nSlack := 0
-	nArt := 0
-	for _, s := range senses {
-		switch s {
-		case LE, GE:
-			nSlack++
-		}
-		if s != LE {
-			nArt++
-		}
-	}
-	total := n + nSlack + nArt
-	a := make([][]float64, m)
-	basis := make([]int, m)
-	artStart := n + nSlack
-	slackCol := n
-	artCol := artStart
-	for k := 0; k < m; k++ {
-		a[k] = make([]float64, total)
-		copy(a[k], rows[k])
-		switch senses[k] {
+		t.b[k] = rhs
+		switch sense {
 		case LE:
-			a[k][slackCol] = 1
-			basis[k] = slackCol
+			row[slackCol] = 1
+			t.basis[k] = slackCol
 			slackCol++
 		case GE:
-			a[k][slackCol] = -1
+			row[slackCol] = -1
 			slackCol++
-			a[k][artCol] = 1
-			basis[k] = artCol
+			row[artCol] = 1
+			t.basis[k] = artCol
 			artCol++
 		case EQ:
-			a[k][artCol] = 1
-			basis[k] = artCol
+			row[artCol] = 1
+			t.basis[k] = artCol
 			artCol++
 		}
 	}
-
-	t := &tableau{m: m, n: total, a: a, b: b, basis: basis}
 
 	// Phase 1: minimize the sum of artificial variables.
 	if nArt > 0 {
@@ -159,7 +167,7 @@ func Solve(p *Problem) (*Solution, error) {
 		for j := artStart; j < total; j++ {
 			c1[j] = 1
 		}
-		z, err := t.simplex(c1, nil)
+		z, err := t.simplex(c1, total)
 		if err != nil {
 			return nil, err
 		}
@@ -169,9 +177,10 @@ func Solve(p *Problem) (*Solution, error) {
 		// Drive remaining artificial variables out of the basis.
 		for r := 0; r < t.m; r++ {
 			if t.basis[r] >= artStart {
+				row := t.a[r*total : r*total+total]
 				pivoted := false
 				for j := 0; j < artStart; j++ {
-					if math.Abs(t.a[r][j]) > eps {
+					if math.Abs(row[j]) > eps {
 						t.pivot(r, j)
 						pivoted = true
 						break
@@ -188,11 +197,11 @@ func Solve(p *Problem) (*Solution, error) {
 		}
 	}
 
-	// Phase 2: original objective, artificial columns barred.
+	// Phase 2: original objective, artificial columns barred from
+	// entering (enterLimit stops the pricing scan before them).
 	c2 := make([]float64, total)
 	copy(c2, p.Objective)
-	barred := func(j int) bool { return j >= artStart }
-	if _, err := t.simplex(c2, barred); err != nil {
+	if _, err := t.simplex(c2, artStart); err != nil {
 		return nil, err
 	}
 
@@ -238,36 +247,41 @@ func validate(p *Problem) error {
 }
 
 // tableau is a dense simplex tableau kept in canonical form with
-// respect to the current basis.
+// respect to the current basis. Rows live back to back in one flat
+// array: row r occupies a[r*n : (r+1)*n].
 type tableau struct {
 	m, n  int
-	a     [][]float64 // m × n, updated in place
-	b     []float64   // m, current basic values (≥ 0)
-	basis []int       // basis[r] = variable basic in row r
+	a     []float64 // m × n row-major, updated in place
+	b     []float64 // m, current basic values (≥ 0)
+	basis []int     // basis[r] = variable basic in row r
+	rc    []float64 // reduced-cost scratch, length n
 }
 
 // pivot performs a Gauss-Jordan pivot on (r, c) and updates the basis.
+// Rows are updated in place through flat slices; no row is copied.
 func (t *tableau) pivot(r, c int) {
-	pv := t.a[r][c]
-	inv := 1 / pv
-	for j := 0; j < t.n; j++ {
-		t.a[r][j] *= inv
+	n := t.n
+	rowR := t.a[r*n : r*n+n]
+	inv := 1 / rowR[c]
+	for j := range rowR {
+		rowR[j] *= inv
 	}
 	t.b[r] *= inv
-	t.a[r][c] = 1 // kill round-off
+	rowR[c] = 1 // kill round-off
 	for i := 0; i < t.m; i++ {
 		if i == r {
 			continue
 		}
-		f := t.a[i][c]
+		rowI := t.a[i*n : i*n+n]
+		f := rowI[c]
 		if f == 0 {
 			continue
 		}
-		for j := 0; j < t.n; j++ {
-			t.a[i][j] -= f * t.a[r][j]
+		for j := range rowI {
+			rowI[j] -= f * rowR[j]
 		}
 		t.b[i] -= f * t.b[r]
-		t.a[i][c] = 0
+		rowI[c] = 0
 		if t.b[i] < 0 && t.b[i] > -1e-11 {
 			t.b[i] = 0
 		}
@@ -276,25 +290,33 @@ func (t *tableau) pivot(r, c int) {
 }
 
 // simplex minimizes cost over the current BFS using Bland's rule.
-// barred, when non-nil, excludes columns from entering. Returns the
-// optimal objective value of the basic solution.
-func (t *tableau) simplex(cost []float64, barred func(int) bool) (float64, error) {
+// Only columns below enterLimit may enter the basis (phase 2 passes
+// artStart to bar the artificial columns). Returns the optimal
+// objective value of the basic solution.
+//
+// Reduced costs are accumulated row-wise into the rc scratch vector —
+// one sequential sweep over the tableau per iteration instead of a
+// strided column walk per candidate column.
+func (t *tableau) simplex(cost []float64, enterLimit int) (float64, error) {
 	maxIter := 50 * (t.m + t.n + 10)
+	n := t.n
+	rc := t.rc
 	for iter := 0; iter < maxIter; iter++ {
-		// Reduced costs: rc_j = c_j − Σ_r c_basis[r]·a[r][j].
-		enter := -1
-		for j := 0; j < t.n; j++ {
-			if barred != nil && barred(j) {
+		// rc_j = c_j − Σ_r c_basis[r]·a[r][j].
+		copy(rc, cost)
+		for r := 0; r < t.m; r++ {
+			cb := cost[t.basis[r]]
+			if cb == 0 {
 				continue
 			}
-			rc := cost[j]
-			for r := 0; r < t.m; r++ {
-				cb := cost[t.basis[r]]
-				if cb != 0 {
-					rc -= cb * t.a[r][j]
-				}
+			row := t.a[r*n : r*n+n]
+			for j, v := range row {
+				rc[j] -= cb * v
 			}
-			if rc < -eps {
+		}
+		enter := -1
+		for j := 0; j < enterLimit; j++ {
+			if rc[j] < -eps {
 				enter = j // Bland: first improving index
 				break
 			}
@@ -310,8 +332,9 @@ func (t *tableau) simplex(cost []float64, barred func(int) bool) (float64, error
 		leave := -1
 		best := math.Inf(1)
 		for r := 0; r < t.m; r++ {
-			if t.a[r][enter] > eps {
-				ratio := t.b[r] / t.a[r][enter]
+			v := t.a[r*n+enter]
+			if v > eps {
+				ratio := t.b[r] / v
 				if ratio < best-eps || (ratio < best+eps && (leave == -1 || t.basis[r] < t.basis[leave])) {
 					best = ratio
 					leave = r

@@ -113,6 +113,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, s.solveStatus(err), err.Error())
 		return
 	}
+	s.latency.observe(res.Solver, res.WallTime)
 	out, err := core.MarshalResult(res)
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, err.Error())
@@ -226,6 +227,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				}
 				continue
 			}
+			s.latency.observe(item.Result.Solver, item.Result.WallTime)
 			out, err := core.MarshalResult(item.Result)
 			if err != nil {
 				resp.Items[i].Error = err.Error()
@@ -257,18 +259,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // statsJSON is the GET /stats payload.
 type statsJSON struct {
-	UptimeSeconds float64     `json:"uptimeSeconds"`
-	Requests      int64       `json:"requests"`
-	Solved        int64       `json:"solved"`
-	Errors        int64       `json:"errors"`
-	Timeouts      int64       `json:"timeouts"`
-	InFlight      int64       `json:"inFlight"`
-	MaxInFlight   int         `json:"maxInFlight"`
-	Cache         cache.Stats `json:"cache"`
+	UptimeSeconds float64                `json:"uptimeSeconds"`
+	Requests      int64                  `json:"requests"`
+	Solved        int64                  `json:"solved"`
+	Errors        int64                  `json:"errors"`
+	Timeouts      int64                  `json:"timeouts"`
+	InFlight      int64                  `json:"inFlight"`
+	MaxInFlight   int                    `json:"maxInFlight"`
+	Cache         cache.Stats            `json:"cache"`
+	Latency       map[string]latencyJSON `json:"latency"`
 }
 
-// handleStats serves GET /stats with request, solve and cache
-// counters.
+// handleStats serves GET /stats with request, solve, cache and
+// per-solver latency-histogram counters.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, statsJSON{
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -279,5 +282,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		InFlight:      s.inflight.Load(),
 		MaxInFlight:   s.cfg.MaxInFlight,
 		Cache:         s.cache.Stats(),
+		Latency:       s.latency.snapshot(),
 	})
 }

@@ -1,0 +1,31 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNumBucketsMatchesBounds(t *testing.T) {
+	if numBuckets != len(latencyBounds)+1 {
+		t.Fatalf("numBuckets = %d, want len(latencyBounds)+1 = %d", numBuckets, len(latencyBounds)+1)
+	}
+}
+
+func TestHistogramObserveEdges(t *testing.T) {
+	var h histogram
+	h.observe(latencyBounds[0])     // inclusive upper edge → first bucket
+	h.observe(latencyBounds[0] + 1) // just above → second bucket
+	h.observe(100 * time.Second)    // overflow bucket
+	if got := h.buckets[0].Load(); got != 1 {
+		t.Errorf("bucket[0] = %d, want 1", got)
+	}
+	if got := h.buckets[1].Load(); got != 1 {
+		t.Errorf("bucket[1] = %d, want 1", got)
+	}
+	if got := h.buckets[numBuckets-1].Load(); got != 1 {
+		t.Errorf("overflow bucket = %d, want 1", got)
+	}
+	if h.count.Load() != 3 {
+		t.Errorf("count = %d, want 3", h.count.Load())
+	}
+}

@@ -1,0 +1,72 @@
+package server_test
+
+import (
+	"net/http"
+	"testing"
+
+	"energysched/internal/server"
+)
+
+type latencyStatsJSON struct {
+	Solved  int64 `json:"solved"`
+	Latency map[string]struct {
+		Count   int64   `json:"count"`
+		TotalMs float64 `json:"totalMs"`
+		MeanMs  float64 `json:"meanMs"`
+		P50Ms   float64 `json:"p50Ms"`
+		P99Ms   float64 `json:"p99Ms"`
+		Buckets []struct {
+			LeMs  float64 `json:"leMs"`
+			Count int64   `json:"count"`
+		} `json:"buckets"`
+	} `json:"latency"`
+}
+
+// TestStatsLatencyHistogram checks that solved requests populate the
+// per-solver latency histogram: counts match, bucket counts sum to
+// the total, and cache hits do not inflate it.
+func TestStatsLatencyHistogram(t *testing.T) {
+	h := server.New(server.Config{}).Handler()
+	body := `{"instance":` + chainInstance + `}`
+	for i := 0; i < 3; i++ {
+		if rec := do(h, http.MethodPost, "/v1/solve", body); rec.Code != http.StatusOK {
+			t.Fatalf("solve %d: status %d: %s", i, rec.Code, rec.Body.Bytes())
+		}
+	}
+	st := decode[latencyStatsJSON](t, do(h, http.MethodGet, "/stats", ""))
+	hist, ok := st.Latency["continuous-convex"]
+	if !ok {
+		t.Fatalf("latency histogram missing continuous-convex: %+v", st.Latency)
+	}
+	// One miss (first request) solved; the two hits skip the solver.
+	if hist.Count != 1 {
+		t.Errorf("histogram count = %d, want 1 (cache hits must not count)", hist.Count)
+	}
+	var sum int64
+	for _, b := range hist.Buckets {
+		sum += b.Count
+	}
+	if sum != hist.Count {
+		t.Errorf("bucket counts sum to %d, want %d", sum, hist.Count)
+	}
+	if hist.TotalMs < 0 || hist.MeanMs < 0 {
+		t.Errorf("negative latency totals: %+v", hist)
+	}
+	if hist.P50Ms == 0 && hist.Count > 0 {
+		t.Errorf("p50 = 0 with %d observations", hist.Count)
+	}
+}
+
+// TestBatchPopulatesLatency checks the batch path records per-item
+// solver latencies.
+func TestBatchPopulatesLatency(t *testing.T) {
+	h := server.New(server.Config{}).Handler()
+	body := `{"instances":[` + chainInstance + `]}`
+	if rec := do(h, http.MethodPost, "/v1/batch", body); rec.Code != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	st := decode[latencyStatsJSON](t, do(h, http.MethodGet, "/stats", ""))
+	if hist, ok := st.Latency["continuous-convex"]; !ok || hist.Count != 1 {
+		t.Fatalf("batch solve not recorded in latency histogram: %+v", st.Latency)
+	}
+}

@@ -64,11 +64,12 @@ type Config struct {
 // in-flight semaphore and counters. Create with New; it is safe for
 // concurrent use.
 type Server struct {
-	cfg   Config
-	cache *cache.Cache[[]byte]
-	sem   chan struct{}
-	mux   *http.ServeMux
-	start time.Time
+	cfg     Config
+	cache   *cache.Cache[[]byte]
+	sem     chan struct{}
+	mux     *http.ServeMux
+	start   time.Time
+	latency *latencyTracker
 
 	requests atomic.Int64 // HTTP requests accepted (all endpoints)
 	solved   atomic.Int64 // instances solved by a solver (cache misses)
@@ -96,11 +97,12 @@ func New(cfg Config) *Server {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	s := &Server{
-		cfg:   cfg,
-		cache: cache.New[[]byte](cfg.CacheSize),
-		sem:   make(chan struct{}, cfg.MaxInFlight),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
+		cfg:     cfg,
+		cache:   cache.New[[]byte](cfg.CacheSize),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		latency: newLatencyTracker(),
 	}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)

@@ -28,9 +28,16 @@ func SolveChainExact(weights []float64, in Instance) (*Config, error) {
 	if err != nil {
 		return nil, err
 	}
-	var best *Config
+	// Enumerate subsets through one reusable waterfiller and a single
+	// scratch speed vector; only the winning subset materializes a
+	// Config (re-filled once at the end), so the 2ⁿ-iteration loop
+	// performs no steady-state allocation.
+	var wf waterfiller
 	reexec := make([]bool, n)
 	lo := make([]float64, n)
+	speeds := make([]float64, n)
+	bestMask := -1
+	bestEnergy := math.Inf(1)
 	for mask := 0; mask < 1<<uint(n); mask++ {
 		for i := 0; i < n; i++ {
 			if mask&(1<<uint(i)) != 0 {
@@ -41,18 +48,30 @@ func SolveChainExact(weights []float64, in Instance) (*Config, error) {
 				lo[i] = loSingle[i]
 			}
 		}
-		cfg, err := waterfill(weights, reexec, lo, in.FMax, in.Deadline)
-		if err != nil {
+		e, ok := wf.fill(weights, reexec, lo, in.FMax, in.Deadline, speeds)
+		if !ok {
 			continue // this subset is infeasible
 		}
-		if best == nil || cfg.Energy < best.Energy {
-			best = cfg
+		if e < bestEnergy {
+			bestEnergy = e
+			bestMask = mask
 		}
 	}
-	if best == nil {
+	if bestMask < 0 {
 		return nil, ErrInfeasible
 	}
-	return best, nil
+	for i := 0; i < n; i++ {
+		if bestMask&(1<<uint(i)) != 0 {
+			reexec[i] = true
+			lo[i] = loRe[i]
+		} else {
+			reexec[i] = false
+			lo[i] = loSingle[i]
+		}
+	}
+	cfg := &Config{ReExec: append([]bool(nil), reexec...), Speeds: speeds}
+	cfg.Energy, _ = wf.fill(weights, reexec, lo, in.FMax, in.Deadline, cfg.Speeds)
+	return cfg, nil
 }
 
 // ChainFirst is the paper's chain strategy as a heuristic: start with
@@ -76,38 +95,47 @@ func ChainFirst(weights []float64, in Instance) (*Config, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The greedy loop runs O(n²) water-fills; all of them go through
+	// one reusable waterfiller and three rotating speed buffers, so
+	// only the final Config allocates.
+	var wf waterfiller
 	reexec := make([]bool, n)
 	lo := append([]float64(nil), loSingle...)
-	cur, err := waterfill(weights, reexec, lo, in.FMax, in.Deadline)
-	if err != nil {
-		return nil, err
+	cur := make([]float64, n)
+	trial := make([]float64, n)
+	bestTrial := make([]float64, n)
+	curE, ok := wf.fill(weights, reexec, lo, in.FMax, in.Deadline, cur)
+	if !ok {
+		return nil, ErrInfeasible
 	}
 	for {
 		bestIdx := -1
-		var bestCfg *Config
+		bestE := 0.0
 		for i := 0; i < n; i++ {
 			if reexec[i] {
 				continue
 			}
 			reexec[i] = true
 			lo[i] = loRe[i]
-			cfg, err := waterfill(weights, reexec, lo, in.FMax, in.Deadline)
+			e, ok := wf.fill(weights, reexec, lo, in.FMax, in.Deadline, trial)
 			reexec[i] = false
 			lo[i] = loSingle[i]
-			if err != nil {
+			if !ok {
 				continue
 			}
-			if cfg.Energy < cur.Energy-1e-12 && (bestCfg == nil || cfg.Energy < bestCfg.Energy) {
-				bestCfg = cfg
+			if e < curE-1e-12 && (bestIdx == -1 || e < bestE) {
+				bestE = e
 				bestIdx = i
+				trial, bestTrial = bestTrial, trial
 			}
 		}
 		if bestIdx == -1 {
-			return cur, nil
+			return &Config{ReExec: reexec, Speeds: cur, Energy: curE}, nil
 		}
 		reexec[bestIdx] = true
 		lo[bestIdx] = loRe[bestIdx]
-		cur = bestCfg
+		curE = bestE
+		cur, bestTrial = bestTrial, cur
 	}
 }
 

@@ -10,19 +10,23 @@ import (
 	"energysched/internal/schedule"
 )
 
-// EvalConfig computes the optimal speeds (and energy) for a *fixed*
-// re-execution set on an arbitrary mapped DAG, by solving the
-// continuous convex program with effective weights: a re-executed task
-// contributes weight 2w (both executions back to back at equal speed)
-// with lower speed bound f_inf(i); a single-executed task contributes
-// w with lower bound frel.
-func EvalConfig(g *dag.Graph, mp *platform.Mapping, reexec []bool, in Instance) (*Config, error) {
+// evalCtx caches everything the DAG heuristics reuse across their
+// O(n) or O(n²) configuration evaluations: the constraint graph (one
+// build instead of one per candidate), the reliability lower bounds,
+// the effective-weight/bound vectors and a private convex workspace.
+type evalCtx struct {
+	g              *dag.Graph
+	mp             *platform.Mapping
+	cg             *dag.Graph
+	in             Instance
+	loSingle, loRe []float64
+	eff, lo, hi    []float64
+	ws             *convex.Workspace
+}
+
+func newEvalCtx(g *dag.Graph, mp *platform.Mapping, in Instance) (*evalCtx, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
-	}
-	n := g.N()
-	if len(reexec) != n {
-		return nil, fmt.Errorf("tricrit: reexec length %d for %d tasks", len(reexec), n)
 	}
 	loSingle, loRe, err := in.LowerBounds(g.Weights())
 	if err != nil {
@@ -32,28 +36,56 @@ func EvalConfig(g *dag.Graph, mp *platform.Mapping, reexec []bool, in Instance) 
 	if err != nil {
 		return nil, err
 	}
-	eff := make([]float64, n)
-	lo := make([]float64, n)
-	hi := make([]float64, n)
+	n := g.N()
+	ec := &evalCtx{
+		g: g, mp: mp, cg: cg, in: in,
+		loSingle: loSingle, loRe: loRe,
+		eff: make([]float64, n), lo: make([]float64, n), hi: make([]float64, n),
+		ws: convex.NewWorkspace(),
+	}
+	for i := 0; i < n; i++ {
+		ec.hi[i] = in.FMax
+	}
+	return ec, nil
+}
+
+// eval solves the continuous program for one re-execution set.
+func (ec *evalCtx) eval(reexec []bool) (*Config, error) {
+	n := ec.g.N()
+	if len(reexec) != n {
+		return nil, fmt.Errorf("tricrit: reexec length %d for %d tasks", len(reexec), n)
+	}
 	for i := 0; i < n; i++ {
 		if reexec[i] {
-			eff[i] = 2 * g.Weight(i)
-			lo[i] = loRe[i]
+			ec.eff[i] = 2 * ec.g.Weight(i)
+			ec.lo[i] = ec.loRe[i]
 		} else {
-			eff[i] = g.Weight(i)
-			lo[i] = loSingle[i]
+			ec.eff[i] = ec.g.Weight(i)
+			ec.lo[i] = ec.loSingle[i]
 		}
-		hi[i] = in.FMax
 	}
-	res, err := convex.MinimizeEnergy(cg, in.Deadline, eff, lo, hi, convex.Options{})
+	res, err := convex.MinimizeEnergyWS(ec.ws, ec.cg, ec.in.Deadline, ec.eff, ec.lo, ec.hi, convex.Options{})
 	if err != nil {
 		if err == convex.ErrInfeasible {
 			return nil, ErrInfeasible
 		}
 		return nil, err
 	}
-	cfg := &Config{ReExec: append([]bool(nil), reexec...), Speeds: res.Speeds, Energy: res.Energy}
-	return cfg, nil
+	return &Config{ReExec: append([]bool(nil), reexec...), Speeds: res.Speeds, Energy: res.Energy}, nil
+}
+
+// EvalConfig computes the optimal speeds (and energy) for a *fixed*
+// re-execution set on an arbitrary mapped DAG, by solving the
+// continuous convex program with effective weights: a re-executed task
+// contributes weight 2w (both executions back to back at equal speed)
+// with lower speed bound f_inf(i); a single-executed task contributes
+// w with lower bound frel.
+func EvalConfig(g *dag.Graph, mp *platform.Mapping, reexec []bool, in Instance) (*Config, error) {
+	ec, err := newEvalCtx(g, mp, in)
+	if err != nil {
+		return nil, err
+	}
+	return ec.eval(reexec)
 }
 
 // Schedule materializes a configuration as a validated worst-case
@@ -78,13 +110,17 @@ func SolveDAGExact(g *dag.Graph, mp *platform.Mapping, in Instance) (*Config, er
 	if n > MaxExactDAGTasks {
 		return nil, fmt.Errorf("tricrit: %d tasks exceed exact-solver cap %d", n, MaxExactDAGTasks)
 	}
+	ec, err := newEvalCtx(g, mp, in)
+	if err != nil {
+		return nil, err
+	}
 	var best *Config
 	reexec := make([]bool, n)
 	for mask := 0; mask < 1<<uint(n); mask++ {
 		for i := 0; i < n; i++ {
 			reexec[i] = mask&(1<<uint(i)) != 0
 		}
-		cfg, err := EvalConfig(g, mp, reexec, in)
+		cfg, err := ec.eval(reexec)
 		if err != nil {
 			continue
 		}
@@ -106,8 +142,12 @@ func SolveDAGExact(g *dag.Graph, mp *platform.Mapping, in Instance) (*Config, er
 // solves.
 func DAGChainFirst(g *dag.Graph, mp *platform.Mapping, in Instance) (*Config, error) {
 	n := g.N()
+	ec, err := newEvalCtx(g, mp, in)
+	if err != nil {
+		return nil, err
+	}
 	reexec := make([]bool, n)
-	cur, err := EvalConfig(g, mp, reexec, in)
+	cur, err := ec.eval(reexec)
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +159,7 @@ func DAGChainFirst(g *dag.Graph, mp *platform.Mapping, in Instance) (*Config, er
 				continue
 			}
 			reexec[i] = true
-			cfg, err := EvalConfig(g, mp, reexec, in)
+			cfg, err := ec.eval(reexec)
 			reexec[i] = false
 			if err != nil {
 				continue
@@ -147,16 +187,16 @@ func DAGChainFirst(g *dag.Graph, mp *platform.Mapping, in Instance) (*Config, er
 // degenerates gracefully.
 func DAGParallelFirst(g *dag.Graph, mp *platform.Mapping, in Instance) (*Config, error) {
 	n := g.N()
+	ec, err := newEvalCtx(g, mp, in)
+	if err != nil {
+		return nil, err
+	}
 	reexec := make([]bool, n)
-	cur, err := EvalConfig(g, mp, reexec, in)
+	cur, err := ec.eval(reexec)
 	if err != nil {
 		return nil, err
 	}
-	cg, err := mp.ConstraintGraph(g)
-	if err != nil {
-		return nil, err
-	}
-	slack, err := taskSlacks(cg, cur, in.Deadline, g)
+	slack, err := taskSlacks(ec.cg, cur, in.Deadline, g)
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +218,7 @@ func DAGParallelFirst(g *dag.Graph, mp *platform.Mapping, in Instance) (*Config,
 	}
 	for _, i := range order {
 		reexec[i] = true
-		cfg, err := EvalConfig(g, mp, reexec, in)
+		cfg, err := ec.eval(reexec)
 		if err != nil || cfg.Energy >= cur.Energy*(1-1e-9) {
 			reexec[i] = false
 			continue

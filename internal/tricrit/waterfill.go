@@ -118,62 +118,170 @@ func (c *Config) NumReExec() int {
 // and reliability simultaneously.
 var ErrInfeasible = errors.New("tricrit: infeasible instance")
 
-// waterfill computes the optimal speeds for a fixed re-execution set
-// on a single-processor chain. Execution count c_i ∈ {1,2} and lower
-// bound lo_i (frel or f_inf) per task; the total time is
-// Σ c_i·w_i/f_i and the energy Σ c_i·w_i·f_i². By the KKT conditions
-// the optimum is f_i = clamp(u, lo_i, fmax) for a single water level
-// u — the paper's "slow the execution of all tasks equally" made
-// precise. The minimal feasible u is found by bisection.
-func waterfill(weights []float64, reexec []bool, lo []float64, fmax, deadline float64) (*Config, error) {
+// waterfiller is the reusable workspace of the analytic water-filling
+// kernel. The historic implementation bisected the water level with
+// up to 200 O(n) time evaluations per call and allocated a Config per
+// candidate; fill computes the level in closed form from sorted
+// lower-bound breakpoints — one O(n log n) sort plus O(n) prefix
+// sums — and writes the speeds into a caller-owned buffer, so the hot
+// enumeration loops of chain.go run allocation-free.
+type waterfiller struct {
+	cw   []float64 // cnt_i · w_i (2w for re-executed tasks)
+	lo   []float64 // effective lower bounds min(lo_i, fmax)
+	idx  []int     // task order sorted by effective lower bound
+	pref []float64 // pref[j] = Σ_{t<j} cw[idx[t]]
+	sufR []float64 // sufR[j] = Σ_{t≥j} cw[idx[t]]/lo[idx[t]]
+}
+
+func (wf *waterfiller) resize(n int) {
+	if cap(wf.cw) < n {
+		wf.cw = make([]float64, n)
+		wf.lo = make([]float64, n)
+		wf.idx = make([]int, n)
+		wf.pref = make([]float64, n+1)
+		wf.sufR = make([]float64, n+1)
+	}
+	wf.cw = wf.cw[:n]
+	wf.lo = wf.lo[:n]
+	wf.idx = wf.idx[:n]
+	wf.pref = wf.pref[:n+1]
+	wf.sufR = wf.sufR[:n+1]
+}
+
+// fill computes the optimal single-level speeds for a fixed
+// re-execution set on a single-processor chain, writing them into
+// speeds (length n) and returning the total energy. feasible=false
+// reports that even fmax everywhere misses the deadline.
+//
+// By the KKT conditions the optimum is f_i = clamp(u, lo_i, fmax) for
+// a single water level u — the paper's "slow the execution of all
+// tasks equally" made precise. With tasks sorted by effective lower
+// bound, the total time as a function of u is P_j/u + R_j on each
+// breakpoint segment (P_j: water-borne work below the j-th bound,
+// R_j: bound-clamped time above it), so the minimal feasible level is
+// u = P_j/(D − R_j) on the unique segment containing the root.
+func (wf *waterfiller) fill(weights []float64, reexec []bool, lo []float64, fmax, deadline float64, speeds []float64) (energy float64, feasible bool) {
 	n := len(weights)
-	cnt := make([]float64, n)
-	for i := range cnt {
-		cnt[i] = 1
+	wf.resize(n)
+	totalCW := 0.0
+	for i := 0; i < n; i++ {
+		cw := weights[i]
 		if reexec[i] {
-			cnt[i] = 2
+			cw = 2 * weights[i]
 		}
+		wf.cw[i] = cw
+		totalCW += cw
+		wf.lo[i] = math.Min(lo[i], fmax)
 	}
-	timeAt := func(u float64) float64 {
-		t := 0.0
-		for i := 0; i < n; i++ {
-			f := math.Max(u, lo[i])
-			if f > fmax {
-				f = fmax
-			}
-			t += cnt[i] * weights[i] / f
+	if totalCW/fmax > deadline*(1+1e-12) {
+		return 0, false
+	}
+	// Everything at its lower bound already meets the deadline?
+	timeAtLo := 0.0
+	for i := 0; i < n; i++ {
+		timeAtLo += wf.cw[i] / wf.lo[i] // +Inf when a bound is 0, handled below
+	}
+	u := 0.0
+	if timeAtLo > deadline {
+		// Sort by effective lower bound and build the segment sums.
+		for i := range wf.idx {
+			wf.idx[i] = i
 		}
-		return t
-	}
-	if timeAt(fmax) > deadline*(1+1e-12) {
-		return nil, ErrInfeasible
-	}
-	var u float64
-	if timeAt(0) <= deadline {
-		u = 0 // every task can sit at its lower bound
-	} else {
-		loU, hiU := 0.0, fmax
-		for it := 0; it < 200; it++ {
-			mid := 0.5 * (loU + hiU)
-			if timeAt(mid) <= deadline {
-				hiU = mid
-			} else {
-				loU = mid
+		heapSortByKey(wf.idx, wf.lo)
+		wf.pref[0] = 0
+		for j := 0; j < n; j++ {
+			wf.pref[j+1] = wf.pref[j] + wf.cw[wf.idx[j]]
+		}
+		wf.sufR[n] = 0
+		for j := n - 1; j >= 0; j-- {
+			wf.sufR[j] = wf.sufR[j+1] + wf.cw[wf.idx[j]]/wf.lo[wf.idx[j]]
+		}
+		u = fmax // fallback: deadline met only within the feasibility tolerance
+		for j := 1; j <= n; j++ {
+			hi := fmax
+			if j < n {
+				hi = wf.lo[wf.idx[j]]
 			}
-			if hiU-loU < 1e-14*fmax {
+			if r := wf.sufR[j]; deadline > r {
+				cand := wf.pref[j] / (deadline - r)
+				if cand <= hi {
+					if lo := wf.lo[wf.idx[j-1]]; cand < lo {
+						cand = lo
+					}
+					u = cand
+					break
+				}
+			}
+		}
+		// Guard against the analytic level overshooting the deadline by
+		// float rounding: inflate u minimally until the realized time
+		// fits (or u hits fmax, the tolerance-feasible case above).
+		for attempt := 0; attempt < 4 && u < fmax; attempt++ {
+			t := 0.0
+			for i := 0; i < n; i++ {
+				f := u
+				if wf.lo[i] > f {
+					f = wf.lo[i]
+				}
+				t += wf.cw[i] / f
+			}
+			if t <= deadline {
 				break
 			}
+			u = math.Min(u*(t/deadline), fmax)
 		}
-		u = hiU
 	}
-	cfg := &Config{ReExec: append([]bool(nil), reexec...), Speeds: make([]float64, n)}
 	for i := 0; i < n; i++ {
-		f := math.Max(u, lo[i])
-		if f > fmax {
-			f = fmax
+		f := u
+		if wf.lo[i] > f {
+			f = wf.lo[i]
 		}
-		cfg.Speeds[i] = f
-		cfg.Energy += cnt[i] * model.Energy(weights[i], f)
+		speeds[i] = f
+		energy += wf.cw[i] * f * f
 	}
+	return energy, true
+}
+
+// heapSortByKey sorts idx so that key[idx[j]] is non-decreasing,
+// in place and without allocating.
+func heapSortByKey(idx []int, key []float64) {
+	n := len(idx)
+	for root := n/2 - 1; root >= 0; root-- {
+		siftDown(idx, key, root, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		idx[0], idx[end] = idx[end], idx[0]
+		siftDown(idx, key, 0, end)
+	}
+}
+
+func siftDown(idx []int, key []float64, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && key[idx[child+1]] > key[idx[child]] {
+			child++
+		}
+		if key[idx[root]] >= key[idx[child]] {
+			return
+		}
+		idx[root], idx[child] = idx[child], idx[root]
+		root = child
+	}
+}
+
+// waterfill is the Config-building wrapper over waterfiller.fill,
+// preserving the historic entry point for one-shot callers and tests.
+func waterfill(weights []float64, reexec []bool, lo []float64, fmax, deadline float64) (*Config, error) {
+	n := len(weights)
+	cfg := &Config{ReExec: append([]bool(nil), reexec...), Speeds: make([]float64, n)}
+	var wf waterfiller
+	e, ok := wf.fill(weights, reexec, lo, fmax, deadline, cfg.Speeds)
+	if !ok {
+		return nil, ErrInfeasible
+	}
+	cfg.Energy = e
 	return cfg, nil
 }

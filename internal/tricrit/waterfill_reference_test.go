@@ -1,0 +1,157 @@
+package tricrit
+
+// This file preserves the pre-optimization bisection water-filling
+// kernel verbatim as the reference oracle for the equivalence tests.
+// Test-only: it never ships in the library binary.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"energysched/internal/model"
+)
+
+func refWaterfill(weights []float64, reexec []bool, lo []float64, fmax, deadline float64) (*Config, error) {
+	n := len(weights)
+	cnt := make([]float64, n)
+	for i := range cnt {
+		cnt[i] = 1
+		if reexec[i] {
+			cnt[i] = 2
+		}
+	}
+	timeAt := func(u float64) float64 {
+		t := 0.0
+		for i := 0; i < n; i++ {
+			f := math.Max(u, lo[i])
+			if f > fmax {
+				f = fmax
+			}
+			t += cnt[i] * weights[i] / f
+		}
+		return t
+	}
+	if timeAt(fmax) > deadline*(1+1e-12) {
+		return nil, ErrInfeasible
+	}
+	var u float64
+	if timeAt(0) <= deadline {
+		u = 0
+	} else {
+		loU, hiU := 0.0, fmax
+		for it := 0; it < 200; it++ {
+			mid := 0.5 * (loU + hiU)
+			if timeAt(mid) <= deadline {
+				hiU = mid
+			} else {
+				loU = mid
+			}
+			if hiU-loU < 1e-14*fmax {
+				break
+			}
+		}
+		u = hiU
+	}
+	cfg := &Config{ReExec: append([]bool(nil), reexec...), Speeds: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		f := math.Max(u, lo[i])
+		if f > fmax {
+			f = fmax
+		}
+		cfg.Speeds[i] = f
+		cfg.Energy += cnt[i] * model.Energy(weights[i], f)
+	}
+	return cfg, nil
+}
+
+// TestWaterfillMatchesBisectionReference compares the analytic
+// breakpoint water-fill with the preserved bisection implementation
+// over randomized instances: energies within 1e-9 relative, speeds
+// within 1e-6, and identical feasibility verdicts.
+func TestWaterfillMatchesBisectionReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(24) + 1
+		weights := make([]float64, n)
+		reexec := make([]bool, n)
+		lo := make([]float64, n)
+		fmax := 0.5 + rng.Float64()*1.5
+		total := 0.0
+		for i := 0; i < n; i++ {
+			weights[i] = rng.Float64()*4.5 + 0.5
+			reexec[i] = rng.Intn(3) == 0
+			lo[i] = rng.Float64() * fmax
+			if rng.Intn(8) == 0 {
+				lo[i] = 0
+			}
+			c := 1.0
+			if reexec[i] {
+				c = 2
+			}
+			total += c * weights[i]
+		}
+		// Deadlines from infeasible through tight to slack.
+		deadline := total / fmax * (0.8 + rng.Float64()*2.5)
+		got, errNew := waterfill(weights, reexec, lo, fmax, deadline)
+		want, errRef := refWaterfill(weights, reexec, lo, fmax, deadline)
+		if (errNew == nil) != (errRef == nil) {
+			t.Fatalf("trial %d: feasibility mismatch: optimized %v vs reference %v", trial, errNew, errRef)
+		}
+		if errNew != nil {
+			continue
+		}
+		scale := math.Max(want.Energy, 1e-30)
+		if math.Abs(got.Energy-want.Energy)/scale > 1e-9 {
+			t.Errorf("trial %d: energy %v vs reference %v", trial, got.Energy, want.Energy)
+		}
+		for i := range got.Speeds {
+			if math.Abs(got.Speeds[i]-want.Speeds[i]) > 1e-6*fmax {
+				t.Errorf("trial %d: speed[%d] = %v vs reference %v", trial, i, got.Speeds[i], want.Speeds[i])
+			}
+		}
+		// The optimized schedule must meet the deadline on its own
+		// terms, not merely match the reference.
+		tt := 0.0
+		for i := range got.Speeds {
+			c := 1.0
+			if reexec[i] {
+				c = 2
+			}
+			tt += c * weights[i] / got.Speeds[i]
+		}
+		if tt > deadline*(1+1e-9) {
+			t.Errorf("trial %d: realized time %v exceeds deadline %v", trial, tt, deadline)
+		}
+	}
+}
+
+// TestChainFirstAllocs pins the steady-state allocation budget of the
+// ChainFirst heuristic: the greedy O(n²) water-fill loop must reuse
+// its workspace, leaving only the per-call result and bound vectors.
+func TestChainFirstAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	n := 64
+	ws := make([]float64, n)
+	sum := 0.0
+	for i := range ws {
+		ws[i] = rng.Float64()*4.5 + 0.5
+		sum += ws[i]
+	}
+	in := Instance{Deadline: sum * 4, FMin: 0.1, FMax: 1, FRel: 0.8,
+		Rel: model.Reliability{Lambda0: 1e-5, Sensitivity: 3, FMin: 0.1, FMax: 1}}
+	if _, err := ChainFirst(ws, in); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := ChainFirst(ws, in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Pre-optimization this path allocated ~6000 objects per call
+	// (a Config per candidate water-fill); the budget guards an order
+	// of magnitude below 10% of that.
+	if allocs > 40 {
+		t.Errorf("ChainFirst allocates %v objects per run, want ≤ 40", allocs)
+	}
+}
