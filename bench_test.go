@@ -8,6 +8,7 @@ package energysched_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -28,6 +29,7 @@ import (
 	"energysched/internal/platform"
 	"energysched/internal/schedule"
 	"energysched/internal/server"
+	"energysched/internal/sim"
 	"energysched/internal/tricrit"
 	"energysched/internal/vdd"
 	"energysched/internal/workload"
@@ -487,6 +489,78 @@ func Benchmark_InstanceHash(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if h := in.Hash(); len(h) != 32 {
 			b.Fatal("bad hash")
+		}
+	}
+}
+
+// --- Simulator benchmarks: the discrete-event engine and campaigns ---
+
+// simChain64 builds the gated simulator workload: a solved TRI-CRIT
+// 64-task chain with real fault pressure.
+func simChain64(b *testing.B) (*core.Instance, *schedule.Schedule) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	ws := workload.UniformWeights.Weights(rng, 64)
+	g := dag.ChainGraph(ws...)
+	mp, err := platform.SingleProcessor(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sm, err := model.NewContinuous(0.1, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sum := 0.0
+	for _, w := range ws {
+		sum += w
+	}
+	rel := model.Reliability{Lambda0: 0.01, Sensitivity: 3, FMin: sm.FMin, FMax: sm.FMax}
+	in := &core.Instance{Graph: g, Mapping: mp, Speed: sm, Deadline: sum / sm.FMax * 2.5,
+		Rel: &rel, FRel: 0.8 * sm.FMax}
+	res, err := core.Solve(context.Background(), in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in, res.Schedule
+}
+
+// BenchmarkSimulateChain64 measures one discrete-event trial of a
+// 64-task chain — the per-trial cost every campaign pays. Gated by
+// cmd/benchgate; the trial loop must stay allocation-free.
+func BenchmarkSimulateChain64(b *testing.B) {
+	in, s := simChain64(b)
+	r, err := sim.NewRunner(in, s, sim.Options{Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tr sim.Trace
+	r.Run(0, &tr) // warm the event heap
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(i, &tr)
+	}
+	if tr.Outcome.Energy <= 0 {
+		b.Fatal("empty outcome")
+	}
+}
+
+// BenchmarkCampaign1k measures a full 1000-trial campaign on the
+// worker pool, including the deterministic merge — the unit of work a
+// POST /v1/simulate request buys. Workers is pinned so the gated
+// allocs/op (per-worker Runner scratch) does not vary with the
+// machine's GOMAXPROCS. Gated by cmd/benchgate.
+func BenchmarkCampaign1k(b *testing.B) {
+	in, s := simChain64(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := sim.RunCampaign(context.Background(), in, s, sim.CampaignOptions{Trials: 1000, Seed: 5, Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c.Successes == 0 {
+			b.Fatal("campaign all-failed")
 		}
 	}
 }

@@ -1,12 +1,20 @@
 // Command dagen generates problem instances as JSON for the
-// energysched solver.
+// energysched solver and the energysim campaign runner.
 //
 // Usage:
 //
 //	dagen -class fork -n 12 -procs 4 -model vdd -slack 2.5 -tricrit > inst.json
+//
+// -class accepts every generator internal/workload enumerates (chain,
+// fork, join, fork-join, tree, series-parallel, layered). The emitted
+// instance carries a "generator" object echoing the class, seed,
+// distribution and every other knob, so a simulation campaign is
+// reproducible from the dumped instance alone; core.UnmarshalInstance
+// ignores the extra field.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -18,11 +26,24 @@ import (
 	"energysched/internal/workload"
 )
 
+// generatorJSON is the provenance echo attached to the instance.
+type generatorJSON struct {
+	Class   string  `json:"class"`
+	N       int     `json:"n"`
+	Procs   int     `json:"procs"`
+	Seed    int64   `json:"seed"`
+	Dist    string  `json:"dist"`
+	Model   string  `json:"model"`
+	Delta   float64 `json:"delta,omitempty"`
+	Slack   float64 `json:"slack"`
+	TriCrit bool    `json:"tricrit,omitempty"`
+}
+
 func main() {
 	class := flag.String("class", "layered", "chain | fork | join | fork-join | tree | series-parallel | layered")
 	n := flag.Int("n", 12, "number of tasks")
 	procs := flag.Int("procs", 2, "number of processors (mapping via critical-path list scheduling)")
-	seed := flag.Int64("seed", 1, "random seed")
+	seed := flag.Int64("seed", 1, "random seed (echoed in the output's \"generator\" object)")
 	dist := flag.String("dist", "uniform", "weight distribution: uniform | heavy-tail")
 	speedKind := flag.String("model", "continuous", "speed model: continuous | discrete | vdd | incremental")
 	delta := flag.Float64("delta", 0.1, "increment for the incremental model")
@@ -30,37 +51,16 @@ func main() {
 	tricrit := flag.Bool("tricrit", false, "add reliability constraints (λ0=1e-5, d=3, frel=0.8·fmax)")
 	flag.Parse()
 
-	var cls workload.Class
-	switch *class {
-	case "chain":
-		cls = workload.ClassChain
-	case "fork":
-		cls = workload.ClassFork
-	case "join":
-		cls = workload.ClassJoin
-	case "fork-join":
-		cls = workload.ClassForkJoin
-	case "tree":
-		cls = workload.ClassTree
-	case "series-parallel":
-		cls = workload.ClassSeriesParallel
-	case "layered":
-		cls = workload.ClassLayered
-	default:
-		fail(fmt.Errorf("unknown class %q", *class))
+	cls, err := workload.ParseClass(*class)
+	if err != nil {
+		fail(err)
 	}
-	var wd workload.WeightDist
-	switch *dist {
-	case "uniform":
-		wd = workload.UniformWeights
-	case "heavy-tail":
-		wd = workload.HeavyTailWeights
-	default:
-		fail(fmt.Errorf("unknown distribution %q", *dist))
+	wd, err := workload.ParseWeightDist(*dist)
+	if err != nil {
+		fail(err)
 	}
 	fmin, fmax := 0.1, 1.0
 	var sm model.SpeedModel
-	var err error
 	switch *speedKind {
 	case "continuous":
 		sm, err = model.NewContinuous(fmin, fmax)
@@ -96,8 +96,41 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	os.Stdout.Write(data)
+	gen := generatorJSON{
+		Class: cls.String(),
+		N:     *n,
+		Procs: *procs,
+		Seed:  *seed,
+		Dist:  wd.String(),
+		Model: *speedKind,
+		Slack: *slack,
+	}
+	if *speedKind == "incremental" {
+		gen.Delta = *delta
+	}
+	gen.TriCrit = *tricrit
+	out, err := withGenerator(data, gen)
+	if err != nil {
+		fail(err)
+	}
+	os.Stdout.Write(out)
 	fmt.Println()
+}
+
+// withGenerator splices the provenance object into the instance JSON.
+// Round-tripping through a RawMessage map re-sorts the top-level keys
+// alphabetically but leaves every value byte-identical.
+func withGenerator(instance []byte, gen generatorJSON) ([]byte, error) {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(instance, &m); err != nil {
+		return nil, err
+	}
+	gj, err := json.Marshal(gen)
+	if err != nil {
+		return nil, err
+	}
+	m["generator"] = gj
+	return json.MarshalIndent(m, "", "  ")
 }
 
 func fail(err error) {

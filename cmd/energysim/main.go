@@ -1,0 +1,184 @@
+// Command energysim closes the predict/observe loop from the shell:
+// it solves a problem instance (or replays a dumped solver result),
+// executes the schedule in a seeded Monte-Carlo campaign on the
+// discrete-event simulator, and reports the predicted-vs-observed
+// energy, makespan and reliability deltas as JSON.
+//
+// Usage:
+//
+//	energysim -in inst.json [-trials 10000] [-seed 1] [-policy same-speed]
+//	          [-worst-case] [-no-faults] [-workers 0]
+//	          [-solver name] [-strategy best-of] [-timeout 0]
+//	energysim -in inst.json -result res.json   # replay without re-solving
+//	energysim -sweep [-n 32] [-procs 4] [-tricrit] [-trials 1000] [-seed 1]
+//
+// -in - reads the instance from stdin. The campaign is bit-identical
+// for any -workers value, so reports are reproducible from the dumped
+// instance (see dagen's "generator" echo) and the seed alone.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"energysched/internal/core"
+	"energysched/internal/sim"
+)
+
+// report is the top-level JSON output for single-instance runs.
+type report struct {
+	Trials    int             `json:"trials"`
+	Seed      int64           `json:"seed"`
+	Policy    string          `json:"policy"`
+	WorstCase bool            `json:"worstCase,omitempty"`
+	Replayed  bool            `json:"replayed,omitempty"`
+	Result    json.RawMessage `json:"result"`
+	Campaign  *sim.Campaign   `json:"campaign"`
+	Delta     sim.Delta       `json:"delta"`
+}
+
+func main() {
+	inPath := flag.String("in", "", "instance JSON file (- for stdin)")
+	resultPath := flag.String("result", "", "replay a dumped result JSON instead of solving")
+	trials := flag.Int("trials", 1000, "Monte-Carlo campaign size")
+	seed := flag.Int64("seed", 1, "fault-stream seed (trial t draws from stream (seed, t))")
+	policyName := flag.String("policy", "same-speed", "recovery policy: same-speed | max-speed | abort")
+	worstCase := flag.Bool("worst-case", false, "replay every scheduled execution (worst-case accounting)")
+	noFaults := flag.Bool("no-faults", false, "disable fault injection (deterministic replay)")
+	workers := flag.Int("workers", 0, "campaign worker pool (0 = GOMAXPROCS; result is identical regardless)")
+	solverName := flag.String("solver", "", "pin a registered solver by name")
+	strategyName := flag.String("strategy", "", "TRI-CRIT strategy: best-of | chain-first | parallel-first | exact")
+	timeout := flag.Duration("timeout", 0, "solve+simulate wall-time budget (0 = none)")
+	sweep := flag.Bool("sweep", false, "sweep all workload classes instead of reading -in")
+	sweepN := flag.Int("n", 32, "sweep: tasks per instance")
+	sweepProcs := flag.Int("procs", 4, "sweep: processors")
+	sweepTricrit := flag.Bool("tricrit", false, "sweep: add reliability constraints")
+	flag.Parse()
+
+	policy, err := sim.ParsePolicy(*policyName)
+	if err != nil {
+		fail(err)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var solveOpts []core.Option
+	if *solverName != "" {
+		solveOpts = append(solveOpts, core.WithSolver(*solverName))
+	}
+	if *strategyName != "" {
+		strat, err := core.ParseStrategy(*strategyName)
+		if err != nil {
+			fail(err)
+		}
+		solveOpts = append(solveOpts, core.WithStrategy(strat))
+	}
+	campaignOpts := sim.CampaignOptions{
+		Trials:        *trials,
+		Seed:          *seed,
+		Policy:        policy,
+		WorstCase:     *worstCase,
+		DisableFaults: *noFaults,
+		Workers:       *workers,
+	}
+
+	if *sweep {
+		results, err := sim.Sweep(ctx, sim.SweepSpec{
+			N:        *sweepN,
+			Procs:    *sweepProcs,
+			TriCrit:  *sweepTricrit,
+			Seed:     *seed,
+			Campaign: campaignOpts,
+			Solve:    solveOpts,
+		})
+		if err != nil {
+			fail(err)
+		}
+		emit(map[string]any{"seed": *seed, "classes": results})
+		return
+	}
+
+	if *inPath == "" {
+		fail(fmt.Errorf("missing -in (or use -sweep); see -h"))
+	}
+	data, err := readInput(*inPath)
+	if err != nil {
+		fail(err)
+	}
+	in, err := core.UnmarshalInstance(data)
+	if err != nil {
+		fail(err)
+	}
+
+	var res *core.Result
+	replayed := false
+	if *resultPath != "" {
+		dumped, err := os.ReadFile(*resultPath)
+		if err != nil {
+			fail(err)
+		}
+		res, err = core.UnmarshalResult(dumped, in)
+		if err != nil {
+			fail(err)
+		}
+		// A dumped result is untrusted input: re-check it against the
+		// instance constraints before simulating, so a doctored or
+		// stale file fails loudly instead of producing a plausible
+		// report for a schedule no solver emitted.
+		if err := res.Schedule.Validate(in.Constraints()); err != nil {
+			fail(fmt.Errorf("replayed result is not a valid schedule for the instance: %w", err))
+		}
+		replayed = true
+	} else {
+		res, err = core.Solve(ctx, in, solveOpts...)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	camp, err := sim.RunCampaign(ctx, in, res.Schedule, campaignOpts)
+	if err != nil {
+		fail(err)
+	}
+	resJSON, err := core.MarshalResult(res)
+	if err != nil {
+		fail(err)
+	}
+	emit(report{
+		Trials:    *trials,
+		Seed:      *seed,
+		Policy:    policy.String(),
+		WorstCase: *worstCase,
+		Replayed:  replayed,
+		Result:    resJSON,
+		Campaign:  camp,
+		Delta:     camp.Delta(),
+	})
+}
+
+func readInput(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+func emit(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "energysim:", err)
+	os.Exit(1)
+}

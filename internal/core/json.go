@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"time"
 
 	"energysched/internal/dag"
 	"energysched/internal/listsched"
 	"energysched/internal/model"
 	"energysched/internal/platform"
+	"energysched/internal/schedule"
 )
 
 // instanceJSON is the on-disk representation of an Instance.
@@ -223,4 +225,66 @@ func MarshalResult(r *Result) ([]byte, error) {
 		j.Tasks = append(j.Tasks, tj)
 	}
 	return json.MarshalIndent(j, "", "  ")
+}
+
+// UnmarshalResult is the inverse of MarshalResult: it rebuilds a full
+// Result — diagnostics plus the executable per-task schedule — from
+// dumped JSON and the instance it was solved from. The schedule is
+// checked structurally against the instance (task count, names,
+// processor assignment, per-execution counts), so a result pasted
+// against the wrong instance fails loudly; semantic validity can then
+// be re-checked with Schedule.Validate(in.Constraints()) when needed.
+// Together with MarshalResult it lets campaigns (cmd/energysim,
+// internal/sim) replay solver output from disk without re-solving.
+func UnmarshalResult(data []byte, in *Instance) (*Result, error) {
+	if in == nil {
+		return nil, errors.New("core: UnmarshalResult needs the solved instance")
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	var j resultJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	n := in.Graph.N()
+	if len(j.Tasks) != n {
+		return nil, fmt.Errorf("core: result has %d tasks, instance has %d", len(j.Tasks), n)
+	}
+	s := &schedule.Schedule{G: in.Graph, Mapping: in.Mapping, Tasks: make([]schedule.TaskSchedule, n)}
+	for i, tj := range j.Tasks {
+		if want := in.Graph.Task(i).Name; tj.Name != want {
+			return nil, fmt.Errorf("core: result task %d is %q, instance has %q", i, tj.Name, want)
+		}
+		if want := in.Mapping.Proc[i]; tj.Proc != want {
+			return nil, fmt.Errorf("core: result task %d on processor %d, mapping says %d", i, tj.Proc, want)
+		}
+		if len(tj.Execs) < 1 || len(tj.Execs) > 2 {
+			return nil, fmt.Errorf("core: result task %d has %d executions", i, len(tj.Execs))
+		}
+		for _, ej := range tj.Execs {
+			if len(ej.Segments) == 0 {
+				return nil, fmt.Errorf("core: result task %d has an execution without segments", i)
+			}
+			ex := schedule.Execution{Start: ej.Start}
+			for _, sj := range ej.Segments {
+				ex.Segments = append(ex.Segments, schedule.Segment{Speed: sj.Speed, Duration: sj.Duration})
+			}
+			s.Tasks[i].Execs = append(s.Tasks[i].Execs, ex)
+		}
+	}
+	res := &Result{
+		Solution: Solution{
+			Schedule: s,
+			Energy:   j.Energy,
+			Method:   j.Method,
+			Exact:    j.Exact,
+		},
+		Solver:     j.Solver,
+		LowerBound: j.LowerBound,
+		WallTime:   time.Duration(j.WallTimeMS * float64(time.Millisecond)),
+		Nodes:      j.Nodes,
+		Iterations: j.Iterations,
+	}
+	return res, nil
 }

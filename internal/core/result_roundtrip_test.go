@@ -1,0 +1,120 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"energysched/internal/dag"
+	"energysched/internal/model"
+	"energysched/internal/platform"
+)
+
+func triCritChainInstance(t *testing.T) *Instance {
+	t.Helper()
+	g := dag.ChainGraph(1, 2, 1.5, 0.5)
+	mp, err := platform.SingleProcessor(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := model.NewContinuous(0.1, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := model.DefaultReliability(sm.FMin, sm.FMax)
+	return &Instance{Graph: g, Mapping: mp, Speed: sm, Deadline: 12,
+		Rel: &rel, FRel: 0.8}
+}
+
+func TestUnmarshalResultRoundTrip(t *testing.T) {
+	in := triCritChainInstance(t)
+	res, err := Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalResult(data, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Solver != res.Solver || back.Method != res.Method || back.Exact != res.Exact {
+		t.Fatalf("diagnostics drifted: %+v vs %+v", back, res)
+	}
+	if math.Abs(back.Energy-res.Energy) > 1e-12 {
+		t.Fatalf("energy %v != %v", back.Energy, res.Energy)
+	}
+	if back.Schedule == nil {
+		t.Fatal("no schedule")
+	}
+	if got, want := back.Schedule.Energy(), res.Schedule.Energy(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("schedule energy %v != %v", got, want)
+	}
+	if got, want := back.Schedule.Makespan(), res.Schedule.Makespan(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("schedule makespan %v != %v", got, want)
+	}
+	if back.Schedule.NumReExecuted() != res.Schedule.NumReExecuted() {
+		t.Fatal("re-execution count drifted")
+	}
+	// The reconstructed schedule must still validate against the
+	// instance constraints — it is executable, not just storable.
+	if err := back.Schedule.Validate(in.Constraints()); err != nil {
+		t.Fatalf("round-tripped schedule invalid: %v", err)
+	}
+}
+
+func TestUnmarshalResultRejectsMismatch(t *testing.T) {
+	in := triCritChainInstance(t)
+	res, err := Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	other := triCritChainInstance(t)
+	other.Graph = dag.ChainGraph(1, 2, 1.5) // one task short
+	mp, err := platform.SingleProcessor(other.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.Mapping = mp
+	if _, err := UnmarshalResult(data, other); err == nil {
+		t.Fatal("accepted a result for a different instance")
+	}
+
+	if _, err := UnmarshalResult(data, nil); err == nil {
+		t.Fatal("accepted a nil instance")
+	}
+	if _, err := UnmarshalResult([]byte("{"), in); err == nil {
+		t.Fatal("accepted junk JSON")
+	}
+
+	// Renamed task → loud failure.
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	var tasks []map[string]json.RawMessage
+	if err := json.Unmarshal(m["tasks"], &tasks); err != nil {
+		t.Fatal(err)
+	}
+	tasks[0]["name"] = json.RawMessage(`"imposter"`)
+	renamed, err := json.Marshal(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m["tasks"] = renamed
+	doctored, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalResult(doctored, in); err == nil {
+		t.Fatal("accepted a result with renamed tasks")
+	}
+}

@@ -8,10 +8,10 @@
 //
 // The trial loop is allocation-free: per-execution failure
 // probabilities are computed once per campaign into a preallocated
-// scratch (not once per trial), and randomness comes from counter-
-// split splitmix64 streams — one stream per trial derived by pure
-// arithmetic from the seed — instead of a heap-allocated math/rand
-// source.
+// scratch (not once per trial), and randomness comes from the shared
+// counter-split splitmix64 streams of internal/rng — one stream per
+// trial derived by pure arithmetic from the seed — instead of a
+// heap-allocated math/rand source.
 package faultsim
 
 import (
@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"energysched/internal/model"
+	"energysched/internal/rng"
 	"energysched/internal/schedule"
 )
 
@@ -37,33 +38,6 @@ type Stats struct {
 	// FirstExecFailures[i] counts first-execution failures of task i —
 	// useful to confirm the fault rate actually bites at low speed.
 	FirstExecFailures []int
-}
-
-// splitmix64 is the counter-based PRNG behind the injector: cheap,
-// allocation-free, and splittable — any (seed, trial) pair addresses
-// an independent stream without generating the preceding ones.
-type splitmix64 uint64
-
-func (s *splitmix64) next() uint64 {
-	*s += 0x9e3779b97f4a7c15
-	z := uint64(*s)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-// float64 draws a uniform sample in [0, 1) with 53 random bits.
-func (s *splitmix64) float64() float64 {
-	return float64(s.next()>>11) / (1 << 53)
-}
-
-// trialStream returns the stream for one (seed, trial) pair: the
-// stream split is a multiply-free state jump, so per-trial streams
-// cost nothing to derive.
-func trialStream(seed int64, trial int) splitmix64 {
-	s := splitmix64(uint64(seed) * 0x9e3779b97f4a7c15)
-	s.next()
-	return s + splitmix64(uint64(trial))*0x2545f4914f6cdd1d
 }
 
 // Simulator owns the preallocated per-campaign scratch: per-task
@@ -120,14 +94,14 @@ func (sim *Simulator) SimulateInto(st *Stats, s *schedule.Schedule, rel model.Re
 	}
 	allOK := 0
 	for trial := 0; trial < trials; trial++ {
-		rng := trialStream(seed, trial)
+		stream := rng.At(seed, trial)
 		ok := true
 		for i := 0; i < n; i++ {
-			fail := rng.float64() < sim.p1[i]
+			fail := stream.Float64() < sim.p1[i]
 			if fail {
 				sim.firstRef[i]++
 				if sim.p2[i] >= 0 {
-					fail = rng.float64() < sim.p2[i]
+					fail = stream.Float64() < sim.p2[i]
 				}
 			}
 			if fail {
@@ -174,10 +148,10 @@ func SimulateSchedule(s *schedule.Schedule, rel model.Reliability, trials int, s
 // model.
 func EmpiricalFailureRate(rel model.Reliability, w, f float64, trials int, seed int64) float64 {
 	p := rel.FailureProb(w, f)
-	rng := trialStream(seed, 0)
+	stream := rng.At(seed, 0)
 	fails := 0
 	for i := 0; i < trials; i++ {
-		if rng.float64() < p {
+		if stream.Float64() < p {
 			fails++
 		}
 	}

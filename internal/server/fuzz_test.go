@@ -66,6 +66,43 @@ func FuzzSolveHandler(f *testing.F) {
 	})
 }
 
+// FuzzSimulateHandler hardens the solve-then-simulate path: arbitrary
+// bodies must never panic the handler or produce non-JSON, and the
+// campaign knobs (trials, seed, policy, workers) must be rejected
+// client-side when out of range. The tiny MaxTrials cap bounds the
+// simulator work a fuzzer-built request can demand.
+func FuzzSimulateHandler(f *testing.F) {
+	f.Add([]byte(`{"instance":` + triChainInstance + `,"trials":20}`))
+	f.Add([]byte(`{"instance":` + triChainInstance + `,"trials":20,"policy":"max-speed","worstCase":true}`))
+	f.Add([]byte(`{"instance":` + triChainInstance + `,"trials":20,"simSeed":-9,"workers":3}`))
+	f.Add([]byte(`{"instance":` + chainInstance + `}`))
+	f.Add([]byte(`{"instance":` + triChainInstance + `,"trials":1000000000}`))
+	f.Add([]byte(`{"instance":` + triChainInstance + `,"policy":"pray"}`))
+	f.Add([]byte(`{"trials":10}`))
+	f.Add([]byte(`junk`))
+	f.Add([]byte(``))
+
+	srv := server.New(server.Config{
+		SolveTimeout: 200 * time.Millisecond,
+		CacheSize:    64,
+		MaxBodyBytes: 1 << 16,
+		MaxTrials:    200,
+	})
+	h := srv.Handler()
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest("POST", "/v1/simulate", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 && (rec.Code < 400 || rec.Code > 599) {
+			t.Fatalf("status %d outside {200, 4xx, 5xx}\ninput: %q", rec.Code, body)
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("response is not valid JSON: %q\ninput: %q", rec.Body.Bytes(), body)
+		}
+	})
+}
+
 // FuzzBatchHandler gives the batch ingest path the same treatment; a
 // whole-batch request must degrade to per-item errors, never a panic
 // or a non-JSON response.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -65,6 +66,37 @@ type solveRequest struct {
 	solveOptions
 }
 
+// solveCached is the one solve-with-cache pipeline behind /v1/solve
+// and /v1/simulate: it returns the solved Result for (in, opts)
+// together with its MarshalResult bytes, serving from the shared byte
+// cache when the solve key is present — the Result is then rebuilt
+// from its bytes instead of re-running the solver — and otherwise
+// solving, observing solver latency, and storing the bytes under the
+// solve key for both endpoints to reuse. The caller must already hold
+// an in-flight slot.
+func (s *Server) solveCached(ctx context.Context, in *core.Instance, opts []core.Option, solveKey string) (*core.Result, []byte, error) {
+	if cached, ok := s.cache.Get(solveKey); ok {
+		if res, err := core.UnmarshalResult(cached, in); err == nil {
+			return res, cached, nil
+		}
+		// Cached bytes that fail to rebuild (cannot happen for bytes
+		// this server wrote) fall through to a fresh solve instead of
+		// failing the request.
+	}
+	res, err := core.Solve(ctx, in, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.latency.observe(res.Solver, res.WallTime)
+	out, err := core.MarshalResult(res)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.cache.Put(solveKey, out)
+	s.solved.Add(1)
+	return res, out, nil
+}
+
 // handleSolve serves POST /v1/solve: unmarshal, consult the cache,
 // otherwise take a semaphore slot and solve under the request
 // deadline. The response body is core.MarshalResult JSON, byte-cached
@@ -108,19 +140,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
-	res, err := core.Solve(ctx, in, opts...)
+	_, out, err := s.solveCached(ctx, in, opts, key)
 	if err != nil {
 		s.writeError(w, s.solveStatus(err), err.Error())
 		return
 	}
-	s.latency.observe(res.Solver, res.WallTime)
-	out, err := core.MarshalResult(res)
-	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	s.cache.Put(key, out)
-	s.solved.Add(1)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", "miss")
 	w.Write(out)
@@ -262,6 +286,7 @@ type statsJSON struct {
 	UptimeSeconds float64                `json:"uptimeSeconds"`
 	Requests      int64                  `json:"requests"`
 	Solved        int64                  `json:"solved"`
+	Simulated     int64                  `json:"simulated"`
 	Errors        int64                  `json:"errors"`
 	Timeouts      int64                  `json:"timeouts"`
 	InFlight      int64                  `json:"inFlight"`
@@ -277,6 +302,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests:      s.requests.Load(),
 		Solved:        s.solved.Load(),
+		Simulated:     s.simulated.Load(),
 		Errors:        s.errors.Load(),
 		Timeouts:      s.timeouts.Load(),
 		InFlight:      s.inflight.Load(),

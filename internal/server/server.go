@@ -1,11 +1,14 @@
 // Package server implements energyschedd, the long-running HTTP JSON
 // solve service in front of the core solver registry:
 //
-//	POST /v1/solve   — solve one instance, returns core.MarshalResult JSON
-//	POST /v1/batch   — solve many instances on a worker pool (core.SolveAll)
-//	GET  /v1/solvers — list the registered solver names
-//	GET  /healthz    — liveness probe
-//	GET  /stats      — request, solve and cache counters
+//	POST /v1/solve    — solve one instance, returns core.MarshalResult JSON
+//	POST /v1/batch    — solve many instances on a worker pool (core.SolveAll)
+//	POST /v1/simulate — solve, then execute the schedule in a seeded
+//	                    Monte-Carlo campaign on the discrete-event
+//	                    simulator (internal/sim)
+//	GET  /v1/solvers  — list the registered solver names
+//	GET  /healthz     — liveness probe
+//	GET  /stats       — request, solve, simulate and cache counters
 //
 // Solved results are memoized in a sharded LRU keyed by
 // (core.Instance.Hash, core.Config.Fingerprint), so repeated instances
@@ -36,6 +39,11 @@ const (
 	DefaultCacheSize    = 1024
 	DefaultSolveTimeout = 30 * time.Second
 	DefaultMaxBodyBytes = 8 << 20 // 8 MiB
+	// DefaultTrials is the campaign size /v1/simulate uses when the
+	// request omits "trials".
+	DefaultTrials = 1000
+	// DefaultMaxTrials caps the per-request campaign size.
+	DefaultMaxTrials = 200_000
 )
 
 // Config tunes one Server. The zero value is usable: New substitutes
@@ -55,9 +63,13 @@ type Config struct {
 	// MaxBodyBytes bounds the request body; larger bodies get 413
 	// (default DefaultMaxBodyBytes).
 	MaxBodyBytes int64
-	// Workers is the default worker-pool size for /v1/batch; a request
-	// may only lower it via "workers" (default GOMAXPROCS).
+	// Workers is the default worker-pool size for /v1/batch and the
+	// /v1/simulate campaign runner; a request may only lower it via
+	// "workers" (default GOMAXPROCS).
 	Workers int
+	// MaxTrials caps the campaign size a /v1/simulate request may ask
+	// for (default DefaultMaxTrials).
+	MaxTrials int
 }
 
 // Server is the handler state: resolved config, result cache,
@@ -71,11 +83,12 @@ type Server struct {
 	start   time.Time
 	latency *latencyTracker
 
-	requests atomic.Int64 // HTTP requests accepted (all endpoints)
-	solved   atomic.Int64 // instances solved by a solver (cache misses)
-	errors   atomic.Int64 // requests answered with a 4xx/5xx status
-	timeouts atomic.Int64 // solves aborted by deadline or disconnect
-	inflight atomic.Int64 // requests currently holding a semaphore slot
+	requests  atomic.Int64 // HTTP requests accepted (all endpoints)
+	solved    atomic.Int64 // instances solved by a solver (cache misses)
+	simulated atomic.Int64 // Monte-Carlo campaigns executed (cache misses)
+	errors    atomic.Int64 // requests answered with a 4xx/5xx status
+	timeouts  atomic.Int64 // solves aborted by deadline or disconnect
+	inflight  atomic.Int64 // requests currently holding a semaphore slot
 }
 
 // New returns a ready-to-serve Server with cfg's zero fields replaced
@@ -96,6 +109,9 @@ func New(cfg Config) *Server {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.MaxTrials <= 0 {
+		cfg.MaxTrials = DefaultMaxTrials
+	}
 	s := &Server{
 		cfg:     cfg,
 		cache:   cache.New[[]byte](cfg.CacheSize),
@@ -106,6 +122,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)

@@ -1,0 +1,222 @@
+package server_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"energysched/internal/server"
+	"energysched/internal/sim"
+)
+
+// triChainInstance is a solvable TRI-CRIT chain with a fault rate high
+// enough that small campaigns observe failures.
+const triChainInstance = `{
+  "tasks": [{"name": "t1", "weight": 1}, {"name": "t2", "weight": 2}, {"name": "t3", "weight": 1.5}],
+  "edges": [[0, 1], [1, 2]],
+  "processors": 1,
+  "speedModel": {"kind": "continuous", "fmin": 0.1, "fmax": 1},
+  "deadline": 12,
+  "reliability": {"lambda0": 0.02, "d": 3, "frel": 0.8}
+}`
+
+type simulateJSON struct {
+	Result   resultJSON    `json:"result"`
+	Campaign *sim.Campaign `json:"campaign"`
+	Delta    struct {
+		EnergyPct      float64 `json:"energyPct"`
+		MakespanPct    float64 `json:"makespanPct"`
+		ReliabilityAbs float64 `json:"reliabilityAbs"`
+	} `json:"delta"`
+}
+
+func TestSimulateHappyPath(t *testing.T) {
+	h := server.New(server.Config{}).Handler()
+	body := `{"instance":` + triChainInstance + `,"trials":500,"simSeed":7}`
+	rec := do(h, "POST", "/v1/simulate", body)
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	if got := rec.Header().Get("X-Cache"); got != "miss" {
+		t.Fatalf("first request X-Cache = %q, want miss", got)
+	}
+	resp := decode[simulateJSON](t, rec)
+	if resp.Campaign == nil {
+		t.Fatal("no campaign in response")
+	}
+	if resp.Campaign.Trials != 500 || resp.Campaign.Seed != 7 {
+		t.Fatalf("campaign knobs drifted: %+v", resp.Campaign)
+	}
+	if resp.Campaign.Policy != "same-speed" {
+		t.Fatalf("default policy %q", resp.Campaign.Policy)
+	}
+	if resp.Campaign.SuccessRate <= 0 || resp.Campaign.SuccessRate > 1 {
+		t.Fatalf("success rate %v", resp.Campaign.SuccessRate)
+	}
+	if resp.Campaign.Predicted.Reliability <= 0 || resp.Campaign.Predicted.Reliability >= 1 {
+		t.Fatalf("closed-form reliability %v not in (0,1) — fault pressure missing", resp.Campaign.Predicted.Reliability)
+	}
+	if resp.Result.Solver == "" || resp.Result.Energy <= 0 {
+		t.Fatalf("solver result missing: %+v", resp.Result)
+	}
+	if math.Abs(resp.Delta.ReliabilityAbs-(resp.Campaign.SuccessRate-resp.Campaign.Predicted.Reliability)) > 1e-12 {
+		t.Fatalf("delta inconsistent with campaign: %+v", resp.Delta)
+	}
+
+	// Same request → byte-identical cached response.
+	rec2 := do(h, "POST", "/v1/simulate", body)
+	if rec2.Code != 200 || rec2.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("repeat status %d X-Cache %q", rec2.Code, rec2.Header().Get("X-Cache"))
+	}
+	if rec.Body.String() != rec2.Body.String() {
+		t.Fatal("cached response differs from original")
+	}
+
+	// Different seed → different campaign, not a cache hit.
+	rec3 := do(h, "POST", "/v1/simulate", `{"instance":`+triChainInstance+`,"trials":500,"simSeed":8}`)
+	if rec3.Code != 200 || rec3.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("reseeded status %d X-Cache %q", rec3.Code, rec3.Header().Get("X-Cache"))
+	}
+
+	// The campaign worker count must not affect the payload bytes.
+	rec4 := do(h, "POST", "/v1/simulate", `{"instance":`+triChainInstance+`,"trials":500,"simSeed":7,"workers":1}`)
+	if rec4.Code != 200 || rec4.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("workers=1 status %d X-Cache %q — worker count leaked into the cache key", rec4.Code, rec4.Header().Get("X-Cache"))
+	}
+}
+
+func TestSimulateWorstCaseReplay(t *testing.T) {
+	h := server.New(server.Config{}).Handler()
+	rec := do(h, "POST", "/v1/simulate", `{"instance":`+triChainInstance+`,"trials":200,"worstCase":true}`)
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	resp := decode[simulateJSON](t, rec)
+	c := resp.Campaign
+	if c.Energy.Min != c.Energy.Max {
+		t.Fatalf("worst-case replay energy varies: [%v, %v]", c.Energy.Min, c.Energy.Max)
+	}
+	if math.Abs(c.Energy.Mean-resp.Result.Energy) > 1e-9*math.Max(1, resp.Result.Energy) {
+		t.Fatalf("worst-case energy %v != predicted %v", c.Energy.Mean, resp.Result.Energy)
+	}
+	if math.Abs(c.Makespan.Mean-resp.Result.Makespan) > 1e-9*math.Max(1, resp.Result.Makespan) {
+		t.Fatalf("worst-case makespan %v != predicted %v", c.Makespan.Mean, resp.Result.Makespan)
+	}
+}
+
+// TestSimulateDefaultTrialsClampedToCap: omitting "trials" on a
+// server configured below DefaultTrials must use the cap, not reject
+// the request for a value the client never sent.
+func TestSimulateDefaultTrialsClampedToCap(t *testing.T) {
+	h := server.New(server.Config{MaxTrials: 200}).Handler()
+	rec := do(h, "POST", "/v1/simulate", `{"instance":`+triChainInstance+`}`)
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	if got := decode[simulateJSON](t, rec).Campaign.Trials; got != 200 {
+		t.Fatalf("default trials = %d, want the 200 cap", got)
+	}
+}
+
+func TestSimulateErrorPaths(t *testing.T) {
+	h := server.New(server.Config{MaxTrials: 1000}).Handler()
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"junk body", `{"instance": nope`, 400},
+		{"not json at all", `]][[`, 400},
+		{"missing instance", `{"trials":10}`, 400},
+		{"zero tasks", `{"instance":{"tasks":[],"processors":1,"speedModel":{"kind":"continuous","fmin":0.1,"fmax":1},"deadline":1}}`, 400},
+		{"trials above cap", `{"instance":` + triChainInstance + `,"trials":1001}`, 400},
+		{"negative trials", `{"instance":` + triChainInstance + `,"trials":-4}`, 400},
+		{"unknown policy", `{"instance":` + triChainInstance + `,"policy":"pray"}`, 400},
+		{"unknown solver", `{"instance":` + triChainInstance + `,"solver":"no-such"}`, 400},
+		{"infeasible", `{"instance":{"tasks":[{"name":"a","weight":100}],"processors":1,"speedModel":{"kind":"continuous","fmin":0.1,"fmax":1},"deadline":0.5}}`, 422},
+		{"wrong method", "", 405},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			method := "POST"
+			if c.name == "wrong method" {
+				method = "GET"
+			}
+			rec := do(h, method, "/v1/simulate", c.body)
+			if rec.Code != c.want {
+				t.Fatalf("status %d, want %d: %s", rec.Code, c.want, rec.Body.Bytes())
+			}
+		})
+	}
+}
+
+func TestSimulateTimeout(t *testing.T) {
+	h := server.New(server.Config{SolveTimeout: 50 * time.Millisecond}).Handler()
+	rec := do(h, "POST", "/v1/simulate", `{"instance":`+slowInstance()+`,"solver":"`+slowSolverName+`"}`)
+	if rec.Code != 504 {
+		t.Fatalf("status %d, want 504: %s", rec.Code, rec.Body.Bytes())
+	}
+}
+
+func TestSimulateCountsInStats(t *testing.T) {
+	srv := server.New(server.Config{})
+	h := srv.Handler()
+	if rec := do(h, "POST", "/v1/simulate", `{"instance":`+triChainInstance+`,"trials":50}`); rec.Code != 200 {
+		t.Fatalf("simulate status %d", rec.Code)
+	}
+	stats := decode[struct {
+		Simulated int64 `json:"simulated"`
+		Solved    int64 `json:"solved"`
+	}](t, do(h, "GET", "/stats", ""))
+	if stats.Simulated != 1 || stats.Solved != 1 {
+		t.Fatalf("stats after one simulate: %+v", stats)
+	}
+	// Cached repeat must not bump the counters.
+	if rec := do(h, "POST", "/v1/simulate", `{"instance":`+triChainInstance+`,"trials":50}`); rec.Header().Get("X-Cache") != "hit" {
+		t.Fatal("expected cache hit")
+	}
+	stats = decode[struct {
+		Simulated int64 `json:"simulated"`
+		Solved    int64 `json:"solved"`
+	}](t, do(h, "GET", "/stats", ""))
+	if stats.Simulated != 1 {
+		t.Fatalf("cached simulate bumped the counter: %+v", stats)
+	}
+}
+
+// TestSimulateReusesSolveCache: the solve half of /v1/simulate shares
+// /v1/solve's byte cache, in both directions — a prior solve is not
+// re-run for a campaign, and a campaign's solve serves later /v1/solve
+// requests.
+func TestSimulateReusesSolveCache(t *testing.T) {
+	h := server.New(server.Config{}).Handler()
+	if rec := do(h, "POST", "/v1/solve", `{"instance":`+triChainInstance+`}`); rec.Code != 200 {
+		t.Fatalf("solve status %d", rec.Code)
+	}
+	solvedNow := func() int64 {
+		return decode[struct {
+			Solved int64 `json:"solved"`
+		}](t, do(h, "GET", "/stats", "")).Solved
+	}
+	if got := solvedNow(); got != 1 {
+		t.Fatalf("solved = %d after one solve", got)
+	}
+	// Two campaigns with different seeds: neither re-runs the solver.
+	for _, seed := range []string{"3", "4"} {
+		rec := do(h, "POST", "/v1/simulate", `{"instance":`+triChainInstance+`,"trials":50,"simSeed":`+seed+`}`)
+		if rec.Code != 200 || rec.Header().Get("X-Cache") != "miss" {
+			t.Fatalf("simulate seed %s: status %d X-Cache %q", seed, rec.Code, rec.Header().Get("X-Cache"))
+		}
+	}
+	if got := solvedNow(); got != 1 {
+		t.Fatalf("solved = %d — campaigns re-ran an already-cached solve", got)
+	}
+	// And a campaign-first instance seeds the solve cache for /v1/solve.
+	h2 := server.New(server.Config{}).Handler()
+	if rec := do(h2, "POST", "/v1/simulate", `{"instance":`+triChainInstance+`,"trials":50}`); rec.Code != 200 {
+		t.Fatalf("simulate status %d", rec.Code)
+	}
+	rec := do(h2, "POST", "/v1/solve", `{"instance":`+triChainInstance+`}`)
+	if rec.Code != 200 || rec.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("solve after simulate: status %d X-Cache %q", rec.Code, rec.Header().Get("X-Cache"))
+	}
+}

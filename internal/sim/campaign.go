@@ -1,0 +1,225 @@
+// Campaign runner: Monte-Carlo outcome distributions over many
+// seeded trials of one (instance, schedule) pair, executed on a
+// worker pool with a deterministic merge — like core.SolveAll, the
+// aggregate is bit-identical whatever the worker count, because
+// workers only fill per-trial slots and a single sequential pass in
+// trial order does every floating-point reduction.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"energysched/internal/core"
+	"energysched/internal/schedule"
+)
+
+// chunk is the number of consecutive trials a worker claims at once:
+// large enough to amortize the atomic claim, small enough to balance
+// tail latency.
+const chunk = 64
+
+// CampaignOptions tunes RunCampaign.
+type CampaignOptions struct {
+	// Trials is the number of simulated runs (required, > 0).
+	Trials int
+	// Seed addresses the fault streams: trial t draws from
+	// rng.At(Seed, t) regardless of worker count.
+	Seed int64
+	// Policy is the recovery policy (default PolicySameSpeed).
+	Policy Policy
+	// WorstCase replays every scheduled execution (see Options).
+	WorstCase bool
+	// DisableFaults turns the injector off for every trial.
+	DisableFaults bool
+	// Workers caps the worker pool (default GOMAXPROCS).
+	Workers int
+}
+
+// Summary condenses one observed metric across the campaign.
+type Summary struct {
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// Campaign is the aggregate of a RunCampaign call, JSON-ready for the
+// CLI and the service.
+type Campaign struct {
+	Trials         int     `json:"trials"`
+	Seed           int64   `json:"seed"`
+	Policy         string  `json:"policy"`
+	WorstCase      bool    `json:"worstCase,omitempty"`
+	Successes      int     `json:"successes"`
+	SuccessRate    float64 `json:"successRate"`
+	DeadlineMisses int     `json:"deadlineMisses"`
+	Reexecutions   int64   `json:"reexecutions"`
+	Faults         int64   `json:"faults"`
+	Energy         Summary `json:"energy"`
+	Makespan       Summary `json:"makespan"`
+	// Predicted is the closed-form counterpart of the observed
+	// distribution, for predicted-vs-observed reporting.
+	Predicted Prediction `json:"predicted"`
+}
+
+// Delta quantifies how far the observed campaign strayed from the
+// closed-form prediction; it is the shared report block of
+// cmd/energysim and POST /v1/simulate.
+type Delta struct {
+	// EnergyPct is the relative deviation (percent) of the observed
+	// mean energy from the analytic expectation under the policy.
+	EnergyPct float64 `json:"energyPct"`
+	// MakespanPct is the relative deviation (percent) of the observed
+	// mean makespan from the schedule's predicted makespan.
+	MakespanPct float64 `json:"makespanPct"`
+	// ReliabilityAbs is the absolute deviation of the observed success
+	// rate from the closed-form schedule reliability.
+	ReliabilityAbs float64 `json:"reliabilityAbs"`
+}
+
+// Delta derives the predicted-vs-observed deviations of the campaign.
+func (c *Campaign) Delta() Delta {
+	return Delta{
+		EnergyPct:      pct(c.Energy.Mean, c.Predicted.ExpectedEnergy),
+		MakespanPct:    pct(c.Makespan.Mean, c.Predicted.Makespan),
+		ReliabilityAbs: c.SuccessRate - c.Predicted.Reliability,
+	}
+}
+
+// pct returns the relative deviation of observed from predicted in
+// percent; a zero prediction (nothing was promised) reports 0.
+func pct(observed, predicted float64) float64 {
+	if predicted == 0 {
+		return 0
+	}
+	return (observed/predicted - 1) * 100
+}
+
+// trialSlot is one trial's condensed outcome; workers write disjoint
+// slots, the merge reads them in trial order.
+type trialSlot struct {
+	energy   float64
+	makespan float64
+	reexec   int32
+	faults   int32
+	flags    uint8 // bit 0: succeeded, bit 1: deadline met
+}
+
+// RunCampaign executes opts.Trials seeded runs of the schedule on a
+// worker pool and aggregates the outcome distribution. Trial t always
+// draws from stream (Seed, t), and the reduction runs sequentially in
+// trial order after the pool drains, so the returned Campaign is
+// bit-identical across worker counts. Cancelling the context aborts
+// the campaign with the context's error.
+func RunCampaign(ctx context.Context, in *core.Instance, s *schedule.Schedule, opts CampaignOptions) (*Campaign, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Trials <= 0 {
+		return nil, fmt.Errorf("sim: trials must be positive, got %d", opts.Trials)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > (opts.Trials+chunk-1)/chunk {
+		workers = (opts.Trials + chunk - 1) / chunk
+	}
+	runOpts := Options{Policy: opts.Policy, Seed: opts.Seed, WorstCase: opts.WorstCase, DisableFaults: opts.DisableFaults}
+	// Validate the pairing once before spawning workers; each worker
+	// then builds its own Runner (scratch is not shareable) from the
+	// already-checked inputs.
+	base, err := NewRunner(in, s, runOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	slots := make([]trialSlot, opts.Trials)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		r := base
+		if w > 0 {
+			// The pairing validated above cannot fail now.
+			r, _ = NewRunner(in, s, runOpts)
+		}
+		go func(r *Runner) {
+			defer wg.Done()
+			var tr Trace
+			for {
+				lo := int(next.Add(chunk)) - chunk
+				if lo >= opts.Trials || ctx.Err() != nil {
+					return
+				}
+				hi := lo + chunk
+				if hi > opts.Trials {
+					hi = opts.Trials
+				}
+				for t := lo; t < hi; t++ {
+					r.Run(t, &tr)
+					o := &tr.Outcome
+					slot := &slots[t]
+					slot.energy = o.Energy
+					slot.makespan = o.Makespan
+					slot.reexec = int32(o.Reexecutions)
+					slot.faults = int32(o.Faults)
+					if o.Succeeded {
+						slot.flags |= 1
+					}
+					if o.DeadlineMet {
+						slot.flags |= 2
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	c := &Campaign{
+		Trials:    opts.Trials,
+		Seed:      opts.Seed,
+		Policy:    opts.Policy.String(),
+		WorstCase: opts.WorstCase,
+		Energy:    Summary{Min: math.Inf(1), Max: math.Inf(-1)},
+		Makespan:  Summary{Min: math.Inf(1), Max: math.Inf(-1)},
+		Predicted: base.Predict(),
+	}
+	var sumE, sumM float64
+	for t := range slots {
+		slot := &slots[t]
+		sumE += slot.energy
+		sumM += slot.makespan
+		if slot.energy < c.Energy.Min {
+			c.Energy.Min = slot.energy
+		}
+		if slot.energy > c.Energy.Max {
+			c.Energy.Max = slot.energy
+		}
+		if slot.makespan < c.Makespan.Min {
+			c.Makespan.Min = slot.makespan
+		}
+		if slot.makespan > c.Makespan.Max {
+			c.Makespan.Max = slot.makespan
+		}
+		c.Reexecutions += int64(slot.reexec)
+		c.Faults += int64(slot.faults)
+		if slot.flags&1 != 0 {
+			c.Successes++
+		}
+		if slot.flags&2 == 0 {
+			c.DeadlineMisses++
+		}
+	}
+	c.SuccessRate = float64(c.Successes) / float64(opts.Trials)
+	c.Energy.Mean = sumE / float64(opts.Trials)
+	c.Makespan.Mean = sumM / float64(opts.Trials)
+	return c, nil
+}

@@ -1,0 +1,135 @@
+// Workload-class sweep: solve-then-simulate one generated instance
+// per workload class and aggregate the per-class predicted-vs-observed
+// numbers — the campaign-level view the paper's simulation sections
+// report, and the harness cmd/energysim exposes as -sweep.
+package sim
+
+import (
+	"context"
+	"math/rand"
+
+	"energysched/internal/core"
+	"energysched/internal/listsched"
+	"energysched/internal/model"
+	"energysched/internal/workload"
+)
+
+// SweepSpec describes a class sweep. Zero fields get the defaults in
+// brackets.
+type SweepSpec struct {
+	// Classes to sweep [workload.AllClasses()].
+	Classes []workload.Class
+	// N is the task count per instance [32].
+	N int
+	// Procs is the processor count for critical-path mapping [4].
+	Procs int
+	// Dist is the task-weight distribution [UniformWeights].
+	Dist workload.WeightDist
+	// Speed is the speed model [CONTINUOUS over [0.1, 1]].
+	Speed model.SpeedModel
+	// Slack scales the deadline: slack × list-schedule makespan at
+	// fmax [2.0].
+	Slack float64
+	// TriCrit adds the repository's default reliability constraints
+	// (λ0 = 1e-5, d = 3, frel = 0.8·fmax).
+	TriCrit bool
+	// Seed drives both instance generation (class index offsets keep
+	// the classes independent) and the fault streams.
+	Seed int64
+	// Campaign tunes the per-class Monte-Carlo run; its Seed is
+	// overridden by the spec's.
+	Campaign CampaignOptions
+	// Solve holds core options applied to every class's solve.
+	Solve []core.Option
+}
+
+// ClassResult is one class's sweep outcome; exactly one of Campaign
+// and Err is set.
+type ClassResult struct {
+	Class    string    `json:"class"`
+	Tasks    int       `json:"tasks"`
+	Solver   string    `json:"solver,omitempty"`
+	Energy   float64   `json:"energy,omitempty"`
+	Campaign *Campaign `json:"campaign,omitempty"`
+	Err      string    `json:"error,omitempty"`
+}
+
+// Sweep generates one instance per class from the spec's seed, solves
+// it, and runs a campaign on the solved schedule. Per-class failures
+// (infeasible deadlines, context expiry) land in the class's result;
+// the sweep itself only fails on a cancelled context. Classes are
+// processed in order, so the output is deterministic.
+func Sweep(ctx context.Context, spec SweepSpec) ([]ClassResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(spec.Classes) == 0 {
+		spec.Classes = workload.AllClasses()
+	}
+	if spec.N <= 0 {
+		spec.N = 32
+	}
+	if spec.Procs <= 0 {
+		spec.Procs = 4
+	}
+	if spec.Slack <= 0 {
+		spec.Slack = 2.0
+	}
+	if spec.Speed.FMax == 0 {
+		sm, err := model.NewContinuous(0.1, 1.0)
+		if err != nil {
+			return nil, err
+		}
+		spec.Speed = sm
+	}
+	if spec.Campaign.Trials <= 0 {
+		spec.Campaign.Trials = 1000
+	}
+	spec.Campaign.Seed = spec.Seed
+
+	out := make([]ClassResult, 0, len(spec.Classes))
+	for _, cls := range spec.Classes {
+		res := ClassResult{Class: cls.String(), Tasks: spec.N}
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		// Offset the generation stream by the class's canonical value,
+		// so sweeping any subset reproduces the full sweep's instances.
+		rng := rand.New(rand.NewSource(spec.Seed + int64(cls)*1_000_003))
+		g := cls.Generate(rng, spec.N, spec.Dist)
+		ls, err := listsched.CriticalPath(g, spec.Procs)
+		if err != nil {
+			res.Err = err.Error()
+			out = append(out, res)
+			continue
+		}
+		in := &core.Instance{
+			Graph:    g,
+			Mapping:  ls.Mapping,
+			Speed:    spec.Speed,
+			Deadline: ls.Makespan / spec.Speed.FMax * spec.Slack,
+		}
+		if spec.TriCrit {
+			rel := model.DefaultReliability(spec.Speed.FMin, spec.Speed.FMax)
+			in.Rel = &rel
+			in.FRel = 0.8 * spec.Speed.FMax
+		}
+		solved, err := core.Solve(ctx, in, spec.Solve...)
+		if err != nil {
+			res.Err = err.Error()
+			out = append(out, res)
+			continue
+		}
+		res.Solver = solved.Solver
+		res.Energy = solved.Energy
+		camp, err := RunCampaign(ctx, in, solved.Schedule, spec.Campaign)
+		if err != nil {
+			res.Err = err.Error()
+			out = append(out, res)
+			continue
+		}
+		res.Campaign = camp
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 
 	"energysched/internal/dag"
 )
@@ -189,6 +190,32 @@ func (c Class) String() string {
 		return "layered"
 	default:
 		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// ParseClass is the inverse of Class.String, for flag and request
+// parsing; it accepts exactly the classes AllClasses enumerates, so
+// new generators become parseable the moment they are listed.
+func ParseClass(s string) (Class, error) {
+	names := make([]string, 0, len(AllClasses()))
+	for _, c := range AllClasses() {
+		if c.String() == s {
+			return c, nil
+		}
+		names = append(names, c.String())
+	}
+	return 0, fmt.Errorf("workload: unknown class %q (have %s)", s, strings.Join(names, ", "))
+}
+
+// ParseWeightDist is the inverse of WeightDist.String.
+func ParseWeightDist(s string) (WeightDist, error) {
+	switch s {
+	case "uniform":
+		return UniformWeights, nil
+	case "heavy-tail":
+		return HeavyTailWeights, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown weight distribution %q (have uniform, heavy-tail)", s)
 	}
 }
 

@@ -123,3 +123,27 @@ func TestStringers(t *testing.T) {
 		t.Error("weight dist names wrong")
 	}
 }
+
+func TestParseClassCoversAllGenerators(t *testing.T) {
+	for _, c := range AllClasses() {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Fatalf("ParseClass(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseClass("nope"); err == nil {
+		t.Fatal("ParseClass accepted an unknown class")
+	}
+}
+
+func TestParseWeightDist(t *testing.T) {
+	for _, d := range []WeightDist{UniformWeights, HeavyTailWeights} {
+		got, err := ParseWeightDist(d.String())
+		if err != nil || got != d {
+			t.Fatalf("ParseWeightDist(%q) = %v, %v", d.String(), got, err)
+		}
+	}
+	if _, err := ParseWeightDist("gaussian"); err == nil {
+		t.Fatal("ParseWeightDist accepted an unknown distribution")
+	}
+}
