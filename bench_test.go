@@ -495,9 +495,9 @@ func Benchmark_InstanceHash(b *testing.B) {
 
 // --- Simulator benchmarks: the discrete-event engine and campaigns ---
 
-// simChain64 builds the gated simulator workload: a solved TRI-CRIT
-// 64-task chain with real fault pressure.
-func simChain64(b *testing.B) (*core.Instance, *schedule.Schedule) {
+// simChain64Rel builds a solved TRI-CRIT 64-task chain at the given
+// fault rate — the shared simulator benchmark workload.
+func simChain64Rel(b *testing.B, lambda0 float64) (*core.Instance, *schedule.Schedule) {
 	b.Helper()
 	rng := rand.New(rand.NewSource(7))
 	ws := workload.UniformWeights.Weights(rng, 64)
@@ -514,7 +514,7 @@ func simChain64(b *testing.B) (*core.Instance, *schedule.Schedule) {
 	for _, w := range ws {
 		sum += w
 	}
-	rel := model.Reliability{Lambda0: 0.01, Sensitivity: 3, FMin: sm.FMin, FMax: sm.FMax}
+	rel := model.Reliability{Lambda0: lambda0, Sensitivity: 3, FMin: sm.FMin, FMax: sm.FMax}
 	in := &core.Instance{Graph: g, Mapping: mp, Speed: sm, Deadline: sum / sm.FMax * 2.5,
 		Rel: &rel, FRel: 0.8 * sm.FMax}
 	res, err := core.Solve(context.Background(), in)
@@ -522,6 +522,12 @@ func simChain64(b *testing.B) (*core.Instance, *schedule.Schedule) {
 		b.Fatal(err)
 	}
 	return in, res.Schedule
+}
+
+// simChain64 is the historical gated simulator workload: real fault
+// pressure, so campaigns mix fast-path and event-heap trials.
+func simChain64(b *testing.B) (*core.Instance, *schedule.Schedule) {
+	return simChain64Rel(b, 0.01)
 }
 
 // BenchmarkSimulateChain64 measures one discrete-event trial of a
@@ -561,6 +567,75 @@ func BenchmarkCampaign1k(b *testing.B) {
 		}
 		if c.Successes == 0 {
 			b.Fatal("campaign all-failed")
+		}
+	}
+}
+
+// benchCampaignFaultFree measures a warmed 1000-trial campaign on a
+// high-reliability instance (λ0 = 1e-5, the regime the paper's
+// reliability targets put campaigns in), where virtually every trial
+// draws zero faults. The Runner is built outside the loop, so the
+// measurement is the steady-state campaign cost a sweep-scale
+// workload pays per (instance, schedule) pair.
+func benchCampaignFaultFree(b *testing.B, heapOnly bool) {
+	b.Helper()
+	in, s := simChain64Rel(b, 1e-5)
+	r, err := sim.NewRunner(in, s, sim.Options{Seed: 5, DisableFastPath: heapOnly})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := r.RunCampaign(ctx, 1000, 4); err != nil {
+		b.Fatal(err) // warm the scratch (clones, slots, histograms)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := r.RunCampaign(ctx, 1000, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c.FaultFreeTrials < 900 {
+			b.Fatalf("fault-light instance drew faults in %d/1000 trials", 1000-c.FaultFreeTrials)
+		}
+	}
+}
+
+// BenchmarkCampaignFaultFree1k is the fast-path contract: the
+// fault-free short-circuit must hold a ≥10× lead over the event-heap
+// path (BenchmarkCampaignFaultFree1kHeapOnly) with near-zero
+// steady-state allocations. Gated by cmd/benchgate.
+func BenchmarkCampaignFaultFree1k(b *testing.B) { benchCampaignFaultFree(b, false) }
+
+// BenchmarkCampaignFaultFree1kHeapOnly is the ablation baseline: the
+// same campaign with every trial forced through the event heap.
+func BenchmarkCampaignFaultFree1kHeapOnly(b *testing.B) { benchCampaignFaultFree(b, true) }
+
+// BenchmarkSweepAllClasses measures one POST /v1/sweep unit of work:
+// generate + solve + simulate across every workload class. Gated by
+// cmd/benchgate.
+func BenchmarkSweepAllClasses(b *testing.B) {
+	spec := sim.SweepSpec{
+		N:        16,
+		Procs:    4,
+		Seed:     11,
+		TriCrit:  true,
+		Campaign: sim.CampaignOptions{Trials: 200, Workers: 4},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := sim.Sweep(context.Background(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(workload.AllClasses()) {
+			b.Fatalf("got %d classes", len(results))
+		}
+		for _, r := range results {
+			if r.Err != "" {
+				b.Fatalf("class %s: %s", r.Class, r.Err)
+			}
 		}
 	}
 }

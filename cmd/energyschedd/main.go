@@ -11,11 +11,13 @@
 //
 // Endpoints (see internal/server and the README for request formats):
 //
-//	POST /v1/solve   solve one instance
-//	POST /v1/batch   solve a batch on a worker pool
-//	GET  /v1/solvers list registered solvers
-//	GET  /healthz    liveness probe
-//	GET  /stats      request / solve / cache counters
+//	POST /v1/solve    solve one instance
+//	POST /v1/batch    solve a batch on a worker pool
+//	POST /v1/simulate solve, then run a Monte-Carlo campaign on the schedule
+//	POST /v1/sweep    solve-then-simulate one instance per workload class
+//	GET  /v1/solvers  list registered solvers
+//	GET  /healthz     liveness probe
+//	GET  /stats       request / solve / simulate / sweep / cache counters
 package main
 
 import (

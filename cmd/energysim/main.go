@@ -15,6 +15,14 @@
 // -in - reads the instance from stdin. The campaign is bit-identical
 // for any -workers value, so reports are reproducible from the dumped
 // instance (see dagen's "generator" echo) and the seed alone.
+//
+// The campaign block of the report carries the fast-path hit rate
+// (faultFreeTrials / faultFreeRate — the fraction of trials that drew
+// zero faults and short-circuited to the precomputed fault-free
+// outcome) and log-bucket energy/makespan outcome histograms with
+// conservative p50/p99. -trials is validated against
+// sim.MaxCampaignTrials, the same cap energyschedd enforces on
+// /v1/simulate and /v1/sweep requests.
 package main
 
 import (
@@ -62,6 +70,10 @@ func main() {
 	policy, err := sim.ParsePolicy(*policyName)
 	if err != nil {
 		fail(err)
+	}
+	if *trials < 1 || *trials > sim.MaxCampaignTrials {
+		fail(fmt.Errorf("-trials must be in [1, %d], got %d (the cap energyschedd enforces)",
+			sim.MaxCampaignTrials, *trials))
 	}
 	ctx := context.Background()
 	if *timeout > 0 {

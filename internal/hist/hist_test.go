@@ -1,0 +1,182 @@
+package hist
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestLatencyBoundsPinned pins the latency bucket edges the service
+// /stats payload depends on: the extraction of the histogram into
+// this package must not move a single boundary.
+func TestLatencyBoundsPinned(t *testing.T) {
+	want := []float64{
+		100_000,        // 100µs
+		300_000,        // 300µs
+		1_000_000,      // 1ms
+		3_000_000,      // 3ms
+		10_000_000,     // 10ms
+		30_000_000,     // 30ms
+		100_000_000,    // 100ms
+		300_000_000,    // 300ms
+		1_000_000_000,  // 1s
+		3_000_000_000,  // 3s
+		10_000_000_000, // 10s
+	}
+	if got := LatencyBounds(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("LatencyBounds() = %v, want the pinned edges %v", got, want)
+	}
+}
+
+func TestOutcomeBoundsShape(t *testing.T) {
+	b := OutcomeBounds()
+	if len(b) != 15*32+1 {
+		t.Fatalf("len(OutcomeBounds()) = %d, want %d", len(b), 15*32+1)
+	}
+	if math.Abs(b[0]-1e-6) > 1e-18 || math.Abs(b[len(b)-1]-1e9) > 1 {
+		t.Fatalf("bounds span [%g, %g], want [1e-6, 1e9]", b[0], b[len(b)-1])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %g <= %g", i, b[i], b[i-1])
+		}
+	}
+}
+
+// TestObserveEdgeInclusive checks the bucket semantics the latency
+// histogram historically had: values exactly on an edge land in that
+// edge's bucket; values just above spill to the next; values above
+// the last edge land in the overflow bucket.
+func TestObserveEdgeInclusive(t *testing.T) {
+	bounds := []float64{1, 10, 100}
+	h := New(bounds)
+	h.Observe(1)      // bucket 0 (inclusive edge)
+	h.Observe(1.0001) // bucket 1
+	h.Observe(100)    // bucket 2
+	h.Observe(101)    // overflow
+	h.Observe(-5)     // underflow values land in the first bucket
+	want := []int64{2, 1, 1, 1}
+	if !reflect.DeepEqual(h.counts, want) {
+		t.Fatalf("counts = %v, want %v", h.counts, want)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+}
+
+func TestQuantileMatchesLatencySemantics(t *testing.T) {
+	h := New([]float64{1, 2, 4})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	for i := 0; i < 3; i++ {
+		h.Observe(0.5) // bucket 0
+	}
+	h.Observe(3) // bucket 2
+	if got := h.Quantile(0.5); got != 1 {
+		t.Fatalf("p50 = %v, want 1", got)
+	}
+	if got := h.Quantile(0.99); got != 4 {
+		t.Fatalf("p99 = %v, want 4", got)
+	}
+	h.Observe(9) // overflow
+	if got := h.Quantile(0.99); got != -1 {
+		t.Fatalf("p99 with overflow rank = %v, want -1", got)
+	}
+}
+
+func TestHistogramJSONSparseAndRoundTrips(t *testing.T) {
+	h := New([]float64{1, 2, 4})
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(9)
+	j := h.JSON()
+	if j.Count != 3 {
+		t.Fatalf("json count = %d", j.Count)
+	}
+	if math.Abs(j.Mean-10.0/3) > 1e-12 {
+		t.Fatalf("mean = %v", j.Mean)
+	}
+	want := []Bucket{{Le: 1, Count: 2}, {Le: -1, Count: 1}}
+	if !reflect.DeepEqual(j.Buckets, want) {
+		t.Fatalf("sparse buckets = %+v, want %+v", j.Buckets, want)
+	}
+	raw, err := json.Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back JSON
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, j) {
+		t.Fatalf("round trip drifted: %+v != %+v", back, *j)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := New(OutcomeBounds())
+	h.Observe(3.5)
+	h.Observe(1e12)
+	h.Reset()
+	if h.Count() != 0 || h.sum != 0 {
+		t.Fatalf("reset left count=%d sum=%v", h.Count(), h.sum)
+	}
+	for i, c := range h.counts {
+		if c != 0 {
+			t.Fatalf("reset left bucket %d = %d", i, c)
+		}
+	}
+}
+
+// TestDeterministicAcrossOrders: the histogram totals are independent
+// of observation order — the property the campaign merge relies on
+// when it streams slot outcomes sequentially.
+func TestDeterministicAcrossOrders(t *testing.T) {
+	vals := []float64{0.3, 7.7, 7.7, 1e-9, 42, 1e10, 0.3}
+	a, b := New(OutcomeBounds()), New(OutcomeBounds())
+	for _, v := range vals {
+		a.Observe(v)
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		b.Observe(vals[i])
+	}
+	if !reflect.DeepEqual(a.JSON(), b.JSON()) {
+		t.Fatal("observation order leaked into the histogram")
+	}
+}
+
+func TestAtomicConcurrent(t *testing.T) {
+	a := NewAtomic(LatencyBounds())
+	var wg sync.WaitGroup
+	const workers, each = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				a.Observe(int64(i%4) * 1_000_000)
+			}
+		}(w)
+	}
+	wg.Wait()
+	count, sum, counts := a.Snapshot()
+	if count != workers*each {
+		t.Fatalf("count = %d, want %d", count, workers*each)
+	}
+	var bucketSum int64
+	for _, c := range counts {
+		bucketSum += c
+	}
+	if bucketSum != count {
+		t.Fatalf("bucket counts sum to %d, want %d", bucketSum, count)
+	}
+	if wantSum := int64(workers) * each / 4 * (0 + 1 + 2 + 3) * 1_000_000; sum != wantSum {
+		t.Fatalf("sum = %d, want %d", sum, wantSum)
+	}
+	if q := a.Quantile(0.5); q != 1e6 {
+		t.Fatalf("p50 = %v, want 1e6 (0 and 1ms fill half the mass)", q)
+	}
+}

@@ -103,6 +103,46 @@ func FuzzSimulateHandler(f *testing.F) {
 	})
 }
 
+// FuzzSweepHandler hardens the generate-solve-simulate path: arbitrary
+// bodies must never panic the handler or produce non-JSON, and the
+// sweep spec knobs (classes, n, procs, slack, dist, trials, policy)
+// must be rejected client-side when out of range. The tiny MaxSweepN /
+// MaxTrials caps bound the work a fuzzer-built spec can demand.
+func FuzzSweepHandler(f *testing.F) {
+	f.Add([]byte(`{"classes":["chain"],"n":8,"trials":20}`))
+	f.Add([]byte(`{"n":6,"procs":2,"trials":20,"tricrit":true,"policy":"max-speed"}`))
+	f.Add([]byte(`{"classes":["fork-join","layered"],"dist":"heavy-tail","slack":1.5,"seed":-3}`))
+	f.Add([]byte(`{"classes":["moebius"]}`))
+	f.Add([]byte(`{"n":1000000000}`))
+	f.Add([]byte(`{"trials":1000000000}`))
+	f.Add([]byte(`{"slack":-1,"workers":99}`))
+	f.Add([]byte(`{"policy":"pray"}`))
+	f.Add([]byte(`{"classes":"nope"}`))
+	f.Add([]byte(`junk`))
+	f.Add([]byte(``))
+
+	srv := server.New(server.Config{
+		SolveTimeout: 200 * time.Millisecond,
+		CacheSize:    64,
+		MaxBodyBytes: 1 << 16,
+		MaxTrials:    100,
+		MaxSweepN:    24,
+	})
+	h := srv.Handler()
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest("POST", "/v1/sweep", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 && (rec.Code < 400 || rec.Code > 599) {
+			t.Fatalf("status %d outside {200, 4xx, 5xx}\ninput: %q", rec.Code, body)
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("response is not valid JSON: %q\ninput: %q", rec.Body.Bytes(), body)
+		}
+	})
+}
+
 // FuzzBatchHandler gives the batch ingest path the same treatment; a
 // whole-batch request must degrade to per-item errors, never a panic
 // or a non-JSON response.

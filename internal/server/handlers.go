@@ -195,11 +195,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeHTTPError(w, err)
 		return
 	}
-	workers := s.cfg.Workers
-	if req.Workers > 0 && req.Workers < workers {
-		workers = req.Workers
-	}
-	opts = append(opts, core.WithWorkers(workers))
+	opts = append(opts, core.WithWorkers(s.clampWorkers(req.Workers)))
 
 	resp := batchResponse{Items: make([]batchItemJSON, len(req.Instances))}
 	keys := make([]string, len(req.Instances))
@@ -287,6 +283,7 @@ type statsJSON struct {
 	Requests      int64                  `json:"requests"`
 	Solved        int64                  `json:"solved"`
 	Simulated     int64                  `json:"simulated"`
+	Swept         int64                  `json:"swept"`
 	Errors        int64                  `json:"errors"`
 	Timeouts      int64                  `json:"timeouts"`
 	InFlight      int64                  `json:"inFlight"`
@@ -303,6 +300,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Requests:      s.requests.Load(),
 		Solved:        s.solved.Load(),
 		Simulated:     s.simulated.Load(),
+		Swept:         s.swept.Load(),
 		Errors:        s.errors.Load(),
 		Timeouts:      s.timeouts.Load(),
 		InFlight:      s.inflight.Load(),

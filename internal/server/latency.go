@@ -3,60 +3,22 @@ package server
 import (
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"energysched/internal/hist"
 )
 
-// latencyBounds are the upper edges of the per-solver latency
-// histogram buckets, log-spaced from 100µs to 10s; observations above
-// the last edge land in an overflow bucket.
-var latencyBounds = []time.Duration{
-	100 * time.Microsecond,
-	300 * time.Microsecond,
-	time.Millisecond,
-	3 * time.Millisecond,
-	10 * time.Millisecond,
-	30 * time.Millisecond,
-	100 * time.Millisecond,
-	300 * time.Millisecond,
-	time.Second,
-	3 * time.Second,
-	10 * time.Second,
-}
-
-// numBuckets is len(latencyBounds) plus the overflow bucket.
-const numBuckets = 12
-
-// histogram is a fixed-bucket latency histogram with lock-free
-// observation.
-type histogram struct {
-	count   atomic.Int64
-	sumNs   atomic.Int64
-	buckets [numBuckets]atomic.Int64
-}
-
-func (h *histogram) observe(d time.Duration) {
-	h.count.Add(1)
-	h.sumNs.Add(int64(d))
-	for i, b := range latencyBounds {
-		if d <= b {
-			h.buckets[i].Add(1)
-			return
-		}
-	}
-	h.buckets[len(latencyBounds)].Add(1)
-}
-
-// latencyTracker maps solver names to histograms. Solver names form a
-// small closed set (the registry), so the map grows once and reads
-// dominate.
+// latencyTracker maps solver names to lock-free latency histograms
+// (internal/hist.Atomic over hist.LatencyBounds, summing nanoseconds).
+// Solver names form a small closed set (the registry), so the map
+// grows once and reads dominate.
 type latencyTracker struct {
 	mu sync.RWMutex
-	m  map[string]*histogram
+	m  map[string]*hist.Atomic
 }
 
 func newLatencyTracker() *latencyTracker {
-	return &latencyTracker{m: make(map[string]*histogram)}
+	return &latencyTracker{m: make(map[string]*hist.Atomic)}
 }
 
 func (lt *latencyTracker) observe(solver string, d time.Duration) {
@@ -70,12 +32,12 @@ func (lt *latencyTracker) observe(solver string, d time.Duration) {
 		lt.mu.Lock()
 		h, ok = lt.m[solver]
 		if !ok {
-			h = &histogram{}
+			h = hist.NewAtomic(hist.LatencyBounds())
 			lt.m[solver] = h
 		}
 		lt.mu.Unlock()
 	}
-	h.observe(d)
+	h.Observe(int64(d))
 }
 
 // bucketJSON is one histogram bucket in the /stats payload; LeMs is
@@ -98,7 +60,9 @@ type latencyJSON struct {
 
 // snapshot renders the tracker for /stats. Map iteration order does
 // not leak: encoding/json sorts object keys, and the per-solver
-// buckets are emitted in edge order.
+// buckets are emitted in edge order. The payload is pinned byte-for-
+// byte by TestLatencySnapshotGolden — the hist extraction must stay
+// invisible to /stats consumers.
 func (lt *latencyTracker) snapshot() map[string]latencyJSON {
 	lt.mu.RLock()
 	names := make([]string, 0, len(lt.m))
@@ -109,46 +73,38 @@ func (lt *latencyTracker) snapshot() map[string]latencyJSON {
 	out := make(map[string]latencyJSON, len(names))
 	for _, name := range names {
 		h := lt.m[name]
+		count, sumNs, counts := h.Snapshot()
+		bounds := h.Bounds()
 		j := latencyJSON{
-			Count:   h.count.Load(),
-			TotalMs: float64(h.sumNs.Load()) / 1e6,
-			Buckets: make([]bucketJSON, numBuckets),
+			Count:   count,
+			TotalMs: float64(sumNs) / 1e6,
+			Buckets: make([]bucketJSON, len(counts)),
 		}
 		if j.Count > 0 {
 			j.MeanMs = j.TotalMs / float64(j.Count)
 		}
 		for i := range j.Buckets {
 			le := -1.0
-			if i < len(latencyBounds) {
-				le = float64(latencyBounds[i]) / 1e6
+			if i < len(bounds) {
+				le = bounds[i] / 1e6
 			}
-			j.Buckets[i] = bucketJSON{LeMs: le, Count: h.buckets[i].Load()}
+			j.Buckets[i] = bucketJSON{LeMs: le, Count: counts[i]}
 		}
-		j.P50Ms = bucketQuantile(j.Buckets, j.Count, 0.50)
-		j.P99Ms = bucketQuantile(j.Buckets, j.Count, 0.99)
+		j.P50Ms = quantileMs(bounds, counts, j.Count, 0.50)
+		j.P99Ms = quantileMs(bounds, counts, j.Count, 0.99)
 		out[name] = j
 	}
 	lt.mu.RUnlock()
 	return out
 }
 
-// bucketQuantile returns the upper edge of the bucket containing the
-// q-quantile — a conservative histogram quantile (the true value is ≤
-// the reported edge). The overflow bucket reports -1.
-func bucketQuantile(buckets []bucketJSON, count int64, q float64) float64 {
-	if count == 0 {
-		return 0
+// quantileMs is hist's shared conservative bucket quantile converted
+// to the milliseconds the /stats payload speaks; the 0 (empty) and -1
+// (overflow) sentinels pass through unscaled.
+func quantileMs(boundsNs []float64, counts []int64, count int64, q float64) float64 {
+	v := hist.Quantile(boundsNs, counts, count, q)
+	if v > 0 {
+		return v / 1e6
 	}
-	rank := int64(q*float64(count) + 0.5)
-	if rank < 1 {
-		rank = 1
-	}
-	var cum int64
-	for _, b := range buckets {
-		cum += b.Count
-		if cum >= rank {
-			return b.LeMs
-		}
-	}
-	return -1
+	return v
 }

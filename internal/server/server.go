@@ -6,9 +6,11 @@
 //	POST /v1/simulate — solve, then execute the schedule in a seeded
 //	                    Monte-Carlo campaign on the discrete-event
 //	                    simulator (internal/sim)
+//	POST /v1/sweep    — solve-then-simulate one generated instance per
+//	                    workload class (sim.Sweep), cached per class spec
 //	GET  /v1/solvers  — list the registered solver names
 //	GET  /healthz     — liveness probe
-//	GET  /stats       — request, solve, simulate and cache counters
+//	GET  /stats       — request, solve, simulate, sweep and cache counters
 //
 // Solved results are memoized in a sharded LRU keyed by
 // (core.Instance.Hash, core.Config.Fingerprint), so repeated instances
@@ -32,6 +34,7 @@ import (
 
 	"energysched/internal/cache"
 	"energysched/internal/core"
+	"energysched/internal/sim"
 )
 
 // Defaults applied by New for zero Config fields.
@@ -39,11 +42,19 @@ const (
 	DefaultCacheSize    = 1024
 	DefaultSolveTimeout = 30 * time.Second
 	DefaultMaxBodyBytes = 8 << 20 // 8 MiB
-	// DefaultTrials is the campaign size /v1/simulate uses when the
-	// request omits "trials".
+	// DefaultTrials is the campaign size /v1/simulate and /v1/sweep use
+	// when the request omits "trials".
 	DefaultTrials = 1000
-	// DefaultMaxTrials caps the per-request campaign size.
-	DefaultMaxTrials = 200_000
+	// DefaultMaxTrials caps the per-request campaign size — the same
+	// ceiling cmd/energysim enforces on its -trials flag.
+	DefaultMaxTrials = sim.MaxCampaignTrials
+	// DefaultMaxSweepN caps the per-instance task count of /v1/sweep.
+	DefaultMaxSweepN = 256
+	// MaxSweepClasses caps the class list one /v1/sweep request may
+	// name; each class costs a solve plus a campaign.
+	MaxSweepClasses = 16
+	// MaxSweepProcs caps the processor count of a sweep instance.
+	MaxSweepProcs = 64
 )
 
 // Config tunes one Server. The zero value is usable: New substitutes
@@ -67,9 +78,12 @@ type Config struct {
 	// /v1/simulate campaign runner; a request may only lower it via
 	// "workers" (default GOMAXPROCS).
 	Workers int
-	// MaxTrials caps the campaign size a /v1/simulate request may ask
-	// for (default DefaultMaxTrials).
+	// MaxTrials caps the campaign size a /v1/simulate or /v1/sweep
+	// request may ask for (default DefaultMaxTrials).
 	MaxTrials int
+	// MaxSweepN caps the per-instance task count a /v1/sweep request
+	// may ask for (default DefaultMaxSweepN).
+	MaxSweepN int
 }
 
 // Server is the handler state: resolved config, result cache,
@@ -86,6 +100,7 @@ type Server struct {
 	requests  atomic.Int64 // HTTP requests accepted (all endpoints)
 	solved    atomic.Int64 // instances solved by a solver (cache misses)
 	simulated atomic.Int64 // Monte-Carlo campaigns executed (cache misses)
+	swept     atomic.Int64 // workload-class sweeps executed (cache misses)
 	errors    atomic.Int64 // requests answered with a 4xx/5xx status
 	timeouts  atomic.Int64 // solves aborted by deadline or disconnect
 	inflight  atomic.Int64 // requests currently holding a semaphore slot
@@ -112,6 +127,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxTrials <= 0 {
 		cfg.MaxTrials = DefaultMaxTrials
 	}
+	if cfg.MaxSweepN <= 0 {
+		cfg.MaxSweepN = DefaultMaxSweepN
+	}
 	s := &Server{
 		cfg:     cfg,
 		cache:   cache.New[[]byte](cfg.CacheSize),
@@ -123,6 +141,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -152,6 +171,18 @@ func (s *Server) acquire(ctx context.Context) error {
 func (s *Server) release() {
 	s.inflight.Add(-1)
 	<-s.sem
+}
+
+// clampWorkers resolves a request's "workers" field against the
+// server pool: a request may only lower the configured size, never
+// raise it; zero or absent keeps the server default. Shared by
+// /v1/batch, /v1/simulate and /v1/sweep so the rule cannot drift
+// between endpoints.
+func (s *Server) clampWorkers(requested int) int {
+	if requested > 0 && requested < s.cfg.Workers {
+		return requested
+	}
+	return s.cfg.Workers
 }
 
 // solveContext derives the per-request solving context: the server cap

@@ -118,11 +118,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		Seed:      seed,
 		Policy:    policy,
 		WorstCase: req.WorstCase,
-	}
-	if req.Workers > 0 && req.Workers < s.cfg.Workers {
-		campaignOpts.Workers = req.Workers
-	} else {
-		campaignOpts.Workers = s.cfg.Workers
+		Workers:   s.clampWorkers(req.Workers),
 	}
 	simStart := time.Now()
 	camp, err := sim.RunCampaign(ctx, in, res.Schedule, campaignOpts)

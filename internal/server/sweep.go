@@ -1,0 +1,212 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+
+	"energysched/internal/sim"
+	"energysched/internal/workload"
+)
+
+// sweepRequest is the POST /v1/sweep payload: a workload-class spec
+// (which classes, how many tasks and processors, weight distribution,
+// deadline slack, reliability constraints), the solve options of
+// /v1/solve, and the Monte-Carlo campaign knobs of /v1/simulate.
+// Instances are generated server-side from (class, seed), so the
+// request is a few dozen bytes however large the swept graphs are.
+type sweepRequest struct {
+	// Classes to sweep, by workload class name (default: all classes).
+	// At most MaxSweepClasses entries.
+	Classes []string `json:"classes,omitempty"`
+	// N is the task count per generated instance (default 32, capped
+	// by the server's MaxSweepN).
+	N int `json:"n,omitempty"`
+	// Procs is the processor count for the critical-path mapping
+	// (default 4, capped by MaxSweepProcs).
+	Procs int `json:"procs,omitempty"`
+	// Dist is the task-weight distribution: uniform (default) or
+	// heavy-tail.
+	Dist string `json:"dist,omitempty"`
+	// Slack scales the deadline: slack × list-schedule makespan at
+	// fmax (default 2.0).
+	Slack float64 `json:"slack,omitempty"`
+	// TriCrit adds the repository's default reliability constraints.
+	TriCrit bool `json:"tricrit,omitempty"`
+	// Seed drives instance generation and the fault streams
+	// (default 1).
+	Seed *int64 `json:"seed,omitempty"`
+	// Trials is the per-class campaign size (default min(DefaultTrials,
+	// MaxTrials), capped by the server's MaxTrials).
+	Trials int `json:"trials,omitempty"`
+	// Policy is the recovery policy: same-speed (default), max-speed
+	// or abort.
+	Policy string `json:"policy,omitempty"`
+	// WorstCase replays every scheduled execution (see sim.Options).
+	WorstCase bool `json:"worstCase,omitempty"`
+	// Workers may lower the campaign worker pool; the response is
+	// byte-identical whatever the value.
+	Workers int `json:"workers,omitempty"`
+	solveOptions
+}
+
+// sweepResponse is the POST /v1/sweep payload: the resolved seed plus
+// one ClassResult per requested class, in request order.
+type sweepResponse struct {
+	Seed    int64             `json:"seed"`
+	Classes []sim.ClassResult `json:"classes"`
+}
+
+// handleSweep serves POST /v1/sweep: generate one instance per
+// requested workload class, solve it through the registry, and execute
+// the solved schedule in a seeded Monte-Carlo campaign — sim.Sweep on
+// the server's semaphore/timeout/latency machinery. Per-class solve
+// failures (e.g. infeasible slack) land in that class's result; the
+// request only fails as a whole on a deadline or disconnect (504).
+// The full response is byte-cached per (class spec, solver
+// fingerprint, campaign knobs): sweeps are deterministic in the spec
+// and the seed, so repeats cost nothing, and the campaign worker
+// count is excluded from the key because the deterministic merge
+// makes it unobservable.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	body, err := s.readBody(w, r)
+	if err != nil {
+		s.writeHTTPError(w, err)
+		return
+	}
+	var req sweepRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "parsing request: "+err.Error())
+		return
+	}
+	if req.N == 0 {
+		req.N = 32
+	}
+	if req.N < 1 || req.N > s.cfg.MaxSweepN {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("n must be in [1, %d], got %d", s.cfg.MaxSweepN, req.N))
+		return
+	}
+	if req.Procs == 0 {
+		req.Procs = 4
+	}
+	if req.Procs < 1 || req.Procs > MaxSweepProcs {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("procs must be in [1, %d], got %d", MaxSweepProcs, req.Procs))
+		return
+	}
+	if req.Slack == 0 {
+		req.Slack = 2.0
+	}
+	if req.Slack < 0 || math.IsNaN(req.Slack) || req.Slack > 1e6 {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("slack must be in (0, 1e6], got %v", req.Slack))
+		return
+	}
+	trials := req.Trials
+	if trials == 0 {
+		trials = min(DefaultTrials, s.cfg.MaxTrials)
+	}
+	if trials < 1 || trials > s.cfg.MaxTrials {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("trials must be in [1, %d], got %d", s.cfg.MaxTrials, trials))
+		return
+	}
+	seed := int64(1)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	policy, err := sim.ParsePolicy(req.Policy)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	dist := workload.UniformWeights
+	if req.Dist != "" {
+		dist, err = workload.ParseWeightDist(req.Dist)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	if len(req.Classes) > MaxSweepClasses {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("at most %d classes per sweep, got %d", MaxSweepClasses, len(req.Classes)))
+		return
+	}
+	classes := workload.AllClasses()
+	if len(req.Classes) > 0 {
+		classes = make([]workload.Class, len(req.Classes))
+		for i, name := range req.Classes {
+			classes[i], err = workload.ParseClass(name)
+			if err != nil {
+				s.writeError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+		}
+	}
+	opts, cfg, err := req.coreOptions()
+	if err != nil {
+		s.writeHTTPError(w, err)
+		return
+	}
+
+	names := make([]string, len(classes))
+	for i, c := range classes {
+		names[i] = c.String()
+	}
+	key := fmt.Sprintf("sweep|c=%s|n=%d,p=%d,d=%s,sl=%g,tri=%t|t=%d,s=%d,pol=%s,wc=%t|%s",
+		strings.Join(names, ","), req.N, req.Procs, dist, req.Slack, req.TriCrit,
+		trials, seed, policy, req.WorstCase, cfg.Fingerprint())
+	if out, ok := s.cache.Get(key); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "hit")
+		w.Write(out)
+		return
+	}
+	ctx, cancel := s.solveContext(r, req.TimeoutMS)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		s.writeError(w, s.solveStatus(err), "waiting for a solve slot: "+err.Error())
+		return
+	}
+	defer s.release()
+
+	campaign := sim.CampaignOptions{
+		Trials:    trials,
+		Policy:    policy,
+		WorstCase: req.WorstCase,
+		Workers:   s.clampWorkers(req.Workers),
+	}
+	start := time.Now()
+	results, err := sim.Sweep(ctx, sim.SweepSpec{
+		Classes:  classes,
+		N:        req.N,
+		Procs:    req.Procs,
+		Dist:     dist,
+		Slack:    req.Slack,
+		TriCrit:  req.TriCrit,
+		Seed:     seed,
+		Campaign: campaign,
+		Solve:    opts,
+	})
+	if err != nil {
+		s.writeError(w, s.solveStatus(err), "sweeping: "+err.Error())
+		return
+	}
+	s.latency.observe("sweep", time.Since(start))
+
+	out, err := json.Marshal(sweepResponse{Seed: seed, Classes: results})
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.cache.Put(key, out)
+	s.swept.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", "miss")
+	w.Write(out)
+}

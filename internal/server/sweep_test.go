@@ -1,0 +1,184 @@
+package server_test
+
+import (
+	"testing"
+	"time"
+
+	"energysched/internal/server"
+	"energysched/internal/sim"
+	"energysched/internal/workload"
+)
+
+type sweepJSON struct {
+	Seed    int64 `json:"seed"`
+	Classes []struct {
+		Class    string        `json:"class"`
+		Tasks    int           `json:"tasks"`
+		Solver   string        `json:"solver"`
+		Campaign *sim.Campaign `json:"campaign"`
+		Err      string        `json:"error"`
+	} `json:"classes"`
+}
+
+func TestSweepHappyPathAndCache(t *testing.T) {
+	h := server.New(server.Config{}).Handler()
+	body := `{"n":10,"procs":2,"trials":60,"seed":3,"tricrit":true}`
+	rec := do(h, "POST", "/v1/sweep", body)
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	if got := rec.Header().Get("X-Cache"); got != "miss" {
+		t.Fatalf("first request X-Cache = %q, want miss", got)
+	}
+	resp := decode[sweepJSON](t, rec)
+	if resp.Seed != 3 {
+		t.Fatalf("seed = %d, want 3", resp.Seed)
+	}
+	if len(resp.Classes) != len(workload.AllClasses()) {
+		t.Fatalf("got %d classes, want all %d", len(resp.Classes), len(workload.AllClasses()))
+	}
+	for _, c := range resp.Classes {
+		if c.Err != "" {
+			t.Fatalf("class %s failed: %s", c.Class, c.Err)
+		}
+		if c.Campaign == nil || c.Campaign.Trials != 60 {
+			t.Fatalf("class %s campaign missing or truncated: %+v", c.Class, c.Campaign)
+		}
+		if c.Campaign.SuccessRate <= 0 {
+			t.Fatalf("class %s success rate %v", c.Class, c.Campaign.SuccessRate)
+		}
+		if c.Campaign.EnergyHist == nil || c.Campaign.EnergyHist.Count != 60 {
+			t.Fatalf("class %s energy histogram missing: %+v", c.Class, c.Campaign.EnergyHist)
+		}
+		if c.Campaign.FaultFreeTrials < 0 || c.Campaign.FaultFreeTrials > 60 {
+			t.Fatalf("class %s fault-free count %d", c.Class, c.Campaign.FaultFreeTrials)
+		}
+	}
+
+	// Same spec → byte-identical cached response.
+	rec2 := do(h, "POST", "/v1/sweep", body)
+	if rec2.Code != 200 || rec2.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("repeat status %d X-Cache %q", rec2.Code, rec2.Header().Get("X-Cache"))
+	}
+	if rec.Body.String() != rec2.Body.String() {
+		t.Fatal("cached sweep differs from original")
+	}
+
+	// The campaign worker count must not leak into the cache key.
+	rec3 := do(h, "POST", "/v1/sweep", `{"n":10,"procs":2,"trials":60,"seed":3,"tricrit":true,"workers":1}`)
+	if rec3.Code != 200 || rec3.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("workers=1 status %d X-Cache %q — worker count leaked into the cache key", rec3.Code, rec3.Header().Get("X-Cache"))
+	}
+	if rec.Body.String() != rec3.Body.String() {
+		t.Fatal("worker count changed the sweep bytes")
+	}
+
+	// A different seed is a different sweep.
+	rec4 := do(h, "POST", "/v1/sweep", `{"n":10,"procs":2,"trials":60,"seed":4,"tricrit":true}`)
+	if rec4.Code != 200 || rec4.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("reseeded status %d X-Cache %q", rec4.Code, rec4.Header().Get("X-Cache"))
+	}
+}
+
+// TestSweepWorkerCountImmunity runs the same spec on two fresh servers
+// with different worker pools and requires byte-identical bodies —
+// the deterministic-merge contract observed end to end.
+func TestSweepWorkerCountImmunity(t *testing.T) {
+	body := `{"classes":["chain","layered"],"n":12,"trials":80,"seed":9,"tricrit":true}`
+	one := do(server.New(server.Config{Workers: 1}).Handler(), "POST", "/v1/sweep", body)
+	many := do(server.New(server.Config{Workers: 8}).Handler(), "POST", "/v1/sweep", body)
+	if one.Code != 200 || many.Code != 200 {
+		t.Fatalf("status %d / %d", one.Code, many.Code)
+	}
+	if one.Body.String() != many.Body.String() {
+		t.Fatal("sweep bytes differ across server worker pools")
+	}
+}
+
+func TestSweepSubsetOrdered(t *testing.T) {
+	h := server.New(server.Config{}).Handler()
+	rec := do(h, "POST", "/v1/sweep", `{"classes":["fork-join","chain"],"n":8,"trials":40}`)
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	resp := decode[sweepJSON](t, rec)
+	if len(resp.Classes) != 2 || resp.Classes[0].Class != "fork-join" || resp.Classes[1].Class != "chain" {
+		t.Fatalf("classes not in request order: %+v", resp.Classes)
+	}
+	if resp.Seed != 1 {
+		t.Fatalf("default seed = %d, want 1", resp.Seed)
+	}
+}
+
+func TestSweepErrorPaths(t *testing.T) {
+	h := server.New(server.Config{MaxTrials: 1000, MaxSweepN: 64}).Handler()
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"junk body", `{"classes": nope`, 400},
+		{"not json at all", `]][[`, 400},
+		{"unknown class", `{"classes":["moebius"]}`, 400},
+		{"too many classes", `{"classes":["chain","chain","chain","chain","chain","chain","chain","chain","chain","chain","chain","chain","chain","chain","chain","chain","chain"]}`, 400},
+		{"trials above cap", `{"trials":1001}`, 400},
+		{"negative trials", `{"trials":-4}`, 400},
+		{"n above cap", `{"n":65}`, 400},
+		{"negative n", `{"n":-1}`, 400},
+		{"procs above cap", `{"procs":65}`, 400},
+		{"bad slack", `{"slack":-2}`, 400},
+		{"unknown policy", `{"policy":"pray"}`, 400},
+		{"unknown dist", `{"dist":"cauchy"}`, 400},
+		{"unknown solver", `{"solver":"no-such"}`, 400},
+		{"wrong method", "", 405},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			method := "POST"
+			if c.name == "wrong method" {
+				method = "GET"
+			}
+			rec := do(h, method, "/v1/sweep", c.body)
+			if rec.Code != c.want {
+				t.Fatalf("status %d, want %d: %s", rec.Code, c.want, rec.Body.Bytes())
+			}
+		})
+	}
+}
+
+func TestSweepTimeout(t *testing.T) {
+	h := server.New(server.Config{SolveTimeout: time.Nanosecond}).Handler()
+	rec := do(h, "POST", "/v1/sweep", `{"n":10,"trials":50}`)
+	if rec.Code != 504 {
+		t.Fatalf("status %d, want 504: %s", rec.Code, rec.Body.Bytes())
+	}
+}
+
+func TestSweepCountsInStats(t *testing.T) {
+	srv := server.New(server.Config{})
+	h := srv.Handler()
+	if rec := do(h, "POST", "/v1/sweep", `{"classes":["chain"],"n":8,"trials":30}`); rec.Code != 200 {
+		t.Fatalf("sweep status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	stats := decode[struct {
+		Swept   int64 `json:"swept"`
+		Latency map[string]struct {
+			Count int64 `json:"count"`
+		} `json:"latency"`
+	}](t, do(h, "GET", "/stats", ""))
+	if stats.Swept != 1 {
+		t.Fatalf("swept = %d after one sweep", stats.Swept)
+	}
+	if stats.Latency["sweep"].Count != 1 {
+		t.Fatalf("sweep latency histogram missing: %+v", stats.Latency)
+	}
+	// Cached repeat must not bump the counter.
+	if rec := do(h, "POST", "/v1/sweep", `{"classes":["chain"],"n":8,"trials":30}`); rec.Header().Get("X-Cache") != "hit" {
+		t.Fatal("expected cache hit")
+	}
+	stats2 := decode[struct {
+		Swept int64 `json:"swept"`
+	}](t, do(h, "GET", "/stats", ""))
+	if stats2.Swept != 1 {
+		t.Fatalf("cached sweep bumped the counter: %d", stats2.Swept)
+	}
+}

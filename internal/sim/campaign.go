@@ -3,7 +3,18 @@
 // worker pool with a deterministic merge — like core.SolveAll, the
 // aggregate is bit-identical whatever the worker count, because
 // workers only fill per-trial slots and a single sequential pass in
-// trial order does every floating-point reduction.
+// trial order does every floating-point reduction (summaries and the
+// energy/makespan outcome histograms alike).
+//
+// The inner loop is built around the fault-free fast path (see
+// Runner.Run): at the reliability targets the paper studies the
+// overwhelming majority of trials draw zero faults, replay the
+// deterministic fault-free schedule, and therefore cost only the
+// occurrence-uniform draws — the event heap runs solely for the
+// faulty minority. Worker Runners are Clones sharing the immutable
+// per-attempt tables, their scratch slab-allocated in one block per
+// type, and the whole campaign state is retained on the base Runner,
+// so repeated campaigns run with near-zero steady-state allocation.
 package sim
 
 import (
@@ -15,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"energysched/internal/core"
+	"energysched/internal/hist"
 	"energysched/internal/schedule"
 )
 
@@ -22,6 +34,12 @@ import (
 // large enough to amortize the atomic claim, small enough to balance
 // tail latency.
 const chunk = 64
+
+// MaxCampaignTrials caps the campaign size a single request may ask
+// for — shared by cmd/energysim's -trials validation and the
+// service's default MaxTrials, so the CLI and the daemon enforce the
+// same ceiling.
+const MaxCampaignTrials = 200_000
 
 // CampaignOptions tunes RunCampaign.
 type CampaignOptions struct {
@@ -38,6 +56,9 @@ type CampaignOptions struct {
 	DisableFaults bool
 	// Workers caps the worker pool (default GOMAXPROCS).
 	Workers int
+	// DisableFastPath forces every trial through the event heap (see
+	// Options.DisableFastPath).
+	DisableFastPath bool
 }
 
 // Summary condenses one observed metric across the campaign.
@@ -59,8 +80,21 @@ type Campaign struct {
 	DeadlineMisses int     `json:"deadlineMisses"`
 	Reexecutions   int64   `json:"reexecutions"`
 	Faults         int64   `json:"faults"`
-	Energy         Summary `json:"energy"`
-	Makespan       Summary `json:"makespan"`
+	// FaultFreeTrials counts trials in which no execution attempt
+	// faulted — exactly the trials the fast path can serve. The count
+	// is derived from the merged outcomes, so it is identical whether
+	// the fast path ran or the event heap replayed every trial.
+	FaultFreeTrials int `json:"faultFreeTrials"`
+	// FaultFreeRate is FaultFreeTrials over Trials: the fast-path hit
+	// rate of the campaign.
+	FaultFreeRate float64 `json:"faultFreeRate"`
+	Energy        Summary `json:"energy"`
+	Makespan      Summary `json:"makespan"`
+	// EnergyHist and MakespanHist are log-bucket histograms of the
+	// observed outcome distributions (scale-free geometric grid,
+	// conservative p50/p99), streamed by the deterministic merge.
+	EnergyHist   *hist.JSON `json:"energyHistogram"`
+	MakespanHist *hist.JSON `json:"makespanHistogram"`
 	// Predicted is the closed-form counterpart of the observed
 	// distribution, for predicted-vs-observed reporting.
 	Predicted Prediction `json:"predicted"`
@@ -109,74 +143,100 @@ type trialSlot struct {
 	flags    uint8 // bit 0: succeeded, bit 1: deadline met
 }
 
-// RunCampaign executes opts.Trials seeded runs of the schedule on a
+// campaignScratch is the reusable campaign state a Runner retains
+// across RunCampaign calls: worker clones with slab-allocated
+// per-trial scratch, per-worker traces, the trial-slot array and the
+// outcome histograms. It grows monotonically — a campaign needing
+// more workers or trials than any before it reallocates, every other
+// campaign reuses.
+type campaignScratch struct {
+	clones []*Runner
+	traces []Trace
+	slots  []trialSlot
+	eHist  *hist.Histogram
+	mHist  *hist.Histogram
+}
+
+// campaignScratchFor returns the runner's campaign scratch, grown to
+// hold workers goroutines and trials slots. Worker 0 is the base
+// runner itself; clones cover the rest, with each scratch type
+// allocated as one slab sliced across the clones.
+func (r *Runner) campaignScratchFor(workers, trials int) *campaignScratch {
+	cs := r.camp
+	if cs == nil {
+		cs = &campaignScratch{
+			eHist: hist.New(hist.OutcomeBounds()),
+			mHist: hist.New(hist.OutcomeBounds()),
+		}
+		r.camp = cs
+	}
+	if need := workers - 1; len(cs.clones) < need {
+		n := len(r.first)
+		hc := cap(r.heap)
+		slab := make([]Runner, need)
+		indeg := make([]int32, need*n)
+		done := make([]bool, need*n)
+		us := make([]float64, 2*need*n)
+		heaps := make([]event, need*hc)
+		clones := make([]*Runner, need)
+		for w := 0; w < need; w++ {
+			c := &slab[w]
+			// Same table sharing as Clone, scratch carved from slabs.
+			*c = *r
+			c.camp = nil
+			c.indeg = indeg[w*n : (w+1)*n]
+			c.done = done[w*n : (w+1)*n]
+			c.u1 = us[2*w*n : (2*w+1)*n]
+			c.u2 = us[(2*w+1)*n : (2*w+2)*n]
+			c.heap = heaps[w*hc : w*hc : (w+1)*hc]
+			clones[w] = c
+		}
+		cs.clones = clones
+	}
+	if len(cs.traces) < workers {
+		cs.traces = make([]Trace, workers)
+	}
+	if cap(cs.slots) < trials {
+		cs.slots = make([]trialSlot, trials)
+	}
+	cs.slots = cs.slots[:trials]
+	return cs
+}
+
+// RunCampaign executes trials seeded runs of the runner's schedule
+// under its Options (seed, policy, worst-case, fault injection) on a
 // worker pool and aggregates the outcome distribution. Trial t always
 // draws from stream (Seed, t), and the reduction runs sequentially in
 // trial order after the pool drains, so the returned Campaign is
-// bit-identical across worker counts. Cancelling the context aborts
-// the campaign with the context's error.
-func RunCampaign(ctx context.Context, in *core.Instance, s *schedule.Schedule, opts CampaignOptions) (*Campaign, error) {
+// bit-identical across worker counts. workers <= 0 defaults to
+// GOMAXPROCS. The runner retains its campaign scratch, so repeated
+// campaigns on one Runner allocate only the returned Campaign and its
+// histogram snapshots. Cancelling the context aborts the campaign
+// with the context's error.
+func (r *Runner) RunCampaign(ctx context.Context, trials, workers int) (*Campaign, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if opts.Trials <= 0 {
-		return nil, fmt.Errorf("sim: trials must be positive, got %d", opts.Trials)
+	if trials <= 0 {
+		return nil, fmt.Errorf("sim: trials must be positive, got %d", trials)
 	}
-	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > (opts.Trials+chunk-1)/chunk {
-		workers = (opts.Trials + chunk - 1) / chunk
+	if max := (trials + chunk - 1) / chunk; workers > max {
+		workers = max
 	}
-	runOpts := Options{Policy: opts.Policy, Seed: opts.Seed, WorstCase: opts.WorstCase, DisableFaults: opts.DisableFaults}
-	// Validate the pairing once before spawning workers; each worker
-	// then builds its own Runner (scratch is not shareable) from the
-	// already-checked inputs.
-	base, err := NewRunner(in, s, runOpts)
-	if err != nil {
-		return nil, err
-	}
-
-	slots := make([]trialSlot, opts.Trials)
+	cs := r.campaignScratchFor(workers, trials)
+	slots := cs.slots
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		r := base
+		rn := r
 		if w > 0 {
-			// The pairing validated above cannot fail now.
-			r, _ = NewRunner(in, s, runOpts)
+			rn = cs.clones[w-1]
 		}
-		go func(r *Runner) {
-			defer wg.Done()
-			var tr Trace
-			for {
-				lo := int(next.Add(chunk)) - chunk
-				if lo >= opts.Trials || ctx.Err() != nil {
-					return
-				}
-				hi := lo + chunk
-				if hi > opts.Trials {
-					hi = opts.Trials
-				}
-				for t := lo; t < hi; t++ {
-					r.Run(t, &tr)
-					o := &tr.Outcome
-					slot := &slots[t]
-					slot.energy = o.Energy
-					slot.makespan = o.Makespan
-					slot.reexec = int32(o.Reexecutions)
-					slot.faults = int32(o.Faults)
-					if o.Succeeded {
-						slot.flags |= 1
-					}
-					if o.DeadlineMet {
-						slot.flags |= 2
-					}
-				}
-			}
-		}(r)
+		go campaignWorker(ctx, rn, &cs.traces[w], slots, &next, &wg)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
@@ -184,19 +244,23 @@ func RunCampaign(ctx context.Context, in *core.Instance, s *schedule.Schedule, o
 	}
 
 	c := &Campaign{
-		Trials:    opts.Trials,
-		Seed:      opts.Seed,
-		Policy:    opts.Policy.String(),
-		WorstCase: opts.WorstCase,
+		Trials:    trials,
+		Seed:      r.opts.Seed,
+		Policy:    r.opts.Policy.String(),
+		WorstCase: r.opts.WorstCase,
 		Energy:    Summary{Min: math.Inf(1), Max: math.Inf(-1)},
 		Makespan:  Summary{Min: math.Inf(1), Max: math.Inf(-1)},
-		Predicted: base.Predict(),
+		Predicted: r.Predict(),
 	}
+	cs.eHist.Reset()
+	cs.mHist.Reset()
 	var sumE, sumM float64
 	for t := range slots {
 		slot := &slots[t]
 		sumE += slot.energy
 		sumM += slot.makespan
+		cs.eHist.Observe(slot.energy)
+		cs.mHist.Observe(slot.makespan)
 		if slot.energy < c.Energy.Min {
 			c.Energy.Min = slot.energy
 		}
@@ -211,6 +275,9 @@ func RunCampaign(ctx context.Context, in *core.Instance, s *schedule.Schedule, o
 		}
 		c.Reexecutions += int64(slot.reexec)
 		c.Faults += int64(slot.faults)
+		if slot.faults == 0 {
+			c.FaultFreeTrials++
+		}
 		if slot.flags&1 != 0 {
 			c.Successes++
 		}
@@ -218,8 +285,65 @@ func RunCampaign(ctx context.Context, in *core.Instance, s *schedule.Schedule, o
 			c.DeadlineMisses++
 		}
 	}
-	c.SuccessRate = float64(c.Successes) / float64(opts.Trials)
-	c.Energy.Mean = sumE / float64(opts.Trials)
-	c.Makespan.Mean = sumM / float64(opts.Trials)
+	c.SuccessRate = float64(c.Successes) / float64(trials)
+	c.FaultFreeRate = float64(c.FaultFreeTrials) / float64(trials)
+	c.Energy.Mean = sumE / float64(trials)
+	c.Makespan.Mean = sumM / float64(trials)
+	c.EnergyHist = cs.eHist.JSON()
+	c.MakespanHist = cs.mHist.JSON()
 	return c, nil
+}
+
+// campaignWorker drains chunks of trials into their slots until the
+// claim counter runs past the end or the context is cancelled.
+func campaignWorker(ctx context.Context, r *Runner, tr *Trace, slots []trialSlot, next *atomic.Int64, wg *sync.WaitGroup) {
+	defer wg.Done()
+	trials := len(slots)
+	for {
+		lo := int(next.Add(chunk)) - chunk
+		if lo >= trials || ctx.Err() != nil {
+			return
+		}
+		hi := lo + chunk
+		if hi > trials {
+			hi = trials
+		}
+		for t := lo; t < hi; t++ {
+			r.Run(t, tr)
+			o := &tr.Outcome
+			var flags uint8
+			if o.Succeeded {
+				flags |= 1
+			}
+			if o.DeadlineMet {
+				flags |= 2
+			}
+			slots[t] = trialSlot{
+				energy:   o.Energy,
+				makespan: o.Makespan,
+				reexec:   int32(o.Reexecutions),
+				faults:   int32(o.Faults),
+				flags:    flags,
+			}
+		}
+	}
+}
+
+// RunCampaign validates the (instance, schedule) pairing, builds a
+// Runner and executes opts.Trials seeded runs on a worker pool; see
+// Runner.RunCampaign for the determinism contract. Callers running
+// many campaigns on one pairing should hold a Runner and call its
+// RunCampaign directly to amortize setup.
+func RunCampaign(ctx context.Context, in *core.Instance, s *schedule.Schedule, opts CampaignOptions) (*Campaign, error) {
+	base, err := NewRunner(in, s, Options{
+		Policy:          opts.Policy,
+		Seed:            opts.Seed,
+		WorstCase:       opts.WorstCase,
+		DisableFaults:   opts.DisableFaults,
+		DisableFastPath: opts.DisableFastPath,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return base.RunCampaign(ctx, opts.Trials, opts.Workers)
 }

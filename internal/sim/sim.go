@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
 
 	"energysched/internal/core"
 	"energysched/internal/dag"
@@ -36,6 +37,13 @@ import (
 	"energysched/internal/rng"
 	"energysched/internal/schedule"
 )
+
+// NoFastPathEnv is the environment variable that forces every trial
+// through the event heap, process-wide — the escape hatch the
+// equivalence tests and forensic reruns use to compare the fast path
+// against ground truth. Any non-empty value disables the fast path
+// for Runners created after the variable is set.
+const NoFastPathEnv = "ENERGYSCHED_SIM_NO_FASTPATH"
 
 // Policy selects the recovery action after a failed execution
 // attempt. Whatever the policy, a task is attempted at most twice —
@@ -173,6 +181,13 @@ type Options struct {
 	DisableFaults bool
 	// Record fills Trace.Events with the time-ordered event log.
 	Record bool
+	// DisableFastPath forces every trial through the event heap even
+	// when the occurrence draws admit the precomputed fault-free
+	// outcome. The fast path is bit-identical by construction (and
+	// equivalence-tested); this switch exists for benchmarks comparing
+	// the two paths and for the equivalence tests themselves. The
+	// NoFastPathEnv environment variable forces the same, process-wide.
+	DisableFastPath bool
 }
 
 // attempt is one precomputed execution attempt: scheduled start (< 0
@@ -211,11 +226,13 @@ func eventLess(a, b event) bool {
 }
 
 // Runner is a prepared simulation: instance and schedule cross-checked
-// once, constraint graph built once, per-attempt durations, energies
-// and failure probabilities precomputed once. Run then executes
-// individual trials allocation-free, so campaigns amortize all setup.
-// A Runner is not safe for concurrent use; RunCampaign gives each
-// worker its own.
+// once, constraint graph built once, per-attempt durations, energies,
+// failure probabilities — and the fault-free outcome — precomputed
+// once. Run then executes individual trials allocation-free, so
+// campaigns amortize all setup, and trials whose occurrence draws
+// admit no fault short-circuit to the precomputed outcome without
+// touching the event heap. A Runner is not safe for concurrent use;
+// campaigns give each worker its own Clone.
 type Runner struct {
 	in   *core.Instance
 	s    *schedule.Schedule
@@ -228,11 +245,22 @@ type Runner struct {
 	second []attempt // dur == 0 → no second attempt possible
 	hasSec []bool
 
+	// ff is the outcome of the deterministic fault-free execution
+	// under the runner's options, precomputed by one event-heap run in
+	// NewRunner; it is what the fast path emits.
+	ff Outcome
+	// noFast forces the event heap for every trial (Options or env).
+	noFast bool
+
 	// per-trial scratch
 	indeg  []int32
 	done   []bool // task completed all its attempts successfully
 	u1, u2 []float64
 	heap   []event
+
+	// camp is the reusable campaign state (worker clones, trial slots,
+	// outcome histograms), built lazily by RunCampaign.
+	camp *campaignScratch
 }
 
 // NewRunner validates the pairing and precomputes the trial-invariant
@@ -316,7 +344,39 @@ func NewRunner(in *core.Instance, s *schedule.Schedule, opts Options) (*Runner, 
 			r.hasSec[i] = true
 		}
 	}
+	r.noFast = opts.DisableFastPath || os.Getenv(NoFastPathEnv) != ""
+	// Precompute the fault-free outcome by one event-heap run with the
+	// injector off: the fault-free trace is fully deterministic (no
+	// stream is consumed), so this single run is the exact outcome of
+	// every trial whose occurrence draws admit no fault.
+	record := r.opts.Record
+	r.opts.Record = false
+	var ff Trace
+	r.runHeap(&ff, false)
+	r.opts.Record = record
+	r.ff = ff.Outcome
 	return r, nil
+}
+
+// Clone returns a Runner that shares every immutable trial-invariant
+// table with r — instance, schedule, constraint graph, per-attempt
+// tables, precomputed fault-free outcome — and owns fresh per-trial
+// scratch. Cloning costs five O(n) slice allocations instead of the
+// constraint-graph reconstruction and validation NewRunner pays,
+// which is what makes campaign worker pools cheap. The clone starts
+// from the same Options; like its source, it is not safe for
+// concurrent use, but distinct clones may run concurrently.
+func (r *Runner) Clone() *Runner {
+	c := new(Runner)
+	*c = *r
+	n := len(r.first)
+	c.indeg = make([]int32, n)
+	c.done = make([]bool, n)
+	c.u1 = make([]float64, n)
+	c.u2 = make([]float64, n)
+	c.heap = make([]event, 0, cap(r.heap))
+	c.camp = nil
+	return c
 }
 
 func makeAttempt(ex schedule.Execution, rel *model.Reliability) attempt {
@@ -333,25 +393,95 @@ func makeAttempt(ex schedule.Execution, rel *model.Reliability) attempt {
 // Run executes one trial and fills tr (reusing its Events buffer).
 // With a warmed Runner and Trace the call performs no steady-state
 // allocations beyond heap growth on first use.
+//
+// Fast path: the per-attempt fault *occurrence* decision factors out
+// of the fault *location* computation (the same uniform u both decides
+// u < p and, via inverse-CDF over the segment hazard, locates the
+// instant — see faultOffset), so a trial can be classified by drawing
+// only the occurrence uniforms. They are drawn in the same task order
+// the event-heap path uses; when none admits a fault the trial is the
+// deterministic fault-free execution and Run emits the precomputed
+// Outcome without touching the heap. Each trial owns its counter-split
+// stream rng.At(Seed, trial), so stopping after the occurrence block
+// is unobservable — no later consumer shares the stream — and the
+// emitted outcome is bit-identical to the event-heap run (equivalence-
+// tested across seeds, policies and workload classes).
 func (r *Runner) Run(trial int, tr *Trace) {
+	opts := r.opts
+	injecting := r.rel != nil && !opts.DisableFaults
+	fast := !r.noFast && !opts.Record
+	if !injecting {
+		if fast {
+			tr.Events = tr.Events[:0]
+			tr.Outcome = r.ff
+			return
+		}
+		r.runHeap(tr, false)
+		return
+	}
+	// Draws are made up front in task order — two per task, used or
+	// not — so the outcome depends only on (seed, trial), never on
+	// event interleaving.
+	n := len(r.first)
+	stream := rng.At(opts.Seed, trial)
+	for i := 0; i < n; i++ {
+		r.u1[i] = stream.Float64()
+	}
+	if fast && !opts.WorstCase && r.cleanFirst() {
+		// No first attempt faults; no second attempt runs. The trial
+		// is the fault-free replay.
+		tr.Events = tr.Events[:0]
+		tr.Outcome = r.ff
+		return
+	}
+	for i := 0; i < n; i++ {
+		r.u2[i] = stream.Float64()
+	}
+	if fast && opts.WorstCase && r.cleanFirst() && r.cleanSecondWorstCase() {
+		// Worst-case replay runs every scheduled execution whatever
+		// the draws, so the fault-free short-circuit must also clear
+		// the always-running second attempts.
+		tr.Events = tr.Events[:0]
+		tr.Outcome = r.ff
+		return
+	}
+	r.runHeap(tr, true)
+}
+
+// cleanFirst reports whether no first attempt's occurrence uniform
+// admits a fault — the same u < p test the event-heap path applies at
+// each EventStart.
+func (r *Runner) cleanFirst() bool {
+	for i := range r.first {
+		if p := r.first[i].p; p > 0 && r.u1[i] < p {
+			return false
+		}
+	}
+	return true
+}
+
+// cleanSecondWorstCase reports whether no always-running worst-case
+// second attempt admits a fault.
+func (r *Runner) cleanSecondWorstCase() bool {
+	for i := range r.second {
+		if !r.hasSec[i] {
+			continue
+		}
+		if p := r.second[i].p; p > 0 && r.u2[i] < p {
+			return false
+		}
+	}
+	return true
+}
+
+// runHeap is the event-heap execution of one trial; when injecting,
+// the occurrence uniforms u1/u2 must already be filled for this trial.
+func (r *Runner) runHeap(tr *Trace, injecting bool) {
 	n := r.in.Graph.N()
 	opts := r.opts
 	copy(r.indeg, r.indeg0)
 	for i := range r.done {
 		r.done[i] = false
-	}
-	injecting := r.rel != nil && !opts.DisableFaults
-	if injecting {
-		// Draws are made up front in task order — two per task, used
-		// or not — so the outcome depends only on (seed, trial), never
-		// on event interleaving.
-		stream := rng.At(opts.Seed, trial)
-		for i := 0; i < n; i++ {
-			r.u1[i] = stream.Float64()
-		}
-		for i := 0; i < n; i++ {
-			r.u2[i] = stream.Float64()
-		}
 	}
 	tr.Events = tr.Events[:0]
 	out := Outcome{Succeeded: true}

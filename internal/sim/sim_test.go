@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"energysched/internal/core"
 	"energysched/internal/dag"
@@ -368,6 +369,35 @@ func TestSweepDeterministicSubset(t *testing.T) {
 	// so the layered result matches the full sweep's layered entry.
 	if !reflect.DeepEqual(a[1], b[len(b)-1]) {
 		t.Fatal("layered class differs between subset and full sweep")
+	}
+}
+
+// TestSweepAbortsOnMidClassContextError: a deadline that strikes
+// inside a class (not just at the loop top) must fail the sweep as a
+// whole instead of landing in that class's result — otherwise a
+// timeout-truncated sweep would be indistinguishable from (and, on
+// the server, cacheable as) the deterministic result of its spec.
+func TestSweepAbortsOnMidClassContextError(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	spec := SweepSpec{
+		Classes: []workload.Class{workload.ClassChain},
+		N:       20,
+		Seed:    1,
+		TriCrit: true,
+		// Far more trial work than 10ms allows (≈300ms even on the
+		// fast path), so the deadline expires mid-solve or
+		// mid-campaign, never at the loop top.
+		Campaign: CampaignOptions{Trials: 1_000_000},
+	}
+	results, err := Sweep(ctx, spec)
+	if err == nil {
+		t.Fatalf("expected a context error, got results %+v", results)
+	}
+	for _, r := range results {
+		if strings.Contains(r.Err, "context") {
+			t.Fatalf("context error embedded in class result: %+v", r)
+		}
 	}
 }
 

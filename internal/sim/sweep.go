@@ -6,6 +6,7 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 
 	"energysched/internal/core"
@@ -56,9 +57,12 @@ type ClassResult struct {
 
 // Sweep generates one instance per class from the spec's seed, solves
 // it, and runs a campaign on the solved schedule. Per-class failures
-// (infeasible deadlines, context expiry) land in the class's result;
-// the sweep itself only fails on a cancelled context. Classes are
-// processed in order, so the output is deterministic.
+// (e.g. infeasible deadlines) land in the class's result; a context
+// error — wherever in a class it strikes — aborts the whole sweep
+// with that error, so a partial, deadline-truncated sweep can never
+// masquerade as (or be cached as) the deterministic result of its
+// spec. Classes are processed in order, so the output is
+// deterministic.
 func Sweep(ctx context.Context, spec SweepSpec) ([]ClassResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -116,6 +120,9 @@ func Sweep(ctx context.Context, spec SweepSpec) ([]ClassResult, error) {
 		}
 		solved, err := core.Solve(ctx, in, spec.Solve...)
 		if err != nil {
+			if isCtxErr(err) {
+				return out, err
+			}
 			res.Err = err.Error()
 			out = append(out, res)
 			continue
@@ -124,6 +131,9 @@ func Sweep(ctx context.Context, spec SweepSpec) ([]ClassResult, error) {
 		res.Energy = solved.Energy
 		camp, err := RunCampaign(ctx, in, solved.Schedule, spec.Campaign)
 		if err != nil {
+			if isCtxErr(err) {
+				return out, err
+			}
 			res.Err = err.Error()
 			out = append(out, res)
 			continue
@@ -132,4 +142,11 @@ func Sweep(ctx context.Context, spec SweepSpec) ([]ClassResult, error) {
 		out = append(out, res)
 	}
 	return out, nil
+}
+
+// isCtxErr reports whether a per-class error is the context speaking —
+// a deadline or cancellation mid-class must fail the sweep, not be
+// recorded as a deterministic property of the class.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 }
