@@ -22,7 +22,7 @@ BENCH_FLAGS = -run='^$$' -bench='^($(GATED_BENCHES))$$' -benchmem -benchtime=10x
 BENCHGATE_TIME_TOL ?= 0.10
 BENCHGATE_ALLOC_TOL ?= 0.10
 
-.PHONY: build test race bench bench-check fmt vet
+.PHONY: build test race bench bench-check fmt vet loadsmoke
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# loadsmoke replays the committed 10s reference trace against an
+# in-process server at real-time speed under -race; fails on any 5xx
+# or a per-kind p99 above the bound in loadsmoke_test.go.
+loadsmoke:
+	LOADSMOKE_FULL=1 $(GO) test -race -run TestLoadSmoke -v ./internal/loadgen
 
 fmt:
 	gofmt -l .

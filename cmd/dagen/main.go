@@ -4,6 +4,7 @@
 // Usage:
 //
 //	dagen -class fork -n 12 -procs 4 -model vdd -slack 2.5 -tricrit > inst.json
+//	dagen -class chain -count 16 -seed 7 > pool.json
 //
 // -class accepts every generator internal/workload enumerates (chain,
 // fork, join, fork-join, tree, series-parallel, layered). The emitted
@@ -11,6 +12,14 @@
 // distribution and every other knob, so a simulation campaign is
 // reproducible from the dumped instance alone; core.UnmarshalInstance
 // ignores the extra field.
+//
+// -count N emits a JSON array of N instances instead. Instance i is
+// seeded with the counter-split derivation loadgen.PoolSeed(-seed, i)
+// — the same one internal/loadgen uses for its instance pool — so
+// `dagen -count K -seed S` materializes exactly the pool a
+// single-class trace with Seed S references, and each element's
+// provenance records both the derived seed and the (baseSeed, index)
+// pair it came from.
 package main
 
 import (
@@ -22,21 +31,100 @@ import (
 
 	"energysched/internal/core"
 	"energysched/internal/listsched"
+	"energysched/internal/loadgen"
 	"energysched/internal/model"
 	"energysched/internal/workload"
 )
 
 // generatorJSON is the provenance echo attached to the instance.
+// BaseSeed and Index appear only on -count output: Seed is then the
+// derived per-index seed, reconstructible as loadgen.PoolSeed(BaseSeed,
+// Index).
 type generatorJSON struct {
-	Class   string  `json:"class"`
-	N       int     `json:"n"`
-	Procs   int     `json:"procs"`
-	Seed    int64   `json:"seed"`
-	Dist    string  `json:"dist"`
-	Model   string  `json:"model"`
-	Delta   float64 `json:"delta,omitempty"`
-	Slack   float64 `json:"slack"`
-	TriCrit bool    `json:"tricrit,omitempty"`
+	Class    string  `json:"class"`
+	N        int     `json:"n"`
+	Procs    int     `json:"procs"`
+	Seed     int64   `json:"seed"`
+	BaseSeed *int64  `json:"baseSeed,omitempty"`
+	Index    *int    `json:"index,omitempty"`
+	Dist     string  `json:"dist"`
+	Model    string  `json:"model"`
+	Delta    float64 `json:"delta,omitempty"`
+	Slack    float64 `json:"slack"`
+	TriCrit  bool    `json:"tricrit,omitempty"`
+}
+
+// buildOptions is the flag surface that shapes one instance,
+// independent of the seed.
+type buildOptions struct {
+	class   workload.Class
+	n       int
+	procs   int
+	dist    workload.WeightDist
+	model   string
+	delta   float64
+	slack   float64
+	tricrit bool
+}
+
+func (o buildOptions) speedModel() (model.SpeedModel, error) {
+	fmin, fmax := 0.1, 1.0
+	switch o.model {
+	case "continuous":
+		return model.NewContinuous(fmin, fmax)
+	case "discrete":
+		return model.NewDiscrete(model.XScaleLevels())
+	case "vdd":
+		return model.NewVddHopping(model.XScaleLevels())
+	case "incremental":
+		return model.NewIncremental(fmin, fmax, o.delta)
+	default:
+		return model.SpeedModel{}, fmt.Errorf("unknown speed model %q", o.model)
+	}
+}
+
+// buildInstance generates the instance for (options, seed) and returns
+// its core.MarshalInstance bytes — the deterministic construction
+// loadgen.PoolInstance mirrors for continuous non-tricrit pools.
+func buildInstance(o buildOptions, seed int64) ([]byte, error) {
+	sm, err := o.speedModel()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := o.class.Generate(rng, o.n, o.dist)
+	ls, err := listsched.CriticalPath(g, o.procs)
+	if err != nil {
+		return nil, err
+	}
+	// Reference makespan at fmax: list makespan uses unit-speed
+	// durations (= weights), so scale by 1/fmax.
+	deadline := ls.Makespan / sm.FMax * o.slack
+	in := &core.Instance{Graph: g, Mapping: ls.Mapping, Speed: sm, Deadline: deadline}
+	if o.tricrit {
+		rel := model.Reliability{Lambda0: 1e-5, Sensitivity: 3, FMin: sm.FMin, FMax: sm.FMax}
+		in.Rel = &rel
+		in.FRel = 0.8 * sm.FMax
+	}
+	return core.MarshalInstance(in)
+}
+
+// provenance renders the generator object for one emitted instance.
+func (o buildOptions) provenance(seed int64) generatorJSON {
+	gen := generatorJSON{
+		Class: o.class.String(),
+		N:     o.n,
+		Procs: o.procs,
+		Seed:  seed,
+		Dist:  o.dist.String(),
+		Model: o.model,
+		Slack: o.slack,
+	}
+	if o.model == "incremental" {
+		gen.Delta = o.delta
+	}
+	gen.TriCrit = o.tricrit
+	return gen
 }
 
 func main() {
@@ -44,6 +132,7 @@ func main() {
 	n := flag.Int("n", 12, "number of tasks")
 	procs := flag.Int("procs", 2, "number of processors (mapping via critical-path list scheduling)")
 	seed := flag.Int64("seed", 1, "random seed (echoed in the output's \"generator\" object)")
+	count := flag.Int("count", 0, "emit a JSON array of this many instances; instance i is seeded with loadgen.PoolSeed(-seed, i)")
 	dist := flag.String("dist", "uniform", "weight distribution: uniform | heavy-tail")
 	speedKind := flag.String("model", "continuous", "speed model: continuous | discrete | vdd | incremental")
 	delta := flag.Float64("delta", 0.1, "increment for the incremental model")
@@ -59,57 +148,45 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmin, fmax := 0.1, 1.0
-	var sm model.SpeedModel
-	switch *speedKind {
-	case "continuous":
-		sm, err = model.NewContinuous(fmin, fmax)
-	case "discrete":
-		sm, err = model.NewDiscrete(model.XScaleLevels())
-	case "vdd":
-		sm, err = model.NewVddHopping(model.XScaleLevels())
-	case "incremental":
-		sm, err = model.NewIncremental(fmin, fmax, *delta)
-	default:
-		err = fmt.Errorf("unknown speed model %q", *speedKind)
+	opts := buildOptions{
+		class: cls, n: *n, procs: *procs, dist: wd,
+		model: *speedKind, delta: *delta, slack: *slack, tricrit: *tricrit,
 	}
-	if err != nil {
-		fail(err)
+	if *count < 0 || *count > 4096 {
+		fail(fmt.Errorf("count must be in [0, 4096], got %d", *count))
 	}
 
-	rng := rand.New(rand.NewSource(*seed))
-	g := cls.Generate(rng, *n, wd)
-	ls, err := listsched.CriticalPath(g, *procs)
-	if err != nil {
-		fail(err)
+	if *count == 0 {
+		data, err := buildInstance(opts, *seed)
+		if err != nil {
+			fail(err)
+		}
+		out, err := withGenerator(data, opts.provenance(*seed))
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(out)
+		fmt.Println()
+		return
 	}
-	// Reference makespan at fmax: list makespan uses unit-speed
-	// durations (= weights), so scale by 1/fmax.
-	deadline := ls.Makespan / sm.FMax * *slack
-	in := &core.Instance{Graph: g, Mapping: ls.Mapping, Speed: sm, Deadline: deadline}
-	if *tricrit {
-		rel := model.Reliability{Lambda0: 1e-5, Sensitivity: 3, FMin: sm.FMin, FMax: sm.FMax}
-		in.Rel = &rel
-		in.FRel = 0.8 * sm.FMax
+
+	items := make([]json.RawMessage, *count)
+	for i := range items {
+		derived := loadgen.PoolSeed(*seed, i)
+		data, err := buildInstance(opts, derived)
+		if err != nil {
+			fail(fmt.Errorf("instance %d: %w", i, err))
+		}
+		gen := opts.provenance(derived)
+		gen.BaseSeed = seed
+		idx := i
+		gen.Index = &idx
+		items[i], err = withGenerator(data, gen)
+		if err != nil {
+			fail(err)
+		}
 	}
-	data, err := core.MarshalInstance(in)
-	if err != nil {
-		fail(err)
-	}
-	gen := generatorJSON{
-		Class: cls.String(),
-		N:     *n,
-		Procs: *procs,
-		Seed:  *seed,
-		Dist:  wd.String(),
-		Model: *speedKind,
-		Slack: *slack,
-	}
-	if *speedKind == "incremental" {
-		gen.Delta = *delta
-	}
-	gen.TriCrit = *tricrit
-	out, err := withGenerator(data, gen)
+	out, err := json.MarshalIndent(items, "", "  ")
 	if err != nil {
 		fail(err)
 	}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"energysched/internal/core"
+	"energysched/internal/loadgen"
+	"energysched/internal/workload"
+)
+
+func chainOpts(n int) buildOptions {
+	return buildOptions{
+		class: workload.ClassChain, n: n, procs: 2,
+		dist: workload.UniformWeights, model: "continuous", slack: 2.0,
+	}
+}
+
+func TestBuildInstanceDeterministic(t *testing.T) {
+	a, err := buildInstance(chainOpts(8), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildInstance(chainOpts(8), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same options+seed built different instances")
+	}
+	c, err := buildInstance(chainOpts(8), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds built identical instances")
+	}
+	if _, err := core.UnmarshalInstance(a); err != nil {
+		t.Fatalf("built instance does not round-trip: %v", err)
+	}
+}
+
+// TestCountPoolMatchesLoadgen pins the cross-tool contract: with a
+// single-class spec, the -count derivation produces byte-identical
+// instances to internal/loadgen's pool, so a trace's referenced
+// instances can be materialized offline with dagen.
+func TestCountPoolMatchesLoadgen(t *testing.T) {
+	const baseSeed, poolSize = 99, 5
+	spec := loadgen.Spec{
+		Seed:    baseSeed,
+		Classes: []string{"chain"},
+		N:       8,
+		Procs:   2,
+		Slack:   2.0,
+	}
+	for i := 0; i < poolSize; i++ {
+		want, err := loadgen.PoolInstance(spec, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := buildInstance(chainOpts(8), loadgen.PoolSeed(baseSeed, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("pool instance %d: dagen and loadgen bytes differ\ndagen:   %s\nloadgen: %s", i, got, want)
+		}
+	}
+}
+
+func TestWithGeneratorProvenance(t *testing.T) {
+	opts := chainOpts(6)
+	derived := loadgen.PoolSeed(3, 2)
+	data, err := buildInstance(opts, derived)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := opts.provenance(derived)
+	base := int64(3)
+	idx := 2
+	gen.BaseSeed = &base
+	gen.Index = &idx
+	out, err := withGenerator(data, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Generator generatorJSON `json:"generator"`
+	}
+	if err := json.Unmarshal(out, &m); err != nil {
+		t.Fatal(err)
+	}
+	g := m.Generator
+	if g.Seed != derived || g.BaseSeed == nil || *g.BaseSeed != 3 || g.Index == nil || *g.Index != 2 {
+		t.Fatalf("provenance = %+v; want seed %d, baseSeed 3, index 2", g, derived)
+	}
+	if loadgen.PoolSeed(*g.BaseSeed, *g.Index) != g.Seed {
+		t.Fatal("provenance (baseSeed, index) does not re-derive seed")
+	}
+	// The splice must leave the instance itself loadable.
+	if _, err := core.UnmarshalInstance(out); err != nil {
+		t.Fatalf("spliced instance does not load: %v", err)
+	}
+}

@@ -1,0 +1,171 @@
+// Command energyload is the load-testing driver for energyschedd: it
+// generates (or loads) a request trace and replays it open-loop
+// against a server, reporting per-kind latency quantiles, achieved vs
+// offered rate, shed/error counts and the server-side cache and
+// admission-control deltas scraped from /stats.
+//
+// Usage:
+//
+//	energyload -duration 30 -rate 50 -profile diurnal -peak 200 \
+//	           -mix solve=0.8,simulate=0.2,repeat=0.5 -base http://localhost:8080
+//	energyload -trace recorded.json -speed 2 -out report.json
+//	energyload -duration 10 -rate 20 -save trace.json -norun
+//
+// With no -base, an in-process server (default config) is started for
+// the run — the hermetic mode CI's loadsmoke job uses. Replay is
+// open-loop: events fire at their scheduled offsets whether or not
+// earlier requests have returned, so saturation shows up as latency
+// and shed counts instead of being silently absorbed by backpressure.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"energysched/internal/loadgen"
+	"energysched/internal/server"
+)
+
+func main() {
+	// Trace source: -trace wins; otherwise a spec is assembled from the
+	// generation flags.
+	traceFile := flag.String("trace", "", "replay this trace file instead of generating one")
+	seed := flag.Int64("seed", 1, "generation seed (same seed ⇒ byte-identical trace)")
+	duration := flag.Float64("duration", 10, "trace span in seconds")
+	profile := flag.String("profile", "constant", "arrival-rate profile: constant | step | diurnal")
+	rate := flag.Float64("rate", 20, "base arrival rate per second (constant rate, pre-step rate, or diurnal trough)")
+	peak := flag.Float64("peak", 0, "peak rate per second (step and diurnal profiles)")
+	stepAt := flag.Float64("step-at", 0, "offset in seconds at which a step profile jumps to -peak")
+	period := flag.Float64("period", 0, "diurnal period in seconds (default: the trace duration)")
+	mix := flag.String("mix", "solve=1", "request mix, e.g. solve=0.7,batch=0.1,simulate=0.2,repeat=0.5")
+	classes := flag.String("classes", "", "comma-separated workload classes for the instance pool (default: all)")
+	n := flag.Int("n", loadgen.DefaultN, "tasks per pool instance")
+	procs := flag.Int("procs", loadgen.DefaultProcs, "processors per pool instance")
+	dist := flag.String("dist", "uniform", "task-weight distribution: uniform | heavy-tail")
+	slack := flag.Float64("slack", loadgen.DefaultSlack, "deadline slack factor for pool instances")
+	trials := flag.Int("trials", loadgen.DefaultTrials, "campaign size for simulate/sweep events")
+	batch := flag.Int("batch", loadgen.DefaultBatchSize, "instances per batch event")
+	pool := flag.Int("pool", loadgen.DefaultPoolSize, "distinct instances in the pool")
+
+	// Replay knobs.
+	base := flag.String("base", "", "server base URL (default: start an in-process server)")
+	speed := flag.Float64("speed", 1, "replay speed multiplier (2 = twice as fast)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	save := flag.String("save", "", "write the trace to this file")
+	out := flag.String("out", "", "write the JSON report to this file (default: stdout)")
+	norun := flag.Bool("norun", false, "generate/save the trace without replaying it")
+	flag.Parse()
+
+	tr, err := loadTrace(*traceFile, specFromFlags(
+		*seed, *duration, *profile, *rate, *peak, *stepAt, *period,
+		*mix, *classes, *n, *procs, *dist, *slack, *trials, *batch, *pool))
+	if err != nil {
+		fail(err)
+	}
+	if *save != "" {
+		data, err := tr.Marshal()
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*save, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "energyload: wrote %d events to %s\n", len(tr.Events), *save)
+	}
+	if *norun {
+		return
+	}
+
+	baseURL := *base
+	if baseURL == "" {
+		srv := httptest.NewServer(server.New(server.Config{}).Handler())
+		defer srv.Close()
+		baseURL = srv.URL
+		fmt.Fprintf(os.Stderr, "energyload: no -base, replaying against in-process server %s\n", baseURL)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := loadgen.Replay(ctx, tr, loadgen.ReplayOptions{
+		BaseURL:     baseURL,
+		Speed:       *speed,
+		Timeout:     *timeout,
+		ScrapeStats: true,
+	})
+	if err != nil {
+		fail(err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fail(err)
+		}
+	} else {
+		os.Stdout.Write(data)
+	}
+	if rep.Errors > 0 {
+		fail(fmt.Errorf("%d requests failed with 5xx or transport errors", rep.Errors))
+	}
+}
+
+// specFromFlags assembles the generation spec; validation happens in
+// Generate.
+func specFromFlags(seed int64, duration float64, profile string, rate, peak, stepAt, period float64,
+	mix, classes string, n, procs int, dist string, slack float64, trials, batch, pool int) loadgen.Spec {
+	p := loadgen.Profile{Kind: profile, RatePerSec: rate, PeakPerSec: peak, StepAtS: stepAt, PeriodS: period}
+	if p.PeriodS == 0 {
+		p.PeriodS = duration
+	}
+	m, err := loadgen.ParseMix(mix)
+	if err != nil {
+		fail(err)
+	}
+	var cls []string
+	if classes != "" {
+		cls = strings.Split(classes, ",")
+	}
+	return loadgen.Spec{
+		Seed:      seed,
+		DurationS: duration,
+		Profile:   p,
+		Mix:       m,
+		Classes:   cls,
+		N:         n,
+		Procs:     procs,
+		Dist:      dist,
+		Slack:     slack,
+		Trials:    trials,
+		BatchSize: batch,
+		PoolSize:  pool,
+	}
+}
+
+// loadTrace reads and validates a trace file, or generates one from
+// the spec when no file is given.
+func loadTrace(path string, spec loadgen.Spec) (*loadgen.Trace, error) {
+	if path == "" {
+		return loadgen.Generate(spec)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return loadgen.ParseTrace(data)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "energyload:", err)
+	os.Exit(1)
+}

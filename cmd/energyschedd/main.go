@@ -6,8 +6,8 @@
 // Usage:
 //
 //	energyschedd [-addr :8080] [-cache-size 1024] [-max-inflight 0]
-//	             [-timeout 30s] [-max-body 8388608] [-workers 0]
-//	             [-pprof]
+//	             [-max-queue 0] [-timeout 30s] [-max-body 8388608]
+//	             [-workers 0] [-pprof] [-record trace.json]
 //
 // Endpoints (see internal/server and the README for request formats):
 //
@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"energysched/internal/loadgen"
 	"energysched/internal/server"
 )
 
@@ -39,20 +40,29 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheSize := flag.Int("cache-size", server.DefaultCacheSize, "result cache capacity in entries")
 	maxInFlight := flag.Int("max-inflight", 0, "max requests solving at once (0 = 2×GOMAXPROCS)")
+	maxQueue := flag.Int("max-queue", 0, "max requests waiting for a solve slot before 429 shedding (0 = 4×max-inflight)")
 	timeout := flag.Duration("timeout", server.DefaultSolveTimeout, "per-request solve timeout")
 	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "max request body bytes")
 	workers := flag.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
+	record := flag.String("record", "", "record replayable traffic to this trace file on shutdown (energyload -trace replays it)")
 	flag.Parse()
 
 	srv := server.New(server.Config{
-		CacheSize:    *cacheSize,
-		MaxInFlight:  *maxInFlight,
-		SolveTimeout: *timeout,
-		MaxBodyBytes: *maxBody,
-		Workers:      *workers,
+		CacheSize:     *cacheSize,
+		MaxInFlight:   *maxInFlight,
+		MaxQueueDepth: *maxQueue,
+		SolveTimeout:  *timeout,
+		MaxBodyBytes:  *maxBody,
+		Workers:       *workers,
 	})
 	handler := srv.Handler()
+	var recorder *loadgen.Recorder
+	if *record != "" {
+		recorder = loadgen.NewRecorder(handler, nil)
+		handler = recorder
+		log.Printf("recording replayable traffic to %s", *record)
+	}
 	if *pprofOn {
 		// Mount the profiler explicitly instead of relying on the
 		// DefaultServeMux side-effect registration, so the service mux
@@ -95,5 +105,17 @@ func main() {
 			log.Printf("forced shutdown: %v", err)
 			hs.Close()
 		}
+	}
+	if recorder != nil {
+		data, err := recorder.Trace().Marshal()
+		if err != nil {
+			log.Printf("marshalling recorded trace: %v", err)
+			return
+		}
+		if err := os.WriteFile(*record, append(data, '\n'), 0o644); err != nil {
+			log.Printf("writing recorded trace: %v", err)
+			return
+		}
+		log.Printf("wrote %d recorded events to %s", recorder.Len(), *record)
 	}
 }

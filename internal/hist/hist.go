@@ -183,6 +183,7 @@ type Atomic struct {
 	bounds  []float64
 	count   atomic.Int64
 	sum     atomic.Int64
+	max     atomic.Int64
 	buckets []atomic.Int64
 }
 
@@ -197,8 +198,19 @@ func NewAtomic(bounds []float64) *Atomic {
 func (a *Atomic) Observe(v int64) {
 	a.count.Add(1)
 	a.sum.Add(v)
+	for {
+		cur := a.max.Load()
+		if v <= cur || a.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
 	a.buckets[bucket(a.bounds, float64(v))].Add(1)
 }
+
+// Max returns the largest observed value, or 0 when empty. Unlike the
+// bucketed quantiles it is exact — load reports read the true worst
+// request from it rather than a bucket edge.
+func (a *Atomic) Max() int64 { return a.max.Load() }
 
 // Bounds returns the histogram's upper edges. The slice is shared and
 // must not be modified.

@@ -179,4 +179,36 @@ func TestAtomicConcurrent(t *testing.T) {
 	if q := a.Quantile(0.5); q != 1e6 {
 		t.Fatalf("p50 = %v, want 1e6 (0 and 1ms fill half the mass)", q)
 	}
+	if m := a.Max(); m != 3_000_000 {
+		t.Fatalf("max = %d, want 3000000", m)
+	}
+}
+
+// TestAtomicMax pins the exact-maximum tracking the load harness
+// reports alongside the conservative bucket quantiles.
+func TestAtomicMax(t *testing.T) {
+	a := NewAtomic(LatencyBounds())
+	if a.Max() != 0 {
+		t.Fatalf("empty max = %d", a.Max())
+	}
+	for _, v := range []int64{5, 900, 17, 900, 3} {
+		a.Observe(v)
+	}
+	if a.Max() != 900 {
+		t.Fatalf("max = %d, want 900", a.Max())
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				a.Observe(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if a.Max() != 3999 {
+		t.Fatalf("concurrent max = %d, want 3999", a.Max())
+	}
 }

@@ -1,0 +1,394 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"energysched/internal/core"
+	"energysched/internal/listsched"
+	"energysched/internal/model"
+	"energysched/internal/rng"
+	"energysched/internal/workload"
+)
+
+// Mix weighs the request kinds an arrival may become, plus the
+// probability that an arrival repeats an earlier request byte-for-byte
+// (hitting the server's cache) instead of referencing a fresh pool
+// instance. Weights need not sum to 1; zero-weight kinds never occur.
+type Mix struct {
+	Solve    float64 `json:"solve"`
+	Batch    float64 `json:"batch,omitempty"`
+	Simulate float64 `json:"simulate,omitempty"`
+	Sweep    float64 `json:"sweep,omitempty"`
+	// Repeat is the probability in [0, 1] that an arrival re-issues a
+	// previously generated (kind, instance) pair verbatim.
+	Repeat float64 `json:"repeat,omitempty"`
+}
+
+// Validate checks the weights are usable.
+func (m Mix) Validate() error {
+	for _, w := range []struct {
+		name string
+		v    float64
+	}{{"solve", m.Solve}, {"batch", m.Batch}, {"simulate", m.Simulate}, {"sweep", m.Sweep}} {
+		if w.v < 0 || math.IsNaN(w.v) || math.IsInf(w.v, 0) {
+			return fmt.Errorf("loadgen: mix weight %s must be finite and ≥ 0, got %v", w.name, w.v)
+		}
+	}
+	if m.Solve+m.Batch+m.Simulate+m.Sweep <= 0 {
+		return fmt.Errorf("loadgen: mix has no positive kind weight")
+	}
+	if m.Repeat < 0 || m.Repeat > 1 || math.IsNaN(m.Repeat) {
+		return fmt.Errorf("loadgen: mix repeat must be in [0, 1], got %v", m.Repeat)
+	}
+	return nil
+}
+
+// ParseMix parses the energyload -mix syntax: comma-separated
+// kind=weight pairs plus an optional repeat=p, e.g.
+// "solve=0.7,simulate=0.2,sweep=0.1,repeat=0.4".
+func ParseMix(s string) (Mix, error) {
+	m := Mix{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return m, fmt.Errorf("loadgen: mix entry %q is not kind=weight", part)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return m, fmt.Errorf("loadgen: mix entry %q: %v", part, err)
+		}
+		switch strings.TrimSpace(name) {
+		case KindSolve:
+			m.Solve = w
+		case KindBatch:
+			m.Batch = w
+		case KindSimulate:
+			m.Simulate = w
+		case KindSweep:
+			m.Sweep = w
+		case "repeat":
+			m.Repeat = w
+		default:
+			return m, fmt.Errorf("loadgen: mix entry %q: unknown kind (have %s, repeat)",
+				part, strings.Join(Kinds(), ", "))
+		}
+	}
+	return m, m.Validate()
+}
+
+// Spec fully determines a synthetic trace: same spec ⇒ byte-identical
+// trace, pinned by the golden test. Zero fields get the defaults in
+// brackets.
+type Spec struct {
+	// Seed drives the arrival, mix and instance-pool streams.
+	Seed int64 `json:"seed"`
+	// DurationS is the trace span in seconds.
+	DurationS float64 `json:"durationS"`
+	// Profile is the arrival-rate function.
+	Profile Profile `json:"profile"`
+	// Mix weighs the request kinds [solve=1, repeat=0].
+	Mix Mix `json:"mix"`
+	// Classes names the workload classes the instance pool draws from
+	// [all classes].
+	Classes []string `json:"classes,omitempty"`
+	// N is the task count per pool instance [12].
+	N int `json:"n,omitempty"`
+	// Procs is the processor count for the critical-path mapping [2].
+	Procs int `json:"procs,omitempty"`
+	// Dist is the task-weight distribution: uniform or heavy-tail
+	// [uniform].
+	Dist string `json:"dist,omitempty"`
+	// Slack scales each instance's deadline: slack × list-schedule
+	// makespan at fmax [2.0].
+	Slack float64 `json:"slack,omitempty"`
+	// Trials is the campaign size simulate and sweep events request
+	// [100].
+	Trials int `json:"trials,omitempty"`
+	// BatchSize is the instance count per batch event [4].
+	BatchSize int `json:"batchSize,omitempty"`
+	// PoolSize is the number of distinct pool instances [16]. Pool
+	// instance i is generated from the derived seed
+	// int64(rng.At(Seed, i)) — the same derivation cmd/dagen's -count
+	// flag uses, so for a single-class spec `dagen -count PoolSize
+	// -seed Seed …` materializes exactly the pool a trace references
+	// (multi-class specs additionally rotate classes per index).
+	PoolSize int `json:"poolSize,omitempty"`
+}
+
+// Defaults applied by Spec.withDefaults.
+const (
+	DefaultN         = 12
+	DefaultProcs     = 2
+	DefaultSlack     = 2.0
+	DefaultTrials    = 100
+	DefaultBatchSize = 4
+	DefaultPoolSize  = 16
+)
+
+// MaxSpecEvents bounds the expected event count of a spec
+// (rate × duration) so a typo cannot ask for a gigabyte of trace.
+const MaxSpecEvents = 1 << 20
+
+func (s Spec) withDefaults() Spec {
+	if s.Mix == (Mix{}) {
+		s.Mix = Mix{Solve: 1}
+	}
+	if s.N <= 0 {
+		s.N = DefaultN
+	}
+	if s.Procs <= 0 {
+		s.Procs = DefaultProcs
+	}
+	if s.Dist == "" {
+		s.Dist = workload.UniformWeights.String()
+	}
+	if s.Slack <= 0 {
+		s.Slack = DefaultSlack
+	}
+	if s.Trials <= 0 {
+		s.Trials = DefaultTrials
+	}
+	if s.BatchSize <= 0 {
+		s.BatchSize = DefaultBatchSize
+	}
+	if s.PoolSize <= 0 {
+		s.PoolSize = DefaultPoolSize
+	}
+	return s
+}
+
+// Validate checks a fully-defaulted spec. Generate calls it; it is
+// exported so ParseTrace can vet provenance specs embedded in traces.
+func (s Spec) Validate() error {
+	s = s.withDefaults()
+	if !finitePositive(s.DurationS) || s.DurationS > 86400*7 {
+		return fmt.Errorf("loadgen: durationS must be in (0, 604800], got %v", s.DurationS)
+	}
+	if err := s.Profile.Validate(); err != nil {
+		return err
+	}
+	if err := s.Mix.Validate(); err != nil {
+		return err
+	}
+	if s.Profile.MaxRate()*s.DurationS > MaxSpecEvents {
+		return fmt.Errorf("loadgen: spec expects ~%g events, cap is %d", s.Profile.MaxRate()*s.DurationS, MaxSpecEvents)
+	}
+	if _, err := workload.ParseClasses(strings.Join(s.Classes, ",")); err != nil {
+		return err
+	}
+	if _, err := workload.ParseWeightDist(s.Dist); err != nil {
+		return err
+	}
+	if s.N > 512 || s.Procs > 64 || s.Trials > 100000 || s.BatchSize > 64 || s.PoolSize > 4096 {
+		return fmt.Errorf("loadgen: spec knob out of range (n ≤ 512, procs ≤ 64, trials ≤ 100000, batchSize ≤ 64, poolSize ≤ 4096)")
+	}
+	return nil
+}
+
+// PoolSeed is the per-index instance seed derivation shared with
+// cmd/dagen -count: independent streams by pure arithmetic, so pool
+// instance i is reconstructible without generating its predecessors.
+func PoolSeed(base int64, index int) int64 {
+	return int64(rng.At(base, index))
+}
+
+// PoolInstance builds pool instance index for a spec: a seeded
+// workload-class graph with a critical-path mapping on the continuous
+// speed model over [0.1, 1], deadline = slack × list makespan at fmax
+// — the construction cmd/dagen and sim.Sweep use. The returned bytes
+// are core.MarshalInstance JSON.
+func PoolInstance(spec Spec, index int) ([]byte, error) {
+	spec = spec.withDefaults()
+	classes, err := workload.ParseClasses(strings.Join(spec.Classes, ","))
+	if err != nil {
+		return nil, err
+	}
+	dist, err := workload.ParseWeightDist(spec.Dist)
+	if err != nil {
+		return nil, err
+	}
+	cls := classes[index%len(classes)]
+	seed := PoolSeed(spec.Seed, index)
+	r := rand.New(rand.NewSource(seed))
+	g := cls.Generate(r, spec.N, dist)
+	ls, err := listsched.CriticalPath(g, spec.Procs)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: pool instance %d (%s): %w", index, cls, err)
+	}
+	sm, err := model.NewContinuous(0.1, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	in := &core.Instance{
+		Graph:    g,
+		Mapping:  ls.Mapping,
+		Speed:    sm,
+		Deadline: ls.Makespan / sm.FMax * spec.Slack,
+	}
+	return core.MarshalInstance(in)
+}
+
+// pairKey identifies one issued (kind, pool index) request for repeat
+// draws.
+type pairKey struct {
+	kind string
+	idx  int
+}
+
+// Generate produces the seeded trace for a spec. Determinism contract:
+// arrivals come from stream (seed, 0), mix/repeat/kind draws from
+// stream (seed, 1), and pool instances from per-index derived seeds —
+// so the trace bytes depend only on the spec, never on map order,
+// wall clocks or the host.
+func Generate(spec Spec) (*Trace, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Instance pool, generated eagerly so trace bytes cannot depend on
+	// which indices the mix happens to touch.
+	pool := make([][]byte, spec.PoolSize)
+	for i := range pool {
+		b, err := PoolInstance(spec, i)
+		if err != nil {
+			return nil, err
+		}
+		pool[i] = b
+	}
+
+	// Arrival times: thinning at the profile's peak rate.
+	arrivals := rng.At(spec.Seed, 0)
+	draws := rng.At(spec.Seed, 1)
+	lambdaMax := spec.Profile.MaxRate()
+
+	var (
+		events []Event
+		used   []pairKey // issued pairs, in first-issue order
+		seen   = map[pairKey]bool{}
+		fresh  int // next fresh pool index (round-robin)
+	)
+	classes, _ := workload.ParseClasses(strings.Join(spec.Classes, ","))
+	for t := 0.0; ; {
+		// Exponential inter-arrival at λmax, then thin by λ(t)/λmax.
+		t += -math.Log1p(-arrivals.Float64()) / lambdaMax
+		if t >= spec.DurationS {
+			break
+		}
+		if arrivals.Float64()*lambdaMax > spec.Profile.Rate(t) {
+			continue
+		}
+		var pk pairKey
+		if u := draws.Float64(); u < spec.Mix.Repeat && len(used) > 0 {
+			pk = used[int(draws.Float64()*float64(len(used)))]
+		} else {
+			pk = pairKey{kind: drawKind(&draws, spec.Mix), idx: fresh % spec.PoolSize}
+			fresh++
+		}
+		if !seen[pk] {
+			seen[pk] = true
+			used = append(used, pk)
+		}
+		body, err := eventBody(spec, classes, pool, pk)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, Event{
+			AtUs: int64(math.Round(t * 1e6)),
+			Kind: pk.kind,
+			Body: body,
+		})
+	}
+	specCopy := spec
+	return &Trace{Version: TraceVersion, Generator: &specCopy, Events: events}, nil
+}
+
+// drawKind picks a request kind by the mix weights.
+func drawKind(s *rng.Stream, m Mix) string {
+	total := m.Solve + m.Batch + m.Simulate + m.Sweep
+	u := s.Float64() * total
+	switch {
+	case u < m.Solve:
+		return KindSolve
+	case u < m.Solve+m.Batch:
+		return KindBatch
+	case u < m.Solve+m.Batch+m.Simulate:
+		return KindSimulate
+	default:
+		return KindSweep
+	}
+}
+
+// eventBody renders the POST body for a (kind, pool index) pair. The
+// body is a pure function of the pair, so a repeat draw reproduces the
+// earlier request byte-for-byte and the server's cache key matches.
+func eventBody(spec Spec, classes []workload.Class, pool [][]byte, pk pairKey) (json.RawMessage, error) {
+	switch pk.kind {
+	case KindSolve:
+		return marshalBody(map[string]json.RawMessage{
+			"instance": pool[pk.idx],
+		})
+	case KindBatch:
+		instances := make([]json.RawMessage, spec.BatchSize)
+		for j := range instances {
+			instances[j] = pool[(pk.idx+j)%len(pool)]
+		}
+		raw, err := json.Marshal(instances)
+		if err != nil {
+			return nil, err
+		}
+		return marshalBody(map[string]json.RawMessage{
+			"instances": raw,
+		})
+	case KindSimulate:
+		return marshalBody(map[string]json.RawMessage{
+			"instance": pool[pk.idx],
+			"trials":   intRaw(spec.Trials),
+			"simSeed":  int64Raw(PoolSeed(spec.Seed, pk.idx)),
+		})
+	case KindSweep:
+		cls, err := json.Marshal([]string{classes[pk.idx%len(classes)].String()})
+		if err != nil {
+			return nil, err
+		}
+		dist, err := json.Marshal(spec.Dist)
+		if err != nil {
+			return nil, err
+		}
+		slack, err := json.Marshal(spec.Slack)
+		if err != nil {
+			return nil, err
+		}
+		return marshalBody(map[string]json.RawMessage{
+			"classes": cls,
+			"n":       intRaw(spec.N),
+			"procs":   intRaw(spec.Procs),
+			"dist":    dist,
+			"slack":   slack,
+			"trials":  intRaw(spec.Trials),
+			"seed":    int64Raw(PoolSeed(spec.Seed, pk.idx)),
+		})
+	default:
+		return nil, fmt.Errorf("loadgen: unknown kind %q", pk.kind)
+	}
+}
+
+// marshalBody renders a body map; encoding/json sorts the keys, so the
+// bytes are deterministic.
+func marshalBody(m map[string]json.RawMessage) (json.RawMessage, error) {
+	return json.Marshal(m)
+}
+
+func intRaw(v int) json.RawMessage { return json.RawMessage(strconv.Itoa(v)) }
+func int64Raw(v int64) json.RawMessage {
+	return json.RawMessage(strconv.FormatInt(v, 10))
+}

@@ -1,0 +1,99 @@
+package loadgen_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"testing"
+
+	"energysched/internal/loadgen"
+	"energysched/internal/server"
+)
+
+// smokeP99BoundMs is the committed latency bound the smoke replay
+// enforces per request kind. It is deliberately generous — the CI
+// runner executes under -race on shared hardware — so a failure means
+// a real regression (a lost priority lane, a serialized cache, a
+// solver calling malloc in a loop), not scheduler jitter.
+const smokeP99BoundMs = 2000
+
+// smokeSpec is the reference trace CI replays: ten diurnal seconds,
+// solve-heavy with a 50% repeat rate so the cache, the priority lane
+// and the singleflight path all see traffic.
+func smokeSpec() loadgen.Spec {
+	return loadgen.Spec{
+		Seed:      2026,
+		DurationS: 10,
+		Profile:   loadgen.Profile{Kind: loadgen.ProfileDiurnal, RatePerSec: 8, PeakPerSec: 25, PeriodS: 10},
+		Mix:       loadgen.Mix{Solve: 0.8, Batch: 0.05, Simulate: 0.1, Sweep: 0.05, Repeat: 0.5},
+		N:         10,
+		Procs:     2,
+		Trials:    50,
+		BatchSize: 3,
+		PoolSize:  12,
+	}
+}
+
+// TestLoadSmoke replays the reference trace open-loop against an
+// in-process server and fails on any 5xx/transport error, any
+// rejected request (the trace is well-formed by construction), or a
+// per-kind p99 above smokeP99BoundMs. The ci `loadsmoke` job runs it
+// under -race at real-time speed (LOADSMOKE_FULL=1); plain `go test`
+// replays at 4× so the tier-1 suite stays fast.
+func TestLoadSmoke(t *testing.T) {
+	tr, err := loadgen.Generate(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("smoke trace is empty")
+	}
+	srv := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer srv.Close()
+
+	speed := 4.0
+	if os.Getenv("LOADSMOKE_FULL") != "" {
+		speed = 1.0
+	}
+	rep, err := loadgen.Replay(context.Background(), tr, loadgen.ReplayOptions{
+		BaseURL:     srv.URL,
+		Speed:       speed,
+		ScrapeStats: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("replayed %d events in %.2fs (offered %.1f/s, achieved %.1f/s): %d ok, %d shed, %d rejected, %d errors",
+		rep.Requests, rep.WallS, rep.OfferedPerSec, rep.AchievedPerSec, rep.OK, rep.Shed, rep.Rejected, rep.Errors)
+
+	if rep.Requests != int64(len(tr.Events)) {
+		t.Errorf("issued %d of %d events", rep.Requests, len(tr.Events))
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d requests hit 5xx or transport errors, want 0", rep.Errors)
+	}
+	if rep.Rejected != 0 {
+		t.Errorf("%d requests rejected 4xx; generated traces must be fully well-formed", rep.Rejected)
+	}
+	if rep.OK == 0 {
+		t.Error("no request succeeded")
+	}
+	for kind, kr := range rep.PerKind {
+		if kr.P99Ms < 0 || kr.P99Ms > smokeP99BoundMs {
+			t.Errorf("%s p99 = %.1fms, bound %dms (mean %.1fms, max %.1fms over %d requests)",
+				kind, kr.P99Ms, smokeP99BoundMs, kr.MeanMs, kr.MaxMs, kr.Requests)
+		}
+	}
+	if rep.Stats == nil {
+		t.Fatal("no stats delta scraped")
+	}
+	// Repeat=0.5 guarantees cache traffic; a hitless run means the
+	// trace's repeat bodies stopped matching the server's cache keys.
+	if rep.Stats.CacheHits == 0 {
+		t.Error("replay produced no cache hits; repeat traffic is broken")
+	}
+	if rep.Stats.QueuedAfter != 0 || rep.Stats.InFlightAfter != 0 {
+		t.Errorf("server not drained after replay: queued=%d inFlight=%d",
+			rep.Stats.QueuedAfter, rep.Stats.InFlightAfter)
+	}
+}

@@ -1,0 +1,112 @@
+// Package loadgen is the production traffic harness: it generates
+// seeded open-loop request traces against energyschedd, replays them
+// (recorded or synthetic) against a live or in-process server, and
+// records real traffic back into the same trace format.
+//
+// Arrival times come from thinning an inhomogeneous Poisson process:
+// candidate arrivals are drawn from a homogeneous process at the
+// profile's peak rate and accepted with probability λ(t)/λmax, so any
+// rate function bounded by λmax — constant, step, or the multi-period
+// diurnal curve production services actually see — yields an exact
+// sample of the target process. Both the candidate stream and the
+// request-mix stream are counter-split splitmix64 streams
+// (internal/rng), so a (seed, spec) pair produces a byte-identical
+// trace wherever it is generated, which is what lets CI pin a golden
+// trace and a reference p99.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+)
+
+// Profile kinds accepted by Profile.Validate.
+const (
+	ProfileConstant = "constant"
+	ProfileStep     = "step"
+	ProfileDiurnal  = "diurnal"
+)
+
+// Profile is a deterministic arrival-rate function λ(t), t in seconds
+// from trace start.
+type Profile struct {
+	// Kind selects the shape: constant, step or diurnal.
+	Kind string `json:"kind"`
+	// RatePerSec is the base rate: the constant rate, the pre-step
+	// rate, or the diurnal trough.
+	RatePerSec float64 `json:"ratePerSec"`
+	// PeakPerSec is the post-step rate or the diurnal peak; unused by
+	// constant profiles.
+	PeakPerSec float64 `json:"peakPerSec,omitempty"`
+	// StepAtS is the offset at which a step profile switches from
+	// RatePerSec to PeakPerSec.
+	StepAtS float64 `json:"stepAtS,omitempty"`
+	// PeriodS is the diurnal period; traces longer than one period see
+	// multiple peaks (the "multi-period diurnal" shape).
+	PeriodS float64 `json:"periodS,omitempty"`
+}
+
+// Validate checks the profile is well-formed and its rates are
+// positive and finite.
+func (p Profile) Validate() error {
+	if !finitePositive(p.RatePerSec) || p.RatePerSec > 1e6 {
+		return fmt.Errorf("loadgen: ratePerSec must be in (0, 1e6], got %v", p.RatePerSec)
+	}
+	switch p.Kind {
+	case ProfileConstant:
+		return nil
+	case ProfileStep:
+		if !finitePositive(p.PeakPerSec) || p.PeakPerSec > 1e6 {
+			return fmt.Errorf("loadgen: step peakPerSec must be in (0, 1e6], got %v", p.PeakPerSec)
+		}
+		if p.StepAtS < 0 || math.IsNaN(p.StepAtS) || math.IsInf(p.StepAtS, 0) {
+			return fmt.Errorf("loadgen: stepAtS must be finite and ≥ 0, got %v", p.StepAtS)
+		}
+		return nil
+	case ProfileDiurnal:
+		if !finitePositive(p.PeakPerSec) || p.PeakPerSec > 1e6 {
+			return fmt.Errorf("loadgen: diurnal peakPerSec must be in (0, 1e6], got %v", p.PeakPerSec)
+		}
+		if p.PeakPerSec < p.RatePerSec {
+			return fmt.Errorf("loadgen: diurnal peakPerSec %v below trough ratePerSec %v", p.PeakPerSec, p.RatePerSec)
+		}
+		if !finitePositive(p.PeriodS) {
+			return fmt.Errorf("loadgen: diurnal periodS must be positive, got %v", p.PeriodS)
+		}
+		return nil
+	default:
+		return fmt.Errorf("loadgen: unknown profile kind %q (have %s, %s, %s)",
+			p.Kind, ProfileConstant, ProfileStep, ProfileDiurnal)
+	}
+}
+
+// Rate evaluates λ(t) at t seconds from trace start.
+func (p Profile) Rate(t float64) float64 {
+	switch p.Kind {
+	case ProfileStep:
+		if t >= p.StepAtS {
+			return p.PeakPerSec
+		}
+		return p.RatePerSec
+	case ProfileDiurnal:
+		// Trough at t = 0, peak at t = PeriodS/2, repeating.
+		frac := (1 - math.Cos(2*math.Pi*t/p.PeriodS)) / 2
+		return p.RatePerSec + (p.PeakPerSec-p.RatePerSec)*frac
+	default:
+		return p.RatePerSec
+	}
+}
+
+// MaxRate is the thinning envelope λmax ≥ λ(t) for all t.
+func (p Profile) MaxRate() float64 {
+	switch p.Kind {
+	case ProfileStep, ProfileDiurnal:
+		return math.Max(p.RatePerSec, p.PeakPerSec)
+	default:
+		return p.RatePerSec
+	}
+}
+
+func finitePositive(v float64) bool {
+	return v > 0 && !math.IsInf(v, 0) && !math.IsNaN(v)
+}

@@ -1,0 +1,90 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Recorder wraps an http.Handler and captures every replayable
+// request — POST /v1/{solve,batch,simulate,sweep} with a JSON-object
+// body — as a trace event stamped with its offset from the first
+// recorded request. The resulting trace replays real traffic through
+// Replay exactly as synthetic ones: energyschedd's -record flag mounts
+// this around the service handler.
+type Recorder struct {
+	next http.Handler
+	now  func() time.Time
+
+	mu     sync.Mutex
+	start  time.Time
+	events []Event
+}
+
+// NewRecorder wraps next. nowFn overrides the clock for tests; nil
+// means time.Now.
+func NewRecorder(next http.Handler, nowFn func() time.Time) *Recorder {
+	if nowFn == nil {
+		nowFn = time.Now
+	}
+	return &Recorder{next: next, now: nowFn}
+}
+
+// ServeHTTP records replayable requests and forwards everything to the
+// wrapped handler. The body is buffered once and handed to the handler
+// unchanged; non-replayable traffic (GETs, unknown paths, non-object
+// bodies) passes through unrecorded.
+func (rec *Recorder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	kind, ok := strings.CutPrefix(r.URL.Path, "/v1/")
+	if !ok || r.Method != http.MethodPost || !ValidKind(kind) {
+		rec.next.ServeHTTP(w, r)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	if err == nil && json.Valid(body) {
+		if trimmed := bytes.TrimLeft(body, " \t\r\n"); len(trimmed) > 0 && trimmed[0] == '{' {
+			rec.record(kind, body)
+		}
+	}
+	rec.next.ServeHTTP(w, r)
+}
+
+func (rec *Recorder) record(kind string, body []byte) {
+	at := rec.now()
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.events) == 0 {
+		rec.start = at
+	}
+	offset := at.Sub(rec.start).Microseconds()
+	if offset < 0 {
+		offset = 0
+	}
+	// A non-monotonic clock must not produce an unparseable trace.
+	if n := len(rec.events); n > 0 && offset < rec.events[n-1].AtUs {
+		offset = rec.events[n-1].AtUs
+	}
+	rec.events = append(rec.events, Event{AtUs: offset, Kind: kind, Body: append([]byte(nil), body...)})
+}
+
+// Len returns the number of recorded events.
+func (rec *Recorder) Len() int {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return len(rec.events)
+}
+
+// Trace snapshots the recording as a replayable trace.
+func (rec *Recorder) Trace() *Trace {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	events := make([]Event, len(rec.events))
+	copy(events, rec.events)
+	return &Trace{Version: TraceVersion, Events: events}
+}

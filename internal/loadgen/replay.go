@@ -1,0 +1,303 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"energysched/internal/hist"
+)
+
+// ReplayOptions tune one replay run.
+type ReplayOptions struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080" or an
+	// httptest.Server.URL. Required.
+	BaseURL string
+	// Client issues the requests [http.Client with Timeout].
+	Client *http.Client
+	// Timeout bounds each request [30s]; only used when Client is nil.
+	Timeout time.Duration
+	// Speed scales replay time: 2 fires the trace twice as fast, 0.5
+	// half as fast [1].
+	Speed float64
+	// ScrapeStats snapshots GET /stats before and after the run and
+	// reports the deltas.
+	ScrapeStats bool
+}
+
+// KindReport aggregates one request kind's outcomes. Latency covers
+// every completed request (whatever its status); Max is exact while
+// the quantiles are conservative bucket upper edges.
+type KindReport struct {
+	Requests int64   `json:"requests"`
+	OK       int64   `json:"ok"`       // 2xx
+	Shed     int64   `json:"shed"`     // 429 admission rejections
+	Rejected int64   `json:"rejected"` // other 4xx
+	Errors   int64   `json:"errors"`   // 5xx and transport failures
+	MeanMs   float64 `json:"meanMs"`
+	P50Ms    float64 `json:"p50Ms"`
+	P99Ms    float64 `json:"p99Ms"`
+	MaxMs    float64 `json:"maxMs"`
+}
+
+// StatsDelta is the server-side movement over the run, from /stats
+// scraped before and after: cache traffic, admission-control activity
+// and semaphore queueing as the server saw them.
+type StatsDelta struct {
+	CacheHits    int64   `json:"cacheHits"`
+	CacheMisses  int64   `json:"cacheMisses"`
+	CacheHitRate float64 `json:"cacheHitRate"` // hits/(hits+misses) over the run
+	Solved       int64   `json:"solved"`
+	Simulated    int64   `json:"simulated"`
+	Swept        int64   `json:"swept"`
+	Coalesced    int64   `json:"coalesced"`
+	Shed         int64   `json:"shed"`
+	Timeouts     int64   `json:"timeouts"`
+	// Gauges: absolute values at the two scrape points, not deltas — a
+	// drained server ends where it started, so the interesting signal
+	// is the residual depth.
+	QueuedBefore   int64 `json:"queuedBefore"`
+	QueuedAfter    int64 `json:"queuedAfter"`
+	InFlightBefore int64 `json:"inFlightBefore"`
+	InFlightAfter  int64 `json:"inFlightAfter"`
+}
+
+// Report is the replay outcome energyload emits as JSON.
+type Report struct {
+	Events         int                    `json:"events"`
+	TraceDurationS float64                `json:"traceDurationS"`
+	WallS          float64                `json:"wallS"`
+	Speed          float64                `json:"speed"`
+	OfferedPerSec  float64                `json:"offeredPerSec"`  // trace events / scaled duration
+	AchievedPerSec float64                `json:"achievedPerSec"` // completed requests / wall time
+	Requests       int64                  `json:"requests"`
+	OK             int64                  `json:"ok"`
+	Shed           int64                  `json:"shed"`
+	Rejected       int64                  `json:"rejected"`
+	Errors         int64                  `json:"errors"`
+	PerKind        map[string]*KindReport `json:"perKind"`
+	Stats          *StatsDelta            `json:"statsDelta,omitempty"`
+}
+
+// kindTracker accumulates one kind's counters during the run.
+type kindTracker struct {
+	requests atomic.Int64
+	ok       atomic.Int64
+	shed     atomic.Int64
+	rejected atomic.Int64
+	errors   atomic.Int64
+	latency  *hist.Atomic
+}
+
+// Replay fires the trace open-loop against opts.BaseURL: every event
+// is issued at its scheduled (speed-scaled) offset whether or not
+// earlier requests have returned — the generator, not the server,
+// owns the arrival process, which is what makes saturation visible
+// instead of self-throttling around it. Replay returns once every
+// issued request has completed. A context cancellation stops issuing
+// new events and reports what completed.
+func Replay(ctx context.Context, tr *Trace, opts ReplayOptions) (*Report, error) {
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: replay needs a BaseURL")
+	}
+	base := strings.TrimRight(opts.BaseURL, "/")
+	if opts.Speed <= 0 {
+		opts.Speed = 1
+	}
+	client := opts.Client
+	if client == nil {
+		timeout := opts.Timeout
+		if timeout <= 0 {
+			timeout = 30 * time.Second
+		}
+		client = &http.Client{Timeout: timeout}
+	}
+
+	trackers := map[string]*kindTracker{}
+	for _, k := range Kinds() {
+		trackers[k] = &kindTracker{latency: hist.NewAtomic(hist.LatencyBounds())}
+	}
+
+	var before statsScrape
+	if opts.ScrapeStats {
+		if err := scrapeStats(ctx, client, base, &before); err != nil {
+			return nil, fmt.Errorf("loadgen: scraping /stats before replay: %w", err)
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+issue:
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		due := start.Add(time.Duration(float64(ev.AtUs)/opts.Speed) * time.Microsecond)
+		if wait := time.Until(due); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				break issue
+			}
+		}
+		wg.Add(1)
+		go func(ev *Event) {
+			defer wg.Done()
+			fire(ctx, client, base, ev, trackers[ev.Kind])
+		}(ev)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := &Report{
+		Events:         len(tr.Events),
+		TraceDurationS: tr.Duration().Seconds(),
+		WallS:          wall.Seconds(),
+		Speed:          opts.Speed,
+		PerKind:        map[string]*KindReport{},
+	}
+	if d := tr.Duration().Seconds() / opts.Speed; d > 0 {
+		rep.OfferedPerSec = float64(len(tr.Events)) / d
+	}
+	for _, k := range Kinds() {
+		t := trackers[k]
+		if t.requests.Load() == 0 {
+			continue
+		}
+		count, sum, counts := t.latency.Snapshot()
+		kr := &KindReport{
+			Requests: t.requests.Load(),
+			OK:       t.ok.Load(),
+			Shed:     t.shed.Load(),
+			Rejected: t.rejected.Load(),
+			Errors:   t.errors.Load(),
+			P50Ms:    quantileMs(t.latency, counts, count, 0.50),
+			P99Ms:    quantileMs(t.latency, counts, count, 0.99),
+			MaxMs:    float64(t.latency.Max()) / 1e6,
+		}
+		if count > 0 {
+			kr.MeanMs = float64(sum) / float64(count) / 1e6
+		}
+		rep.PerKind[k] = kr
+		rep.Requests += kr.Requests
+		rep.OK += kr.OK
+		rep.Shed += kr.Shed
+		rep.Rejected += kr.Rejected
+		rep.Errors += kr.Errors
+	}
+	if rep.WallS > 0 {
+		rep.AchievedPerSec = float64(rep.Requests) / rep.WallS
+	}
+	if opts.ScrapeStats {
+		var after statsScrape
+		if err := scrapeStats(ctx, client, base, &after); err != nil {
+			return nil, fmt.Errorf("loadgen: scraping /stats after replay: %w", err)
+		}
+		rep.Stats = statsDelta(&before, &after)
+	}
+	return rep, nil
+}
+
+// fire issues one event and classifies the outcome.
+func fire(ctx context.Context, client *http.Client, base string, ev *Event, t *kindTracker) {
+	t.requests.Add(1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/"+ev.Kind, strings.NewReader(string(ev.Body)))
+	if err != nil {
+		t.errors.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	begin := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		t.errors.Add(1)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	t.latency.Observe(int64(time.Since(begin)))
+	switch {
+	case resp.StatusCode < 300:
+		t.ok.Add(1)
+	case resp.StatusCode == http.StatusTooManyRequests:
+		t.shed.Add(1)
+	case resp.StatusCode < 500:
+		t.rejected.Add(1)
+	default:
+		t.errors.Add(1)
+	}
+}
+
+// statsScrape is the /stats subset the report needs.
+type statsScrape struct {
+	Solved    int64 `json:"solved"`
+	Simulated int64 `json:"simulated"`
+	Swept     int64 `json:"swept"`
+	Timeouts  int64 `json:"timeouts"`
+	InFlight  int64 `json:"inFlight"`
+	Queued    int64 `json:"queued"`
+	Shed      int64 `json:"shed"`
+	Coalesced int64 `json:"coalesced"`
+	Cache     struct {
+		Hits   int64 `json:"hits"`
+		Misses int64 `json:"misses"`
+	} `json:"cache"`
+}
+
+func scrapeStats(ctx context.Context, client *http.Client, base string, into *statsScrape) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/stats", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /stats: status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+func statsDelta(before, after *statsScrape) *StatsDelta {
+	d := &StatsDelta{
+		CacheHits:      after.Cache.Hits - before.Cache.Hits,
+		CacheMisses:    after.Cache.Misses - before.Cache.Misses,
+		Solved:         after.Solved - before.Solved,
+		Simulated:      after.Simulated - before.Simulated,
+		Swept:          after.Swept - before.Swept,
+		Coalesced:      after.Coalesced - before.Coalesced,
+		Shed:           after.Shed - before.Shed,
+		Timeouts:       after.Timeouts - before.Timeouts,
+		QueuedBefore:   before.Queued,
+		QueuedAfter:    after.Queued,
+		InFlightBefore: before.InFlight,
+		InFlightAfter:  after.InFlight,
+	}
+	if lookups := d.CacheHits + d.CacheMisses; lookups > 0 {
+		d.CacheHitRate = float64(d.CacheHits) / float64(lookups)
+	}
+	return d
+}
+
+// quantileMs converts hist's conservative bucket quantile to
+// milliseconds, passing the 0 (empty) and -1 (overflow) sentinels
+// through unscaled.
+func quantileMs(a *hist.Atomic, counts []int64, count int64, q float64) float64 {
+	v := hist.Quantile(a.Bounds(), counts, count, q)
+	if v > 0 {
+		return v / 1e6
+	}
+	return v
+}

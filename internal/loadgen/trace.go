@@ -1,0 +1,123 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// TraceVersion is the trace format version Marshal writes and
+// ParseTrace requires. Bump it only with a migration path: recorded
+// traces are long-lived CI and capacity-planning artifacts.
+const TraceVersion = 1
+
+// Request kinds a trace event may carry; each maps to POST /v1/<kind>.
+const (
+	KindSolve    = "solve"
+	KindBatch    = "batch"
+	KindSimulate = "simulate"
+	KindSweep    = "sweep"
+)
+
+// Kinds lists the valid event kinds in presentation order.
+func Kinds() []string {
+	return []string{KindSolve, KindBatch, KindSimulate, KindSweep}
+}
+
+// ValidKind reports whether s names a replayable request kind.
+func ValidKind(s string) bool {
+	switch s {
+	case KindSolve, KindBatch, KindSimulate, KindSweep:
+		return true
+	}
+	return false
+}
+
+// Event is one request in a trace: fire Body at POST /v1/<Kind>, AtUs
+// microseconds after trace start. Offsets are integral microseconds —
+// not float seconds — so traces marshal byte-identically and sort
+// without epsilon games.
+type Event struct {
+	AtUs int64           `json:"atUs"`
+	Kind string          `json:"kind"`
+	Body json.RawMessage `json:"body"`
+}
+
+// Trace is a replayable request sequence. Synthetic traces carry the
+// generating Spec as provenance; recorded ones carry only events.
+type Trace struct {
+	Version   int     `json:"version"`
+	Generator *Spec   `json:"generator,omitempty"`
+	Events    []Event `json:"events"`
+}
+
+// Duration returns the trace's nominal span: the generator's duration
+// for synthetic traces, else the last event offset.
+func (t *Trace) Duration() time.Duration {
+	if t.Generator != nil && t.Generator.DurationS > 0 {
+		return time.Duration(t.Generator.DurationS * float64(time.Second))
+	}
+	if n := len(t.Events); n > 0 {
+		return time.Duration(t.Events[n-1].AtUs) * time.Microsecond
+	}
+	return 0
+}
+
+// OfferedRate returns the trace's offered load in requests/second.
+func (t *Trace) OfferedRate() float64 {
+	d := t.Duration().Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(len(t.Events)) / d
+}
+
+// Marshal renders the canonical trace bytes: compact JSON with event
+// bodies compacted too. Marshal∘ParseTrace is idempotent — parsing
+// canonical bytes and re-marshalling reproduces them exactly, the
+// property FuzzParseTrace hammers on.
+func (t *Trace) Marshal() ([]byte, error) {
+	return json.Marshal(t)
+}
+
+// ParseTrace validates and decodes a trace: the version must match,
+// event offsets must be non-negative and non-decreasing, kinds must
+// name replayable endpoints, and every body must be a JSON object.
+// Anything a replayer would have to guess about is rejected here.
+func ParseTrace(data []byte) (*Trace, error) {
+	var t Trace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("loadgen: parsing trace: %w", err)
+	}
+	if t.Version != TraceVersion {
+		return nil, fmt.Errorf("loadgen: trace version %d, want %d", t.Version, TraceVersion)
+	}
+	if t.Generator != nil {
+		if err := t.Generator.Validate(); err != nil {
+			return nil, fmt.Errorf("loadgen: trace generator spec: %w", err)
+		}
+	}
+	var prev int64
+	for i := range t.Events {
+		ev := &t.Events[i]
+		if ev.AtUs < 0 {
+			return nil, fmt.Errorf("loadgen: event %d: negative offset %dµs", i, ev.AtUs)
+		}
+		if ev.AtUs < prev {
+			return nil, fmt.Errorf("loadgen: event %d: offset %dµs before predecessor's %dµs", i, ev.AtUs, prev)
+		}
+		prev = ev.AtUs
+		if !ValidKind(ev.Kind) {
+			return nil, fmt.Errorf("loadgen: event %d: unknown kind %q", i, ev.Kind)
+		}
+		body := bytes.TrimLeft(ev.Body, " \t\r\n")
+		if len(body) == 0 || body[0] != '{' {
+			return nil, fmt.Errorf("loadgen: event %d: body must be a JSON object", i)
+		}
+		if !json.Valid(ev.Body) {
+			return nil, fmt.Errorf("loadgen: event %d: body is not valid JSON", i)
+		}
+	}
+	return &t, nil
+}

@@ -3,8 +3,10 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -97,10 +99,110 @@ func (s *Server) solveCached(ctx context.Context, in *core.Instance, opts []core
 	return res, out, nil
 }
 
-// handleSolve serves POST /v1/solve: unmarshal, consult the cache,
-// otherwise take a semaphore slot and solve under the request
-// deadline. The response body is core.MarshalResult JSON, byte-cached
-// so a hit costs no solver or encoder work.
+// writeCached emits a byte-cached response body with its X-Cache
+// disposition: "hit" (served from the LRU), "miss" (computed by this
+// request) or "coalesced" (served a concurrent leader's bytes).
+func writeCached(w http.ResponseWriter, disposition string, out []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", disposition)
+	w.Write(out)
+}
+
+// writeComputeError maps a serveCached compute failure onto the wire:
+// admission-control sheds become 429 with a Retry-After hint,
+// parse-level httpErrors keep their status, everything else goes
+// through the solve-status mapping (504 timeout, 422 infeasible,
+// 400 otherwise).
+func (s *Server) writeComputeError(w http.ResponseWriter, err error) {
+	var he *httpError
+	switch {
+	case errors.Is(err, errShedLoad):
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		s.writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.As(err, &he):
+		s.writeError(w, he.status, he.msg)
+	default:
+		s.writeError(w, s.solveStatus(err), err.Error())
+	}
+}
+
+// serveCached is the one read-through pipeline behind every
+// byte-cached endpoint (/v1/solve, /v1/simulate, /v1/sweep), layering
+// the server's three load defenses in order of cost:
+//
+//  1. Priority lane — a cache hit is served immediately, before the
+//     semaphore, the queue or admission control are ever consulted, so
+//     cheap repeat traffic survives even a saturated, shedding server.
+//  2. Singleflight — concurrent identical misses (same cache key)
+//     coalesce onto one leader; followers wait for its bytes without
+//     holding semaphore slots, so a thundering herd costs one solve.
+//  3. Admission control — the leader's slot acquisition queues up to
+//     MaxQueueDepth and is otherwise shed with 429 + Retry-After.
+//
+// compute runs on the leader only, under the request-derived context
+// and a held semaphore slot; its bytes are cached under key on
+// success. A follower whose leader died of the leader's own deadline
+// retries as leader if this request still has time left.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, timeoutMS int64, compute func(ctx context.Context) ([]byte, error)) {
+	if out, ok := s.cache.Get(key); ok {
+		writeCached(w, "hit", out)
+		return
+	}
+	ctx, cancel := s.solveContext(r, timeoutMS)
+	defer cancel()
+	for {
+		fl, leader := s.flights.join(key)
+		if !leader {
+			select {
+			case <-fl.done:
+				if fl.err == nil {
+					s.coalesced.Add(1)
+					writeCached(w, "coalesced", fl.out)
+					return
+				}
+				if isContextErr(fl.err) && ctx.Err() == nil {
+					continue // the leader ran out of time; we have not
+				}
+				s.writeComputeError(w, fl.err)
+				return
+			case <-ctx.Done():
+				s.writeError(w, s.solveStatus(ctx.Err()), "waiting for coalesced result: "+ctx.Err().Error())
+				return
+			}
+		}
+		out, err := func() ([]byte, error) {
+			if err := s.acquire(ctx); err != nil {
+				return nil, err
+			}
+			defer s.release()
+			return compute(ctx)
+		}()
+		if err == nil {
+			s.cache.Put(key, out)
+		}
+		s.flights.finish(key, fl, out, err)
+		if err != nil {
+			s.writeComputeError(w, err)
+			return
+		}
+		writeCached(w, "miss", out)
+		return
+	}
+}
+
+// isContextErr reports whether err is the context speaking — the one
+// leader failure mode a follower with remaining time should retry
+// through rather than inherit.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// handleSolve serves POST /v1/solve: unmarshal, then run the
+// serveCached pipeline (priority-lane cache hit, singleflight
+// coalescing, admission-controlled solve). The response body is
+// core.MarshalResult JSON, byte-cached so a hit costs no solver or
+// encoder work.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	body, err := s.readBody(w, r)
 	if err != nil {
@@ -127,27 +229,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := in.Hash() + "|" + cfg.Fingerprint()
-	if out, ok := s.cache.Get(key); ok {
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("X-Cache", "hit")
-		w.Write(out)
-		return
-	}
-	ctx, cancel := s.solveContext(r, req.TimeoutMS)
-	defer cancel()
-	if err := s.acquire(ctx); err != nil {
-		s.writeError(w, s.solveStatus(err), "waiting for a solve slot: "+err.Error())
-		return
-	}
-	defer s.release()
-	_, out, err := s.solveCached(ctx, in, opts, key)
-	if err != nil {
-		s.writeError(w, s.solveStatus(err), err.Error())
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Cache", "miss")
-	w.Write(out)
+	s.serveCached(w, r, key, req.TimeoutMS, func(ctx context.Context) ([]byte, error) {
+		_, out, err := s.solveCached(ctx, in, opts, key)
+		return out, err
+	})
 }
 
 type batchRequest struct {
@@ -230,7 +315,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := s.solveContext(r, req.TimeoutMS)
 		defer cancel()
 		if err := s.acquire(ctx); err != nil {
-			s.writeError(w, s.solveStatus(err), "waiting for a solve slot: "+err.Error())
+			s.writeComputeError(w, err)
 			return
 		}
 		defer s.release()
@@ -277,7 +362,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]string{"status": "ok"})
 }
 
-// statsJSON is the GET /stats payload.
+// statsJSON is the GET /stats payload. inFlight and queued are
+// gauges (current slot holders and semaphore waiters); shed and
+// coalesced are the admission-control counters the load harness
+// scrapes before and after a replay.
 type statsJSON struct {
 	UptimeSeconds float64                `json:"uptimeSeconds"`
 	Requests      int64                  `json:"requests"`
@@ -288,12 +376,16 @@ type statsJSON struct {
 	Timeouts      int64                  `json:"timeouts"`
 	InFlight      int64                  `json:"inFlight"`
 	MaxInFlight   int                    `json:"maxInFlight"`
+	Queued        int64                  `json:"queued"`
+	MaxQueueDepth int                    `json:"maxQueueDepth"`
+	Shed          int64                  `json:"shed"`
+	Coalesced     int64                  `json:"coalesced"`
 	Cache         cache.Stats            `json:"cache"`
 	Latency       map[string]latencyJSON `json:"latency"`
 }
 
-// handleStats serves GET /stats with request, solve, cache and
-// per-solver latency-histogram counters.
+// handleStats serves GET /stats with request, solve, admission, cache
+// and per-solver latency-histogram counters.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, statsJSON{
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -305,6 +397,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Timeouts:      s.timeouts.Load(),
 		InFlight:      s.inflight.Load(),
 		MaxInFlight:   s.cfg.MaxInFlight,
+		Queued:        s.queued.Load(),
+		MaxQueueDepth: s.cfg.MaxQueueDepth,
+		Shed:          s.shed.Load(),
+		Coalesced:     s.coalesced.Load(),
 		Cache:         s.cache.Stats(),
 		Latency:       s.latency.snapshot(),
 	})

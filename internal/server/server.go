@@ -55,6 +55,14 @@ const (
 	MaxSweepClasses = 16
 	// MaxSweepProcs caps the processor count of a sweep instance.
 	MaxSweepProcs = 64
+	// DefaultQueueFactor sizes the default admission-control queue:
+	// MaxQueueDepth = DefaultQueueFactor × MaxInFlight waiters may
+	// queue on the semaphore before further work-needing requests are
+	// shed with 429.
+	DefaultQueueFactor = 4
+	// DefaultRetryAfter is the Retry-After hint attached to 429
+	// shed-load responses.
+	DefaultRetryAfter = time.Second
 )
 
 // Config tunes one Server. The zero value is usable: New substitutes
@@ -84,6 +92,15 @@ type Config struct {
 	// MaxSweepN caps the per-instance task count a /v1/sweep request
 	// may ask for (default DefaultMaxSweepN).
 	MaxSweepN int
+	// MaxQueueDepth caps how many requests may wait for a semaphore
+	// slot; beyond it, requests needing solver work are shed with 429
+	// and a Retry-After hint. Cache hits and coalesced followers are
+	// never shed — they bypass the semaphore entirely (default
+	// DefaultQueueFactor × MaxInFlight).
+	MaxQueueDepth int
+	// RetryAfter is the Retry-After hint on 429 responses (default
+	// DefaultRetryAfter).
+	RetryAfter time.Duration
 }
 
 // Server is the handler state: resolved config, result cache,
@@ -97,6 +114,8 @@ type Server struct {
 	start   time.Time
 	latency *latencyTracker
 
+	flights flightGroup // coalesces concurrent identical cache misses
+
 	requests  atomic.Int64 // HTTP requests accepted (all endpoints)
 	solved    atomic.Int64 // instances solved by a solver (cache misses)
 	simulated atomic.Int64 // Monte-Carlo campaigns executed (cache misses)
@@ -104,6 +123,9 @@ type Server struct {
 	errors    atomic.Int64 // requests answered with a 4xx/5xx status
 	timeouts  atomic.Int64 // solves aborted by deadline or disconnect
 	inflight  atomic.Int64 // requests currently holding a semaphore slot
+	queued    atomic.Int64 // requests currently waiting for a slot
+	shed      atomic.Int64 // requests answered 429 by admission control
+	coalesced atomic.Int64 // requests served a concurrent leader's bytes
 }
 
 // New returns a ready-to-serve Server with cfg's zero fields replaced
@@ -129,6 +151,12 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxSweepN <= 0 {
 		cfg.MaxSweepN = DefaultMaxSweepN
+	}
+	if cfg.MaxQueueDepth <= 0 {
+		cfg.MaxQueueDepth = DefaultQueueFactor * cfg.MaxInFlight
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
 	}
 	s := &Server{
 		cfg:     cfg,
@@ -156,9 +184,29 @@ func (s *Server) Handler() http.Handler {
 	})
 }
 
-// acquire takes an in-flight slot, waiting until one frees or the
-// request's deadline expires.
+// errShedLoad is the admission-control rejection: the semaphore queue
+// is full, so the request is refused outright (429 + Retry-After)
+// instead of piling onto a server that cannot keep up. Shedding at
+// the queue, not the socket, keeps the failure cheap and explicit —
+// the caller learns in microseconds, not after a full solve timeout.
+var errShedLoad = errors.New("server overloaded: semaphore queue is full")
+
+// acquire takes an in-flight slot: immediately if one is free,
+// otherwise by queueing until one frees or the request's deadline
+// expires — unless the queue is already at MaxQueueDepth, in which
+// case the request is shed with errShedLoad.
 func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		s.inflight.Add(1)
+		return nil
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.MaxQueueDepth) {
+		s.queued.Add(-1)
+		return errShedLoad
+	}
+	defer s.queued.Add(-1)
 	select {
 	case s.sem <- struct{}{}:
 		s.inflight.Add(1)

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -94,53 +95,33 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	solveKey := in.Hash() + "|" + cfg.Fingerprint()
 	key := fmt.Sprintf("%s|sim|t=%d,s=%d,p=%s,wc=%t",
 		solveKey, trials, seed, policy, req.WorstCase)
-	if out, ok := s.cache.Get(key); ok {
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("X-Cache", "hit")
-		w.Write(out)
-		return
-	}
-	ctx, cancel := s.solveContext(r, req.TimeoutMS)
-	defer cancel()
-	if err := s.acquire(ctx); err != nil {
-		s.writeError(w, s.solveStatus(err), "waiting for a solve slot: "+err.Error())
-		return
-	}
-	defer s.release()
-	res, resJSON, err := s.solveCached(ctx, in, opts, solveKey)
-	if err != nil {
-		s.writeError(w, s.solveStatus(err), err.Error())
-		return
-	}
-
-	campaignOpts := sim.CampaignOptions{
-		Trials:    trials,
-		Seed:      seed,
-		Policy:    policy,
-		WorstCase: req.WorstCase,
-		Workers:   s.clampWorkers(req.Workers),
-	}
-	simStart := time.Now()
-	camp, err := sim.RunCampaign(ctx, in, res.Schedule, campaignOpts)
-	if err != nil {
-		s.writeError(w, s.solveStatus(err), "simulating: "+err.Error())
-		return
-	}
-	s.latency.observe("simulate", time.Since(simStart))
-
-	resp := simulateResponse{
-		Result:   resJSON,
-		Campaign: camp,
-		Delta:    camp.Delta(),
-	}
-	out, err := json.Marshal(resp)
-	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	s.cache.Put(key, out)
-	s.simulated.Add(1)
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Cache", "miss")
-	w.Write(out)
+	s.serveCached(w, r, key, req.TimeoutMS, func(ctx context.Context) ([]byte, error) {
+		res, resJSON, err := s.solveCached(ctx, in, opts, solveKey)
+		if err != nil {
+			return nil, err
+		}
+		campaignOpts := sim.CampaignOptions{
+			Trials:    trials,
+			Seed:      seed,
+			Policy:    policy,
+			WorstCase: req.WorstCase,
+			Workers:   s.clampWorkers(req.Workers),
+		}
+		simStart := time.Now()
+		camp, err := sim.RunCampaign(ctx, in, res.Schedule, campaignOpts)
+		if err != nil {
+			return nil, fmt.Errorf("simulating: %w", err)
+		}
+		s.latency.observe("simulate", time.Since(simStart))
+		out, err := json.Marshal(simulateResponse{
+			Result:   resJSON,
+			Campaign: camp,
+			Delta:    camp.Delta(),
+		})
+		if err != nil {
+			return nil, &httpError{status: http.StatusInternalServerError, msg: err.Error()}
+		}
+		s.simulated.Add(1)
+		return out, nil
+	})
 }

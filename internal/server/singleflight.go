@@ -1,0 +1,51 @@
+package server
+
+import "sync"
+
+// flightGroup coalesces concurrent computations of the same cache key:
+// the first request to arrive becomes the leader and computes; every
+// request that arrives while the flight is open waits for the leader's
+// bytes instead of acquiring a semaphore slot of its own. A thundering
+// herd of identical requests therefore costs exactly one solve and one
+// in-flight slot — the pre-singleflight behavior (each concurrent miss
+// solving independently) is documented as the regression baseline in
+// TestSingleflightCoalescesIdenticalSolves.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// flight is one in-progress computation. done is closed exactly once,
+// after out/err are set; both are immutable afterwards.
+type flight struct {
+	done chan struct{}
+	out  []byte
+	err  error
+}
+
+// join returns the open flight for key, creating it if absent; leader
+// reports whether the caller created it and therefore must call finish.
+func (g *flightGroup) join(key string) (fl *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if fl, ok := g.m[key]; ok {
+		return fl, false
+	}
+	fl = &flight{done: make(chan struct{})}
+	g.m[key] = fl
+	return fl, true
+}
+
+// finish publishes the leader's outcome to every waiter and closes the
+// flight, so later arrivals start a fresh one (on error) or hit the
+// byte cache (on success — the leader stores before finishing).
+func (g *flightGroup) finish(key string, fl *flight, out []byte, err error) {
+	fl.out, fl.err = out, err
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(fl.done)
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -161,52 +162,34 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	key := fmt.Sprintf("sweep|c=%s|n=%d,p=%d,d=%s,sl=%g,tri=%t|t=%d,s=%d,pol=%s,wc=%t|%s",
 		strings.Join(names, ","), req.N, req.Procs, dist, req.Slack, req.TriCrit,
 		trials, seed, policy, req.WorstCase, cfg.Fingerprint())
-	if out, ok := s.cache.Get(key); ok {
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("X-Cache", "hit")
-		w.Write(out)
-		return
-	}
-	ctx, cancel := s.solveContext(r, req.TimeoutMS)
-	defer cancel()
-	if err := s.acquire(ctx); err != nil {
-		s.writeError(w, s.solveStatus(err), "waiting for a solve slot: "+err.Error())
-		return
-	}
-	defer s.release()
-
-	campaign := sim.CampaignOptions{
-		Trials:    trials,
-		Policy:    policy,
-		WorstCase: req.WorstCase,
-		Workers:   s.clampWorkers(req.Workers),
-	}
-	start := time.Now()
-	results, err := sim.Sweep(ctx, sim.SweepSpec{
-		Classes:  classes,
-		N:        req.N,
-		Procs:    req.Procs,
-		Dist:     dist,
-		Slack:    req.Slack,
-		TriCrit:  req.TriCrit,
-		Seed:     seed,
-		Campaign: campaign,
-		Solve:    opts,
+	s.serveCached(w, r, key, req.TimeoutMS, func(ctx context.Context) ([]byte, error) {
+		campaign := sim.CampaignOptions{
+			Trials:    trials,
+			Policy:    policy,
+			WorstCase: req.WorstCase,
+			Workers:   s.clampWorkers(req.Workers),
+		}
+		start := time.Now()
+		results, err := sim.Sweep(ctx, sim.SweepSpec{
+			Classes:  classes,
+			N:        req.N,
+			Procs:    req.Procs,
+			Dist:     dist,
+			Slack:    req.Slack,
+			TriCrit:  req.TriCrit,
+			Seed:     seed,
+			Campaign: campaign,
+			Solve:    opts,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sweeping: %w", err)
+		}
+		s.latency.observe("sweep", time.Since(start))
+		out, err := json.Marshal(sweepResponse{Seed: seed, Classes: results})
+		if err != nil {
+			return nil, &httpError{status: http.StatusInternalServerError, msg: err.Error()}
+		}
+		s.swept.Add(1)
+		return out, nil
 	})
-	if err != nil {
-		s.writeError(w, s.solveStatus(err), "sweeping: "+err.Error())
-		return
-	}
-	s.latency.observe("sweep", time.Since(start))
-
-	out, err := json.Marshal(sweepResponse{Seed: seed, Classes: results})
-	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	s.cache.Put(key, out)
-	s.swept.Add(1)
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Cache", "miss")
-	w.Write(out)
 }

@@ -207,6 +207,26 @@ func ParseClass(s string) (Class, error) {
 	return 0, fmt.Errorf("workload: unknown class %q (have %s)", s, strings.Join(names, ", "))
 }
 
+// ParseClasses parses a comma-separated class list ("chain,layered");
+// an empty string means every class. Shared by the sweep endpoint's
+// flag surface and the load-generator spec so the list syntax cannot
+// drift between tools.
+func ParseClasses(s string) ([]Class, error) {
+	if strings.TrimSpace(s) == "" {
+		return AllClasses(), nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]Class, 0, len(parts))
+	for _, p := range parts {
+		c, err := ParseClass(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
 // ParseWeightDist is the inverse of WeightDist.String.
 func ParseWeightDist(s string) (WeightDist, error) {
 	switch s {

@@ -136,6 +136,20 @@ func TestParseClassCoversAllGenerators(t *testing.T) {
 	}
 }
 
+func TestParseClasses(t *testing.T) {
+	all, err := ParseClasses("")
+	if err != nil || len(all) != len(AllClasses()) {
+		t.Fatalf("ParseClasses(\"\") = %v, %v; want all classes", all, err)
+	}
+	got, err := ParseClasses(" chain , fork-join ")
+	if err != nil || len(got) != 2 || got[0] != ClassChain || got[1] != ClassForkJoin {
+		t.Fatalf("ParseClasses list = %v, %v", got, err)
+	}
+	if _, err := ParseClasses("chain,escher"); err == nil {
+		t.Fatal("ParseClasses accepted an unknown class")
+	}
+}
+
 func TestParseWeightDist(t *testing.T) {
 	for _, d := range []WeightDist{UniformWeights, HeavyTailWeights} {
 		got, err := ParseWeightDist(d.String())
