@@ -22,7 +22,7 @@ BENCH_FLAGS = -run='^$$' -bench='^($(GATED_BENCHES))$$' -benchmem -benchtime=10x
 BENCHGATE_TIME_TOL ?= 0.10
 BENCHGATE_ALLOC_TOL ?= 0.10
 
-.PHONY: build test race bench bench-check fmt vet loadsmoke
+.PHONY: build test race bench bench-check fmt vet loadsmoke clustersmoke
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,14 @@ race:
 # or a per-kind p99 above the bound in loadsmoke_test.go.
 loadsmoke:
 	LOADSMOKE_FULL=1 $(GO) test -race -run TestLoadSmoke -v ./internal/loadgen
+
+# clustersmoke replays the same reference trace through an energyrouter
+# fronting three in-process backends at real-time speed under -race;
+# fails on any 5xx, a response diverging from the single-node answer, a
+# cache hit rate below the single node's, or a per-kind p99 above 2×
+# the single-node bound (clustersmoke_test.go).
+clustersmoke:
+	CLUSTERSMOKE_FULL=1 $(GO) test -race -run TestClusterSmoke -v ./internal/router
 
 fmt:
 	gofmt -l .

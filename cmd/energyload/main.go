@@ -12,10 +12,16 @@
 //	energyload -duration 10 -rate 20 -save trace.json -norun
 //
 // With no -base, an in-process server (default config) is started for
-// the run — the hermetic mode CI's loadsmoke job uses. Replay is
-// open-loop: events fire at their scheduled offsets whether or not
-// earlier requests have returned, so saturation shows up as latency
-// and shed counts instead of being silently absorbed by backpressure.
+// the run — the hermetic mode CI's loadsmoke job uses. -base may name
+// either an energyschedd or an energyrouter front: the router's /stats
+// aggregates its backends under the same field names, so the report's
+// stats deltas work unchanged against a cluster. Replay is open-loop:
+// events fire at their scheduled offsets whether or not earlier
+// requests have returned, so saturation shows up as latency and shed
+// counts instead of being silently absorbed by backpressure. All
+// requests go through internal/client, which classifies outcomes and
+// parses Retry-After hints in one tested place (replay never retries —
+// a shed must be counted, not hidden).
 package main
 
 import (

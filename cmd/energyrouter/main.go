@@ -1,0 +1,107 @@
+// Command energyrouter is the scale-out front for energyschedd: a thin
+// HTTP router that proxies the solve service's endpoints to a pool of
+// backend daemons, with pluggable routing policies, health-checked
+// eviction/readmission and batch scatter/gather.
+//
+// Usage:
+//
+//	energyrouter -backends http://10.0.0.2:8080,http://10.0.0.3:8080 \
+//	             [-addr :8080] [-policy affinity] [-probe-interval 2s] \
+//	             [-fail-after 3] [-recover-after 2] [-retries 2] \
+//	             [-timeout 35s] [-max-body 8388608] [-seed 1]
+//
+// Policies:
+//
+//	affinity      consistent-hash on the canonical instance hash —
+//	              every repeat of an instance lands on the backend
+//	              already caching it (default)
+//	least-loaded  backend with the fewest in-flight + queued requests
+//	random        seeded uniform pick (the control)
+//
+// Endpoints match energyschedd: POST /v1/solve, /v1/batch (scattered
+// by shard, gathered in input order), /v1/simulate, /v1/sweep, GET
+// /v1/solvers, /healthz and /stats (backend counters summed, plus
+// per-backend health and router counters).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"energysched/internal/router"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	backends := flag.String("backends", "", "comma-separated backend base URLs (required)")
+	policy := flag.String("policy", router.PolicyAffinity,
+		"routing policy: "+strings.Join(router.Policies(), " | "))
+	probeInterval := flag.Duration("probe-interval", router.DefaultProbeInterval, "health-probe period")
+	probeTimeout := flag.Duration("probe-timeout", router.DefaultProbeTimeout, "per-probe and per-/stats-scrape timeout")
+	failAfter := flag.Int("fail-after", router.DefaultFailAfter, "consecutive failed probes before eviction")
+	recoverAfter := flag.Int("recover-after", router.DefaultRecoverAfter, "consecutive successful probes before readmission")
+	retries := flag.Int("retries", router.DefaultRetries, "backend failover attempts per request after transport errors")
+	timeout := flag.Duration("timeout", router.DefaultRequestTimeout, "per-request backend timeout (keep above the backends' solve timeout)")
+	maxBody := flag.Int64("max-body", router.DefaultMaxBodyBytes, "max request body bytes")
+	replicas := flag.Int("replicas", router.DefaultReplicas, "virtual nodes per backend on the affinity ring")
+	seed := flag.Int64("seed", 1, "random-policy seed")
+	flag.Parse()
+
+	if *backends == "" {
+		log.Fatal("energyrouter: -backends is required")
+	}
+	rt, err := router.New(router.Config{
+		Backends:       strings.Split(*backends, ","),
+		Policy:         *policy,
+		Replicas:       *replicas,
+		FailAfter:      *failAfter,
+		RecoverAfter:   *recoverAfter,
+		ProbeInterval:  *probeInterval,
+		ProbeTimeout:   *probeTimeout,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		Retries:        *retries,
+		Seed:           *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go rt.Run(ctx)
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("energyrouter listening on %s (policy %s, %d backends, probe every %v)",
+		*addr, *policy, len(strings.Split(*backends, ",")), *probeInterval)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Print("energyrouter shutting down, draining proxied requests")
+		sctx, cancel := context.WithTimeout(context.Background(), *timeout+5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("forced shutdown: %v", err)
+			hs.Close()
+		}
+	}
+}

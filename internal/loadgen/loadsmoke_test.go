@@ -19,19 +19,11 @@ const smokeP99BoundMs = 2000
 
 // smokeSpec is the reference trace CI replays: ten diurnal seconds,
 // solve-heavy with a 50% repeat rate so the cache, the priority lane
-// and the singleflight path all see traffic.
+// and the singleflight path all see traffic. The spec itself is
+// loadgen.ReferenceSpec, shared with the router's clustersmoke test so
+// both bounds are measured on the same committed trace.
 func smokeSpec() loadgen.Spec {
-	return loadgen.Spec{
-		Seed:      2026,
-		DurationS: 10,
-		Profile:   loadgen.Profile{Kind: loadgen.ProfileDiurnal, RatePerSec: 8, PeakPerSec: 25, PeriodS: 10},
-		Mix:       loadgen.Mix{Solve: 0.8, Batch: 0.05, Simulate: 0.1, Sweep: 0.05, Repeat: 0.5},
-		N:         10,
-		Procs:     2,
-		Trials:    50,
-		BatchSize: 3,
-		PoolSize:  12,
-	}
+	return loadgen.ReferenceSpec()
 }
 
 // TestLoadSmoke replays the reference trace open-loop against an

@@ -1,0 +1,23 @@
+package loadgen
+
+// ReferenceSpec is the committed 10-second reference trace spec: the
+// one CI's loadsmoke job replays against a single node and the
+// clustersmoke job replays through a router + 3 backends. Diurnal,
+// solve-heavy, 50% repeats — enough traffic on every endpoint to
+// exercise the cache, the priority lane, singleflight and (through
+// the router) affinity routing. Generation is deterministic, so this
+// spec IS the trace; changing it invalidates every committed latency
+// bound measured against it.
+func ReferenceSpec() Spec {
+	return Spec{
+		Seed:      2026,
+		DurationS: 10,
+		Profile:   Profile{Kind: ProfileDiurnal, RatePerSec: 8, PeakPerSec: 25, PeriodS: 10},
+		Mix:       Mix{Solve: 0.8, Batch: 0.05, Simulate: 0.1, Sweep: 0.05, Repeat: 0.5},
+		N:         10,
+		Procs:     2,
+		Trials:    50,
+		BatchSize: 3,
+		PoolSize:  12,
+	}
+}

@@ -2,15 +2,12 @@ package loadgen
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
-	"io"
-	"net/http"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"energysched/internal/client"
 	"energysched/internal/hist"
 )
 
@@ -19,8 +16,10 @@ type ReplayOptions struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080" or an
 	// httptest.Server.URL. Required.
 	BaseURL string
-	// Client issues the requests [http.Client with Timeout].
-	Client *http.Client
+	// Client issues the requests [client.New with Timeout and no
+	// retries]. A replay client must not retry sheds: the harness
+	// counts 429s, it doesn't hide them.
+	Client *client.Client
 	// Timeout bounds each request [30s]; only used when Client is nil.
 	Timeout time.Duration
 	// Speed scales replay time: 2 fires the trace twice as fast, 0.5
@@ -106,17 +105,16 @@ func Replay(ctx context.Context, tr *Trace, opts ReplayOptions) (*Report, error)
 	if opts.BaseURL == "" {
 		return nil, fmt.Errorf("loadgen: replay needs a BaseURL")
 	}
-	base := strings.TrimRight(opts.BaseURL, "/")
 	if opts.Speed <= 0 {
 		opts.Speed = 1
 	}
-	client := opts.Client
-	if client == nil {
-		timeout := opts.Timeout
-		if timeout <= 0 {
-			timeout = 30 * time.Second
+	cl := opts.Client
+	if cl == nil {
+		var err error
+		cl, err = client.New(client.Config{BaseURL: opts.BaseURL, Timeout: opts.Timeout})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: %w", err)
 		}
-		client = &http.Client{Timeout: timeout}
 	}
 
 	trackers := map[string]*kindTracker{}
@@ -126,7 +124,7 @@ func Replay(ctx context.Context, tr *Trace, opts ReplayOptions) (*Report, error)
 
 	var before statsScrape
 	if opts.ScrapeStats {
-		if err := scrapeStats(ctx, client, base, &before); err != nil {
+		if err := cl.GetJSON(ctx, "/stats", &before); err != nil {
 			return nil, fmt.Errorf("loadgen: scraping /stats before replay: %w", err)
 		}
 	}
@@ -153,7 +151,7 @@ issue:
 		wg.Add(1)
 		go func(ev *Event) {
 			defer wg.Done()
-			fire(ctx, client, base, ev, trackers[ev.Kind])
+			fire(ctx, cl, ev, trackers[ev.Kind])
 		}(ev)
 	}
 	wg.Wait()
@@ -200,7 +198,7 @@ issue:
 	}
 	if opts.ScrapeStats {
 		var after statsScrape
-		if err := scrapeStats(ctx, client, base, &after); err != nil {
+		if err := cl.GetJSON(ctx, "/stats", &after); err != nil {
 			return nil, fmt.Errorf("loadgen: scraping /stats after replay: %w", err)
 		}
 		rep.Stats = statsDelta(&before, &after)
@@ -208,30 +206,24 @@ issue:
 	return rep, nil
 }
 
-// fire issues one event and classifies the outcome.
-func fire(ctx context.Context, client *http.Client, base string, ev *Event, t *kindTracker) {
+// fire issues one event and buckets the outcome by the shared
+// client-side classification (2xx ok, 429 shed, 4xx rejected, 5xx or
+// transport failure error).
+func fire(ctx context.Context, cl *client.Client, ev *Event, t *kindTracker) {
 	t.requests.Add(1)
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/"+ev.Kind, strings.NewReader(string(ev.Body)))
-	if err != nil {
-		t.errors.Add(1)
-		return
-	}
-	req.Header.Set("Content-Type", "application/json")
 	begin := time.Now()
-	resp, err := client.Do(req)
+	resp, err := cl.PostKind(ctx, ev.Kind, ev.Body)
 	if err != nil {
 		t.errors.Add(1)
 		return
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
 	t.latency.Observe(int64(time.Since(begin)))
-	switch {
-	case resp.StatusCode < 300:
+	switch resp.Class() {
+	case client.OK:
 		t.ok.Add(1)
-	case resp.StatusCode == http.StatusTooManyRequests:
+	case client.Shed:
 		t.shed.Add(1)
-	case resp.StatusCode < 500:
+	case client.Rejected:
 		t.rejected.Add(1)
 	default:
 		t.errors.Add(1)
@@ -252,22 +244,6 @@ type statsScrape struct {
 		Hits   int64 `json:"hits"`
 		Misses int64 `json:"misses"`
 	} `json:"cache"`
-}
-
-func scrapeStats(ctx context.Context, client *http.Client, base string, into *statsScrape) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/stats", nil)
-	if err != nil {
-		return err
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("GET /stats: status %d", resp.StatusCode)
-	}
-	return json.NewDecoder(resp.Body).Decode(into)
 }
 
 func statsDelta(before, after *statsScrape) *StatsDelta {

@@ -1,0 +1,173 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"energysched/internal/client"
+)
+
+// batchItemJSON and batchResponse mirror the backend's wire shape
+// field for field, so a gathered router response marshals
+// byte-identically to what a single backend would have written for the
+// same items — the property the cluster harness pins.
+type batchItemJSON struct {
+	Index  int             `json:"index"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Cached bool            `json:"cached,omitempty"`
+}
+
+type batchResponse struct {
+	Items     []batchItemJSON `json:"items"`
+	CacheHits int             `json:"cacheHits"`
+}
+
+// handleBatch serves POST /v1/batch by scatter/gather: the instance
+// list is split into one sub-batch per policy-picked backend (under
+// affinity each instance goes to the owner of its hash, so sub-batch
+// cache hits match what a single node with the same history would
+// see), the sub-batches run concurrently, and the items are reassembled
+// in input order with indices rewritten and cacheHits summed. Like the
+// backend endpoint, a gathered batch never fails as a whole — a
+// sub-batch whose backends are all unreachable degrades to per-item
+// errors.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := rt.readBody(w, r)
+	if err != nil {
+		return
+	}
+
+	// Split the body without losing sibling fields (workers, solver,
+	// timeoutMs, ...): the top level is kept as raw fields and only
+	// "instances" is rewritten per sub-batch. Bodies that don't parse
+	// far enough to shard — not an object, instances not an array or
+	// empty — are forwarded whole so the backend's validation answers.
+	var top map[string]json.RawMessage
+	var instances []json.RawMessage
+	if err := json.Unmarshal(body, &top); err == nil {
+		json.Unmarshal(top["instances"], &instances)
+	}
+	if len(instances) == 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
+		defer cancel()
+		resp, m, err := rt.forward(ctx, "batch", routingKey("batch", body), body)
+		if err != nil {
+			rt.writeForwardError(w, err)
+			return
+		}
+		rt.relay(w, resp, m)
+		return
+	}
+
+	// Scatter: group input indices by target backend. With no healthy
+	// backend at grouping time the whole request is 503 — nothing has
+	// been sent yet.
+	groups := map[int][]int{}
+	for i, raw := range instances {
+		target := rt.pick(instanceKey(raw), nil)
+		if target < 0 {
+			rt.noBackend.Add(1)
+			rt.writeError(w, http.StatusServiceUnavailable, errNoBackend.Error())
+			return
+		}
+		groups[target] = append(groups[target], i)
+	}
+	if len(groups) > 1 {
+		rt.scattered.Add(1)
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
+	defer cancel()
+	out := batchResponse{Items: make([]batchItemJSON, len(instances))}
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for target, idxs := range groups {
+		wg.Add(1)
+		go func(target int, idxs []int) {
+			defer wg.Done()
+			sub := rt.subBatch(ctx, top, instances, idxs, target)
+			mu.Lock()
+			defer mu.Unlock()
+			out.CacheHits += sub.CacheHits
+			for j, item := range sub.Items {
+				item.Index = idxs[j]
+				out.Items[idxs[j]] = item
+			}
+		}(target, idxs)
+	}
+	wg.Wait()
+	writeJSON(w, &out)
+}
+
+// subBatch runs one scatter leg: build the sub-body for idxs, send it
+// (failing over past transport errors, preferring the affinity-picked
+// target first), and decode the items. Failures degrade to per-item
+// errors so the gathered batch stays a 200 with exactly one entry per
+// input instance.
+func (rt *Router) subBatch(ctx context.Context, top map[string]json.RawMessage, instances []json.RawMessage, idxs []int, target int) batchResponse {
+	fill := func(msg string) batchResponse {
+		sub := batchResponse{Items: make([]batchItemJSON, len(idxs))}
+		for j := range sub.Items {
+			sub.Items[j] = batchItemJSON{Index: j, Error: msg}
+		}
+		return sub
+	}
+
+	subInstances := make([]json.RawMessage, len(idxs))
+	for j, i := range idxs {
+		subInstances[j] = instances[i]
+	}
+	rawInstances, err := json.Marshal(subInstances)
+	if err != nil {
+		return fill("router: building sub-batch: " + err.Error())
+	}
+	subTop := make(map[string]json.RawMessage, len(top))
+	for k, v := range top {
+		subTop[k] = v
+	}
+	subTop["instances"] = rawInstances
+	subBody, err := json.Marshal(subTop)
+	if err != nil {
+		return fill("router: building sub-batch: " + err.Error())
+	}
+
+	// Route preferring the scatter target: forward picks by key, so
+	// use the first instance's key — under affinity that is exactly
+	// how target was chosen; under other policies forward re-picks
+	// live, which is fine.
+	resp, m, err := rt.forwardTo(ctx, target, "batch", instanceKey(instances[idxs[0]]), subBody)
+	if err != nil {
+		return fill("router: " + err.Error())
+	}
+	var sub batchResponse
+	if resp.Status != http.StatusOK || json.Unmarshal(resp.Body, &sub) != nil || len(sub.Items) != len(idxs) {
+		rt.badGateway.Add(1)
+		return fill("router: backend " + m.url + " returned an unusable batch response")
+	}
+	return sub
+}
+
+// forwardTo is forward with a preferred first target: the scatter
+// leg's owner gets the request unless it just failed, after which the
+// normal policy failover takes over.
+func (rt *Router) forwardTo(ctx context.Context, target int, kind, key string, body []byte) (*client.Response, *member, error) {
+	if target >= 0 && rt.members[target].healthy.Load() {
+		m := rt.members[target]
+		m.outstanding.Add(1)
+		rt.proxied.Add(1)
+		resp, err := m.client.PostKind(ctx, kind, body)
+		m.outstanding.Add(-1)
+		if err == nil {
+			m.proxied.Add(1)
+			return resp, m, nil
+		}
+		rt.retried.Add(1)
+		return rt.forwardExcluding(ctx, kind, key, body, map[int]bool{target: true})
+	}
+	return rt.forward(ctx, kind, key, body)
+}

@@ -1,0 +1,97 @@
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is the consistent-hash table behind the affinity policy: every
+// member contributes replicas virtual points on a 64-bit circle, and a
+// key is owned by the first point clockwise of its hash. The ring is
+// built once from the full member list and never rebuilt on health
+// changes — lookup walks clockwise past points of unhealthy members
+// instead. That walk is what bounds redistribution: evicting one of N
+// members remaps only the keys whose owning arc belonged to it
+// (~1/N of the key space), and readmitting it restores exactly the
+// original mapping.
+type ring struct {
+	points []ringPoint // sorted by hash, ties broken by member index
+}
+
+type ringPoint struct {
+	hash   uint64
+	member int
+}
+
+// DefaultReplicas is the virtual-node count per member: high enough
+// that per-member arc shares concentrate near 1/N, low enough that the
+// ring stays a few KB.
+const DefaultReplicas = 128
+
+// hashKey is the one key-hash function of the package: 64-bit FNV-1a
+// pushed through the splitmix64 finalizer. Raw FNV-1a clusters badly
+// on short structured inputs like "member-2#17" — measured arcs off
+// the ideal share by 2× at 128 vnodes — and the finalizer's
+// avalanche fixes exactly that. Deterministic across processes, so two
+// routers with the same member list route identically.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche bijection on
+// 64-bit values.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// buildRing places replicas points per member. Points are derived from
+// the member's list index, not its URL, so a cluster keeps its mapping
+// when backends move to new addresses in the same order — and two
+// routers given the same list agree point for point.
+func buildRing(members int, replicas int) *ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &ring{points: make([]ringPoint, 0, members*replicas)}
+	for m := 0; m < members; m++ {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hashKey(fmt.Sprintf("member-%d#%d", m, v)),
+				member: m,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// lookup returns the member owning key among those alive() admits,
+// walking clockwise from the key's point past dead members' points.
+// It returns -1 when no member is alive.
+func (r *ring) lookup(key string, alive func(int) bool) int {
+	if len(r.points) == 0 {
+		return -1
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if alive(p.member) {
+			return p.member
+		}
+	}
+	return -1
+}

@@ -1,0 +1,625 @@
+// Package router implements energyrouter, the thin HTTP front that
+// fans energyschedd traffic out over a pool of solver backends:
+//
+//	POST /v1/solve    — proxied to one backend picked by the policy
+//	POST /v1/batch    — scattered over the pool by shard, gathered in
+//	                    input order
+//	POST /v1/simulate — proxied like solve (same routing key, so a
+//	                    simulate lands where its instance's solve ran)
+//	POST /v1/sweep    — proxied, keyed by the request bytes
+//	GET  /v1/solvers  — forwarded to any healthy backend
+//	GET  /healthz     — router liveness (503 when no backend is healthy)
+//	GET  /stats       — backend counters summed + per-backend health
+//
+// Routing policies are pluggable: "affinity" consistent-hashes the
+// canonical core.Instance.Hash onto the pool, so every repeat of an
+// instance lands on the backend already holding its cached bytes —
+// the cluster-scale version of the single-node LRU win; "least-loaded"
+// picks the backend with the fewest in-flight/queued requests; and
+// "random" is the seeded control. Backends are health-probed; a member
+// failing FailAfter consecutive probes is evicted (its arc of the hash
+// ring redistributes to survivors, everything else stays put) and
+// readmitted after RecoverAfter successes. Transport failures fail
+// over to another backend so an eviction race never surfaces as a
+// caller-visible error.
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"energysched/internal/cache"
+	"energysched/internal/client"
+	"energysched/internal/core"
+)
+
+// Routing policy names accepted by Config.Policy.
+const (
+	// PolicyAffinity consistent-hashes the routing key (the canonical
+	// instance hash where the body has one) onto the backend pool.
+	PolicyAffinity = "affinity"
+	// PolicyLeastLoaded picks the backend with the fewest known
+	// in-flight plus queued requests (last probed gauges plus the
+	// router's own outstanding count).
+	PolicyLeastLoaded = "least-loaded"
+	// PolicyRandom picks a healthy backend uniformly at random — the
+	// control policy for measuring what affinity buys.
+	PolicyRandom = "random"
+)
+
+// Policies lists the valid policy names in presentation order.
+func Policies() []string {
+	return []string{PolicyAffinity, PolicyLeastLoaded, PolicyRandom}
+}
+
+// Defaults applied by New for zero Config fields.
+const (
+	DefaultFailAfter      = 3
+	DefaultRecoverAfter   = 2
+	DefaultProbeInterval  = 2 * time.Second
+	DefaultProbeTimeout   = time.Second
+	DefaultRequestTimeout = 35 * time.Second
+	DefaultMaxBodyBytes   = 8 << 20 // 8 MiB, matches the backend cap
+	DefaultRetries        = 2
+)
+
+// Config tunes one Router. Backends is required; zero fields get the
+// package defaults.
+type Config struct {
+	// Backends are the backend base URLs, e.g. "http://10.0.0.2:8080".
+	// The list order is the ring identity: two routers given the same
+	// list route identically.
+	Backends []string
+	// Policy picks backends: affinity (default), least-loaded, random.
+	Policy string
+	// Replicas is the virtual-node count per backend on the affinity
+	// ring (default DefaultReplicas).
+	Replicas int
+	// FailAfter evicts a backend after this many consecutive failed
+	// health probes (default DefaultFailAfter).
+	FailAfter int
+	// RecoverAfter readmits an evicted backend after this many
+	// consecutive successful probes (default DefaultRecoverAfter).
+	RecoverAfter int
+	// ProbeInterval is the Run loop's probe period (default
+	// DefaultProbeInterval).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each health probe and each backend /stats
+	// scrape (default DefaultProbeTimeout).
+	ProbeTimeout time.Duration
+	// RequestTimeout bounds each proxied backend request; keep it
+	// above the backends' solve timeout so the backend's own 504
+	// arrives instead of a router-side cut (default
+	// DefaultRequestTimeout).
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds accepted request bodies; larger get 413
+	// (default DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// Retries is how many additional backends a request fails over to
+	// after a transport failure (default DefaultRetries).
+	Retries int
+	// Seed drives the random policy (default 1).
+	Seed int64
+	// HTTPClient, when set, issues all backend requests — tests share
+	// one transport; production leaves it nil and gets per-request
+	// timeouts from RequestTimeout.
+	HTTPClient *http.Client
+}
+
+// member is one backend: its client, health state and counters.
+type member struct {
+	url    string
+	client *client.Client
+
+	mu          sync.Mutex
+	healthyBool bool // guarded copy behind healthy
+	consecFails int
+	consecOKs   int
+
+	healthy      atomic.Bool  // hot-path view of healthyBool
+	outstanding  atomic.Int64 // proxied requests currently in flight
+	probedLoad   atomic.Int64 // inFlight+queued from the last good probe
+	proxied      atomic.Int64 // requests answered by this backend
+	evictions    atomic.Int64
+	readmissions atomic.Int64
+}
+
+// Router is the proxy state. Create with New; it is safe for
+// concurrent use. Health probing only happens through Run or
+// ProbeOnce — a Router that never probes trusts every backend.
+type Router struct {
+	cfg     Config
+	members []*member
+	ring    *ring
+	mux     *http.ServeMux
+	start   time.Time
+
+	rndMu sync.Mutex
+	rnd   *rand.Rand
+
+	requests   atomic.Int64 // HTTP requests accepted by the router
+	proxied    atomic.Int64 // backend requests issued (incl. scatter legs)
+	retried    atomic.Int64 // failover re-sends after transport errors
+	badGateway atomic.Int64 // 502s for junk/unreachable backends
+	noBackend  atomic.Int64 // 503s with zero healthy backends
+	scattered  atomic.Int64 // batch requests split across backends
+}
+
+// New returns a ready Router over cfg.Backends with zero fields
+// defaulted.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("router: Config.Backends is required")
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = PolicyAffinity
+	}
+	switch cfg.Policy {
+	case PolicyAffinity, PolicyLeastLoaded, PolicyRandom:
+	default:
+		return nil, fmt.Errorf("router: unknown policy %q (have affinity, least-loaded, random)", cfg.Policy)
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = DefaultReplicas
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = DefaultFailAfter
+	}
+	if cfg.RecoverAfter <= 0 {
+		cfg.RecoverAfter = DefaultRecoverAfter
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = DefaultProbeTimeout
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	} else if cfg.Retries == 0 {
+		cfg.Retries = DefaultRetries
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	rt := &Router{
+		cfg:   cfg,
+		ring:  buildRing(len(cfg.Backends), cfg.Replicas),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+		rnd:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for _, u := range cfg.Backends {
+		cl, err := client.New(client.Config{
+			BaseURL:    u,
+			HTTPClient: cfg.HTTPClient,
+			Timeout:    cfg.RequestTimeout,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("router: backend %q: %w", u, err)
+		}
+		m := &member{url: cl.BaseURL(), client: cl, healthyBool: true}
+		m.healthy.Store(true)
+		rt.members = append(rt.members, m)
+	}
+	rt.mux.HandleFunc("POST /v1/solve", rt.proxyHandler("solve"))
+	rt.mux.HandleFunc("POST /v1/simulate", rt.proxyHandler("simulate"))
+	rt.mux.HandleFunc("POST /v1/sweep", rt.proxyHandler("sweep"))
+	rt.mux.HandleFunc("POST /v1/batch", rt.handleBatch)
+	rt.mux.HandleFunc("GET /v1/solvers", rt.handleSolvers)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /stats", rt.handleStats)
+	return rt, nil
+}
+
+// Handler returns the router's http.Handler.
+func (rt *Router) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rt.requests.Add(1)
+		rt.mux.ServeHTTP(w, r)
+	})
+}
+
+// Policy returns the resolved routing policy name.
+func (rt *Router) Policy() string { return rt.cfg.Policy }
+
+// healthyCount returns how many members are currently healthy.
+func (rt *Router) healthyCount() int {
+	n := 0
+	for _, m := range rt.members {
+		if m.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// pick chooses a backend for key under the configured policy, skipping
+// unhealthy members and those in tried. It returns -1 when no member
+// qualifies.
+func (rt *Router) pick(key string, tried map[int]bool) int {
+	alive := func(i int) bool { return rt.members[i].healthy.Load() && !tried[i] }
+	switch rt.cfg.Policy {
+	case PolicyLeastLoaded:
+		best, bestLoad := -1, int64(0)
+		for i, m := range rt.members {
+			if !alive(i) {
+				continue
+			}
+			load := m.probedLoad.Load() + m.outstanding.Load()
+			if best < 0 || load < bestLoad {
+				best, bestLoad = i, load
+			}
+		}
+		return best
+	case PolicyRandom:
+		var candidates []int
+		for i := range rt.members {
+			if alive(i) {
+				candidates = append(candidates, i)
+			}
+		}
+		if len(candidates) == 0 {
+			return -1
+		}
+		rt.rndMu.Lock()
+		i := candidates[rt.rnd.Intn(len(candidates))]
+		rt.rndMu.Unlock()
+		return i
+	default: // PolicyAffinity
+		return rt.ring.lookup(key, alive)
+	}
+}
+
+// routingKey derives the affinity key for one request body. Bodies
+// carrying an instance key on the canonical core.Instance.Hash — the
+// same hash that keys every backend's result cache, so repeats (and a
+// simulate following its solve) land on the backend already holding
+// the bytes. Anything else, including bodies the backend will reject,
+// keys on the raw bytes: still deterministic, spread by FNV.
+func routingKey(kind string, body []byte) string {
+	switch kind {
+	case "solve", "simulate":
+		var probe struct {
+			Instance json.RawMessage `json:"instance"`
+		}
+		if json.Unmarshal(body, &probe) == nil && len(probe.Instance) > 0 {
+			if in, err := core.UnmarshalInstance(probe.Instance); err == nil {
+				return in.Hash()
+			}
+		}
+	}
+	return "body:" + strconv.FormatUint(hashKey(string(body)), 16)
+}
+
+// instanceKey keys one batch item: the canonical instance hash when
+// the item parses, the raw bytes otherwise.
+func instanceKey(raw json.RawMessage) string {
+	if in, err := core.UnmarshalInstance(raw); err == nil {
+		return in.Hash()
+	}
+	return "body:" + strconv.FormatUint(hashKey(string(raw)), 16)
+}
+
+// errNoBackend is the all-evicted outcome: 503, distinct from the
+// per-backend 502s.
+var errNoBackend = errors.New("router: no healthy backend")
+
+// forward sends body to policy-picked backends until one answers,
+// failing over past transport errors up to Retries times. It returns
+// the first HTTP response (whatever its status — backend 4xx/5xx are
+// relayed, not retried) and the member that produced it.
+func (rt *Router) forward(ctx context.Context, kind, key string, body []byte) (*client.Response, *member, error) {
+	return rt.forwardExcluding(ctx, kind, key, body, map[int]bool{})
+}
+
+// forwardExcluding is forward with members already known to have
+// failed this request marked in tried. Besides transport errors, a
+// backend 502/503 — infrastructure trouble, not a verdict on the
+// request — also fails over: solves are deterministic and idempotent,
+// so re-sending is always safe. 4xx, 500 and 504 are the backend's
+// answer and are relayed. When every attempt ends in 502/503 the last
+// such response is returned rather than masked.
+func (rt *Router) forwardExcluding(ctx context.Context, kind, key string, body []byte, tried map[int]bool) (*client.Response, *member, error) {
+	var lastErr error
+	var lastResp *client.Response
+	var lastMember *member
+	for attempt := 0; attempt <= rt.cfg.Retries; attempt++ {
+		i := rt.pick(key, tried)
+		if i < 0 {
+			break
+		}
+		m := rt.members[i]
+		m.outstanding.Add(1)
+		rt.proxied.Add(1)
+		resp, err := m.client.PostKind(ctx, kind, body)
+		m.outstanding.Add(-1)
+		if err != nil {
+			lastErr = err
+			tried[i] = true
+			rt.retried.Add(1)
+			continue
+		}
+		m.proxied.Add(1)
+		if resp.Status == http.StatusBadGateway || resp.Status == http.StatusServiceUnavailable {
+			lastResp, lastMember = resp, m
+			tried[i] = true
+			rt.retried.Add(1)
+			continue
+		}
+		return resp, m, nil
+	}
+	if lastResp != nil {
+		return lastResp, lastMember, nil
+	}
+	if lastErr != nil {
+		return nil, nil, lastErr
+	}
+	return nil, nil, errNoBackend
+}
+
+// proxyHandler serves one single-backend endpoint: read, route, relay.
+// A backend 2xx whose body is not valid JSON — a half-written response
+// from a dying process — becomes a 502 JSON envelope rather than junk
+// relayed to the caller.
+func (rt *Router) proxyHandler(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := rt.readBody(w, r)
+		if err != nil {
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
+		defer cancel()
+		resp, m, err := rt.forward(ctx, kind, routingKey(kind, body), body)
+		if err != nil {
+			rt.writeForwardError(w, err)
+			return
+		}
+		rt.relay(w, resp, m)
+	}
+}
+
+// relay writes a backend response through to the caller, preserving
+// the cache disposition and Retry-After hints and naming the backend
+// for observability. The router's contract is that every response it
+// writes is valid JSON — a backend body that isn't (half-written
+// output from a dying process, junk from something that isn't an
+// energyschedd) becomes a 502 envelope instead of being passed
+// through.
+func (rt *Router) relay(w http.ResponseWriter, resp *client.Response, m *member) {
+	if !json.Valid(resp.Body) {
+		rt.badGateway.Add(1)
+		rt.writeError(w, http.StatusBadGateway,
+			fmt.Sprintf("backend %s returned invalid JSON (status %d)", m.url, resp.Status))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if resp.XCache != "" {
+		w.Header().Set("X-Cache", resp.XCache)
+	}
+	if resp.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int((resp.RetryAfter+time.Second-1)/time.Second)))
+	}
+	w.Header().Set("X-Backend", m.url)
+	w.WriteHeader(resp.Status)
+	w.Write(resp.Body)
+}
+
+// readBody reads the request body under the MaxBodyBytes cap, writing
+// the error response itself on failure.
+func (rt *Router) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			rt.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", rt.cfg.MaxBodyBytes))
+		} else {
+			rt.writeError(w, http.StatusBadRequest, "reading request body: "+err.Error())
+		}
+		return nil, err
+	}
+	return body, nil
+}
+
+// writeForwardError maps a forward failure onto the wire: no healthy
+// backend is 503 (try again once probes readmit someone), a transport
+// failure that exhausted failover is 502.
+func (rt *Router) writeForwardError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errNoBackend) {
+		rt.noBackend.Add(1)
+		rt.writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	rt.badGateway.Add(1)
+	rt.writeError(w, http.StatusBadGateway, "all backends failed: "+err.Error())
+}
+
+func (rt *Router) writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// handleSolvers forwards GET /v1/solvers to the first healthy backend
+// that answers — the registry is identical across the pool.
+func (rt *Router) handleSolvers(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ProbeTimeout)
+	defer cancel()
+	for i, m := range rt.members {
+		if !m.healthy.Load() {
+			continue
+		}
+		resp, err := m.client.Get(ctx, "/v1/solvers")
+		if err != nil || !json.Valid(resp.Body) {
+			continue
+		}
+		rt.relay(w, resp, rt.members[i])
+		return
+	}
+	rt.noBackend.Add(1)
+	rt.writeError(w, http.StatusServiceUnavailable, errNoBackend.Error())
+}
+
+// handleHealthz reports router liveness: healthy while at least one
+// backend is.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	n := rt.healthyCount()
+	status := http.StatusOK
+	state := "ok"
+	if n == 0 {
+		status = http.StatusServiceUnavailable
+		state = "no healthy backends"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status": state, "healthyBackends": n, "backends": len(rt.members),
+	})
+}
+
+// backendScrape is the backend /stats subset the aggregate sums.
+type backendScrape struct {
+	Requests  int64       `json:"requests"`
+	Solved    int64       `json:"solved"`
+	Simulated int64       `json:"simulated"`
+	Swept     int64       `json:"swept"`
+	Errors    int64       `json:"errors"`
+	Timeouts  int64       `json:"timeouts"`
+	InFlight  int64       `json:"inFlight"`
+	Queued    int64       `json:"queued"`
+	Shed      int64       `json:"shed"`
+	Coalesced int64       `json:"coalesced"`
+	Cache     cache.Stats `json:"cache"`
+}
+
+// backendStatsJSON is one member's row in the router /stats payload.
+type backendStatsJSON struct {
+	URL          string `json:"url"`
+	Healthy      bool   `json:"healthy"`
+	Proxied      int64  `json:"proxied"`
+	Outstanding  int64  `json:"outstanding"`
+	ProbedLoad   int64  `json:"probedLoad"`
+	Evictions    int64  `json:"evictions"`
+	Readmissions int64  `json:"readmissions"`
+	Unreachable  bool   `json:"unreachable,omitempty"`
+}
+
+// routerStatsJSON is the router's own counter block.
+type routerStatsJSON struct {
+	Requests   int64 `json:"requests"`
+	Proxied    int64 `json:"proxied"`
+	Retried    int64 `json:"retried"`
+	BadGateway int64 `json:"badGateway"`
+	NoBackend  int64 `json:"noBackend"`
+	Scattered  int64 `json:"scattered"`
+}
+
+// statsJSON is the GET /stats payload. The top-level counters are the
+// live sums over every reachable backend, named exactly like a single
+// energyschedd's /stats — so energyload's before/after scrape works
+// identically against a router and a single node. Router-only state
+// sits under "policy", "router" and "backends".
+type statsJSON struct {
+	UptimeSeconds float64            `json:"uptimeSeconds"`
+	Requests      int64              `json:"requests"`
+	Solved        int64              `json:"solved"`
+	Simulated     int64              `json:"simulated"`
+	Swept         int64              `json:"swept"`
+	Errors        int64              `json:"errors"`
+	Timeouts      int64              `json:"timeouts"`
+	InFlight      int64              `json:"inFlight"`
+	Queued        int64              `json:"queued"`
+	Shed          int64              `json:"shed"`
+	Coalesced     int64              `json:"coalesced"`
+	Cache         cache.Stats        `json:"cache"`
+	Policy        string             `json:"policy"`
+	Router        routerStatsJSON    `json:"router"`
+	Backends      []backendStatsJSON `json:"backends"`
+}
+
+// handleStats serves GET /stats: every backend is scraped concurrently
+// (healthy or not — an evicted backend that still answers contributes,
+// one that doesn't is marked unreachable and its counters are absent
+// from the sums).
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ProbeTimeout)
+	defer cancel()
+	scrapes := make([]*backendScrape, len(rt.members))
+	var wg sync.WaitGroup
+	for i, m := range rt.members {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			var s backendScrape
+			if err := m.client.GetJSON(ctx, "/stats", &s); err == nil {
+				scrapes[i] = &s
+			}
+		}(i, m)
+	}
+	wg.Wait()
+
+	out := statsJSON{
+		UptimeSeconds: time.Since(rt.start).Seconds(),
+		Policy:        rt.cfg.Policy,
+		Router: routerStatsJSON{
+			Requests:   rt.requests.Load(),
+			Proxied:    rt.proxied.Load(),
+			Retried:    rt.retried.Load(),
+			BadGateway: rt.badGateway.Load(),
+			NoBackend:  rt.noBackend.Load(),
+			Scattered:  rt.scattered.Load(),
+		},
+	}
+	for i, m := range rt.members {
+		row := backendStatsJSON{
+			URL:          m.url,
+			Healthy:      m.healthy.Load(),
+			Proxied:      m.proxied.Load(),
+			Outstanding:  m.outstanding.Load(),
+			ProbedLoad:   m.probedLoad.Load(),
+			Evictions:    m.evictions.Load(),
+			Readmissions: m.readmissions.Load(),
+			Unreachable:  scrapes[i] == nil,
+		}
+		out.Backends = append(out.Backends, row)
+		if s := scrapes[i]; s != nil {
+			out.Requests += s.Requests
+			out.Solved += s.Solved
+			out.Simulated += s.Simulated
+			out.Swept += s.Swept
+			out.Errors += s.Errors
+			out.Timeouts += s.Timeouts
+			out.InFlight += s.InFlight
+			out.Queued += s.Queued
+			out.Shed += s.Shed
+			out.Coalesced += s.Coalesced
+			out.Cache.Hits += s.Cache.Hits
+			out.Cache.Misses += s.Cache.Misses
+			out.Cache.Evictions += s.Cache.Evictions
+			out.Cache.Entries += s.Cache.Entries
+			out.Cache.Capacity += s.Cache.Capacity
+		}
+	}
+	writeJSON(w, out)
+}

@@ -1,0 +1,143 @@
+package router
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"time"
+
+	"energysched/internal/server"
+)
+
+// TestCluster is the in-process cluster harness: N real
+// internal/server backends plus one Router, all on httptest listeners
+// — full HTTP round trips over local sockets, no real network, so the
+// whole cluster is race-testable in CI. Each backend sits behind a tap
+// that can be flipped down (every new request, including health
+// probes, answers 503) or delayed, which is how the health-check tests
+// drive evictions without a real failing process.
+//
+// The harness does not start the Run probe loop; tests call
+// Router.ProbeOnce themselves so probe timing is a stepped clock under
+// test control. All members start healthy.
+type TestCluster struct {
+	// Router is the router under test; RouterSrv serves its Handler.
+	Router    *Router
+	RouterSrv *httptest.Server
+	// Backends are the solver backends, in ring order; BackendSrvs
+	// their listeners.
+	Backends    []*server.Server
+	BackendSrvs []*httptest.Server
+
+	taps []*backendTap
+}
+
+// backendTap wraps one backend handler with fault controls.
+type backendTap struct {
+	inner http.Handler
+	down  atomic.Bool
+	delay atomic.Int64 // nanoseconds added before serving
+}
+
+func (t *backendTap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if t.down.Load() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"backend down (testcluster tap)"}`)
+		return
+	}
+	if d := t.delay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	t.inner.ServeHTTP(w, r)
+}
+
+// testClusterConfig collects NewTestCluster options.
+type testClusterConfig struct {
+	policy  string
+	backend server.Config
+	router  func(*Config)
+}
+
+// TestClusterOption customizes NewTestCluster.
+type TestClusterOption func(*testClusterConfig)
+
+// WithPolicy sets the routing policy (default affinity).
+func WithPolicy(policy string) TestClusterOption {
+	return func(c *testClusterConfig) { c.policy = policy }
+}
+
+// WithBackendConfig sets every backend's server.Config.
+func WithBackendConfig(cfg server.Config) TestClusterOption {
+	return func(c *testClusterConfig) { c.backend = cfg }
+}
+
+// WithRouterConfig mutates the router Config after the harness fills
+// in backends and policy.
+func WithRouterConfig(mut func(*Config)) TestClusterOption {
+	return func(c *testClusterConfig) { c.router = mut }
+}
+
+// NewTestCluster stands up n backends and a router in front of them.
+// Callers own Close.
+func NewTestCluster(n int, opts ...TestClusterOption) (*TestCluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("router: test cluster needs n ≥ 1, got %d", n)
+	}
+	tc := &testClusterConfig{policy: PolicyAffinity}
+	for _, o := range opts {
+		o(tc)
+	}
+	c := &TestCluster{}
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		b := server.New(tc.backend)
+		tap := &backendTap{inner: b.Handler()}
+		srv := httptest.NewServer(tap)
+		c.Backends = append(c.Backends, b)
+		c.BackendSrvs = append(c.BackendSrvs, srv)
+		c.taps = append(c.taps, tap)
+		urls[i] = srv.URL
+	}
+	cfg := Config{Backends: urls, Policy: tc.policy}
+	if tc.router != nil {
+		tc.router(&cfg)
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.Router = rt
+	c.RouterSrv = httptest.NewServer(rt.Handler())
+	return c, nil
+}
+
+// URL returns the router's base URL.
+func (c *TestCluster) URL() string { return c.RouterSrv.URL }
+
+// BackendURL returns backend i's base URL.
+func (c *TestCluster) BackendURL(i int) string { return c.BackendSrvs[i].URL }
+
+// SetBackendDown flips backend i's tap: while down, every new request
+// to it (traffic and probes alike) answers 503. Requests already past
+// the tap finish normally — eviction must never drop in-flight work.
+func (c *TestCluster) SetBackendDown(i int, down bool) { c.taps[i].down.Store(down) }
+
+// SetBackendDelay makes backend i sleep d before serving each request
+// — a way to hold requests in flight across an eviction/readmission
+// cycle.
+func (c *TestCluster) SetBackendDelay(i int, d time.Duration) {
+	c.taps[i].delay.Store(int64(d))
+}
+
+// Close shuts the router then the backends down.
+func (c *TestCluster) Close() {
+	if c.RouterSrv != nil {
+		c.RouterSrv.Close()
+	}
+	for _, s := range c.BackendSrvs {
+		s.Close()
+	}
+}
