@@ -22,7 +22,7 @@ BENCH_FLAGS = -run='^$$' -bench='^($(GATED_BENCHES))$$' -benchmem -benchtime=10x
 BENCHGATE_TIME_TOL ?= 0.10
 BENCHGATE_ALLOC_TOL ?= 0.10
 
-.PHONY: build test race bench bench-check fmt vet loadsmoke clustersmoke
+.PHONY: build test race bench bench-check fmt vet loadsmoke clustersmoke chaossmoke
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,15 @@ loadsmoke:
 # the single-node bound (clustersmoke_test.go).
 clustersmoke:
 	CLUSTERSMOKE_FULL=1 $(GO) test -race -run TestClusterSmoke -v ./internal/router
+
+# chaossmoke co-replays the committed reference trace with the
+# committed reference fault schedule (crashes, partitions, corruption,
+# latency ramps, connection kills) through the same 3-backend cluster
+# at real-time speed under -race; fails on any caller-visible 5xx, a
+# p99 above 2× the fault-free cluster bound, an undrained cluster, or
+# a response diverging from the fault-free answer (chaossmoke_test.go).
+chaossmoke:
+	CHAOSSMOKE_FULL=1 $(GO) test -race -run TestChaosSmoke -v ./internal/chaos
 
 fmt:
 	gofmt -l .

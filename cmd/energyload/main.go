@@ -10,18 +10,26 @@
 //	           -mix solve=0.8,simulate=0.2,repeat=0.5 -base http://localhost:8080
 //	energyload -trace recorded.json -speed 2 -out report.json
 //	energyload -duration 10 -rate 20 -save trace.json -norun
+//	energyload -cluster 3 -chaos reference
+//	energyload -cluster 3 -chaos schedule.json -save-chaos schedule.json
 //
 // With no -base, an in-process server (default config) is started for
-// the run — the hermetic mode CI's loadsmoke job uses. -base may name
-// either an energyschedd or an energyrouter front: the router's /stats
-// aggregates its backends under the same field names, so the report's
-// stats deltas work unchanged against a cluster. Replay is open-loop:
-// events fire at their scheduled offsets whether or not earlier
-// requests have returned, so saturation shows up as latency and shed
-// counts instead of being silently absorbed by backpressure. All
-// requests go through internal/client, which classifies outcomes and
-// parses Retry-After hints in one tested place (replay never retries —
-// a shed must be counted, not hidden).
+// the run — the hermetic mode CI's loadsmoke job uses. -cluster N
+// starts an in-process router fronting N backends instead, and -chaos
+// co-replays a fault schedule (crashes, partitions, corruption,
+// latency ramps, connection kills) against that cluster's fault taps
+// on the same scaled timeline: "reference" names the committed
+// reference schedule, anything else is a schedule file (see
+// internal/chaos). -base may name either an energyschedd or an
+// energyrouter front: the router's /stats aggregates its backends
+// under the same field names, so the report's stats deltas work
+// unchanged against a cluster. Replay is open-loop: events fire at
+// their scheduled offsets whether or not earlier requests have
+// returned, so saturation shows up as latency and shed counts instead
+// of being silently absorbed by backpressure. All requests go through
+// internal/client, which classifies outcomes and parses Retry-After
+// hints in one tested place (replay never retries — a shed must be
+// counted, not hidden).
 package main
 
 import (
@@ -36,7 +44,9 @@ import (
 	"syscall"
 	"time"
 
+	"energysched/internal/chaos"
 	"energysched/internal/loadgen"
+	"energysched/internal/router"
 	"energysched/internal/server"
 )
 
@@ -63,7 +73,10 @@ func main() {
 
 	// Replay knobs.
 	base := flag.String("base", "", "server base URL (default: start an in-process server)")
-	speed := flag.Float64("speed", 1, "replay speed multiplier (2 = twice as fast)")
+	cluster := flag.Int("cluster", 0, "start an in-process router fronting this many backends (instead of one server; ignored with -base)")
+	chaosArg := flag.String("chaos", "", "co-replay a fault schedule against the -cluster taps: 'reference' or a schedule file")
+	saveChaos := flag.String("save-chaos", "", "write the fault schedule to this file")
+	speed := flag.Float64("speed", 1, "replay speed multiplier (2 = twice as fast), applied to the trace and the fault schedule")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	save := flag.String("save", "", "write the trace to this file")
 	out := flag.String("out", "", "write the JSON report to this file (default: stdout)")
@@ -86,26 +99,80 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "energyload: wrote %d events to %s\n", len(tr.Events), *save)
 	}
+	sched, err := loadSchedule(*chaosArg)
+	if err != nil {
+		fail(err)
+	}
+	if *saveChaos != "" {
+		if sched == nil {
+			fail(fmt.Errorf("-save-chaos needs -chaos to name the schedule"))
+		}
+		data, err := sched.Marshal()
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*saveChaos, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "energyload: wrote %d fault events to %s\n", len(sched.Events), *saveChaos)
+	}
 	if *norun {
 		return
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	baseURL := *base
-	if baseURL == "" {
+	var tc *router.TestCluster
+	if baseURL == "" && *cluster > 0 {
+		tc, err = router.NewTestCluster(*cluster, router.WithRouterConfig(func(cfg *router.Config) {
+			cfg.ProbeInterval = 250 * time.Millisecond
+			cfg.FailAfter = 2
+			cfg.RecoverAfter = 1
+		}))
+		if err != nil {
+			fail(err)
+		}
+		defer tc.Close()
+		go tc.Router.Run(ctx)
+		baseURL = tc.URL()
+		fmt.Fprintf(os.Stderr, "energyload: no -base, replaying through in-process router + %d backends at %s\n", *cluster, baseURL)
+	} else if baseURL == "" {
 		srv := httptest.NewServer(server.New(server.Config{}).Handler())
 		defer srv.Close()
 		baseURL = srv.URL
 		fmt.Fprintf(os.Stderr, "energyload: no -base, replaying against in-process server %s\n", baseURL)
 	}
+	if sched != nil && tc == nil {
+		fail(fmt.Errorf("-chaos needs -cluster: the fault taps live on the in-process cluster"))
+	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// The fault schedule co-replays beside the trace on the same scaled
+	// timeline; its report rides along on stderr, not in the JSON.
+	faultsDone := make(chan struct{})
+	if sched != nil {
+		go func() {
+			defer close(faultsDone)
+			frep, ferr := chaos.Replay(ctx, sched, tc, chaos.ReplayOptions{Speed: *speed})
+			if ferr != nil {
+				fmt.Fprintf(os.Stderr, "energyload: fault replay: %v\n", ferr)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "energyload: injected %d faults %v over %.2fs\n",
+				frep.Faults, frep.PerAction, frep.WallS)
+		}()
+	} else {
+		close(faultsDone)
+	}
+
 	rep, err := loadgen.Replay(ctx, tr, loadgen.ReplayOptions{
 		BaseURL:     baseURL,
 		Speed:       *speed,
 		Timeout:     *timeout,
 		ScrapeStats: true,
 	})
+	<-faultsDone
 	if err != nil {
 		fail(err)
 	}
@@ -169,6 +236,24 @@ func loadTrace(path string, spec loadgen.Spec) (*loadgen.Trace, error) {
 		return nil, err
 	}
 	return loadgen.ParseTrace(data)
+}
+
+// loadSchedule resolves the -chaos argument: empty means no chaos,
+// "reference" generates the committed reference schedule, anything
+// else is a schedule file.
+func loadSchedule(arg string) (*chaos.Schedule, error) {
+	switch arg {
+	case "":
+		return nil, nil
+	case "reference":
+		return chaos.Generate(chaos.ReferenceSpec())
+	default:
+		data, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, err
+		}
+		return chaos.ParseSchedule(data)
+	}
 }
 
 func fail(err error) {

@@ -8,7 +8,10 @@
 //	energyrouter -backends http://10.0.0.2:8080,http://10.0.0.3:8080 \
 //	             [-addr :8080] [-policy affinity] [-probe-interval 2s] \
 //	             [-fail-after 3] [-recover-after 2] [-retries 2] \
-//	             [-timeout 35s] [-max-body 8388608] [-seed 1]
+//	             [-timeout 35s] [-max-body 8388608] [-seed 1] \
+//	             [-breaker-threshold 3] [-breaker-backoff 500ms] \
+//	             [-breaker-max-backoff 8s] [-hedge-after 100ms] \
+//	             [-no-hedging] [-degraded-cache 512] [-no-degraded]
 //
 // Policies:
 //
@@ -21,7 +24,17 @@
 // Endpoints match energyschedd: POST /v1/solve, /v1/batch (scattered
 // by shard, gathered in input order), /v1/simulate, /v1/sweep, GET
 // /v1/solvers, /healthz and /stats (backend counters summed, plus
-// per-backend health and router counters).
+// per-backend health, router and resilience counters). GET/POST
+// /admin/backends reads and changes pool membership live:
+//
+//	curl -X POST localhost:8080/admin/backends \
+//	     -d '{"add":["http://10.0.0.4:8080"],"remove":["http://10.0.0.2:8080"]}'
+//
+// Failure handling: per-backend circuit breakers steer traffic away
+// from members failing live requests before the prober notices,
+// hedged requests race a second backend when the first leg outlives
+// the kind's observed p99, and a small degraded-mode cache answers
+// repeat reads when every backend attempt fails.
 package main
 
 import (
@@ -52,7 +65,14 @@ func main() {
 	timeout := flag.Duration("timeout", router.DefaultRequestTimeout, "per-request backend timeout (keep above the backends' solve timeout)")
 	maxBody := flag.Int64("max-body", router.DefaultMaxBodyBytes, "max request body bytes")
 	replicas := flag.Int("replicas", router.DefaultReplicas, "virtual nodes per backend on the affinity ring")
-	seed := flag.Int64("seed", 1, "random-policy seed")
+	seed := flag.Int64("seed", 1, "random-policy and breaker/hedge jitter seed")
+	breakerThreshold := flag.Int("breaker-threshold", router.DefaultBreakerThreshold, "consecutive request failures before a backend's circuit opens")
+	breakerBackoff := flag.Duration("breaker-backoff", router.DefaultBreakerBackoff, "initial open-circuit window (doubles per consecutive open)")
+	breakerMaxBackoff := flag.Duration("breaker-max-backoff", router.DefaultBreakerMaxBackoff, "cap on the open-circuit window")
+	hedgeAfter := flag.Duration("hedge-after", router.DefaultHedgeAfter, "hedge delay before per-kind p99 is learned")
+	noHedging := flag.Bool("no-hedging", false, "disable hedged requests")
+	degradedCache := flag.Int("degraded-cache", router.DefaultDegradedCacheSize, "degraded-mode response cache entries")
+	noDegraded := flag.Bool("no-degraded", false, "disable degraded-mode serving from the response cache")
 	flag.Parse()
 
 	if *backends == "" {
@@ -70,6 +90,14 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		Retries:        *retries,
 		Seed:           *seed,
+
+		BreakerThreshold:  *breakerThreshold,
+		BreakerBackoff:    *breakerBackoff,
+		BreakerMaxBackoff: *breakerMaxBackoff,
+		HedgeAfter:        *hedgeAfter,
+		DisableHedging:    *noHedging,
+		DegradedCacheSize: *degradedCache,
+		DisableDegraded:   *noDegraded,
 	})
 	if err != nil {
 		log.Fatal(err)

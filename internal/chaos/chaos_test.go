@@ -1,0 +1,384 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestReferenceGolden pins the committed reference schedule bytes. A
+// diff here means generation changed for existing seeds — which
+// invalidates every chaos latency bound measured against the schedule
+// and any recorded baseline: bump ScheduleVersion or rethink.
+// Regenerate deliberately with -update.
+func TestReferenceGolden(t *testing.T) {
+	s, err := Generate(ReferenceSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "reference.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("schedule bytes drifted from golden (len %d vs %d); generation for existing seeds must never change",
+			len(got), len(want))
+	}
+
+	// The reference schedule's own contract: every fault kind present,
+	// every backend targeted, quiet head and tail respected.
+	perAction := map[string]int{}
+	backends := map[int]bool{}
+	for _, ev := range s.Events {
+		perAction[ev.Action]++
+		backends[ev.Backend] = true
+	}
+	for _, a := range Actions() {
+		if perAction[a] == 0 {
+			t.Errorf("reference schedule has no %s fault; retune ReferenceSpec", a)
+		}
+	}
+	if len(backends) != ReferenceSpec().Backends {
+		t.Errorf("reference schedule targets %d of %d backends", len(backends), ReferenceSpec().Backends)
+	}
+	headUs := round6(ReferenceSpec().QuietHeadS)
+	tailStartUs := round6(ReferenceSpec().DurationS - ReferenceSpec().QuietTailS)
+	for i, ev := range s.Events {
+		if ev.AtUs < headUs {
+			t.Errorf("event %d at %dµs violates the quiet head", i, ev.AtUs)
+		}
+		if ev.AtUs+ev.DurUs > tailStartUs {
+			t.Errorf("event %d ends at %dµs, inside the quiet tail", i, ev.AtUs+ev.DurUs)
+		}
+	}
+}
+
+// TestGenerateDeterministic re-derives byte identity from scratch: two
+// Generate calls with one spec agree bit for bit, a one-bit seed
+// change does not.
+func TestGenerateDeterministic(t *testing.T) {
+	spec := ReferenceSpec()
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, _ := a.Marshal()
+	bb, _ := b.Marshal()
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("same spec generated different schedule bytes")
+	}
+	spec.Seed++
+	c, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, _ := c.Marshal()
+	if bytes.Equal(ab, cb) {
+		t.Fatal("different seeds generated identical schedules")
+	}
+}
+
+// TestGenerateNonOverlap pins the availability contract: at most one
+// backend faulted at any instant, so an n-member cluster always keeps
+// n−1 clean members.
+func TestGenerateNonOverlap(t *testing.T) {
+	spec := ReferenceSpec()
+	// Crank rates so the overlap filter actually has work to do.
+	spec.CrashPerSec, spec.PartitionPerSec, spec.SlowPerSec = 2, 2, 2
+	s, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) == 0 {
+		t.Fatal("high-rate spec generated no events")
+	}
+	var busyUntil int64
+	for i, ev := range s.Events {
+		if ev.AtUs < busyUntil {
+			t.Fatalf("event %d at %dµs overlaps previous fault busy until %dµs", i, ev.AtUs, busyUntil)
+		}
+		busyUntil = ev.AtUs + ev.DurUs
+	}
+}
+
+// TestScheduleRoundTrip pins marshal∘parse idempotence on a real
+// schedule — the property FuzzParseChaosSchedule then hammers with
+// junk.
+func TestScheduleRoundTrip(t *testing.T) {
+	s, err := Generate(ReferenceSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSchedule(one)
+	if err != nil {
+		t.Fatalf("ParseSchedule rejected Marshal output: %v", err)
+	}
+	two, err := back.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one, two) {
+		t.Fatal("marshal → parse → marshal is not byte-identical")
+	}
+	if back.Generator == nil || back.Generator.Seed != ReferenceSpec().Seed {
+		t.Fatal("generator provenance lost in round trip")
+	}
+	if back.Duration() != 10*time.Second {
+		t.Fatalf("Duration = %v, want 10s from the generator spec", back.Duration())
+	}
+}
+
+func TestParseScheduleRejects(t *testing.T) {
+	cases := []struct {
+		name, data string
+	}{
+		{"junk", `]`},
+		{"empty", ``},
+		{"wrong version", `{"version":2,"backends":1,"events":[]}`},
+		{"missing version", `{"backends":1,"events":[]}`},
+		{"zero backends", `{"version":1,"backends":0,"events":[]}`},
+		{"huge backends", `{"version":1,"backends":2048,"events":[]}`},
+		{"negative offset", `{"version":1,"backends":1,"events":[{"atUs":-1,"backend":0,"action":"crash","durUs":5}]}`},
+		{"decreasing offsets", `{"version":1,"backends":1,"events":[{"atUs":5,"backend":0,"action":"crash","durUs":5},{"atUs":4,"backend":0,"action":"crash","durUs":5}]}`},
+		{"unknown action", `{"version":1,"backends":1,"events":[{"atUs":0,"backend":0,"action":"meteor","durUs":5}]}`},
+		{"backend out of range", `{"version":1,"backends":1,"events":[{"atUs":0,"backend":1,"action":"crash","durUs":5}]}`},
+		{"zero duration", `{"version":1,"backends":1,"events":[{"atUs":0,"backend":0,"action":"crash","durUs":0}]}`},
+		{"slow without delay", `{"version":1,"backends":1,"events":[{"atUs":0,"backend":0,"action":"slow","durUs":5}]}`},
+		{"delay on crash", `{"version":1,"backends":1,"events":[{"atUs":0,"backend":0,"action":"crash","durUs":5,"delayUs":3}]}`},
+		{"bad generator", `{"version":1,"backends":1,"generator":{"seed":1,"durationS":-1,"crashPerSec":1},"events":[]}`},
+	}
+	for _, tc := range cases {
+		if _, err := ParseSchedule([]byte(tc.data)); err == nil {
+			t.Errorf("%s: ParseSchedule accepted %q", tc.name, tc.data)
+		}
+	}
+	if _, err := ParseSchedule([]byte(`{"version":1,"backends":1,"events":[]}`)); err != nil {
+		t.Errorf("minimal empty schedule rejected: %v", err)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	base := ReferenceSpec()
+	for _, tc := range []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"zero duration", func(s *Spec) { s.DurationS = 0 }},
+		{"zero backends", func(s *Spec) { s.Backends = 0 }},
+		{"negative rate", func(s *Spec) { s.CrashPerSec = -1 }},
+		{"all rates zero", func(s *Spec) {
+			s.CrashPerSec, s.PartitionPerSec, s.CorruptPerSec, s.SlowPerSec, s.KillPerSec = 0, 0, 0, 0, 0
+		}},
+		{"huge event count", func(s *Spec) { s.DurationS = 3600; s.CrashPerSec = 1e5 }},
+		{"mean over max", func(s *Spec) { s.MeanDurS = 3; s.MaxDurS = 1 }},
+		{"quiet swallows span", func(s *Spec) { s.QuietHeadS = 6; s.QuietTailS = 5 }},
+		{"too many ramp steps", func(s *Spec) { s.RampSteps = 64 }},
+	} {
+		s := base
+		tc.mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, s)
+		}
+	}
+	if err := (Spec{Seed: 1, DurationS: 5, Backends: 1, CrashPerSec: 0.5}).Validate(); err != nil {
+		t.Errorf("minimal spec rejected: %v", err)
+	}
+}
+
+// fakeInjector records tap flips and tracks live fault state so the
+// replay test can assert ordering, pairing and final restoration.
+type fakeInjector struct {
+	mu      sync.Mutex
+	n       int
+	down    map[int]bool
+	part    map[int]bool
+	corrupt map[int]bool
+	delay   map[int]time.Duration
+	kills   int
+	maxLive int
+	liveNow int
+}
+
+func newFakeInjector(n int) *fakeInjector {
+	return &fakeInjector{
+		n: n, down: map[int]bool{}, part: map[int]bool{},
+		corrupt: map[int]bool{}, delay: map[int]time.Duration{},
+	}
+}
+
+func (f *fakeInjector) NumBackends() int { return f.n }
+
+func (f *fakeInjector) flip(m map[int]bool, i int, on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m[i] != on {
+		if on {
+			f.liveNow++
+		} else {
+			f.liveNow--
+		}
+		if f.liveNow > f.maxLive {
+			f.maxLive = f.liveNow
+		}
+	}
+	m[i] = on
+}
+
+func (f *fakeInjector) SetBackendDown(i int, on bool)        { f.flip(f.down, i, on) }
+func (f *fakeInjector) SetBackendPartitioned(i int, on bool) { f.flip(f.part, i, on) }
+func (f *fakeInjector) SetBackendCorrupt(i int, on bool)     { f.flip(f.corrupt, i, on) }
+func (f *fakeInjector) SetBackendDelay(i int, d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.delay[i] = d
+}
+func (f *fakeInjector) KillBackendConnections(i int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.kills++
+}
+
+func (f *fakeInjector) clean() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := 0; i < f.n; i++ {
+		if f.down[i] || f.part[i] || f.corrupt[i] || f.delay[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestReplayAppliesAndRestores replays the reference schedule fast
+// against a fake injector: every event applies, kill events sever
+// connections, and the cluster is fully restored at return.
+func TestReplayAppliesAndRestores(t *testing.T) {
+	s, err := Generate(ReferenceSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := newFakeInjector(s.Backends)
+	rep, err := Replay(context.Background(), s, inj, ReplayOptions{Speed: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faults != len(s.Events) {
+		t.Errorf("applied %d faults, schedule has %d events", rep.Faults, len(s.Events))
+	}
+	for _, a := range Actions() {
+		if rep.PerAction[a] == 0 {
+			t.Errorf("report missing %s applications", a)
+		}
+	}
+	if inj.kills == 0 {
+		t.Error("kill events never severed connections")
+	}
+	if !inj.clean() {
+		t.Error("taps left faulted after replay returned")
+	}
+	// Non-overlap must hold live, not just on paper: kill counts as
+	// partition so maxLive can be 1 per window.
+	if inj.maxLive > 1 {
+		t.Errorf("saw %d taps live at once; generator promises at most 1 fault window", inj.maxLive)
+	}
+}
+
+// TestReplayCancelRestores cancels mid-replay and checks every tap is
+// still cleared on the way out.
+func TestReplayCancelRestores(t *testing.T) {
+	s, err := Generate(ReferenceSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := newFakeInjector(s.Backends)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var rerr error
+	go func() {
+		defer close(done)
+		_, rerr = Replay(ctx, s, inj, ReplayOptions{Speed: 20})
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Replay did not return after cancel")
+	}
+	if rerr != context.Canceled {
+		t.Fatalf("Replay error = %v, want context.Canceled", rerr)
+	}
+	if !inj.clean() {
+		t.Error("taps left faulted after cancelled replay")
+	}
+}
+
+func TestReplayRejectsOversizedSchedule(t *testing.T) {
+	s := &Schedule{Version: ScheduleVersion, Backends: 5}
+	if _, err := Replay(context.Background(), s, newFakeInjector(3), ReplayOptions{}); err == nil {
+		t.Fatal("Replay accepted a schedule targeting more backends than the cluster has")
+	}
+}
+
+// FuzzParseChaosSchedule fuzzes the schedule decoder with the replay
+// invariants: junk never panics, and any accepted input re-marshals to
+// canonical bytes that parse again to the same bytes.
+func FuzzParseChaosSchedule(f *testing.F) {
+	f.Add([]byte(`{"version":1,"backends":3,"generator":{"seed":3,"durationS":10,"backends":3,"crashPerSec":0.35},` +
+		`"events":[{"atUs":540000,"backend":1,"action":"crash","durUs":400000},` +
+		`{"atUs":3698000,"backend":0,"action":"slow","durUs":100000,"delayUs":87500}]}`))
+	f.Add([]byte(`{"version":1,"backends":1,"events":[]}`))
+	f.Add([]byte(`{"version":1,"backends":2,"events":[{"atUs":0,"backend":1,"action":"kill","durUs":5}]}`))
+	f.Add([]byte(`{"version":2,"backends":1,"events":[]}`))
+	f.Add([]byte(`{"version":1,"backends":1,"events":[{"atUs":-1,"backend":0,"action":"crash","durUs":5}]}`))
+	f.Add([]byte(`]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSchedule(data)
+		if err != nil {
+			return
+		}
+		one, err := s.Marshal()
+		if err != nil {
+			t.Fatalf("accepted schedule does not marshal: %v", err)
+		}
+		back, err := ParseSchedule(one)
+		if err != nil {
+			t.Fatalf("canonical bytes rejected: %v\n%s", err, one)
+		}
+		two, err := back.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(one, two) {
+			t.Fatalf("marshal∘parse not idempotent:\n one: %s\n two: %s", one, two)
+		}
+	})
+}

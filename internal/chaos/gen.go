@@ -1,0 +1,282 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"energysched/internal/rng"
+)
+
+// Spec fully determines a synthetic fault schedule: same spec ⇒
+// byte-identical schedule, pinned by the golden test. Zero fields get
+// the defaults in brackets.
+type Spec struct {
+	// Seed drives every stream; one stream per fault kind, split by
+	// rng.At(Seed, kindIndex), so adding a fault kind to a spec never
+	// reshuffles the others.
+	Seed int64 `json:"seed"`
+	// DurationS is the schedule span in seconds.
+	DurationS float64 `json:"durationS"`
+	// Backends is the cluster size faults target.
+	Backends int `json:"backends"`
+	// Per-kind fault arrival rates, events per second (homogeneous
+	// Poisson). Zero-rate kinds never occur.
+	CrashPerSec     float64 `json:"crashPerSec,omitempty"`
+	PartitionPerSec float64 `json:"partitionPerSec,omitempty"`
+	CorruptPerSec   float64 `json:"corruptPerSec,omitempty"`
+	SlowPerSec      float64 `json:"slowPerSec,omitempty"`
+	KillPerSec      float64 `json:"killPerSec,omitempty"`
+	// MeanDurS is the mean fault duration (exponential draw), clamped
+	// to [0.05, MaxDurS] [0.5].
+	MeanDurS float64 `json:"meanDurS,omitempty"`
+	// MaxDurS caps a single fault's duration [1.5].
+	MaxDurS float64 `json:"maxDurS,omitempty"`
+	// SlowMaxMs is the peak injected latency of a slow ramp [300].
+	SlowMaxMs float64 `json:"slowMaxMs,omitempty"`
+	// RampSteps is how many contiguous steps a slow fault's triangle
+	// ramp is rendered as [4].
+	RampSteps int `json:"rampSteps,omitempty"`
+	// QuietHeadS keeps the first QuietHeadS seconds fault-free so
+	// traffic and health state warm up [0.25].
+	QuietHeadS float64 `json:"quietHeadS,omitempty"`
+	// QuietTailS keeps the last QuietTailS seconds fault-free so the
+	// cluster drains and every member is readmitted by schedule end
+	// [2].
+	QuietTailS float64 `json:"quietTailS,omitempty"`
+}
+
+// Defaults applied by Spec.withDefaults.
+const (
+	DefaultMeanDurS   = 0.5
+	DefaultMaxDurS    = 1.5
+	DefaultSlowMaxMs  = 300
+	DefaultRampSteps  = 4
+	DefaultQuietHeadS = 0.25
+	DefaultQuietTailS = 2.0
+	// minDurS floors a fault's duration so a fault is never shorter
+	// than a request round trip.
+	minDurS = 0.05
+)
+
+// MaxSpecEvents bounds the expected fault count of a spec so a typo
+// cannot ask for a gigabyte of schedule.
+const MaxSpecEvents = 1 << 16
+
+func (s Spec) withDefaults() Spec {
+	if s.MeanDurS <= 0 {
+		s.MeanDurS = DefaultMeanDurS
+	}
+	if s.MaxDurS <= 0 {
+		s.MaxDurS = DefaultMaxDurS
+	}
+	if s.SlowMaxMs <= 0 {
+		s.SlowMaxMs = DefaultSlowMaxMs
+	}
+	if s.RampSteps <= 0 {
+		s.RampSteps = DefaultRampSteps
+	}
+	if s.QuietHeadS <= 0 {
+		s.QuietHeadS = DefaultQuietHeadS
+	}
+	if s.QuietTailS <= 0 {
+		s.QuietTailS = DefaultQuietTailS
+	}
+	return s
+}
+
+// rate returns the arrival rate for one fault kind, addressed by its
+// index in Actions() order — which is also the kind's stream index.
+func (s Spec) rate(kind string) float64 {
+	switch kind {
+	case ActionCrash:
+		return s.CrashPerSec
+	case ActionPartition:
+		return s.PartitionPerSec
+	case ActionCorrupt:
+		return s.CorruptPerSec
+	case ActionSlow:
+		return s.SlowPerSec
+	case ActionKill:
+		return s.KillPerSec
+	}
+	return 0
+}
+
+// Validate checks a fully-defaulted spec. Generate calls it; it is
+// exported so ParseSchedule can vet provenance specs embedded in
+// schedules.
+func (s Spec) Validate() error {
+	s = s.withDefaults()
+	if !finitePositive(s.DurationS) || s.DurationS > 3600 {
+		return fmt.Errorf("chaos: durationS must be in (0, 3600], got %v", s.DurationS)
+	}
+	if s.Backends < 1 || s.Backends > 64 {
+		return fmt.Errorf("chaos: backends must be in [1, 64], got %d", s.Backends)
+	}
+	var total float64
+	for _, kind := range Actions() {
+		r := s.rate(kind)
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return fmt.Errorf("chaos: %s rate must be finite and ≥ 0, got %v", kind, r)
+		}
+		total += r
+	}
+	if total <= 0 {
+		return fmt.Errorf("chaos: spec has no positive fault rate")
+	}
+	if total*s.DurationS > MaxSpecEvents {
+		return fmt.Errorf("chaos: spec expects ~%g faults, cap is %d", total*s.DurationS, MaxSpecEvents)
+	}
+	if !finitePositive(s.MeanDurS) || !finitePositive(s.MaxDurS) || s.MeanDurS > s.MaxDurS {
+		return fmt.Errorf("chaos: fault durations need 0 < meanDurS ≤ maxDurS, got mean %v max %v", s.MeanDurS, s.MaxDurS)
+	}
+	if !finitePositive(s.SlowMaxMs) || s.SlowMaxMs > 60000 {
+		return fmt.Errorf("chaos: slowMaxMs must be in (0, 60000], got %v", s.SlowMaxMs)
+	}
+	if s.RampSteps < 1 || s.RampSteps > 32 {
+		return fmt.Errorf("chaos: rampSteps must be in [1, 32], got %d", s.RampSteps)
+	}
+	if s.QuietHeadS < 0 || s.QuietTailS < 0 || s.QuietHeadS+s.QuietTailS >= s.DurationS {
+		return fmt.Errorf("chaos: quiet head %vs + tail %vs must leave room inside %vs", s.QuietHeadS, s.QuietTailS, s.DurationS)
+	}
+	return nil
+}
+
+func finitePositive(v float64) bool {
+	return v > 0 && !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// candidate is one drawn fault before the overlap filter.
+type candidate struct {
+	start   float64 // seconds
+	dur     float64 // seconds
+	backend int
+	action  string
+	kind    int // Actions() index, the tie-break after start
+	seq     int // arrival number within the kind, final tie-break
+}
+
+// Generate produces the seeded schedule for a spec. Determinism
+// contract: fault kind k draws its arrivals, targets and durations
+// from stream (seed, k) in Actions() order, candidates merge under a
+// total order (start, kind, seq), and a greedy pass keeps the
+// earliest non-overlapping faults — so the schedule bytes depend only
+// on the spec.
+//
+// At most one backend is faulted at any instant: faults never overlap
+// in time, even across backends. That is the generator's availability
+// contract — a cluster of n ≥ 2 members always has n−1 clean members
+// — and it is what makes "zero caller-visible 5xx under the reference
+// schedule" a fair assertion rather than a coin flip.
+func Generate(spec Spec) (*Schedule, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+
+	window := spec.DurationS - spec.QuietTailS
+	var cands []candidate
+	for k, kind := range Actions() {
+		rate := spec.rate(kind)
+		if rate <= 0 {
+			continue
+		}
+		stream := rng.At(spec.Seed, k)
+		seq := 0
+		for t := spec.QuietHeadS; ; seq++ {
+			t += -math.Log1p(-stream.Float64()) / rate
+			if t >= window {
+				break
+			}
+			backend := int(stream.Uint64() % uint64(spec.Backends))
+			dur := -spec.MeanDurS * math.Log1p(-stream.Float64())
+			if dur < minDurS {
+				dur = minDurS
+			}
+			if dur > spec.MaxDurS {
+				dur = spec.MaxDurS
+			}
+			if t+dur > window {
+				dur = window - t
+				if dur < minDurS {
+					continue
+				}
+			}
+			cands = append(cands, candidate{start: t, dur: dur, backend: backend, action: kind, kind: k, seq: seq})
+		}
+	}
+
+	sortCandidates(cands)
+	sched := &Schedule{Version: ScheduleVersion, Backends: spec.Backends}
+	specCopy := spec
+	sched.Generator = &specCopy
+	var busyUntil float64
+	for _, c := range cands {
+		if c.start < busyUntil {
+			continue // overlap: the earlier fault wins, this one is dropped
+		}
+		busyUntil = c.start + c.dur
+		sched.Events = append(sched.Events, render(spec, c)...)
+	}
+	return sched, nil
+}
+
+// render expands one accepted fault into schedule events: most
+// actions are a single event; a slow fault becomes RampSteps
+// contiguous steps tracing a triangle ramp up to SlowMaxMs and back.
+func render(spec Spec, c candidate) []Event {
+	if c.action != ActionSlow {
+		return []Event{{
+			AtUs:    round6(c.start),
+			Backend: c.backend,
+			Action:  c.action,
+			DurUs:   round6(c.dur),
+		}}
+	}
+	steps := spec.RampSteps
+	events := make([]Event, 0, steps)
+	startUs := round6(c.start)
+	endUs := round6(c.start + c.dur)
+	for s := 0; s < steps; s++ {
+		atUs := startUs + int64(s)*(endUs-startUs)/int64(steps)
+		nextUs := startUs + int64(s+1)*(endUs-startUs)/int64(steps)
+		if nextUs <= atUs {
+			continue
+		}
+		pos := (float64(s) + 0.5) / float64(steps)
+		tri := 1 - math.Abs(2*pos-1)
+		delayUs := int64(math.Round(spec.SlowMaxMs * 1000 * tri))
+		if delayUs < 1 {
+			delayUs = 1
+		}
+		events = append(events, Event{
+			AtUs:    atUs,
+			Backend: c.backend,
+			Action:  ActionSlow,
+			DurUs:   nextUs - atUs,
+			DelayUs: delayUs,
+		})
+	}
+	return events
+}
+
+// round6 converts seconds to integral microseconds.
+func round6(s float64) int64 {
+	return int64(math.Round(s * 1e6))
+}
+
+// sortCandidates orders by (start, kind, seq) — a total order, since
+// (kind, seq) is unique per candidate.
+func sortCandidates(cands []candidate) {
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.start != b.start {
+			return a.start < b.start
+		}
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		return a.seq < b.seq
+	})
+}

@@ -1,0 +1,31 @@
+package chaos
+
+// ReferenceSpec is the committed chaos schedule spec CI's chaossmoke
+// job co-replays with loadgen.ReferenceSpec's traffic trace: same 10
+// second span, 3 backends to match the reference cluster, every fault
+// kind represented at least once across all three members (the seed is
+// chosen for exactly that coverage), a fault-free head so health state
+// warms up and a
+// 2 second fault-free tail so the last faulted member is probed back
+// in and the cluster drains before the final /stats scrape.
+// Generation is deterministic, so this spec IS the schedule; changing
+// it invalidates every committed chaos latency bound measured against
+// it.
+func ReferenceSpec() Spec {
+	return Spec{
+		Seed:            3,
+		DurationS:       10,
+		Backends:        3,
+		CrashPerSec:     0.35,
+		PartitionPerSec: 0.2,
+		CorruptPerSec:   0.2,
+		SlowPerSec:      0.3,
+		KillPerSec:      0.15,
+		MeanDurS:        0.5,
+		MaxDurS:         1.2,
+		SlowMaxMs:       350,
+		RampSteps:       4,
+		QuietHeadS:      0.3,
+		QuietTailS:      2,
+	}
+}

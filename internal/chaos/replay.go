@@ -1,0 +1,152 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Injector is the fault surface a schedule replays against. The
+// router's TestCluster implements it; anything else that can flip
+// these five switches (a real-cluster agent toggling iptables rules,
+// say) replays the same schedules.
+type Injector interface {
+	// NumBackends reports the cluster size; schedules targeting more
+	// members are rejected before any fault is applied.
+	NumBackends() int
+	// SetBackendDown makes backend i answer 503 to everything
+	// (traffic and health probes) while down.
+	SetBackendDown(i int, down bool)
+	// SetBackendPartitioned drops backend i's connections without an
+	// HTTP response while partitioned — unreachable, but alive.
+	SetBackendPartitioned(i int, partitioned bool)
+	// SetBackendCorrupt makes backend i answer 200 with truncated
+	// non-JSON bytes while corrupt.
+	SetBackendCorrupt(i int, corrupt bool)
+	// SetBackendDelay injects d of latency before each of backend i's
+	// responses.
+	SetBackendDelay(i int, d time.Duration)
+	// KillBackendConnections severs backend i's established
+	// connections immediately.
+	KillBackendConnections(i int)
+}
+
+// ReplayOptions tune one replay run.
+type ReplayOptions struct {
+	// Speed scales replay time exactly like loadgen.ReplayOptions:
+	// co-replaying a trace and a schedule at the same Speed keeps
+	// faults and traffic aligned [1].
+	Speed float64
+}
+
+// Report is the replay outcome: how many fault windows were applied,
+// per action.
+type Report struct {
+	Faults    int            `json:"faults"`
+	PerAction map[string]int `json:"perAction"`
+	WallS     float64        `json:"wallS"`
+}
+
+// step is one tap flip on the replay timeline: an event's begin or
+// end. Ends sort before begins at the same instant so a ramp step
+// that ends exactly when the next begins nets to the new delay, not
+// zero.
+type step struct {
+	atUs  int64
+	phase int // 0 = end, 1 = begin
+	event int // index into Events, the final tie-break
+}
+
+// Replay applies a schedule's faults to inj at their scheduled
+// (speed-scaled) offsets and clears each when its window ends. It
+// returns once every fault has been applied and cleared, or when ctx
+// is cancelled. Either way every tap is restored before returning —
+// a replayed schedule never leaves the cluster faulted.
+func Replay(ctx context.Context, s *Schedule, inj Injector, opts ReplayOptions) (*Report, error) {
+	if s.Backends > inj.NumBackends() {
+		return nil, fmt.Errorf("chaos: schedule targets %d backends, cluster has %d", s.Backends, inj.NumBackends())
+	}
+	if opts.Speed <= 0 {
+		opts.Speed = 1
+	}
+
+	steps := make([]step, 0, 2*len(s.Events))
+	for i := range s.Events {
+		steps = append(steps,
+			step{atUs: s.Events[i].AtUs, phase: 1, event: i},
+			step{atUs: s.Events[i].AtUs + s.Events[i].DurUs, phase: 0, event: i},
+		)
+	}
+	sort.Slice(steps, func(i, j int) bool {
+		if steps[i].atUs != steps[j].atUs {
+			return steps[i].atUs < steps[j].atUs
+		}
+		if steps[i].phase != steps[j].phase {
+			return steps[i].phase < steps[j].phase
+		}
+		return steps[i].event < steps[j].event
+	})
+
+	defer restoreAll(s, inj)
+
+	rep := &Report{PerAction: map[string]int{}}
+	start := time.Now()
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for _, st := range steps {
+		due := start.Add(time.Duration(float64(st.atUs)/opts.Speed) * time.Microsecond)
+		if wait := time.Until(due); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				rep.WallS = time.Since(start).Seconds()
+				return rep, ctx.Err()
+			}
+		}
+		apply(inj, &s.Events[st.event], st.phase == 1)
+		if st.phase == 1 {
+			rep.Faults++
+			rep.PerAction[s.Events[st.event].Action]++
+		}
+	}
+	rep.WallS = time.Since(start).Seconds()
+	return rep, nil
+}
+
+// apply flips one event's tap on (begin) or off (end).
+func apply(inj Injector, ev *Event, begin bool) {
+	switch ev.Action {
+	case ActionCrash:
+		inj.SetBackendDown(ev.Backend, begin)
+	case ActionPartition:
+		inj.SetBackendPartitioned(ev.Backend, begin)
+	case ActionCorrupt:
+		inj.SetBackendCorrupt(ev.Backend, begin)
+	case ActionSlow:
+		if begin {
+			inj.SetBackendDelay(ev.Backend, time.Duration(ev.DelayUs)*time.Microsecond)
+		} else {
+			inj.SetBackendDelay(ev.Backend, 0)
+		}
+	case ActionKill:
+		inj.SetBackendPartitioned(ev.Backend, begin)
+		if begin {
+			inj.KillBackendConnections(ev.Backend)
+		}
+	}
+}
+
+// restoreAll clears every tap the schedule could have touched.
+func restoreAll(s *Schedule, inj Injector) {
+	for i := 0; i < s.Backends; i++ {
+		inj.SetBackendDown(i, false)
+		inj.SetBackendPartitioned(i, false)
+		inj.SetBackendCorrupt(i, false)
+		inj.SetBackendDelay(i, 0)
+	}
+}

@@ -1,0 +1,153 @@
+// Package chaos generates and replays deterministic fault schedules
+// against a cluster: the failure-side twin of internal/loadgen. A
+// Schedule is a versioned, replayable JSON timeline of backend faults
+// — crashes, partitions, corrupted responses, latency ramps,
+// listener kills — generated from a seeded Spec with the same
+// counter-split splitmix64 streams that make loadgen traces
+// byte-identical per seed. Co-replaying a committed chaos schedule
+// with a committed traffic trace turns "the cluster survives
+// failures" from an anecdote into a pinned, race-testable CI
+// assertion (TestChaosSmoke).
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// ScheduleVersion is the schedule format version Marshal writes and
+// ParseSchedule requires. Committed schedules are long-lived CI
+// artifacts; bump only with a migration path.
+const ScheduleVersion = 1
+
+// Fault actions an event may carry. Each names one fault tap on the
+// target backend, active for the event's duration.
+const (
+	// ActionCrash takes the backend process down: every request,
+	// health probes included, answers 503 until the fault ends (the
+	// backend "restarts").
+	ActionCrash = "crash"
+	// ActionPartition makes the backend unreachable from the router
+	// while the process stays alive: connections are dropped without
+	// an HTTP response, the transport-error failure shape.
+	ActionPartition = "partition"
+	// ActionCorrupt makes the backend answer 200 with truncated
+	// non-JSON bytes — a half-written response from a dying process.
+	ActionCorrupt = "corrupt"
+	// ActionSlow injects DelayUs of latency before each response.
+	// Generators emit runs of slow events to form ramps.
+	ActionSlow = "slow"
+	// ActionKill kills the backend's listener: established
+	// connections are severed immediately (in-flight requests die
+	// mid-read) and new ones are refused until the fault ends.
+	ActionKill = "kill"
+)
+
+// Actions lists the valid fault actions in presentation order.
+func Actions() []string {
+	return []string{ActionCrash, ActionPartition, ActionCorrupt, ActionSlow, ActionKill}
+}
+
+// ValidAction reports whether s names a replayable fault action.
+func ValidAction(s string) bool {
+	switch s {
+	case ActionCrash, ActionPartition, ActionCorrupt, ActionSlow, ActionKill:
+		return true
+	}
+	return false
+}
+
+// Event is one fault: Action applied to Backend from AtUs
+// (microseconds after schedule start) for DurUs. DelayUs is the
+// injected latency and is required exactly for slow events. Offsets
+// are integral microseconds so schedules marshal byte-identically.
+type Event struct {
+	AtUs    int64  `json:"atUs"`
+	Backend int    `json:"backend"`
+	Action  string `json:"action"`
+	DurUs   int64  `json:"durUs"`
+	DelayUs int64  `json:"delayUs,omitempty"`
+}
+
+// Schedule is a replayable fault sequence over a cluster of Backends
+// members. Synthetic schedules carry the generating Spec as
+// provenance.
+type Schedule struct {
+	Version   int     `json:"version"`
+	Backends  int     `json:"backends"`
+	Generator *Spec   `json:"generator,omitempty"`
+	Events    []Event `json:"events"`
+}
+
+// Duration returns the schedule's nominal span: the generator's
+// duration when present, else the last fault's end.
+func (s *Schedule) Duration() time.Duration {
+	if s.Generator != nil && s.Generator.DurationS > 0 {
+		return time.Duration(s.Generator.DurationS * float64(time.Second))
+	}
+	var end int64
+	for i := range s.Events {
+		if e := s.Events[i].AtUs + s.Events[i].DurUs; e > end {
+			end = e
+		}
+	}
+	return time.Duration(end) * time.Microsecond
+}
+
+// Marshal renders the canonical schedule bytes: compact JSON.
+// Marshal∘ParseSchedule is idempotent, the property
+// FuzzParseChaosSchedule hammers on.
+func (s *Schedule) Marshal() ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// ParseSchedule validates and decodes a schedule: version and backend
+// count must be sane, offsets non-negative and non-decreasing,
+// durations positive, actions known, targets within the member range,
+// and DelayUs present exactly on slow events. Anything a replayer
+// would have to guess about is rejected here.
+func ParseSchedule(data []byte) (*Schedule, error) {
+	var s Schedule
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("chaos: parsing schedule: %w", err)
+	}
+	if s.Version != ScheduleVersion {
+		return nil, fmt.Errorf("chaos: schedule version %d, want %d", s.Version, ScheduleVersion)
+	}
+	if s.Backends < 1 || s.Backends > 1024 {
+		return nil, fmt.Errorf("chaos: schedule backends %d out of [1, 1024]", s.Backends)
+	}
+	if s.Generator != nil {
+		if err := s.Generator.Validate(); err != nil {
+			return nil, fmt.Errorf("chaos: schedule generator spec: %w", err)
+		}
+	}
+	var prev int64
+	for i := range s.Events {
+		ev := &s.Events[i]
+		if ev.AtUs < 0 {
+			return nil, fmt.Errorf("chaos: event %d: negative offset %dµs", i, ev.AtUs)
+		}
+		if ev.AtUs < prev {
+			return nil, fmt.Errorf("chaos: event %d: offset %dµs before predecessor's %dµs", i, ev.AtUs, prev)
+		}
+		prev = ev.AtUs
+		if !ValidAction(ev.Action) {
+			return nil, fmt.Errorf("chaos: event %d: unknown action %q", i, ev.Action)
+		}
+		if ev.Backend < 0 || ev.Backend >= s.Backends {
+			return nil, fmt.Errorf("chaos: event %d: backend %d out of [0, %d)", i, ev.Backend, s.Backends)
+		}
+		if ev.DurUs <= 0 {
+			return nil, fmt.Errorf("chaos: event %d: duration %dµs must be positive", i, ev.DurUs)
+		}
+		if ev.Action == ActionSlow && ev.DelayUs <= 0 {
+			return nil, fmt.Errorf("chaos: event %d: slow event needs positive delayUs", i)
+		}
+		if ev.Action != ActionSlow && ev.DelayUs != 0 {
+			return nil, fmt.Errorf("chaos: event %d: delayUs is only valid on slow events", i)
+		}
+	}
+	return &s, nil
+}

@@ -18,7 +18,10 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
+
+	"energysched/internal/rng"
 )
 
 // Defaults applied by New for zero Config fields.
@@ -52,6 +55,12 @@ type Config struct {
 	// misconfigured server cannot stall a caller for minutes
 	// [DefaultMaxRetryWait].
 	MaxRetryWait time.Duration
+	// Seed drives the retry-sleep jitter [1]. Retries sleep a uniform
+	// draw from [wait/2, wait) rather than exactly wait: a server-wide
+	// shed sends every caller the same Retry-After hint, and without
+	// jitter they would all come back in the same instant and shed
+	// again, in lockstep, forever.
+	Seed int64
 }
 
 // Client issues requests against one base URL. Create with New; it is
@@ -60,6 +69,9 @@ type Client struct {
 	cfg  Config
 	base string
 	http *http.Client
+
+	rndMu sync.Mutex
+	rnd   rng.Stream // jitter draws; only retrying paths touch it
 }
 
 // New returns a Client for cfg with zero fields defaulted.
@@ -76,11 +88,19 @@ func New(cfg Config) (*Client, error) {
 	if cfg.MaxRetryWait <= 0 {
 		cfg.MaxRetryWait = DefaultMaxRetryWait
 	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
 	hc := cfg.HTTPClient
 	if hc == nil {
 		hc = &http.Client{Timeout: cfg.Timeout}
 	}
-	return &Client{cfg: cfg, base: strings.TrimRight(cfg.BaseURL, "/"), http: hc}, nil
+	return &Client{
+		cfg:  cfg,
+		base: strings.TrimRight(cfg.BaseURL, "/"),
+		http: hc,
+		rnd:  rng.At(cfg.Seed, 0),
+	}, nil
 }
 
 // BaseURL returns the client's trimmed base URL.
@@ -182,12 +202,40 @@ func (c *Client) retryAfter(h http.Header) time.Duration {
 	return wait
 }
 
+// retryDelay is the jittered sleep before retry number attempt+1: a
+// uniform draw from [wait/2, wait), where wait is the larger of the
+// server's (capped) Retry-After hint and the exponential base
+// RetryWait·2^attempt, itself capped by MaxRetryWait. The jitter is
+// what keeps a fleet of callers shed at the same instant from
+// returning at the same instant; the exponential base is what backs a
+// persistently failing caller off. A zero-retry client never calls
+// this, so the Replay path draws nothing and stays byte-stable.
+func (c *Client) retryDelay(attempt int, hint time.Duration) time.Duration {
+	wait := c.cfg.RetryWait
+	for i := 0; i < attempt && wait < c.cfg.MaxRetryWait; i++ {
+		wait *= 2
+	}
+	if hint > wait {
+		wait = hint
+	}
+	if wait > c.cfg.MaxRetryWait {
+		wait = c.cfg.MaxRetryWait
+	}
+	if wait <= 1 {
+		return wait
+	}
+	c.rndMu.Lock()
+	d := wait/2 + time.Duration(c.rnd.Uint64()%uint64(wait/2))
+	c.rndMu.Unlock()
+	return d
+}
+
 // do issues one request with the retry policy: transport failures and
-// 429 sheds are re-issued up to MaxRetries times, sleeping the
-// (capped) Retry-After hint between shed attempts. Any other status is
-// final on first sight. The returned error is a transport failure —
-// HTTP-level failures come back as a Response for the caller to
-// classify.
+// 429 sheds are re-issued up to MaxRetries times, sleeping a jittered
+// backoff that honors the (capped) Retry-After hint between shed
+// attempts. Any other status is final on first sight. The returned
+// error is a transport failure — HTTP-level failures come back as a
+// Response for the caller to classify.
 func (c *Client) do(ctx context.Context, method, path string, body []byte) (*Response, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -208,7 +256,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*Res
 			if attempt >= c.cfg.MaxRetries || ctx.Err() != nil {
 				return nil, fmt.Errorf("client: %s %s: %w (after %d attempts)", method, path, lastErr, attempt+1)
 			}
-			if err := sleep(ctx, c.cfg.RetryWait); err != nil {
+			if err := sleep(ctx, c.retryDelay(attempt, 0)); err != nil {
 				return nil, fmt.Errorf("client: %s %s: %w", method, path, lastErr)
 			}
 			continue
@@ -220,7 +268,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*Res
 			if attempt >= c.cfg.MaxRetries || ctx.Err() != nil {
 				return nil, fmt.Errorf("client: %s %s: %w (after %d attempts)", method, path, lastErr, attempt+1)
 			}
-			if err := sleep(ctx, c.cfg.RetryWait); err != nil {
+			if err := sleep(ctx, c.retryDelay(attempt, 0)); err != nil {
 				return nil, fmt.Errorf("client: %s %s: %w", method, path, lastErr)
 			}
 			continue
@@ -234,7 +282,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*Res
 		if resp.StatusCode == http.StatusTooManyRequests {
 			r.RetryAfter = c.retryAfter(resp.Header)
 			if attempt < c.cfg.MaxRetries {
-				if err := sleep(ctx, r.RetryAfter); err == nil {
+				if err := sleep(ctx, c.retryDelay(attempt, r.RetryAfter)); err == nil {
 					continue
 				}
 			}

@@ -41,7 +41,8 @@ func TestClassify(t *testing.T) {
 }
 
 // TestRetryAfterHonored proves the 429 path: a server shedding with
-// Retry-After is retried after (at least) the hinted wait, and the
+// Retry-After is retried after (at least) the jittered floor of the
+// hinted wait — sleeps draw uniformly from [wait/2, wait) — and the
 // hint is surfaced on the final response when retries run out.
 func TestRetryAfterHonored(t *testing.T) {
 	var calls atomic.Int64
@@ -82,8 +83,8 @@ func TestRetryAfterHonored(t *testing.T) {
 		t.Fatalf("server saw %d calls, want 3", calls.Load())
 	}
 	for i, g := range gaps {
-		if g < 40*time.Millisecond {
-			t.Errorf("retry %d fired after %v, want ≥ the capped 50ms Retry-After wait", i+1, g)
+		if g < 20*time.Millisecond {
+			t.Errorf("retry %d fired after %v, want ≥ the 25ms jitter floor of the capped 50ms wait", i+1, g)
 		}
 	}
 }

@@ -28,6 +28,13 @@ type ReplayOptions struct {
 	// ScrapeStats snapshots GET /stats before and after the run and
 	// reports the deltas.
 	ScrapeStats bool
+	// OnResult, when set, is called once per issued event with the
+	// event's trace index and its outcome — resp is nil exactly when err
+	// is non-nil. Calls arrive from the firing goroutines, concurrently
+	// and in completion order, so the hook must be safe for concurrent
+	// use. The chaos harness uses it to collect per-event response
+	// bodies for byte-equivalence checks against a fault-free run.
+	OnResult func(i int, ev *Event, resp *client.Response, err error)
 }
 
 // KindReport aggregates one request kind's outcomes. Latency covers
@@ -149,10 +156,13 @@ issue:
 			}
 		}
 		wg.Add(1)
-		go func(ev *Event) {
+		go func(i int, ev *Event) {
 			defer wg.Done()
-			fire(ctx, cl, ev, trackers[ev.Kind])
-		}(ev)
+			resp, err := fire(ctx, cl, ev, trackers[ev.Kind])
+			if opts.OnResult != nil {
+				opts.OnResult(i, ev, resp, err)
+			}
+		}(i, ev)
 	}
 	wg.Wait()
 	wall := time.Since(start)
@@ -208,14 +218,14 @@ issue:
 
 // fire issues one event and buckets the outcome by the shared
 // client-side classification (2xx ok, 429 shed, 4xx rejected, 5xx or
-// transport failure error).
-func fire(ctx context.Context, cl *client.Client, ev *Event, t *kindTracker) {
+// transport failure error), returning the raw outcome for OnResult.
+func fire(ctx context.Context, cl *client.Client, ev *Event, t *kindTracker) (*client.Response, error) {
 	t.requests.Add(1)
 	begin := time.Now()
 	resp, err := cl.PostKind(ctx, ev.Kind, ev.Body)
 	if err != nil {
 		t.errors.Add(1)
-		return
+		return nil, err
 	}
 	t.latency.Observe(int64(time.Since(begin)))
 	switch resp.Class() {
@@ -228,6 +238,7 @@ func fire(ctx context.Context, cl *client.Client, ev *Event, t *kindTracker) {
 	default:
 		t.errors.Add(1)
 	}
+	return resp, nil
 }
 
 // statsScrape is the /stats subset the report needs.

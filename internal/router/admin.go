@@ -1,0 +1,117 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Live membership: POST /admin/backends adds and removes pool members
+// without a restart. Changes build a fresh pool snapshot (members +
+// ring) and swap it in atomically, so every request sees either the
+// old membership or the new one, never a half-applied mix. Members
+// keep their ringID across the change — removing one member remaps
+// only its own arc of the ring, and re-adding a URL mints a fresh
+// identity (its keys redistribute like a new member's). Requests in
+// flight on a removed member finish against the old snapshot; nothing
+// is cancelled.
+
+// adminChangeJSON is the POST /admin/backends body: base URLs to add
+// and to remove, applied as one atomic change (removes first, so a
+// URL in both lists comes back with a fresh ring identity).
+type adminChangeJSON struct {
+	Add    []string `json:"add,omitempty"`
+	Remove []string `json:"remove,omitempty"`
+}
+
+// adminBackendJSON is one member row in admin responses.
+type adminBackendJSON struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	RingID  int    `json:"ringId"`
+}
+
+// adminStateJSON is the GET/POST /admin/backends response.
+type adminStateJSON struct {
+	Backends []adminBackendJSON `json:"backends"`
+	Healthy  int                `json:"healthy"`
+}
+
+func (rt *Router) adminState(p *pool) adminStateJSON {
+	out := adminStateJSON{Healthy: p.healthyCount()}
+	for _, m := range p.members {
+		out.Backends = append(out.Backends, adminBackendJSON{
+			URL: m.url, Healthy: m.healthy.Load(), RingID: m.ringID,
+		})
+	}
+	return out
+}
+
+// handleBackendsGet serves the current membership.
+func (rt *Router) handleBackendsGet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, rt.adminState(rt.pool.Load()))
+}
+
+// handleBackendsPost applies one membership change.
+func (rt *Router) handleBackendsPost(w http.ResponseWriter, r *http.Request) {
+	body, err := rt.readBody(w, r)
+	if err != nil {
+		return
+	}
+	var change adminChangeJSON
+	if err := json.Unmarshal(body, &change); err != nil {
+		rt.writeError(w, http.StatusBadRequest, "decoding change: "+err.Error())
+		return
+	}
+	if len(change.Add) == 0 && len(change.Remove) == 0 {
+		rt.writeError(w, http.StatusBadRequest, `change needs "add" and/or "remove" URLs`)
+		return
+	}
+	p, err := rt.applyMembership(change)
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, rt.adminState(p))
+}
+
+// applyMembership builds and installs the new pool under adminMu.
+func (rt *Router) applyMembership(change adminChangeJSON) (*pool, error) {
+	rt.adminMu.Lock()
+	defer rt.adminMu.Unlock()
+	old := rt.pool.Load()
+
+	remove := map[string]bool{}
+	for _, u := range change.Remove {
+		remove[strings.TrimRight(u, "/")] = true
+	}
+	members := make([]*member, 0, len(old.members)+len(change.Add))
+	for _, m := range old.members {
+		if !remove[m.url] {
+			members = append(members, m)
+		}
+	}
+	if removed := len(old.members) - len(members); removed != len(remove) {
+		return nil, fmt.Errorf("router: remove list names %d unknown backend(s)", len(remove)-removed)
+	}
+	for _, u := range change.Add {
+		for _, m := range members {
+			if m.url == strings.TrimRight(u, "/") {
+				return nil, fmt.Errorf("router: backend %q is already a member", u)
+			}
+		}
+		m, err := rt.newMember(u, rt.nextRingID)
+		if err != nil {
+			return nil, err
+		}
+		rt.nextRingID++
+		members = append(members, m)
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("router: refusing to remove the last backend")
+	}
+	p := newPool(members, rt.cfg.Replicas)
+	rt.pool.Store(p)
+	return p, nil
+}

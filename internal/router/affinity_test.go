@@ -84,7 +84,7 @@ func TestAffinityEvictionRemapsBoundedFraction(t *testing.T) {
 	}
 
 	const evicted = 2
-	rt.members[evicted].healthy.Store(false)
+	rt.pool.Load().members[evicted].healthy.Store(false)
 
 	moved := 0
 	for i, key := range keys {
@@ -107,7 +107,7 @@ func TestAffinityEvictionRemapsBoundedFraction(t *testing.T) {
 	}
 	t.Logf("evicting 1 of %d backends moved %.3f of %d keys (ideal %.3f)", n, frac, len(keys), 1.0/n)
 
-	rt.members[evicted].healthy.Store(true)
+	rt.pool.Load().members[evicted].healthy.Store(true)
 	for i, key := range keys {
 		if got := rt.pick(key, nil); got != before[i] {
 			t.Fatalf("after readmission key %q routes to %d, originally %d", key, got, before[i])
@@ -142,7 +142,7 @@ func TestAffinityBalance(t *testing.T) {
 // Router: with every member alive each key has one owner; killing all
 // members makes lookup return -1.
 func TestRingWalkSkipsOnlyDead(t *testing.T) {
-	r := buildRing(3, 16)
+	r := buildRing([]int{0, 1, 2}, 16)
 	aliveAll := func(int) bool { return true }
 	deadAll := func(int) bool { return false }
 	if got := r.lookup("anything", deadAll); got != -1 {

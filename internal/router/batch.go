@@ -5,8 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"sync"
-
-	"energysched/internal/client"
+	"time"
 )
 
 // batchItemJSON and batchResponse mirror the backend's wire shape
@@ -33,12 +32,15 @@ type batchResponse struct {
 // in input order with indices rewritten and cacheHits summed. Like the
 // backend endpoint, a gathered batch never fails as a whole — a
 // sub-batch whose backends are all unreachable degrades to per-item
-// errors.
+// errors. The whole scatter round shares one pool snapshot, so an
+// admin membership change cannot split a batch across two views of
+// the cluster.
 func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	body, err := rt.readBody(w, r)
 	if err != nil {
 		return
 	}
+	p := rt.pool.Load()
 
 	// Split the body without losing sibling fields (workers, solver,
 	// timeoutMs, ...): the top level is kept as raw fields and only
@@ -53,7 +55,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if len(instances) == 0 {
 		ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
 		defer cancel()
-		resp, m, err := rt.forward(ctx, "batch", routingKey("batch", body), body)
+		resp, m, err := rt.forwardChain(ctx, p, "batch", routingKey("batch", body), body, map[int]bool{}, -1, 0)
 		if err != nil {
 			rt.writeForwardError(w, err)
 			return
@@ -67,7 +69,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// been sent yet.
 	groups := map[int][]int{}
 	for i, raw := range instances {
-		target := rt.pick(instanceKey(raw), nil)
+		target := rt.pickFrom(p, instanceKey(raw), nil)
 		if target < 0 {
 			rt.noBackend.Add(1)
 			rt.writeError(w, http.StatusServiceUnavailable, errNoBackend.Error())
@@ -90,7 +92,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(target int, idxs []int) {
 			defer wg.Done()
-			sub := rt.subBatch(ctx, top, instances, idxs, target)
+			sub := rt.subBatch(ctx, p, top, instances, idxs, target)
 			mu.Lock()
 			defer mu.Unlock()
 			out.CacheHits += sub.CacheHits
@@ -105,11 +107,14 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // subBatch runs one scatter leg: build the sub-body for idxs, send it
-// (failing over past transport errors, preferring the affinity-picked
-// target first), and decode the items. Failures degrade to per-item
-// errors so the gathered batch stays a 200 with exactly one entry per
-// input instance.
-func (rt *Router) subBatch(ctx context.Context, top map[string]json.RawMessage, instances []json.RawMessage, idxs []int, target int) batchResponse {
+// (failing over past failed attempts, preferring the affinity-picked
+// target first), and decode the items. Each attempt gets an equal
+// slice of the request's remaining deadline budget — one stuck
+// backend can burn at most its slice before the leg fails over, so a
+// single slow member cannot consume the whole batch's budget.
+// Failures degrade to per-item errors so the gathered batch stays a
+// 200 with exactly one entry per input instance.
+func (rt *Router) subBatch(ctx context.Context, p *pool, top map[string]json.RawMessage, instances []json.RawMessage, idxs []int, target int) batchResponse {
 	fill := func(msg string) batchResponse {
 		sub := batchResponse{Items: make([]batchItemJSON, len(idxs))}
 		for j := range sub.Items {
@@ -136,11 +141,20 @@ func (rt *Router) subBatch(ctx context.Context, top map[string]json.RawMessage, 
 		return fill("router: building sub-batch: " + err.Error())
 	}
 
-	// Route preferring the scatter target: forward picks by key, so
-	// use the first instance's key — under affinity that is exactly
-	// how target was chosen; under other policies forward re-picks
-	// live, which is fine.
-	resp, m, err := rt.forwardTo(ctx, target, "batch", instanceKey(instances[idxs[0]]), subBody)
+	// Per-attempt deadline: the parent's remaining budget split over
+	// the failover attempts this leg may make.
+	perAttempt := time.Duration(0)
+	if dl, ok := ctx.Deadline(); ok {
+		perAttempt = time.Until(dl) / time.Duration(rt.cfg.Retries+1)
+		if perAttempt <= 0 {
+			return fill("router: batch deadline exhausted before scatter leg started")
+		}
+	}
+
+	// Route preferring the scatter target: under affinity that is the
+	// owner of this sub-batch's keys; the chain fails over past it on
+	// any failed attempt.
+	resp, m, err := rt.forwardChain(ctx, p, "batch", instanceKey(instances[idxs[0]]), subBody, map[int]bool{}, target, perAttempt)
 	if err != nil {
 		return fill("router: " + err.Error())
 	}
@@ -150,24 +164,4 @@ func (rt *Router) subBatch(ctx context.Context, top map[string]json.RawMessage, 
 		return fill("router: backend " + m.url + " returned an unusable batch response")
 	}
 	return sub
-}
-
-// forwardTo is forward with a preferred first target: the scatter
-// leg's owner gets the request unless it just failed, after which the
-// normal policy failover takes over.
-func (rt *Router) forwardTo(ctx context.Context, target int, kind, key string, body []byte) (*client.Response, *member, error) {
-	if target >= 0 && rt.members[target].healthy.Load() {
-		m := rt.members[target]
-		m.outstanding.Add(1)
-		rt.proxied.Add(1)
-		resp, err := m.client.PostKind(ctx, kind, body)
-		m.outstanding.Add(-1)
-		if err == nil {
-			m.proxied.Add(1)
-			return resp, m, nil
-		}
-		rt.retried.Add(1)
-		return rt.forwardExcluding(ctx, kind, key, body, map[int]bool{target: true})
-	}
-	return rt.forward(ctx, kind, key, body)
 }

@@ -1,0 +1,145 @@
+package router
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is a member's circuit position.
+type breakerState int
+
+const (
+	// brClosed admits traffic; consecutive failures are counted.
+	brClosed breakerState = iota
+	// brOpen refuses traffic until the jittered backoff elapses.
+	brOpen
+	// brHalfOpen admits one trial request; its outcome decides
+	// closed (success) or open again (failure).
+	brHalfOpen
+)
+
+// breaker is one member's circuit: it sheds traffic away from a
+// backend failing live requests before the health prober — which
+// ticks on a coarse interval — has noticed. The prober remains the
+// authority on membership; the breaker only biases pick's first pass,
+// and pickFrom's health-only fallback guarantees open breakers can
+// never 503 a request a healthy member could serve.
+//
+// Transitions: closed → open after BreakerThreshold consecutive
+// failures; open → half-open when the backoff window (jittered,
+// doubling per consecutive reopen up to BreakerMaxBackoff) elapses
+// and a request is actually routed to the member; half-open → closed
+// on the trial's success, → open on its failure. A probe readmission
+// resets the breaker outright — the prober has stronger evidence than
+// a stale open window.
+type breaker struct {
+	mu         sync.Mutex
+	state      breakerState
+	fails      int       // consecutive failures while closed
+	opens      int       // consecutive opens, the backoff exponent
+	openUntil  time.Time // open: when traffic may probe again
+	trialUntil time.Time // half-open: when the outstanding trial expires
+}
+
+// canTry reports whether the breaker admits a request at now. It is
+// read-only — pick calls it per candidate, and only the selected
+// member's breaker transitions (in brEnter).
+func (b *breaker) canTry(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brClosed:
+		return true
+	case brOpen:
+		return !now.Before(b.openUntil)
+	default: // brHalfOpen: one trial at a time, reclaimable once expired
+		return !now.Before(b.trialUntil)
+	}
+}
+
+// reset returns the breaker to closed without touching the router's
+// transition counters — the probe-readmission path.
+func (b *breaker) reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = brClosed
+	b.fails = 0
+	b.opens = 0
+}
+
+// brEnter commits a breaker transition for an attempt the picker just
+// routed to m: an elapsed open window becomes half-open with this
+// request as the trial, and an expired half-open trial is replaced.
+// Kept separate from canTry so unpicked candidates never consume
+// half-open trials.
+func (rt *Router) brEnter(m *member) {
+	b := &m.br
+	now := time.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brOpen:
+		if !now.Before(b.openUntil) {
+			b.state = brHalfOpen
+			b.trialUntil = now.Add(rt.cfg.RequestTimeout)
+			rt.breakerHalfOpen.Add(1)
+		}
+	case brHalfOpen:
+		if !now.Before(b.trialUntil) {
+			b.trialUntil = now.Add(rt.cfg.RequestTimeout)
+		}
+	}
+}
+
+// brRecord applies one attempt outcome to m's breaker. Callers must
+// not report failures caused by their own context ending — a hedge
+// loser's cancellation is not evidence against the backend.
+func (rt *Router) brRecord(m *member, ok bool) {
+	b := &m.br
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		if b.state != brClosed {
+			rt.breakerClosed.Add(1)
+		}
+		b.state = brClosed
+		b.fails = 0
+		b.opens = 0
+		return
+	}
+	switch b.state {
+	case brHalfOpen:
+		rt.brOpen(b) // failed trial: straight back to open, longer window
+	case brClosed:
+		b.fails++
+		if b.fails >= rt.cfg.BreakerThreshold {
+			rt.brOpen(b)
+		}
+	case brOpen:
+		// A health-only fallback attempt failed while the window was
+		// still running; the window stands.
+	}
+}
+
+// brOpen opens b (b.mu held) with a jittered exponential backoff:
+// the window doubles per consecutive open, capped at
+// BreakerMaxBackoff, and the actual wait is drawn uniformly from
+// [window/2, window) so a cluster of routers does not re-probe a
+// recovering backend in lockstep.
+func (rt *Router) brOpen(b *breaker) {
+	window := rt.cfg.BreakerBackoff
+	for i := 0; i < b.opens && window < rt.cfg.BreakerMaxBackoff; i++ {
+		window *= 2
+	}
+	if window > rt.cfg.BreakerMaxBackoff {
+		window = rt.cfg.BreakerMaxBackoff
+	}
+	rt.rndMu.Lock()
+	wait := window/2 + time.Duration(rt.rnd.Int63n(int64(window/2)))
+	rt.rndMu.Unlock()
+	b.state = brOpen
+	b.fails = 0
+	b.opens++
+	b.openUntil = time.Now().Add(wait)
+	rt.breakerOpened.Add(1)
+}

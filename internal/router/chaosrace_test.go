@@ -1,0 +1,253 @@
+package router_test
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"energysched/internal/client"
+	"energysched/internal/router"
+)
+
+// routerScrape is the /stats subset the race tests assert on.
+type routerScrape struct {
+	Router struct {
+		Proxied int64 `json:"proxied"`
+		Retried int64 `json:"retried"`
+	} `json:"router"`
+	Resilience struct {
+		HedgesFired int64 `json:"hedgesFired"`
+		HedgesWon   int64 `json:"hedgesWon"`
+	} `json:"resilience"`
+	Backends []struct {
+		Outstanding int64 `json:"outstanding"`
+	} `json:"backends"`
+}
+
+// TestShutdownMidChaosLeaksNothing hammers a cluster with concurrent
+// traffic while backends are delayed, downed, readmitted and have
+// their connections killed under it — racing the prober, the breakers
+// and the hedger — then shuts everything down mid-flight and asserts
+// the aftermath is clean:
+//
+//   - every issued request completed exactly once with exactly one
+//     classification (no double-counted outcomes);
+//   - hedgesWon never exceeds hedgesFired, and no member is left with
+//     a nonzero outstanding gauge (no leaked hedge legs);
+//   - the process goroutine count returns to its baseline (no
+//     goroutines leaked by cancelled legs or the probe loop).
+//
+// Run under -race this is also the data-race gate for the whole
+// eviction/readmission/hedging machinery.
+func TestShutdownMidChaosLeaksNothing(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	c, err := router.NewTestCluster(3, router.WithRouterConfig(func(cfg *router.Config) {
+		cfg.FailAfter = 1
+		cfg.RecoverAfter = 1
+		cfg.HedgeAfter = 30 * time.Millisecond // hedge eagerly so legs race
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go c.Router.Run(ctx)
+
+	var (
+		wg       sync.WaitGroup
+		stop     = make(chan struct{})
+		issued   atomic.Int64
+		outcomes [4]atomic.Int64 // indexed by client.Class
+		failures atomic.Int64    // transport errors
+	)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl, err := client.New(client.Config{BaseURL: c.URL(), Timeout: 10 * time.Second})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				issued.Add(1)
+				resp, err := cl.PostKind(context.Background(), "solve", solveBody(g*10000+i))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				outcomes[resp.Class()].Add(1)
+			}
+		}(g)
+	}
+
+	// The fault loop: one backend at a time is slowed (so hedges fire
+	// against it), downed and probe-evicted, then restored, readmitted
+	// and has its live connections killed.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			b := i % 3
+			c.SetBackendDelay(b, 120*time.Millisecond)
+			time.Sleep(30 * time.Millisecond)
+			c.SetBackendDown(b, true)
+			c.Router.ProbeOnce(ctx)
+			time.Sleep(20 * time.Millisecond)
+			c.SetBackendDown(b, false)
+			c.SetBackendDelay(b, 0)
+			c.KillBackendConnections(b)
+			c.Router.ProbeOnce(ctx)
+		}
+	}()
+
+	time.Sleep(700 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Exactly-once accounting: every issued request produced one
+	// outcome, transport failure or classified response.
+	total := failures.Load()
+	for i := range outcomes {
+		total += outcomes[i].Load()
+	}
+	if total != issued.Load() {
+		t.Errorf("issued %d requests but counted %d outcomes; outcomes must be exactly-once", issued.Load(), total)
+	}
+	if outcomes[client.OK].Load() == 0 {
+		t.Error("no request succeeded during the chaos run")
+	}
+
+	// Drained router: hedge losers are cancelled asynchronously, so
+	// poll the outstanding gauges briefly.
+	cl, err := client.New(client.Config{BaseURL: c.URL()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s routerScrape
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := cl.GetJSON(ctx, "/stats", &s); err != nil {
+			t.Fatal(err)
+		}
+		left := int64(0)
+		for _, b := range s.Backends {
+			left += b.Outstanding
+		}
+		if left == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("outstanding legs never drained: %+v", s.Backends)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if s.Resilience.HedgesWon > s.Resilience.HedgesFired {
+		t.Errorf("hedgesWon %d > hedgesFired %d; a hedge can only win once",
+			s.Resilience.HedgesWon, s.Resilience.HedgesFired)
+	}
+	if s.Router.Proxied < issued.Load() {
+		t.Errorf("proxied %d < issued %d; every request must reach sendOne at least once",
+			s.Router.Proxied, issued.Load())
+	}
+
+	// Shutdown mid-everything, then the goroutine count must come home.
+	cancel()
+	c.Close()
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC() // nudges finalizer-driven transport cleanup
+		if n := runtime.NumGoroutine(); n <= baseline+8 {
+			t.Logf("goroutines: baseline %d, after shutdown %d", baseline, n)
+			break
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak after shutdown: baseline %d, now %d\n%s",
+				baseline, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestAdminChangeRacesTraffic removes and re-adds a live backend while
+// traffic and probes run against the pool — the atomic-snapshot
+// contract: no request may observe a half-applied membership (which
+// would surface as a transport error or 5xx with two healthy members
+// always present).
+func TestAdminChangeRacesTraffic(t *testing.T) {
+	c, err := router.NewTestCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl, err := client.New(client.Config{BaseURL: c.URL(), Timeout: 10 * time.Second})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := cl.PostKind(context.Background(), "solve", solveBody(g*10000+i))
+				if err != nil {
+					t.Errorf("transport error during membership churn: %v", err)
+					return
+				}
+				if resp.Status >= 500 {
+					t.Errorf("status %d during membership churn (%.200s)", resp.Status, resp.Body)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			url := c.BackendURL(2)
+			if status, body := postAdmin(t, c.URL(), map[string][]string{"remove": {url}}); status != 200 {
+				t.Errorf("remove: status %d (%s)", status, body)
+				return
+			}
+			c.Router.ProbeOnce(ctx)
+			if status, body := postAdmin(t, c.URL(), map[string][]string{"add": {url}}); status != 200 {
+				t.Errorf("add: status %d (%s)", status, body)
+				return
+			}
+			c.Router.ProbeOnce(ctx)
+		}
+	}()
+	time.Sleep(600 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,49 @@
+package router
+
+import "net/http"
+
+// The degraded-mode response cache: the router remembers the last
+// good 200 body for each exact (kind, request bytes) pair it relayed,
+// and when a later identical request finds every backend attempt
+// failing — the window between a fault and the prober's eviction, or
+// a whole pool gone dark — it re-serves that remembered response
+// instead of a 502/503. Solves are deterministic, so a remembered
+// response is not stale in any meaningful sense; the caller can tell
+// it happened from the X-Cache: degraded header. Keys are the full
+// request bytes (not the routing key) so two bodies that share an
+// instance but differ elsewhere — a different solver, say — can never
+// be served each other's results.
+
+// degradedKey builds the cache key for one request.
+func degradedKey(kind string, body []byte) string {
+	return kind + "\x00" + string(body)
+}
+
+// degradedPut remembers a relayed 200 body. The body slice is the
+// client's fully-read response buffer, owned by this request — safe
+// to retain without copying.
+func (rt *Router) degradedPut(kind string, body, respBody []byte) {
+	if rt.degraded == nil {
+		return
+	}
+	rt.degraded.Put(degradedKey(kind, body), respBody)
+}
+
+// serveDegraded answers w from the degraded cache if it holds a
+// response for these exact request bytes, reporting whether it did.
+func (rt *Router) serveDegraded(w http.ResponseWriter, kind string, body []byte) bool {
+	if rt.degraded == nil {
+		return false
+	}
+	resp, ok := rt.degraded.Get(degradedKey(kind, body))
+	if !ok {
+		return false
+	}
+	rt.degradedHits.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", "degraded")
+	w.Header().Set("X-Backend", "degraded-cache")
+	w.WriteHeader(http.StatusOK)
+	w.Write(resp)
+	return true
+}

@@ -5,21 +5,25 @@ import (
 	"time"
 )
 
-// ProbeOnce runs one health-probe round over every member,
-// concurrently, and applies the eviction/readmission state machine: a
-// healthy member is evicted after FailAfter consecutive failed probes,
-// an evicted one readmitted after RecoverAfter consecutive successes.
-// The probe target is GET /stats — it exercises more of the backend
-// than a bare liveness ping and refreshes the member's
-// inFlight+queued load gauge for the least-loaded policy in the same
-// round trip. Eviction only removes the member from future routing
-// decisions; requests already in flight to it are never cancelled.
+// ProbeOnce runs one health-probe round over every member of the
+// current pool snapshot, concurrently, and applies the
+// eviction/readmission state machine: a healthy member is evicted
+// after FailAfter consecutive failed probes, an evicted one
+// readmitted after RecoverAfter consecutive successes. The probe
+// target is GET /stats — it exercises more of the backend than a bare
+// liveness ping and refreshes the member's inFlight+queued load gauge
+// for the least-loaded policy in the same round trip. Eviction only
+// removes the member from future routing decisions; requests already
+// in flight to it are never cancelled. Members removed by an admin
+// change mid-round get their last probe applied to state nothing
+// reads anymore — harmless.
 //
 // Tests drive this directly (a manually stepped probe clock needs no
 // sleeping or fake timers); production calls it through Run.
 func (rt *Router) ProbeOnce(ctx context.Context) {
+	members := rt.pool.Load().members
 	done := make(chan struct{})
-	for _, m := range rt.members {
+	for _, m := range members {
 		go func(m *member) {
 			defer func() { done <- struct{}{} }()
 			pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
@@ -32,7 +36,7 @@ func (rt *Router) ProbeOnce(ctx context.Context) {
 			rt.noteProbe(m, err == nil)
 		}(m)
 	}
-	for range rt.members {
+	for range members {
 		<-done
 	}
 }
@@ -50,6 +54,10 @@ func (rt *Router) noteProbe(m *member, ok bool) {
 				m.healthy.Store(true)
 				m.readmissions.Add(1)
 				m.consecOKs = 0
+				// The prober just watched the backend answer
+				// RecoverAfter probes in a row — stronger evidence than
+				// whatever open window the breaker still holds.
+				m.br.reset()
 			}
 		}
 		return
@@ -83,5 +91,6 @@ func (rt *Router) Run(ctx context.Context) {
 
 // Healthy reports member i's current routing eligibility (test hook).
 func (rt *Router) Healthy(i int) bool {
-	return i >= 0 && i < len(rt.members) && rt.members[i].healthy.Load()
+	members := rt.pool.Load().members
+	return i >= 0 && i < len(members) && members[i].healthy.Load()
 }

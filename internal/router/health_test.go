@@ -152,6 +152,10 @@ func TestHealthReadmissionRestoresMappingWithoutDroppingInflight(t *testing.T) {
 	c, err := router.NewTestCluster(3, router.WithRouterConfig(func(cfg *router.Config) {
 		cfg.FailAfter = 2
 		cfg.RecoverAfter = 2
+		// This test holds a request in flight on a deliberately slow
+		// backend; hedging would answer it from a sibling and defeat
+		// the hold.
+		cfg.DisableHedging = true
 	}))
 	if err != nil {
 		t.Fatal(err)

@@ -52,19 +52,23 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
-// buildRing places replicas points per member. Points are derived from
-// the member's list index, not its URL, so a cluster keeps its mapping
-// when backends move to new addresses in the same order — and two
-// routers given the same list agree point for point.
-func buildRing(members int, replicas int) *ring {
+// buildRing places replicas points per member. ids[i] is the stable
+// ring identity of the member at slice index i — its original list
+// position, or a fresh ID for members added at runtime. Points are
+// derived from the ring identity, not the URL, so a cluster keeps its
+// mapping when backends move to new addresses in the same order, two
+// routers given the same list agree point for point, and a live
+// membership change moves only the arcs of the members that actually
+// joined or left.
+func buildRing(ids []int, replicas int) *ring {
 	if replicas <= 0 {
 		replicas = DefaultReplicas
 	}
-	r := &ring{points: make([]ringPoint, 0, members*replicas)}
-	for m := 0; m < members; m++ {
+	r := &ring{points: make([]ringPoint, 0, len(ids)*replicas)}
+	for m, id := range ids {
 		for v := 0; v < replicas; v++ {
 			r.points = append(r.points, ringPoint{
-				hash:   hashKey(fmt.Sprintf("member-%d#%d", m, v)),
+				hash:   hashKey(fmt.Sprintf("member-%d#%d", id, v)),
 				member: m,
 			})
 		}

@@ -1,15 +1,17 @@
 // Package router implements energyrouter, the thin HTTP front that
 // fans energyschedd traffic out over a pool of solver backends:
 //
-//	POST /v1/solve    — proxied to one backend picked by the policy
-//	POST /v1/batch    — scattered over the pool by shard, gathered in
-//	                    input order
-//	POST /v1/simulate — proxied like solve (same routing key, so a
-//	                    simulate lands where its instance's solve ran)
-//	POST /v1/sweep    — proxied, keyed by the request bytes
-//	GET  /v1/solvers  — forwarded to any healthy backend
-//	GET  /healthz     — router liveness (503 when no backend is healthy)
-//	GET  /stats       — backend counters summed + per-backend health
+//	POST /v1/solve      — proxied to one backend picked by the policy
+//	POST /v1/batch      — scattered over the pool by shard, gathered in
+//	                      input order
+//	POST /v1/simulate   — proxied like solve (same routing key, so a
+//	                      simulate lands where its instance's solve ran)
+//	POST /v1/sweep      — proxied, keyed by the request bytes
+//	GET  /v1/solvers    — forwarded to any healthy backend
+//	GET  /healthz       — router liveness (503 when no backend is healthy)
+//	GET  /stats         — backend counters summed + per-backend health
+//	GET  /admin/backends  — current membership and health
+//	POST /admin/backends  — add/remove members without a restart
 //
 // Routing policies are pluggable: "affinity" consistent-hashes the
 // canonical core.Instance.Hash onto the pool, so every repeat of an
@@ -19,9 +21,18 @@
 // "random" is the seeded control. Backends are health-probed; a member
 // failing FailAfter consecutive probes is evicted (its arc of the hash
 // ring redistributes to survivors, everything else stays put) and
-// readmitted after RecoverAfter successes. Transport failures fail
-// over to another backend so an eviction race never surfaces as a
-// caller-visible error.
+// readmitted after RecoverAfter successes.
+//
+// On top of health probing the router carries the failure-handling
+// machinery the chaos campaigns exercise: per-backend circuit breakers
+// (breaker.go) shed traffic away from members failing live requests
+// before any probe has noticed; hedged requests (hedge.go) race a
+// second backend when the first leg exceeds the kind's p99; and a
+// degraded-mode cache (degraded.go) re-serves the last good response
+// for a body when every backend attempt fails. Transport failures,
+// backend 502/503s and corrupt (invalid-JSON 2xx) responses all fail
+// over to another backend, so a fault window never surfaces as a
+// caller-visible error while a clean member remains.
 package router
 
 import (
@@ -40,6 +51,7 @@ import (
 	"energysched/internal/cache"
 	"energysched/internal/client"
 	"energysched/internal/core"
+	"energysched/internal/hist"
 )
 
 // Routing policy names accepted by Config.Policy.
@@ -63,13 +75,18 @@ func Policies() []string {
 
 // Defaults applied by New for zero Config fields.
 const (
-	DefaultFailAfter      = 3
-	DefaultRecoverAfter   = 2
-	DefaultProbeInterval  = 2 * time.Second
-	DefaultProbeTimeout   = time.Second
-	DefaultRequestTimeout = 35 * time.Second
-	DefaultMaxBodyBytes   = 8 << 20 // 8 MiB, matches the backend cap
-	DefaultRetries        = 2
+	DefaultFailAfter         = 3
+	DefaultRecoverAfter      = 2
+	DefaultProbeInterval     = 2 * time.Second
+	DefaultProbeTimeout      = time.Second
+	DefaultRequestTimeout    = 35 * time.Second
+	DefaultMaxBodyBytes      = 8 << 20 // 8 MiB, matches the backend cap
+	DefaultRetries           = 2
+	DefaultBreakerThreshold  = 3
+	DefaultBreakerBackoff    = 500 * time.Millisecond
+	DefaultBreakerMaxBackoff = 8 * time.Second
+	DefaultHedgeAfter        = 100 * time.Millisecond
+	DefaultDegradedCacheSize = 512
 )
 
 // Config tunes one Router. Backends is required; zero fields get the
@@ -107,23 +124,55 @@ type Config struct {
 	// Retries is how many additional backends a request fails over to
 	// after a transport failure (default DefaultRetries).
 	Retries int
-	// Seed drives the random policy (default 1).
+	// Seed drives the random policy and all jittered backoffs
+	// (default 1).
 	Seed int64
+	// BreakerThreshold opens a member's circuit after this many
+	// consecutive live-request failures (default
+	// DefaultBreakerThreshold).
+	BreakerThreshold int
+	// BreakerBackoff is the first open window; every consecutive
+	// reopen doubles it, jittered, up to BreakerMaxBackoff (defaults
+	// DefaultBreakerBackoff, DefaultBreakerMaxBackoff).
+	BreakerBackoff    time.Duration
+	BreakerMaxBackoff time.Duration
+	// HedgeAfter is the hedge delay used until a kind has enough
+	// latency samples for a p99-derived one (default
+	// DefaultHedgeAfter).
+	HedgeAfter time.Duration
+	// DisableHedging turns hedged requests off.
+	DisableHedging bool
+	// DegradedCacheSize is the capacity of the last-good response
+	// cache served when every backend attempt fails (default
+	// DefaultDegradedCacheSize).
+	DegradedCacheSize int
+	// DisableDegraded turns the degraded-mode response cache off.
+	DisableDegraded bool
 	// HTTPClient, when set, issues all backend requests — tests share
 	// one transport; production leaves it nil and gets per-request
 	// timeouts from RequestTimeout.
 	HTTPClient *http.Client
 }
 
-// member is one backend: its client, health state and counters.
+// member is one backend: its client, health state and counters. A
+// member belongs to pool snapshots, not to the Router — requests that
+// hold an old snapshot keep using its members even while an admin
+// change swaps the pool under them.
 type member struct {
 	url    string
 	client *client.Client
+	// ringID is the member's stable ring identity: its position in the
+	// original Backends list, or the next fresh ID for members added
+	// at runtime. Ring points derive from ringID, so removing a member
+	// remaps only its own arc.
+	ringID int
 
 	mu          sync.Mutex
 	healthyBool bool // guarded copy behind healthy
 	consecFails int
 	consecOKs   int
+
+	br breaker // per-member circuit breaker (its own lock)
 
 	healthy      atomic.Bool  // hot-path view of healthyBool
 	outstanding  atomic.Int64 // proxied requests currently in flight
@@ -133,25 +182,59 @@ type member struct {
 	readmissions atomic.Int64
 }
 
+// pool is one immutable membership snapshot: the member list and the
+// ring built from their ringIDs. Handlers load one snapshot per
+// request, so an admin add/remove is atomic from any request's point
+// of view.
+type pool struct {
+	members []*member
+	ring    *ring
+}
+
+// healthyCount returns how many of the pool's members are healthy.
+func (p *pool) healthyCount() int {
+	n := 0
+	for _, m := range p.members {
+		if m.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
 // Router is the proxy state. Create with New; it is safe for
 // concurrent use. Health probing only happens through Run or
 // ProbeOnce — a Router that never probes trusts every backend.
 type Router struct {
-	cfg     Config
-	members []*member
-	ring    *ring
-	mux     *http.ServeMux
-	start   time.Time
+	cfg   Config
+	pool  atomic.Pointer[pool]
+	mux   *http.ServeMux
+	start time.Time
 
 	rndMu sync.Mutex
 	rnd   *rand.Rand
 
+	adminMu    sync.Mutex // serializes membership changes
+	nextRingID int
+
+	latMu   sync.Mutex
+	latency map[string]*hist.Atomic // per-kind success latency, drives hedging
+
+	degraded *cache.Cache[[]byte] // last-good responses by kind+body
+
 	requests   atomic.Int64 // HTTP requests accepted by the router
 	proxied    atomic.Int64 // backend requests issued (incl. scatter legs)
-	retried    atomic.Int64 // failover re-sends after transport errors
+	retried    atomic.Int64 // failover re-sends after a failed attempt
 	badGateway atomic.Int64 // 502s for junk/unreachable backends
 	noBackend  atomic.Int64 // 503s with zero healthy backends
 	scattered  atomic.Int64 // batch requests split across backends
+
+	breakerOpened   atomic.Int64 // closed/half-open → open transitions
+	breakerHalfOpen atomic.Int64 // open → half-open trial admissions
+	breakerClosed   atomic.Int64 // open/half-open → closed recoveries
+	hedgesFired     atomic.Int64 // second legs launched
+	hedgesWon       atomic.Int64 // second legs that answered first
+	degradedHits    atomic.Int64 // responses served from the degraded cache
 }
 
 // New returns a ready Router over cfg.Backends with zero fields
@@ -197,26 +280,41 @@ func New(cfg Config) (*Router, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if cfg.BreakerBackoff <= 0 {
+		cfg.BreakerBackoff = DefaultBreakerBackoff
+	}
+	if cfg.BreakerMaxBackoff <= 0 {
+		cfg.BreakerMaxBackoff = DefaultBreakerMaxBackoff
+	}
+	if cfg.HedgeAfter <= 0 {
+		cfg.HedgeAfter = DefaultHedgeAfter
+	}
+	if cfg.DegradedCacheSize <= 0 {
+		cfg.DegradedCacheSize = DefaultDegradedCacheSize
+	}
 	rt := &Router{
-		cfg:   cfg,
-		ring:  buildRing(len(cfg.Backends), cfg.Replicas),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
-		rnd:   rand.New(rand.NewSource(cfg.Seed)),
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		rnd:     rand.New(rand.NewSource(cfg.Seed)),
+		latency: map[string]*hist.Atomic{},
 	}
-	for _, u := range cfg.Backends {
-		cl, err := client.New(client.Config{
-			BaseURL:    u,
-			HTTPClient: cfg.HTTPClient,
-			Timeout:    cfg.RequestTimeout,
-		})
+	if !cfg.DisableDegraded {
+		rt.degraded = cache.New[[]byte](cfg.DegradedCacheSize)
+	}
+	members := make([]*member, 0, len(cfg.Backends))
+	for i, u := range cfg.Backends {
+		m, err := rt.newMember(u, i)
 		if err != nil {
-			return nil, fmt.Errorf("router: backend %q: %w", u, err)
+			return nil, err
 		}
-		m := &member{url: cl.BaseURL(), client: cl, healthyBool: true}
-		m.healthy.Store(true)
-		rt.members = append(rt.members, m)
+		members = append(members, m)
 	}
+	rt.nextRingID = len(members)
+	rt.pool.Store(newPool(members, cfg.Replicas))
 	rt.mux.HandleFunc("POST /v1/solve", rt.proxyHandler("solve"))
 	rt.mux.HandleFunc("POST /v1/simulate", rt.proxyHandler("simulate"))
 	rt.mux.HandleFunc("POST /v1/sweep", rt.proxyHandler("sweep"))
@@ -224,7 +322,35 @@ func New(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("GET /v1/solvers", rt.handleSolvers)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("GET /stats", rt.handleStats)
+	rt.mux.HandleFunc("GET /admin/backends", rt.handleBackendsGet)
+	rt.mux.HandleFunc("POST /admin/backends", rt.handleBackendsPost)
 	return rt, nil
+}
+
+// newMember builds one healthy member for url with the given ring
+// identity.
+func (rt *Router) newMember(url string, ringID int) (*member, error) {
+	cl, err := client.New(client.Config{
+		BaseURL:    url,
+		HTTPClient: rt.cfg.HTTPClient,
+		Timeout:    rt.cfg.RequestTimeout,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("router: backend %q: %w", url, err)
+	}
+	m := &member{url: cl.BaseURL(), client: cl, ringID: ringID, healthyBool: true}
+	m.healthy.Store(true)
+	return m, nil
+}
+
+// newPool snapshots a member list into an immutable pool with its
+// ring.
+func newPool(members []*member, replicas int) *pool {
+	ids := make([]int, len(members))
+	for i, m := range members {
+		ids[i] = m.ringID
+	}
+	return &pool{members: members, ring: buildRing(ids, replicas)}
 }
 
 // Handler returns the router's http.Handler.
@@ -238,26 +364,38 @@ func (rt *Router) Handler() http.Handler {
 // Policy returns the resolved routing policy name.
 func (rt *Router) Policy() string { return rt.cfg.Policy }
 
-// healthyCount returns how many members are currently healthy.
-func (rt *Router) healthyCount() int {
-	n := 0
-	for _, m := range rt.members {
-		if m.healthy.Load() {
-			n++
-		}
-	}
-	return n
+// pick chooses a backend for key under the configured policy over the
+// current pool snapshot; see pickFrom.
+func (rt *Router) pick(key string, tried map[int]bool) int {
+	return rt.pickFrom(rt.pool.Load(), key, tried)
 }
 
-// pick chooses a backend for key under the configured policy, skipping
-// unhealthy members and those in tried. It returns -1 when no member
-// qualifies.
-func (rt *Router) pick(key string, tried map[int]bool) int {
-	alive := func(i int) bool { return rt.members[i].healthy.Load() && !tried[i] }
+// pickFrom chooses a backend for key in p, skipping unhealthy members,
+// those in tried, and — on the first pass — those whose circuit
+// breaker refuses traffic. When every candidate is breaker-blocked it
+// falls back to health-only selection: breakers steer traffic, they
+// never self-inflict an outage. It returns -1 when no member
+// qualifies. Selection is read-only; the caller commits the breaker
+// transition via sendOne → brEnter.
+func (rt *Router) pickFrom(p *pool, key string, tried map[int]bool) int {
+	now := time.Now()
+	if i := rt.pickBy(p, key, func(i int) bool {
+		m := p.members[i]
+		return m.healthy.Load() && !tried[i] && m.br.canTry(now)
+	}); i >= 0 {
+		return i
+	}
+	return rt.pickBy(p, key, func(i int) bool {
+		return p.members[i].healthy.Load() && !tried[i]
+	})
+}
+
+// pickBy runs the configured policy over the members alive() admits.
+func (rt *Router) pickBy(p *pool, key string, alive func(int) bool) int {
 	switch rt.cfg.Policy {
 	case PolicyLeastLoaded:
 		best, bestLoad := -1, int64(0)
-		for i, m := range rt.members {
+		for i, m := range p.members {
 			if !alive(i) {
 				continue
 			}
@@ -269,7 +407,7 @@ func (rt *Router) pick(key string, tried map[int]bool) int {
 		return best
 	case PolicyRandom:
 		var candidates []int
-		for i := range rt.members {
+		for i := range p.members {
 			if alive(i) {
 				candidates = append(candidates, i)
 			}
@@ -282,7 +420,7 @@ func (rt *Router) pick(key string, tried map[int]bool) int {
 		rt.rndMu.Unlock()
 		return i
 	default: // PolicyAffinity
-		return rt.ring.lookup(key, alive)
+		return p.ring.lookup(key, alive)
 	}
 }
 
@@ -320,43 +458,95 @@ func instanceKey(raw json.RawMessage) string {
 // per-backend 502s.
 var errNoBackend = errors.New("router: no healthy backend")
 
-// forward sends body to policy-picked backends until one answers,
-// failing over past transport errors up to Retries times. It returns
-// the first HTTP response (whatever its status — backend 4xx/5xx are
-// relayed, not retried) and the member that produced it.
-func (rt *Router) forward(ctx context.Context, kind, key string, body []byte) (*client.Response, *member, error) {
-	return rt.forwardExcluding(ctx, kind, key, body, map[int]bool{})
+// unusable reports whether a backend response is an infrastructure
+// failure the router fails over (and the breaker counts against the
+// member): a 502/503, or a 2xx whose body is not valid JSON — a
+// half-written response from a dying process. 4xx, 500 and 504 are
+// the backend's answer to the request and are relayed, not retried.
+func unusable(resp *client.Response) bool {
+	if resp.Status == http.StatusBadGateway || resp.Status == http.StatusServiceUnavailable {
+		return true
+	}
+	return resp.Status < 300 && !json.Valid(resp.Body)
 }
 
-// forwardExcluding is forward with members already known to have
-// failed this request marked in tried. Besides transport errors, a
-// backend 502/503 — infrastructure trouble, not a verdict on the
-// request — also fails over: solves are deterministic and idempotent,
-// so re-sending is always safe. 4xx, 500 and 504 are the backend's
-// answer and are relayed. When every attempt ends in 502/503 the last
-// such response is returned rather than masked.
-func (rt *Router) forwardExcluding(ctx context.Context, kind, key string, body []byte, tried map[int]bool) (*client.Response, *member, error) {
+// sendOne issues one attempt to m, bounded by perAttempt when
+// positive, and feeds the outcome to the member's breaker and the
+// kind's latency histogram. A failure caused by the caller's own
+// context ending (a parent deadline, a hedge loser being cancelled)
+// says nothing about the backend and is not charged to the breaker.
+func (rt *Router) sendOne(ctx context.Context, m *member, kind string, body []byte, perAttempt time.Duration) (*client.Response, error) {
+	rt.brEnter(m)
+	actx := ctx
+	var cancel context.CancelFunc
+	if perAttempt > 0 {
+		actx, cancel = context.WithTimeout(ctx, perAttempt)
+		defer cancel()
+	}
+	m.outstanding.Add(1)
+	rt.proxied.Add(1)
+	t0 := time.Now()
+	resp, err := m.client.PostKind(actx, kind, body)
+	m.outstanding.Add(-1)
+	if err != nil {
+		if ctx.Err() == nil {
+			rt.brRecord(m, false)
+		}
+		return nil, err
+	}
+	m.proxied.Add(1)
+	ok := !unusable(resp)
+	rt.brRecord(m, ok)
+	if ok {
+		rt.observeLatency(kind, time.Since(t0))
+	}
+	return resp, nil
+}
+
+// forward sends body to policy-picked backends until one answers,
+// failing over past failed attempts up to Retries times. It returns
+// the first usable HTTP response (backend 4xx/500/504 are relayed,
+// not retried) and the member that produced it.
+func (rt *Router) forward(ctx context.Context, kind, key string, body []byte) (*client.Response, *member, error) {
+	return rt.forwardChain(ctx, rt.pool.Load(), kind, key, body, map[int]bool{}, -1, 0)
+}
+
+// forwardChain is the failover loop every forwarding path shares.
+// Members in tried are skipped; preferred ≥ 0 short-circuits the
+// policy for the first attempt (the batch scatter target, a hedge's
+// pre-picked first leg). Besides transport errors, an unusable
+// response — 502/503, corrupt 2xx — fails over: solves are
+// deterministic and idempotent, so re-sending is always safe. When
+// every attempt fails the last response is returned rather than
+// masked, and a chain cut short by its own context's end returns that
+// error without blaming further members.
+func (rt *Router) forwardChain(ctx context.Context, p *pool, kind, key string, body []byte, tried map[int]bool, preferred int, perAttempt time.Duration) (*client.Response, *member, error) {
 	var lastErr error
 	var lastResp *client.Response
 	var lastMember *member
 	for attempt := 0; attempt <= rt.cfg.Retries; attempt++ {
-		i := rt.pick(key, tried)
+		i := -1
+		if attempt == 0 && preferred >= 0 && preferred < len(p.members) &&
+			p.members[preferred].healthy.Load() && !tried[preferred] {
+			i = preferred
+		} else {
+			i = rt.pickFrom(p, key, tried)
+		}
 		if i < 0 {
 			break
 		}
-		m := rt.members[i]
-		m.outstanding.Add(1)
-		rt.proxied.Add(1)
-		resp, err := m.client.PostKind(ctx, kind, body)
-		m.outstanding.Add(-1)
+		m := p.members[i]
+		resp, err := rt.sendOne(ctx, m, kind, body, perAttempt)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, nil, err
+			}
 			lastErr = err
 			tried[i] = true
 			rt.retried.Add(1)
 			continue
 		}
-		m.proxied.Add(1)
-		if resp.Status == http.StatusBadGateway || resp.Status == http.StatusServiceUnavailable {
+		if unusable(resp) {
 			lastResp, lastMember = resp, m
 			tried[i] = true
 			rt.retried.Add(1)
@@ -373,10 +563,10 @@ func (rt *Router) forwardExcluding(ctx context.Context, kind, key string, body [
 	return nil, nil, errNoBackend
 }
 
-// proxyHandler serves one single-backend endpoint: read, route, relay.
-// A backend 2xx whose body is not valid JSON — a half-written response
-// from a dying process — becomes a 502 JSON envelope rather than junk
-// relayed to the caller.
+// proxyHandler serves one single-backend endpoint: read, route
+// (hedged), relay. When every backend attempt fails and the degraded
+// cache holds the last good response for these exact bytes, that
+// response is re-served instead of the error.
 func (rt *Router) proxyHandler(kind string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		body, err := rt.readBody(w, r)
@@ -385,7 +575,17 @@ func (rt *Router) proxyHandler(kind string) http.HandlerFunc {
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
 		defer cancel()
-		resp, m, err := rt.forward(ctx, kind, routingKey(kind, body), body)
+		resp, m, err := rt.forwardHedged(ctx, kind, routingKey(kind, body), body)
+		if err == nil && !unusable(resp) {
+			if resp.Status == http.StatusOK {
+				rt.degradedPut(kind, body, resp.Body)
+			}
+			rt.relay(w, resp, m)
+			return
+		}
+		if rt.serveDegraded(w, kind, body) {
+			return
+		}
 		if err != nil {
 			rt.writeForwardError(w, err)
 			return
@@ -466,7 +666,7 @@ func writeJSON(w http.ResponseWriter, v any) {
 func (rt *Router) handleSolvers(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ProbeTimeout)
 	defer cancel()
-	for i, m := range rt.members {
+	for _, m := range rt.pool.Load().members {
 		if !m.healthy.Load() {
 			continue
 		}
@@ -474,7 +674,7 @@ func (rt *Router) handleSolvers(w http.ResponseWriter, r *http.Request) {
 		if err != nil || !json.Valid(resp.Body) {
 			continue
 		}
-		rt.relay(w, resp, rt.members[i])
+		rt.relay(w, resp, m)
 		return
 	}
 	rt.noBackend.Add(1)
@@ -484,7 +684,8 @@ func (rt *Router) handleSolvers(w http.ResponseWriter, r *http.Request) {
 // handleHealthz reports router liveness: healthy while at least one
 // backend is.
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	n := rt.healthyCount()
+	p := rt.pool.Load()
+	n := p.healthyCount()
 	status := http.StatusOK
 	state := "ok"
 	if n == 0 {
@@ -494,7 +695,7 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(map[string]any{
-		"status": state, "healthyBackends": n, "backends": len(rt.members),
+		"status": state, "healthyBackends": n, "backends": len(p.members),
 	})
 }
 
@@ -535,11 +736,40 @@ type routerStatsJSON struct {
 	Scattered  int64 `json:"scattered"`
 }
 
+// resilienceJSON is the failure-handling counter block of /stats.
+// Fields are declared in alphabetical JSON-key order so the marshaled
+// block is sorted — the same golden-test treatment as the server's
+// /stats payload (see resilience_internal_test.go).
+type resilienceJSON struct {
+	BreakerClosed   int64 `json:"breakerClosed"`
+	BreakerHalfOpen int64 `json:"breakerHalfOpen"`
+	BreakerOpened   int64 `json:"breakerOpened"`
+	DegradedHits    int64 `json:"degradedHits"`
+	Failovers       int64 `json:"failovers"`
+	HedgesFired     int64 `json:"hedgesFired"`
+	HedgesWon       int64 `json:"hedgesWon"`
+}
+
+// resilienceSnapshot loads the resilience counters. Failovers mirrors
+// the router block's retried counter: every failover re-send is one
+// retried attempt.
+func (rt *Router) resilienceSnapshot() resilienceJSON {
+	return resilienceJSON{
+		BreakerClosed:   rt.breakerClosed.Load(),
+		BreakerHalfOpen: rt.breakerHalfOpen.Load(),
+		BreakerOpened:   rt.breakerOpened.Load(),
+		DegradedHits:    rt.degradedHits.Load(),
+		Failovers:       rt.retried.Load(),
+		HedgesFired:     rt.hedgesFired.Load(),
+		HedgesWon:       rt.hedgesWon.Load(),
+	}
+}
+
 // statsJSON is the GET /stats payload. The top-level counters are the
 // live sums over every reachable backend, named exactly like a single
 // energyschedd's /stats — so energyload's before/after scrape works
 // identically against a router and a single node. Router-only state
-// sits under "policy", "router" and "backends".
+// sits under "policy", "router", "resilience" and "backends".
 type statsJSON struct {
 	UptimeSeconds float64            `json:"uptimeSeconds"`
 	Requests      int64              `json:"requests"`
@@ -555,6 +785,7 @@ type statsJSON struct {
 	Cache         cache.Stats        `json:"cache"`
 	Policy        string             `json:"policy"`
 	Router        routerStatsJSON    `json:"router"`
+	Resilience    resilienceJSON     `json:"resilience"`
 	Backends      []backendStatsJSON `json:"backends"`
 }
 
@@ -565,9 +796,10 @@ type statsJSON struct {
 func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ProbeTimeout)
 	defer cancel()
-	scrapes := make([]*backendScrape, len(rt.members))
+	p := rt.pool.Load()
+	scrapes := make([]*backendScrape, len(p.members))
 	var wg sync.WaitGroup
-	for i, m := range rt.members {
+	for i, m := range p.members {
 		wg.Add(1)
 		go func(i int, m *member) {
 			defer wg.Done()
@@ -590,8 +822,9 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 			NoBackend:  rt.noBackend.Load(),
 			Scattered:  rt.scattered.Load(),
 		},
+		Resilience: rt.resilienceSnapshot(),
 	}
-	for i, m := range rt.members {
+	for i, m := range p.members {
 		row := backendStatsJSON{
 			URL:          m.url,
 			Healthy:      m.healthy.Load(),

@@ -33,14 +33,29 @@ type TestCluster struct {
 	taps []*backendTap
 }
 
-// backendTap wraps one backend handler with fault controls.
+// backendTap wraps one backend handler with fault controls. The taps
+// together implement chaos.Injector, so a chaos schedule replays
+// against a TestCluster unchanged.
 type backendTap struct {
-	inner http.Handler
-	down  atomic.Bool
-	delay atomic.Int64 // nanoseconds added before serving
+	inner       http.Handler
+	down        atomic.Bool
+	partitioned atomic.Bool
+	corrupt     atomic.Bool
+	delay       atomic.Int64 // nanoseconds added before serving
 }
 
 func (t *backendTap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if t.partitioned.Load() {
+		// Unreachable, not down: sever the connection without any HTTP
+		// response, the transport-error failure shape.
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+				return
+			}
+		}
+		panic(http.ErrAbortHandler)
+	}
 	if t.down.Load() {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
@@ -49,6 +64,14 @@ func (t *backendTap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	if d := t.delay.Load(); d > 0 {
 		time.Sleep(time.Duration(d))
+	}
+	if t.corrupt.Load() {
+		// A half-written response from a dying process: 200 OK, then
+		// truncated non-JSON bytes.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{"result":{"energy":`)
+		return
 	}
 	t.inner.ServeHTTP(w, r)
 }
@@ -131,6 +154,28 @@ func (c *TestCluster) SetBackendDown(i int, down bool) { c.taps[i].down.Store(do
 func (c *TestCluster) SetBackendDelay(i int, d time.Duration) {
 	c.taps[i].delay.Store(int64(d))
 }
+
+// SetBackendPartitioned makes backend i unreachable from the router
+// while its process stays alive: connections are severed without an
+// HTTP response.
+func (c *TestCluster) SetBackendPartitioned(i int, partitioned bool) {
+	c.taps[i].partitioned.Store(partitioned)
+}
+
+// SetBackendCorrupt makes backend i answer 200 with truncated non-JSON
+// bytes — the half-written-response failure shape.
+func (c *TestCluster) SetBackendCorrupt(i int, corrupt bool) {
+	c.taps[i].corrupt.Store(corrupt)
+}
+
+// KillBackendConnections severs backend i's established connections
+// immediately, killing requests in flight mid-read.
+func (c *TestCluster) KillBackendConnections(i int) {
+	c.BackendSrvs[i].CloseClientConnections()
+}
+
+// NumBackends reports the cluster size (chaos.Injector).
+func (c *TestCluster) NumBackends() int { return len(c.taps) }
 
 // Close shuts the router then the backends down.
 func (c *TestCluster) Close() {
