@@ -12,6 +12,14 @@
 //	energyload -duration 10 -rate 20 -save trace.json -norun
 //	energyload -cluster 3 -chaos reference
 //	energyload -cluster 3 -chaos schedule.json -save-chaos schedule.json
+//	energyload -duration 10 -rate 50 -slowest 3   # worst requests, traced
+//
+// -slowest N adds a per-kind worst-requests block to the report: each
+// entry names the request's trace index, wall time, status and echoed
+// X-Request-Id, joined after the run against the server's GET
+// /debug/traces ring for the per-stage (queue wait, cache lookup,
+// solve, marshal — or pick, failover, hedge through a router) span
+// breakdown of where the time went.
 //
 // With no -base, an in-process server (default config) is started for
 // the run — the hermetic mode CI's loadsmoke job uses. -cluster N
@@ -81,6 +89,7 @@ func main() {
 	save := flag.String("save", "", "write the trace to this file")
 	out := flag.String("out", "", "write the JSON report to this file (default: stdout)")
 	norun := flag.Bool("norun", false, "generate/save the trace without replaying it")
+	slowest := flag.Int("slowest", 0, "report each kind's N slowest requests with trace IDs and the server's per-stage span breakdown")
 	flag.Parse()
 
 	tr, err := loadTrace(*traceFile, specFromFlags(
@@ -171,6 +180,7 @@ func main() {
 		Speed:       *speed,
 		Timeout:     *timeout,
 		ScrapeStats: true,
+		Slowest:     *slowest,
 	})
 	<-faultsDone
 	if err != nil {

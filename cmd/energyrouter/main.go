@@ -11,7 +11,9 @@
 //	             [-timeout 35s] [-max-body 8388608] [-seed 1] \
 //	             [-breaker-threshold 3] [-breaker-backoff 500ms] \
 //	             [-breaker-max-backoff 8s] [-hedge-after 100ms] \
-//	             [-no-hedging] [-degraded-cache 512] [-no-degraded]
+//	             [-no-hedging] [-degraded-cache 512] [-no-degraded] \
+//	             [-pprof] [-no-tracing] [-trace-buffer 256] \
+//	             [-trace-seed 0] [-trace-log]
 //
 // Policies:
 //
@@ -24,8 +26,11 @@
 // Endpoints match energyschedd: POST /v1/solve, /v1/batch (scattered
 // by shard, gathered in input order), /v1/simulate, /v1/sweep, GET
 // /v1/solvers, /healthz and /stats (backend counters summed, plus
-// per-backend health, router and resilience counters). GET/POST
-// /admin/backends reads and changes pool membership live:
+// per-backend health, router and resilience counters). GET /metrics
+// serves the router-owned counters as Prometheus text exposition, GET
+// /debug/traces the ring of recent request traces (pick, failover and
+// hedge spans), and -pprof mounts net/http/pprof under /debug/pprof/.
+// GET/POST /admin/backends reads and changes pool membership live:
 //
 //	curl -X POST localhost:8080/admin/backends \
 //	     -d '{"add":["http://10.0.0.4:8080"],"remove":["http://10.0.0.2:8080"]}'
@@ -42,7 +47,9 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -73,10 +80,19 @@ func main() {
 	noHedging := flag.Bool("no-hedging", false, "disable hedged requests")
 	degradedCache := flag.Int("degraded-cache", router.DefaultDegradedCacheSize, "degraded-mode response cache entries")
 	noDegraded := flag.Bool("no-degraded", false, "disable degraded-mode serving from the response cache")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
+	noTracing := flag.Bool("no-tracing", false, "disable request-scoped tracing (/debug/traces serves an empty ring)")
+	traceBuffer := flag.Int("trace-buffer", 0, "recent-trace ring capacity (0 = default)")
+	traceSeed := flag.Int64("trace-seed", 0, "trace-ID stream seed (0 = -seed)")
+	traceLog := flag.Bool("trace-log", false, "log one structured line per completed traced request")
 	flag.Parse()
 
 	if *backends == "" {
 		log.Fatal("energyrouter: -backends is required")
+	}
+	var traceLogger *slog.Logger
+	if *traceLog {
+		traceLogger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 	rt, err := router.New(router.Config{
 		Backends:       strings.Split(*backends, ","),
@@ -98,6 +114,10 @@ func main() {
 		DisableHedging:    *noHedging,
 		DegradedCacheSize: *degradedCache,
 		DisableDegraded:   *noDegraded,
+		DisableTracing:    *noTracing,
+		TraceBuffer:       *traceBuffer,
+		TraceSeed:         *traceSeed,
+		TraceLogger:       traceLogger,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -107,9 +127,24 @@ func main() {
 	defer stop()
 	go rt.Run(ctx)
 
+	handler := rt.Handler()
+	if *pprofOn {
+		// Mount the profiler explicitly instead of relying on the
+		// DefaultServeMux side-effect registration, so the router mux
+		// stays authoritative for every other path.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Print("pprof enabled on /debug/pprof/")
+	}
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           rt.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)

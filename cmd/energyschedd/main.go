@@ -8,6 +8,7 @@
 //	energyschedd [-addr :8080] [-cache-size 1024] [-max-inflight 0]
 //	             [-max-queue 0] [-timeout 30s] [-max-body 8388608]
 //	             [-workers 0] [-pprof] [-record trace.json]
+//	             [-no-tracing] [-trace-buffer 256] [-trace-seed 1] [-trace-log]
 //
 // Endpoints (see internal/server and the README for request formats):
 //
@@ -18,6 +19,11 @@
 //	GET  /v1/solvers  list registered solvers
 //	GET  /healthz     liveness probe
 //	GET  /stats       request / solve / simulate / sweep / cache counters
+//	GET  /metrics     the same counters as Prometheus text exposition
+//	GET  /debug/traces  ring of recent request traces with stage spans
+//
+// -pprof additionally mounts net/http/pprof under /debug/pprof/ for
+// CPU/heap/goroutine profiling of a live daemon.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -46,16 +53,27 @@ func main() {
 	workers := flag.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
 	record := flag.String("record", "", "record replayable traffic to this trace file on shutdown (energyload -trace replays it)")
+	noTracing := flag.Bool("no-tracing", false, "disable request-scoped tracing (/debug/traces serves an empty ring)")
+	traceBuffer := flag.Int("trace-buffer", 0, "recent-trace ring capacity (0 = default)")
+	traceSeed := flag.Int64("trace-seed", 0, "trace-ID stream seed (0 = default)")
+	traceLog := flag.Bool("trace-log", false, "log one structured line per completed traced request")
 	flag.Parse()
 
-	srv := server.New(server.Config{
-		CacheSize:     *cacheSize,
-		MaxInFlight:   *maxInFlight,
-		MaxQueueDepth: *maxQueue,
-		SolveTimeout:  *timeout,
-		MaxBodyBytes:  *maxBody,
-		Workers:       *workers,
-	})
+	cfg := server.Config{
+		CacheSize:      *cacheSize,
+		MaxInFlight:    *maxInFlight,
+		MaxQueueDepth:  *maxQueue,
+		SolveTimeout:   *timeout,
+		MaxBodyBytes:   *maxBody,
+		Workers:        *workers,
+		DisableTracing: *noTracing,
+		TraceBuffer:    *traceBuffer,
+		TraceSeed:      *traceSeed,
+	}
+	if *traceLog {
+		cfg.TraceLogger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	srv := server.New(cfg)
 	handler := srv.Handler()
 	var recorder *loadgen.Recorder
 	if *record != "" {

@@ -38,15 +38,18 @@ import (
 )
 
 // report is the top-level JSON output for single-instance runs.
+// Profile is the campaign's per-phase wall-clock timing, a sibling of
+// the deterministic campaign block (see sim.CampaignProfile).
 type report struct {
-	Trials    int             `json:"trials"`
-	Seed      int64           `json:"seed"`
-	Policy    string          `json:"policy"`
-	WorstCase bool            `json:"worstCase,omitempty"`
-	Replayed  bool            `json:"replayed,omitempty"`
-	Result    json.RawMessage `json:"result"`
-	Campaign  *sim.Campaign   `json:"campaign"`
-	Delta     sim.Delta       `json:"delta"`
+	Trials    int                  `json:"trials"`
+	Seed      int64                `json:"seed"`
+	Policy    string               `json:"policy"`
+	WorstCase bool                 `json:"worstCase,omitempty"`
+	Replayed  bool                 `json:"replayed,omitempty"`
+	Result    json.RawMessage      `json:"result"`
+	Campaign  *sim.Campaign        `json:"campaign"`
+	Delta     sim.Delta            `json:"delta"`
+	Profile   *sim.CampaignProfile `json:"profile"`
 }
 
 func main() {
@@ -172,6 +175,7 @@ func main() {
 		Result:    resJSON,
 		Campaign:  camp,
 		Delta:     camp.Delta(),
+		Profile:   &camp.Profile,
 	})
 }
 

@@ -27,12 +27,12 @@ const chaosSmokeP99BoundMs = 8000
 
 // normalizeBody canonicalizes a response body for cross-run
 // comparison: parsed, every "wallTimeMs" key (measured solver wall
-// time) plus the cache-disposition fields ("cached", "cacheHits")
-// removed recursively, and re-marshaled with sorted keys. Cache
-// disposition depends on request history, and chaos failovers
-// legitimately reorder history across backends; the computed payload —
-// schedules, energies, campaign statistics — must still match byte
-// for byte.
+// time) and "profile" block (measured campaign phase timing) plus the
+// cache-disposition fields ("cached", "cacheHits") removed
+// recursively, and re-marshaled with sorted keys. Cache disposition
+// depends on request history, and chaos failovers legitimately
+// reorder history across backends; the computed payload — schedules,
+// energies, campaign statistics — must still match byte for byte.
 func normalizeBody(t *testing.T, body []byte) []byte {
 	t.Helper()
 	var v any
@@ -44,6 +44,7 @@ func normalizeBody(t *testing.T, body []byte) []byte {
 		switch x := v.(type) {
 		case map[string]any:
 			delete(x, "wallTimeMs")
+			delete(x, "profile")
 			delete(x, "cached")
 			delete(x, "cacheHits")
 			for _, child := range x {
@@ -150,6 +151,9 @@ func TestChaosSmoke(t *testing.T) {
 		cfg.FailAfter = 2
 		cfg.RecoverAfter = 1
 		cfg.ProbeInterval = 150 * time.Millisecond
+		// A ring big enough to hold every request of the replay, so the
+		// fault-window traces are still there when the run ends.
+		cfg.TraceBuffer = 4096
 	}))
 	if err != nil {
 		t.Fatal(err)
@@ -268,6 +272,34 @@ func TestChaosSmoke(t *testing.T) {
 	}
 	if stats.Resilience.HedgesWon > stats.Resilience.HedgesFired {
 		t.Errorf("hedgesWon %d > hedgesFired %d", stats.Resilience.HedgesWon, stats.Resilience.HedgesFired)
+	}
+
+	// The router's trace ring must show the resilience machinery at
+	// work: the counters say failovers (and usually hedges) happened, so
+	// spans with those names must be visible at /debug/traces — the
+	// observability the counters only summarize.
+	var traces struct {
+		Traces []struct {
+			Spans []struct {
+				Name string `json:"name"`
+			} `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := cl.GetJSON(ctx, "/debug/traces?limit=0", &traces); err != nil {
+		t.Fatal(err)
+	}
+	spanCount := map[string]int{}
+	for _, rec := range traces.Traces {
+		for _, sp := range rec.Spans {
+			spanCount[sp.Name]++
+		}
+	}
+	t.Logf("router span counts over %d traces: %v", len(traces.Traces), spanCount)
+	if spanCount["failover"] == 0 {
+		t.Errorf("resilience counters report %d failovers but no failover span is visible at /debug/traces", stats.Resilience.Failovers)
+	}
+	if stats.Resilience.HedgesFired > 0 && spanCount["hedge"] == 0 {
+		t.Errorf("resilience counters report %d hedges fired but no hedge span is visible at /debug/traces", stats.Resilience.HedgesFired)
 	}
 
 	// Byte-equivalence: every event that returned 200 both fault-free

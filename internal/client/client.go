@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"energysched/internal/obs"
 	"energysched/internal/rng"
 )
 
@@ -165,6 +166,10 @@ type Response struct {
 	// Attempts is how many wire requests this exchange cost (1 without
 	// retries).
 	Attempts int
+	// RequestID is the server's echoed X-Request-Id: the trace handle a
+	// caller quotes against GET /debug/traces. Empty when the endpoint
+	// is untraced.
+	RequestID string
 }
 
 // Class classifies the response status.
@@ -250,6 +255,12 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*Res
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		if id, span := obs.OutgoingIDs(ctx); id != "" {
+			req.Header.Set(obs.RequestIDHeader, id)
+			if span != "" {
+				req.Header.Set(obs.SpanIDHeader, span)
+			}
+		}
 		resp, err := c.http.Do(req)
 		if err != nil {
 			lastErr = err
@@ -274,10 +285,11 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*Res
 			continue
 		}
 		r := &Response{
-			Status:   resp.StatusCode,
-			Body:     out,
-			XCache:   resp.Header.Get("X-Cache"),
-			Attempts: attempt + 1,
+			Status:    resp.StatusCode,
+			Body:      out,
+			XCache:    resp.Header.Get("X-Cache"),
+			Attempts:  attempt + 1,
+			RequestID: resp.Header.Get(obs.RequestIDHeader),
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
 			r.RetryAfter = c.retryAfter(resp.Header)

@@ -2,11 +2,15 @@ package loadgen_test
 
 import (
 	"context"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"testing"
+	"time"
 
 	"energysched/internal/loadgen"
+	"energysched/internal/obs"
 	"energysched/internal/server"
 )
 
@@ -31,7 +35,11 @@ func smokeSpec() loadgen.Spec {
 // rejected request (the trace is well-formed by construction), or a
 // per-kind p99 above smokeP99BoundMs. The ci `loadsmoke` job runs it
 // under -race at real-time speed (LOADSMOKE_FULL=1); plain `go test`
-// replays at 4× so the tier-1 suite stays fast.
+// replays at 4× so the tier-1 suite stays fast. A goroutine scrapes
+// GET /metrics mid-replay — the exposition must parse and carry the
+// core series while the server is under load, not just at rest — and
+// the Slowest option is exercised so the report's worst-request block
+// (trace-ID join against /debug/traces) sees smoke traffic too.
 func TestLoadSmoke(t *testing.T) {
 	tr, err := loadgen.Generate(smokeSpec())
 	if err != nil {
@@ -40,20 +48,63 @@ func TestLoadSmoke(t *testing.T) {
 	if len(tr.Events) == 0 {
 		t.Fatal("smoke trace is empty")
 	}
-	srv := httptest.NewServer(server.New(server.Config{}).Handler())
+	// TraceBuffer is sized past the event count so the post-replay
+	// slowest-request join finds every request still in the ring.
+	srv := httptest.NewServer(server.New(server.Config{TraceBuffer: 4096}).Handler())
 	defer srv.Close()
 
 	speed := 4.0
 	if os.Getenv("LOADSMOKE_FULL") != "" {
 		speed = 1.0
 	}
+
+	// Mid-replay metrics scrape: grab /metrics while requests are in
+	// flight. Parse errors or missing core families fail the test — a
+	// half-written exposition under concurrency is exactly the bug this
+	// is here to catch.
+	scraped := make(chan string, 1)
+	go func() {
+		time.Sleep(time.Second)
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			scraped <- ""
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			scraped <- ""
+			return
+		}
+		scraped <- string(body)
+	}()
+
 	rep, err := loadgen.Replay(context.Background(), tr, loadgen.ReplayOptions{
 		BaseURL:     srv.URL,
 		Speed:       speed,
 		ScrapeStats: true,
+		Slowest:     2,
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+
+	body := <-scraped
+	if body == "" {
+		t.Fatal("mid-replay /metrics scrape failed")
+	}
+	exp, err := obs.ParseExposition(body)
+	if err != nil {
+		t.Fatalf("mid-replay /metrics did not parse: %v", err)
+	}
+	for _, fam := range []string{
+		"energyschedd_requests_total",
+		"energyschedd_cache_hits_total",
+		"energyschedd_solve_duration_seconds",
+	} {
+		if !exp.HasFamily(fam) {
+			t.Errorf("mid-replay /metrics missing core family %s", fam)
+		}
 	}
 	t.Logf("replayed %d events in %.2fs (offered %.1f/s, achieved %.1f/s): %d ok, %d shed, %d rejected, %d errors",
 		rep.Requests, rep.WallS, rep.OfferedPerSec, rep.AchievedPerSec, rep.OK, rep.Shed, rep.Rejected, rep.Errors)
@@ -87,5 +138,27 @@ func TestLoadSmoke(t *testing.T) {
 	if rep.Stats.QueuedAfter != 0 || rep.Stats.InFlightAfter != 0 {
 		t.Errorf("server not drained after replay: queued=%d inFlight=%d",
 			rep.Stats.QueuedAfter, rep.Stats.InFlightAfter)
+	}
+
+	// Slowest=2 was requested: every completed kind must surface worst
+	// requests carrying the server-echoed request ID, and the ring was
+	// sized to hold the whole run, so the span join must land too.
+	if len(rep.Slowest) == 0 {
+		t.Fatal("Slowest=2 produced no worst-request entries")
+	}
+	joined := 0
+	for _, sr := range rep.Slowest {
+		if sr.RequestID == "" {
+			t.Errorf("slow request %s[%d] has no echoed request ID", sr.Kind, sr.TraceIndex)
+		}
+		if sr.DurMs <= 0 {
+			t.Errorf("slow request %s[%d] has non-positive duration %.3fms", sr.Kind, sr.TraceIndex, sr.DurMs)
+		}
+		if len(sr.Spans) > 0 {
+			joined++
+		}
+	}
+	if joined == 0 {
+		t.Error("no slow request joined to a server-side trace; the /debug/traces join is broken")
 	}
 }

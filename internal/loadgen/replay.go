@@ -3,12 +3,14 @@ package loadgen
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"energysched/internal/client"
 	"energysched/internal/hist"
+	"energysched/internal/obs"
 )
 
 // ReplayOptions tune one replay run.
@@ -35,6 +37,11 @@ type ReplayOptions struct {
 	// use. The chaos harness uses it to collect per-event response
 	// bodies for byte-equivalence checks against a fault-free run.
 	OnResult func(i int, ev *Event, resp *client.Response, err error)
+	// Slowest, when positive, reports each kind's N slowest completed
+	// requests, carrying the server-echoed X-Request-Id and — when the
+	// server's trace ring still holds the trace after the run — its
+	// per-stage span breakdown scraped from GET /debug/traces.
+	Slowest int
 }
 
 // KindReport aggregates one request kind's outcomes. Latency covers
@@ -89,6 +96,86 @@ type Report struct {
 	Errors         int64                  `json:"errors"`
 	PerKind        map[string]*KindReport `json:"perKind"`
 	Stats          *StatsDelta            `json:"statsDelta,omitempty"`
+	// Slowest lists each kind's worst completed requests (ReplayOptions.
+	// Slowest per kind), slowest first within a kind.
+	Slowest []SlowRequest `json:"slowest,omitempty"`
+}
+
+// SlowRequest is one of a kind's slowest completed requests: where the
+// time went, joined by request ID to the server's trace ring when the
+// trace is still held there.
+type SlowRequest struct {
+	Kind string `json:"kind"`
+	// TraceIndex is the event's index in the replayed trace — enough to
+	// re-issue the exact request body.
+	TraceIndex int     `json:"traceIndex"`
+	DurMs      float64 `json:"durMs"`
+	Status     int     `json:"status"`
+	// RequestID is the server-echoed X-Request-Id; empty when the
+	// server ran with tracing disabled.
+	RequestID string `json:"requestId,omitempty"`
+	// Spans is the server-side stage breakdown from GET /debug/traces;
+	// absent when the ring has already recycled the trace.
+	Spans []obs.Span `json:"spans,omitempty"`
+}
+
+// slowTracker keeps each kind's n slowest completed requests, sorted
+// slowest first.
+type slowTracker struct {
+	n  int
+	mu sync.Mutex
+	m  map[string][]SlowRequest
+}
+
+func newSlowTracker(n int) *slowTracker {
+	return &slowTracker{n: n, m: map[string][]SlowRequest{}}
+}
+
+// record offers one completed request; it is kept only while it ranks
+// among the kind's n slowest.
+func (st *slowTracker) record(r SlowRequest) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	list := st.m[r.Kind]
+	i := sort.Search(len(list), func(i int) bool { return list[i].DurMs < r.DurMs })
+	if i >= st.n {
+		return
+	}
+	list = append(list, SlowRequest{})
+	copy(list[i+1:], list[i:])
+	list[i] = r
+	if len(list) > st.n {
+		list = list[:st.n]
+	}
+	st.m[r.Kind] = list
+}
+
+// report flattens the tracker (kinds in presentation order, slowest
+// first within a kind) and joins the server's trace ring: one
+// /debug/traces scrape, then each kept request picks up its span
+// breakdown by request ID.
+func (st *slowTracker) report(ctx context.Context, cl *client.Client) []SlowRequest {
+	spans := map[string][]obs.Span{}
+	var ring struct {
+		Traces []obs.TraceRecord `json:"traces"`
+	}
+	if err := cl.GetJSON(ctx, "/debug/traces?limit=0", &ring); err == nil {
+		for _, rec := range ring.Traces {
+			spans[rec.ID] = rec.Spans
+		}
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []SlowRequest
+	for _, k := range Kinds() {
+		for _, r := range st.m[k] {
+			if r.RequestID != "" {
+				r.Spans = spans[r.RequestID]
+			}
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // kindTracker accumulates one kind's counters during the run.
@@ -128,6 +215,10 @@ func Replay(ctx context.Context, tr *Trace, opts ReplayOptions) (*Report, error)
 	for _, k := range Kinds() {
 		trackers[k] = &kindTracker{latency: hist.NewAtomic(hist.LatencyBounds())}
 	}
+	var slow *slowTracker
+	if opts.Slowest > 0 {
+		slow = newSlowTracker(opts.Slowest)
+	}
 
 	var before statsScrape
 	if opts.ScrapeStats {
@@ -158,7 +249,16 @@ issue:
 		wg.Add(1)
 		go func(i int, ev *Event) {
 			defer wg.Done()
-			resp, err := fire(ctx, cl, ev, trackers[ev.Kind])
+			resp, dur, err := fire(ctx, cl, ev, trackers[ev.Kind])
+			if slow != nil && err == nil {
+				slow.record(SlowRequest{
+					Kind:       ev.Kind,
+					TraceIndex: i,
+					DurMs:      float64(dur) / float64(time.Millisecond),
+					Status:     resp.Status,
+					RequestID:  resp.RequestID,
+				})
+			}
 			if opts.OnResult != nil {
 				opts.OnResult(i, ev, resp, err)
 			}
@@ -213,21 +313,26 @@ issue:
 		}
 		rep.Stats = statsDelta(&before, &after)
 	}
+	if slow != nil {
+		rep.Slowest = slow.report(ctx, cl)
+	}
 	return rep, nil
 }
 
 // fire issues one event and buckets the outcome by the shared
 // client-side classification (2xx ok, 429 shed, 4xx rejected, 5xx or
-// transport failure error), returning the raw outcome for OnResult.
-func fire(ctx context.Context, cl *client.Client, ev *Event, t *kindTracker) (*client.Response, error) {
+// transport failure error), returning the raw outcome for OnResult and
+// the measured wall time for the slowest-request report.
+func fire(ctx context.Context, cl *client.Client, ev *Event, t *kindTracker) (*client.Response, time.Duration, error) {
 	t.requests.Add(1)
 	begin := time.Now()
 	resp, err := cl.PostKind(ctx, ev.Kind, ev.Body)
 	if err != nil {
 		t.errors.Add(1)
-		return nil, err
+		return nil, 0, err
 	}
-	t.latency.Observe(int64(time.Since(begin)))
+	dur := time.Since(begin)
+	t.latency.Observe(int64(dur))
 	switch resp.Class() {
 	case client.OK:
 		t.ok.Add(1)
@@ -238,7 +343,7 @@ func fire(ctx context.Context, cl *client.Client, ev *Event, t *kindTracker) (*c
 	default:
 		t.errors.Add(1)
 	}
-	return resp, nil
+	return resp, dur, nil
 }
 
 // statsScrape is the /stats subset the report needs.

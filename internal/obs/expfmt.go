@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Exposition is a parsed Prometheus text-format scrape: family name →
+// declared TYPE, plus every sample line's metric name (with labels
+// stripped). It exists so the smoke tests can assert a live /metrics
+// body is well-formed and carries the expected core series without a
+// client library.
+type Exposition struct {
+	Types   map[string]string
+	Samples map[string]int // metric name (pre-label) → line count
+}
+
+// HasFamily reports whether a TYPE line declared the family.
+func (e *Exposition) HasFamily(name string) bool { return e.Types[name] != "" }
+
+// Families returns the declared family names, sorted.
+func (e *Exposition) Families() []string {
+	out := make([]string, 0, len(e.Types))
+	for name := range e.Types {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseExposition validates Prometheus text format 0.0.4 strictly
+// enough to catch generator bugs: HELP/TYPE comment shape, known TYPE
+// values, sample lines of the form `name[{labels}] value`, float-parsable
+// values, metric names matching [a-zA-Z_:][a-zA-Z0-9_:]*, and every
+// sample belonging to a family declared by a preceding TYPE line
+// (allowing the _bucket/_sum/_count suffixes of a histogram family).
+func ParseExposition(data string) (*Exposition, error) {
+	exp := &Exposition{Types: map[string]string{}, Samples: map[string]int{}}
+	for ln, line := range strings.Split(data, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if !validMetricName(fields[2]) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo, fields[2])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: TYPE without a type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				if exp.Types[fields[2]] != "" {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, fields[2])
+				}
+				exp.Types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, rest, err := splitSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if !validMetricName(name) {
+			return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+		}
+		value := strings.TrimSpace(rest)
+		// A timestamp suffix is legal in the format; tolerate it.
+		if i := strings.IndexByte(value, ' '); i >= 0 {
+			if _, err := strconv.ParseInt(strings.TrimSpace(value[i+1:]), 10, 64); err != nil {
+				return nil, fmt.Errorf("line %d: bad timestamp %q", lineNo, value[i+1:])
+			}
+			value = value[:i]
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil && value != "+Inf" && value != "-Inf" && value != "NaN" {
+			return nil, fmt.Errorf("line %d: bad value %q", lineNo, value)
+		}
+		if familyOf(name, exp.Types) == "" {
+			return nil, fmt.Errorf("line %d: sample %q has no TYPE declaration", lineNo, name)
+		}
+		exp.Samples[name]++
+	}
+	return exp, nil
+}
+
+// splitSample separates a sample line into metric name and the
+// remainder (value, optional timestamp), validating brace/quote
+// structure in the label block.
+func splitSample(line string) (name, rest string, err error) {
+	brace := strings.IndexByte(line, '{')
+	if brace < 0 {
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			return "", "", fmt.Errorf("sample without value: %q", line)
+		}
+		return line[:sp], line[sp+1:], nil
+	}
+	name = line[:brace]
+	inQuote, escaped := false, false
+	for i := brace + 1; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case escaped:
+			escaped = false
+		case inQuote && c == '\\':
+			escaped = true
+		case c == '"':
+			inQuote = !inQuote
+		case !inQuote && c == '}':
+			rest = strings.TrimPrefix(line[i+1:], " ")
+			if rest == "" {
+				return "", "", fmt.Errorf("sample without value: %q", line)
+			}
+			return name, rest, nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label block: %q", line)
+}
+
+// familyOf resolves a sample name to its declared family, accepting
+// histogram/summary suffixes.
+func familyOf(name string, types map[string]string) string {
+	if types[name] != "" {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && (types[base] == "histogram" || types[base] == "summary") {
+			return base
+		}
+	}
+	return ""
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,402 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"energysched/internal/rng"
+)
+
+// MaxSpans is the per-trace span capacity. The deepest request path in
+// the repository (router pick + failover attempts + hedge legs, or the
+// server's queue/cache/singleflight/solve/marshal chain) stays well
+// under it; spans past the cap are counted as dropped rather than
+// reallocating mid-request.
+const MaxSpans = 16
+
+// DefaultTraceBuffer is the default /debug/traces ring capacity.
+const DefaultTraceBuffer = 256
+
+// Span is one timed stage of a request. Offsets and durations are
+// nanoseconds relative to the trace start; DurNs is -1 while the span
+// is unfinished — a hedge leg cancelled before it completed keeps the
+// sentinel, which is exactly the information a loser leg carries.
+type Span struct {
+	// ID is the span's 1-based identity within its trace; it is what
+	// SpanIDHeader carries to the next hop.
+	ID   int    `json:"id"`
+	Name string `json:"name"`
+	AtNs int64  `json:"atNs"`
+	// DurNs is the span duration, or -1 when the span never ended.
+	DurNs int64 `json:"durNs"`
+	// Note carries the span's qualitative outcome: a cache disposition,
+	// the picked backend and its breaker state, a hedge leg's
+	// winner/loser verdict.
+	Note string `json:"note,omitempty"`
+}
+
+// Trace accumulates one request's spans. All methods are safe on a nil
+// receiver (the tracing-disabled mode, zero-allocation by test) and
+// safe for concurrent use (hedge legs add spans from racing
+// goroutines).
+type Trace struct {
+	mu      sync.Mutex
+	id      string
+	parent  string
+	kind    string
+	start   time.Time
+	spans   [MaxSpans]Span
+	nspans  int
+	dropped int
+}
+
+// ID returns the trace ID ("" on a nil trace).
+func (tr *Trace) ID() string {
+	if tr == nil {
+		return ""
+	}
+	return tr.id
+}
+
+// SetParent records the caller-side span ID this request arrived with.
+func (tr *Trace) SetParent(parent string) {
+	if tr == nil || parent == "" {
+		return
+	}
+	tr.mu.Lock()
+	tr.parent = parent
+	tr.mu.Unlock()
+}
+
+// StartSpan opens a span and returns its ID for EndSpan (and for
+// SpanIDHeader propagation). It returns 0 on a nil trace or when the
+// span capacity is exhausted; EndSpan(0, …) is a no-op, so callers
+// need not distinguish the cases.
+func (tr *Trace) StartSpan(name string) int {
+	if tr == nil {
+		return 0
+	}
+	now := time.Now()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.nspans >= MaxSpans {
+		tr.dropped++
+		return 0
+	}
+	tr.nspans++
+	id := tr.nspans
+	tr.spans[id-1] = Span{ID: id, Name: name, AtNs: now.Sub(tr.start).Nanoseconds(), DurNs: -1}
+	return id
+}
+
+// EndSpan closes the span id with an outcome note. Unknown or zero IDs
+// are ignored.
+func (tr *Trace) EndSpan(id int, note string) {
+	if tr == nil || id <= 0 {
+		return
+	}
+	now := time.Now()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if id > tr.nspans {
+		return
+	}
+	sp := &tr.spans[id-1]
+	sp.DurNs = now.Sub(tr.start).Nanoseconds() - sp.AtNs
+	sp.Note = note
+}
+
+// Span records a completed stage in one call: the span began at begin
+// and ends now. It is the common shape for instrumenting a measured
+// section — callers guard the time.Now() for begin behind a tr != nil
+// check so the disabled path never reads the clock.
+func (tr *Trace) Span(name string, begin time.Time, note string) {
+	if tr == nil {
+		return
+	}
+	now := time.Now()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.nspans >= MaxSpans {
+		tr.dropped++
+		return
+	}
+	tr.nspans++
+	at := begin.Sub(tr.start).Nanoseconds()
+	tr.spans[tr.nspans-1] = Span{ID: tr.nspans, Name: name, AtNs: at, DurNs: now.Sub(begin).Nanoseconds(), Note: note}
+}
+
+// TraceRecord is one completed trace as the ring stores it and
+// GET /debug/traces serves it.
+type TraceRecord struct {
+	ID     string    `json:"id"`
+	Parent string    `json:"parentSpan,omitempty"`
+	Kind   string    `json:"kind"`
+	Status int       `json:"status"`
+	Note   string    `json:"note,omitempty"`
+	Start  time.Time `json:"start"`
+	DurNs  int64     `json:"durNs"`
+	// DroppedSpans counts spans lost to the MaxSpans cap.
+	DroppedSpans int    `json:"droppedSpans,omitempty"`
+	Spans        []Span `json:"spans"`
+}
+
+// traceSlot is one ring entry; Spans copy into the inline array so a
+// steady-state End allocates nothing.
+type traceSlot struct {
+	rec   TraceRecord
+	spans [MaxSpans]Span
+}
+
+// TracerConfig tunes NewTracer. The zero value is usable.
+type TracerConfig struct {
+	// Service names the emitting process in log lines and the
+	// /debug/traces envelope (e.g. "energyschedd").
+	Service string
+	// Buffer is the ring capacity of recent traces [DefaultTraceBuffer].
+	Buffer int
+	// Seed drives the deterministic trace-ID stream: trace n carries
+	// the first 64 bits of rng.At(Seed, n) in hex [1].
+	Seed int64
+	// Logger, when set, emits one structured line per completed trace.
+	Logger *slog.Logger
+}
+
+// Tracer owns the trace lifecycle for one service: deterministic ID
+// generation, the ring of recent traces, and the optional slog sink.
+// A nil *Tracer is the disabled mode — Begin returns nil and End is a
+// no-op.
+type Tracer struct {
+	service string
+	seed    int64
+	logger  *slog.Logger
+
+	idctr atomic.Int64
+
+	mu    sync.Mutex
+	ring  []traceSlot
+	next  int
+	total int64
+}
+
+// NewTracer returns a Tracer for cfg with zero fields defaulted.
+func NewTracer(cfg TracerConfig) *Tracer {
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = DefaultTraceBuffer
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &Tracer{
+		service: cfg.Service,
+		seed:    cfg.Seed,
+		logger:  cfg.Logger,
+		ring:    make([]traceSlot, cfg.Buffer),
+	}
+}
+
+// Begin starts a trace for one request. id, when non-empty, is the
+// honored incoming request ID; otherwise the next deterministic seeded
+// ID is generated. A nil tracer returns a nil trace, on which every
+// method no-ops.
+func (t *Tracer) Begin(kind, id string) *Trace {
+	if t == nil {
+		return nil
+	}
+	if id == "" {
+		id = t.nextID()
+	}
+	return &Trace{id: id, kind: kind, start: time.Now()}
+}
+
+// nextID derives trace ID number n from the counter-split stream
+// (seed, n): 16 hex characters, deterministic for a given tracer seed
+// and request arrival order.
+func (t *Tracer) nextID() string {
+	s := rng.At(t.seed, int(t.idctr.Add(1)))
+	return formatID(s.Uint64())
+}
+
+// formatID renders a 64-bit ID as fixed-width lowercase hex.
+func formatID(v uint64) string {
+	var buf [16]byte
+	const hex = "0123456789abcdef"
+	for i := 15; i >= 0; i-- {
+		buf[i] = hex[v&0xf]
+		v >>= 4
+	}
+	return string(buf[:])
+}
+
+// End completes tr with the response status and note (the cache
+// disposition, where one exists), copies it into the ring and emits
+// the optional log line. The Trace must not be reused afterwards;
+// stray spans added by a cancelled hedge leg after End land on the
+// discarded object and are dropped with it.
+func (t *Tracer) End(tr *Trace, status int, note string) {
+	if t == nil || tr == nil {
+		return
+	}
+	end := time.Now()
+	tr.mu.Lock()
+	t.mu.Lock()
+	slot := &t.ring[t.next]
+	t.next = (t.next + 1) % len(t.ring)
+	t.total++
+	copy(slot.spans[:], tr.spans[:tr.nspans])
+	slot.rec = TraceRecord{
+		ID:           tr.id,
+		Parent:       tr.parent,
+		Kind:         tr.kind,
+		Status:       status,
+		Note:         note,
+		Start:        tr.start,
+		DurNs:        end.Sub(tr.start).Nanoseconds(),
+		DroppedSpans: tr.dropped,
+		Spans:        slot.spans[:tr.nspans],
+	}
+	t.mu.Unlock()
+	nspans := tr.nspans
+	tr.mu.Unlock()
+	if t.logger != nil {
+		t.logger.LogAttrs(context.Background(), slog.LevelInfo, "request",
+			slog.String("service", t.service),
+			slog.String("id", tr.id),
+			slog.String("kind", tr.kind),
+			slog.Int("status", status),
+			slog.String("cache", note),
+			slog.Int64("durUs", end.Sub(tr.start).Microseconds()),
+			slog.Int("spans", nspans))
+	}
+}
+
+// Total returns how many traces have been recorded (not just those
+// still in the ring) — the registry exposes it as obs_traces_total.
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Snapshot copies the ring's records, most recent first, up to limit
+// (limit <= 0 means all). Span slices are deep-copied so the snapshot
+// stays valid while the ring advances.
+func (t *Tracer) Snapshot(limit int) []TraceRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.ring)
+	if t.total < int64(n) {
+		n = int(t.total)
+	}
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]TraceRecord, 0, n)
+	for i := 0; i < n; i++ {
+		slot := &t.ring[((t.next-1-i)%len(t.ring)+len(t.ring))%len(t.ring)]
+		rec := slot.rec
+		rec.Spans = append([]Span(nil), rec.Spans...)
+		out = append(out, rec)
+	}
+	return out
+}
+
+// tracesPayload is the GET /debug/traces envelope.
+type tracesPayload struct {
+	Service string        `json:"service"`
+	Total   int64         `json:"total"`
+	Traces  []TraceRecord `json:"traces"`
+}
+
+// TracesHandler serves GET /debug/traces: the ring of recent traces,
+// most recent first, optionally capped by ?limit=N. A nil tracer
+// serves an empty ring, so the endpoint exists whether or not tracing
+// is enabled.
+func TracesHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		limit := 0
+		if s := r.URL.Query().Get("limit"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+				limit = n
+			}
+		}
+		p := tracesPayload{Total: t.Total(), Traces: t.Snapshot(limit)}
+		if t != nil {
+			p.Service = t.service
+		}
+		if p.Traces == nil {
+			p.Traces = []TraceRecord{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(p)
+	})
+}
+
+// Context plumbing: the trace (server/router handler side) and the
+// outgoing request/span IDs (client side) ride the request context.
+
+type ctxKey int
+
+const (
+	traceKey ctxKey = iota
+	requestIDKey
+	spanIDKey
+)
+
+// ContextWithTrace attaches tr to ctx; a nil trace returns ctx
+// unchanged so the disabled path allocates nothing.
+func ContextWithTrace(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey, tr)
+}
+
+// TraceFromContext returns the context's trace, or nil — and every
+// method on the nil result no-ops, so call sites never branch.
+func TraceFromContext(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceKey).(*Trace)
+	return tr
+}
+
+// ContextWithRequestID attaches a bare request ID for propagation when
+// tracing is disabled but an inbound ID must still travel to backends.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// ContextWithSpanID attaches the caller-side span ID (already
+// formatted) the next outgoing request should carry.
+func ContextWithSpanID(ctx context.Context, spanID string) context.Context {
+	return context.WithValue(ctx, spanIDKey, spanID)
+}
+
+// OutgoingIDs resolves the request and span IDs an outgoing HTTP
+// request should carry: the context trace's ID when present, else a
+// bare propagated request ID, else nothing.
+func OutgoingIDs(ctx context.Context) (requestID, spanID string) {
+	if tr := TraceFromContext(ctx); tr != nil {
+		requestID = tr.ID()
+	} else if id, ok := ctx.Value(requestIDKey).(string); ok {
+		requestID = id
+	}
+	if requestID == "" {
+		return "", ""
+	}
+	if sid, ok := ctx.Value(spanIDKey).(string); ok {
+		spanID = sid
+	}
+	return requestID, spanID
+}

@@ -57,6 +57,20 @@ func (b *breaker) canTry(now time.Time) bool {
 	}
 }
 
+// stateName names the breaker's current position for trace notes.
+func (b *breaker) stateName() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brOpen:
+		return "open"
+	case brHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
 // reset returns the breaker to closed without touching the router's
 // transition counters — the probe-readmission path.
 func (b *breaker) reset() {

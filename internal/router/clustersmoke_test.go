@@ -24,7 +24,8 @@ const clusterSmokeP99BoundMs = 4000
 
 // normalizeResponse canonicalizes a response body for cross-server
 // comparison: parsed, every "wallTimeMs" key (measured solver wall
-// time, the one nondeterministic field a response carries) removed
+// time) and "profile" block (measured campaign phase timing) — the
+// only nondeterministic fields a response carries — removed
 // recursively, and re-marshaled with sorted keys. Everything else —
 // schedules, energies, campaign statistics, batch ordering — must
 // survive byte for byte.
@@ -39,6 +40,7 @@ func normalizeResponse(t *testing.T, body []byte) []byte {
 		switch x := v.(type) {
 		case map[string]any:
 			delete(x, "wallTimeMs")
+			delete(x, "profile")
 			for _, child := range x {
 				strip(child)
 			}

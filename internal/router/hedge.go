@@ -6,6 +6,7 @@ import (
 
 	"energysched/internal/client"
 	"energysched/internal/hist"
+	"energysched/internal/obs"
 )
 
 // hedgeMinSamples is how many successful requests a kind needs before
@@ -93,7 +94,9 @@ func (rt *Router) forwardHedged(ctx context.Context, kind, key string, body []by
 	timer := time.NewTimer(rt.hedgeDelay(kind))
 	defer timer.Stop()
 
+	tr := obs.TraceFromContext(ctx)
 	pending, hedged := 1, false
+	hedgeSpan := 0
 	var fallback legResult
 	var haveFallback bool
 	for pending > 0 {
@@ -103,6 +106,10 @@ func (rt *Router) forwardHedged(ctx context.Context, kind, key string, body []by
 				hedged = true
 				pending++
 				rt.hedgesFired.Add(1)
+				// The hedge leg is a span of its own; the leg's chain
+				// opens per-attempt spans under the same trace, so both
+				// legs share the trace ID with distinct span IDs.
+				hedgeSpan = tr.StartSpan("hedge")
 				go func() {
 					resp, m, err := rt.forwardChain(hctx, p, kind, key, body, map[int]bool{first: true}, -1, 0)
 					results <- legResult{resp, m, err, true}
@@ -113,6 +120,9 @@ func (rt *Router) forwardHedged(ctx context.Context, kind, key string, body []by
 			if lr.err == nil && !unusable(lr.resp) {
 				if lr.hedge {
 					rt.hedgesWon.Add(1)
+					tr.EndSpan(hedgeSpan, "won")
+				} else if hedged {
+					tr.EndSpan(hedgeSpan, "lost")
 				}
 				cancel()
 				return lr.resp, lr.m, nil
@@ -124,5 +134,6 @@ func (rt *Router) forwardHedged(ctx context.Context, kind, key string, body []by
 			}
 		}
 	}
+	tr.EndSpan(hedgeSpan, "no usable response")
 	return fallback.resp, fallback.m, fallback.err
 }

@@ -41,6 +41,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -52,6 +53,7 @@ import (
 	"energysched/internal/client"
 	"energysched/internal/core"
 	"energysched/internal/hist"
+	"energysched/internal/obs"
 )
 
 // Routing policy names accepted by Config.Policy.
@@ -152,6 +154,18 @@ type Config struct {
 	// one transport; production leaves it nil and gets per-request
 	// timeouts from RequestTimeout.
 	HTTPClient *http.Client
+	// DisableTracing turns request-scoped tracing off; /debug/traces
+	// then serves an empty ring and traced-path spans cost nothing.
+	DisableTracing bool
+	// TraceBuffer is the /debug/traces ring capacity (default
+	// obs.DefaultTraceBuffer).
+	TraceBuffer int
+	// TraceSeed seeds generated trace IDs (default Seed, making a
+	// router's IDs reproducible alongside its routing decisions).
+	TraceSeed int64
+	// TraceLogger, when set, receives one structured line per finished
+	// trace.
+	TraceLogger *slog.Logger
 }
 
 // member is one backend: its client, health state and counters. A
@@ -206,10 +220,12 @@ func (p *pool) healthyCount() int {
 // concurrent use. Health probing only happens through Run or
 // ProbeOnce — a Router that never probes trusts every backend.
 type Router struct {
-	cfg   Config
-	pool  atomic.Pointer[pool]
-	mux   *http.ServeMux
-	start time.Time
+	cfg     Config
+	pool    atomic.Pointer[pool]
+	mux     *http.ServeMux
+	start   time.Time
+	tracer  *obs.Tracer // nil when tracing is disabled
+	metrics *obs.Registry
 
 	rndMu sync.Mutex
 	rnd   *rand.Rand
@@ -295,12 +311,23 @@ func New(cfg Config) (*Router, error) {
 	if cfg.DegradedCacheSize <= 0 {
 		cfg.DegradedCacheSize = DefaultDegradedCacheSize
 	}
+	if cfg.TraceSeed == 0 {
+		cfg.TraceSeed = cfg.Seed
+	}
 	rt := &Router{
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 		rnd:     rand.New(rand.NewSource(cfg.Seed)),
 		latency: map[string]*hist.Atomic{},
+	}
+	if !cfg.DisableTracing {
+		rt.tracer = obs.NewTracer(obs.TracerConfig{
+			Service: "energyrouter",
+			Buffer:  cfg.TraceBuffer,
+			Seed:    cfg.TraceSeed,
+			Logger:  cfg.TraceLogger,
+		})
 	}
 	if !cfg.DisableDegraded {
 		rt.degraded = cache.New[[]byte](cfg.DegradedCacheSize)
@@ -324,6 +351,9 @@ func New(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("GET /stats", rt.handleStats)
 	rt.mux.HandleFunc("GET /admin/backends", rt.handleBackendsGet)
 	rt.mux.HandleFunc("POST /admin/backends", rt.handleBackendsPost)
+	rt.metrics = rt.newRegistry()
+	rt.mux.Handle("GET /metrics", obs.MetricsHandler(rt.metrics))
+	rt.mux.Handle("GET /debug/traces", obs.TracesHandler(rt.tracer))
 	return rt, nil
 }
 
@@ -353,13 +383,21 @@ func newPool(members []*member, replicas int) *pool {
 	return &pool{members: members, ring: buildRing(ids, replicas)}
 }
 
-// Handler returns the router's http.Handler.
+// Handler returns the router's http.Handler: the mux behind the obs
+// wrapper that assigns (or honors) the request ID every /v1/ request
+// carries downstream to its backend.
 func (rt *Router) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	return obs.WrapHandler(rt.tracer, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rt.requests.Add(1)
 		rt.mux.ServeHTTP(w, r)
-	})
+	}))
 }
+
+// Metrics returns the router's /metrics registry.
+func (rt *Router) Metrics() *obs.Registry { return rt.metrics }
+
+// Tracer returns the router's tracer, nil when tracing is disabled.
+func (rt *Router) Tracer() *obs.Tracer { return rt.tracer }
 
 // Policy returns the resolved routing policy name.
 func (rt *Router) Policy() string { return rt.cfg.Policy }
@@ -521,6 +559,7 @@ func (rt *Router) forward(ctx context.Context, kind, key string, body []byte) (*
 // masked, and a chain cut short by its own context's end returns that
 // error without blaming further members.
 func (rt *Router) forwardChain(ctx context.Context, p *pool, kind, key string, body []byte, tried map[int]bool, preferred int, perAttempt time.Duration) (*client.Response, *member, error) {
+	tr := obs.TraceFromContext(ctx)
 	var lastErr error
 	var lastResp *client.Response
 	var lastMember *member
@@ -536,21 +575,45 @@ func (rt *Router) forwardChain(ctx context.Context, p *pool, kind, key string, b
 			break
 		}
 		m := p.members[i]
-		resp, err := rt.sendOne(ctx, m, kind, body, perAttempt)
+		actx := ctx
+		span := 0
+		var picked string
+		if tr != nil {
+			// The first attempt is the pick; later ones are failovers.
+			// The note records the member and its breaker state at pick
+			// time, and the attempt's span ID rides X-Span-Id so the
+			// backend's own trace can be joined back to this leg.
+			name := "attempt"
+			if attempt > 0 || len(tried) > 0 {
+				name = "failover"
+			}
+			span = tr.StartSpan(name)
+			picked = m.url + " breaker=" + m.br.stateName() + " "
+			actx = obs.ContextWithSpanID(ctx, strconv.Itoa(span))
+		}
+		resp, err := rt.sendOne(actx, m, kind, body, perAttempt)
 		if err != nil {
 			if ctx.Err() != nil {
+				tr.EndSpan(span, picked+"canceled")
 				return nil, nil, err
 			}
+			tr.EndSpan(span, picked+"transport error")
 			lastErr = err
 			tried[i] = true
 			rt.retried.Add(1)
 			continue
 		}
 		if unusable(resp) {
+			if tr != nil {
+				tr.EndSpan(span, picked+"unusable status "+strconv.Itoa(resp.Status))
+			}
 			lastResp, lastMember = resp, m
 			tried[i] = true
 			rt.retried.Add(1)
 			continue
+		}
+		if tr != nil {
+			tr.EndSpan(span, picked+"status "+strconv.Itoa(resp.Status))
 		}
 		return resp, m, nil
 	}

@@ -1,0 +1,38 @@
+package server_test
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"energysched/internal/server"
+)
+
+// benchSolve drives the cache-hit solve path through the full HTTP
+// handler stack. The cache is warmed first so iterations measure the
+// request plumbing — admission, cache lookup, marshalling and (when
+// enabled) tracing — rather than solver time, which is where
+// per-request observability overhead would show if it existed.
+func benchSolve(b *testing.B, cfg server.Config) {
+	h := server.New(cfg).Handler()
+	body := `{"instance":` + chainInstance + `}`
+	if rec := doReq(h, newRequest("POST", "/v1/solve", body)); rec.Code != 200 {
+		b.Fatalf("warm solve: %d", rec.Code)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/v1/solve", strings.NewReader(body))
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("solve: %d", rec.Code)
+		}
+	}
+}
+
+func BenchmarkSolveCachedTraced(b *testing.B) { benchSolve(b, server.Config{}) }
+
+func BenchmarkSolveCachedUntraced(b *testing.B) {
+	benchSolve(b, server.Config{DisableTracing: true})
+}

@@ -12,6 +12,7 @@ import (
 
 	"energysched/internal/cache"
 	"energysched/internal/core"
+	"energysched/internal/obs"
 )
 
 // solveOptions is the tunable subset of core's functional options a
@@ -85,15 +86,25 @@ func (s *Server) solveCached(ctx context.Context, in *core.Instance, opts []core
 		// this server wrote) fall through to a fresh solve instead of
 		// failing the request.
 	}
+	tr := obs.TraceFromContext(ctx)
+	var begin time.Time
+	if tr != nil {
+		begin = time.Now()
+	}
 	res, err := core.Solve(ctx, in, opts...)
 	if err != nil {
 		return nil, nil, err
 	}
+	tr.Span("solve", begin, res.Solver)
 	s.latency.observe(res.Solver, res.WallTime)
+	if tr != nil {
+		begin = time.Now()
+	}
 	out, err := core.MarshalResult(res)
 	if err != nil {
 		return nil, nil, err
 	}
+	tr.Span("marshal", begin, "")
 	s.cache.Put(solveKey, out)
 	s.solved.Add(1)
 	return res, out, nil
@@ -145,28 +156,42 @@ func (s *Server) writeComputeError(w http.ResponseWriter, err error) {
 // success. A follower whose leader died of the leader's own deadline
 // retries as leader if this request still has time left.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, timeoutMS int64, compute func(ctx context.Context) ([]byte, error)) {
+	tr := obs.TraceFromContext(r.Context())
+	var begin time.Time
+	if tr != nil {
+		begin = time.Now()
+	}
 	if out, ok := s.cache.Get(key); ok {
+		tr.Span("cache.lookup", begin, "hit")
 		writeCached(w, "hit", out)
 		return
 	}
+	tr.Span("cache.lookup", begin, "miss")
 	ctx, cancel := s.solveContext(r, timeoutMS)
 	defer cancel()
 	for {
 		fl, leader := s.flights.join(key)
 		if !leader {
+			if tr != nil {
+				begin = time.Now()
+			}
 			select {
 			case <-fl.done:
 				if fl.err == nil {
 					s.coalesced.Add(1)
+					tr.Span("singleflight.wait", begin, "coalesced")
 					writeCached(w, "coalesced", fl.out)
 					return
 				}
 				if isContextErr(fl.err) && ctx.Err() == nil {
+					tr.Span("singleflight.wait", begin, "leader expired")
 					continue // the leader ran out of time; we have not
 				}
+				tr.Span("singleflight.wait", begin, "leader failed")
 				s.writeComputeError(w, fl.err)
 				return
 			case <-ctx.Done():
+				tr.Span("singleflight.wait", begin, "expired")
 				s.writeError(w, s.solveStatus(ctx.Err()), "waiting for coalesced result: "+ctx.Err().Error())
 				return
 			}
@@ -319,7 +344,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		defer s.release()
-		for j, item := range core.SolveAll(ctx, instances, opts...) {
+		tr := obs.TraceFromContext(ctx)
+		var begin time.Time
+		if tr != nil {
+			begin = time.Now()
+		}
+		solved := core.SolveAll(ctx, instances, opts...)
+		tr.Span("batch", begin, "solved="+strconv.Itoa(len(toSolve)))
+		for j, item := range solved {
 			i := toSolve[j]
 			if item.Err != nil {
 				msg := item.Err.Error()

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"sort"
+	"time"
+
+	"energysched/internal/hist"
+	"energysched/internal/obs"
+)
+
+// newRegistry builds the GET /metrics registry over the exact state
+// GET /stats reads: the same atomic counters, the same cache stats,
+// the same hist.Atomic latency histograms. Every family carries the
+// flattened /stats key it mirrors (the StatKey), which is what the
+// parity test checks in both directions. The go_/obs_ families and
+// the latency histogram's per-bucket detail are the only series with
+// no /stats counterpart — the former by the profiling-prefix rule,
+// the latter because /stats carries the identical buckets in its own
+// latency block, keyed by the histogram's observation count.
+func (s *Server) newRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	r.GaugeFunc("energyschedd_uptime_seconds", "Seconds since the server started.", "uptimeSeconds",
+		func() float64 { return time.Since(s.start).Seconds() })
+	r.Counter("energyschedd_requests_total", "HTTP requests accepted (all endpoints).", "requests", &s.requests)
+	r.Counter("energyschedd_solved_total", "Instances solved by a solver (cache misses).", "solved", &s.solved)
+	r.Counter("energyschedd_simulated_total", "Monte-Carlo campaigns executed (cache misses).", "simulated", &s.simulated)
+	r.Counter("energyschedd_swept_total", "Workload-class sweeps executed (cache misses).", "swept", &s.swept)
+	r.Counter("energyschedd_errors_total", "Requests answered with a 4xx/5xx status.", "errors", &s.errors)
+	r.Counter("energyschedd_timeouts_total", "Solves aborted by deadline or disconnect.", "timeouts", &s.timeouts)
+	r.Gauge("energyschedd_inflight", "Requests currently holding a semaphore slot.", "inFlight", &s.inflight)
+	r.GaugeFunc("energyschedd_inflight_max", "In-flight semaphore capacity.", "maxInFlight",
+		func() float64 { return float64(s.cfg.MaxInFlight) })
+	r.Gauge("energyschedd_queued", "Requests currently waiting for a slot.", "queued", &s.queued)
+	r.GaugeFunc("energyschedd_queue_depth_max", "Admission-control queue capacity.", "maxQueueDepth",
+		func() float64 { return float64(s.cfg.MaxQueueDepth) })
+	r.Counter("energyschedd_shed_total", "Requests answered 429 by admission control.", "shed", &s.shed)
+	r.Counter("energyschedd_coalesced_total", "Requests served a concurrent leader's bytes.", "coalesced", &s.coalesced)
+
+	r.CounterFunc("energyschedd_cache_hits_total", "Result cache hits.", "cache.hits",
+		func() float64 { return float64(s.cache.Stats().Hits) })
+	r.CounterFunc("energyschedd_cache_misses_total", "Result cache misses.", "cache.misses",
+		func() float64 { return float64(s.cache.Stats().Misses) })
+	r.CounterFunc("energyschedd_cache_evictions_total", "Result cache evictions.", "cache.evictions",
+		func() float64 { return float64(s.cache.Stats().Evictions) })
+	r.GaugeFunc("energyschedd_cache_entries", "Result cache entries.", "cache.entries",
+		func() float64 { return float64(s.cache.Stats().Entries) })
+	r.GaugeFunc("energyschedd_cache_capacity", "Result cache capacity.", "cache.capacity",
+		func() float64 { return float64(s.cache.Stats().Capacity) })
+
+	r.HistogramVec("energyschedd_solve_duration_seconds",
+		"Stage wall time by solver name (plus the simulate pseudo-solver).",
+		s.latency.collect)
+
+	obs.RegisterRuntime(r)
+	obs.RegisterTracer(r, s.tracer)
+	return r
+}
+
+// latencySecondsBounds is hist.LatencyBounds converted once from
+// nanoseconds to the seconds /metrics speaks.
+var latencySecondsBounds = func() []float64 {
+	ns := hist.LatencyBounds()
+	secs := make([]float64, len(ns))
+	for i, b := range ns {
+		secs[i] = b / 1e9
+	}
+	return secs
+}()
+
+// collect emits one histogram series per tracked solver, reading the
+// same hist.Atomic state the /stats latency block snapshots.
+func (lt *latencyTracker) collect(emit func(obs.HistSample)) {
+	lt.mu.RLock()
+	names := make([]string, 0, len(lt.m))
+	for name := range lt.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		count, sumNs, counts := lt.m[name].Snapshot()
+		emit(obs.HistSample{
+			Labels:  []obs.Label{{Key: "solver", Value: name}},
+			Bounds:  latencySecondsBounds,
+			Counts:  counts,
+			Count:   count,
+			Sum:     float64(sumNs) / 1e9,
+			StatKey: "latency." + name,
+		})
+	}
+	lt.mu.RUnlock()
+}

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync/atomic"
@@ -34,6 +35,7 @@ import (
 
 	"energysched/internal/cache"
 	"energysched/internal/core"
+	"energysched/internal/obs"
 	"energysched/internal/sim"
 )
 
@@ -101,6 +103,18 @@ type Config struct {
 	// RetryAfter is the Retry-After hint on 429 responses (default
 	// DefaultRetryAfter).
 	RetryAfter time.Duration
+	// DisableTracing turns request-scoped tracing off. The request path
+	// then adds zero allocations over the untraced server (gated by
+	// test); /debug/traces still exists but serves an empty ring.
+	DisableTracing bool
+	// TraceBuffer is the /debug/traces ring capacity (default
+	// obs.DefaultTraceBuffer).
+	TraceBuffer int
+	// TraceSeed seeds the deterministic trace-ID stream (default 1).
+	TraceSeed int64
+	// TraceLogger, when set, emits one structured log line per traced
+	// request.
+	TraceLogger *slog.Logger
 }
 
 // Server is the handler state: resolved config, result cache,
@@ -113,6 +127,8 @@ type Server struct {
 	mux     *http.ServeMux
 	start   time.Time
 	latency *latencyTracker
+	tracer  *obs.Tracer // nil when tracing is disabled
+	metrics *obs.Registry
 
 	flights flightGroup // coalesces concurrent identical cache misses
 
@@ -166,6 +182,15 @@ func New(cfg Config) *Server {
 		start:   time.Now(),
 		latency: newLatencyTracker(),
 	}
+	if !cfg.DisableTracing {
+		s.tracer = obs.NewTracer(obs.TracerConfig{
+			Service: "energyschedd",
+			Buffer:  cfg.TraceBuffer,
+			Seed:    cfg.TraceSeed,
+			Logger:  cfg.TraceLogger,
+		})
+	}
+	s.metrics = s.newRegistry()
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
@@ -173,16 +198,27 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.Handle("GET /metrics", obs.MetricsHandler(s.metrics))
+	s.mux.Handle("GET /debug/traces", obs.TracesHandler(s.tracer))
 	return s
 }
 
-// Handler returns the service's http.Handler.
+// Handler returns the service's http.Handler: the mux behind the
+// tracing wrapper, which traces /v1/* requests and passes scrape and
+// probe traffic through untouched.
 func (s *Server) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	return obs.WrapHandler(s.tracer, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		s.mux.ServeHTTP(w, r)
-	})
+	}))
 }
+
+// Metrics exposes the registry behind GET /metrics — the same atomics
+// GET /stats reads — for the parity tests.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Tracer exposes the server's tracer (nil when tracing is disabled).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // errShedLoad is the admission-control rejection: the semaphore queue
 // is full, so the request is refused outright (429 + Retry-After)
@@ -207,11 +243,20 @@ func (s *Server) acquire(ctx context.Context) error {
 		return errShedLoad
 	}
 	defer s.queued.Add(-1)
+	// Only requests that actually queue get a queue.wait span — the
+	// fast path above never touches the trace or the clock.
+	tr := obs.TraceFromContext(ctx)
+	var queuedAt time.Time
+	if tr != nil {
+		queuedAt = time.Now()
+	}
 	select {
 	case s.sem <- struct{}{}:
 		s.inflight.Add(1)
+		tr.Span("queue.wait", queuedAt, "")
 		return nil
 	case <-ctx.Done():
+		tr.Span("queue.wait", queuedAt, "expired")
 		return ctx.Err()
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"energysched/internal/core"
+	"energysched/internal/obs"
 	"energysched/internal/sim"
 )
 
@@ -33,11 +34,17 @@ type simulateRequest struct {
 }
 
 // simulateResponse pairs the solver's result with the observed
-// campaign and the predicted-vs-observed deltas.
+// campaign and the predicted-vs-observed deltas. Profile is the
+// campaign's per-phase wall-clock timing — a sibling of the campaign,
+// not part of it, because the campaign block is deterministic (and
+// equivalence-tested) in the request parameters while the profile
+// never is. On a byte-cached hit the profile is the one recorded by
+// the request that computed the entry.
 type simulateResponse struct {
-	Result   json.RawMessage `json:"result"`
-	Campaign *sim.Campaign   `json:"campaign"`
-	Delta    sim.Delta       `json:"delta"`
+	Result   json.RawMessage      `json:"result"`
+	Campaign *sim.Campaign        `json:"campaign"`
+	Delta    sim.Delta            `json:"delta"`
+	Profile  *sim.CampaignProfile `json:"profile,omitempty"`
 }
 
 // handleSimulate serves POST /v1/simulate: solve the instance (through
@@ -112,11 +119,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, fmt.Errorf("simulating: %w", err)
 		}
+		obs.TraceFromContext(ctx).Span("simulate", simStart, fmt.Sprintf("trials=%d", trials))
 		s.latency.observe("simulate", time.Since(simStart))
 		out, err := json.Marshal(simulateResponse{
 			Result:   resJSON,
 			Campaign: camp,
 			Delta:    camp.Delta(),
+			Profile:  &camp.Profile,
 		})
 		if err != nil {
 			return nil, &httpError{status: http.StatusInternalServerError, msg: err.Error()}

@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"energysched/internal/core"
 	"energysched/internal/hist"
@@ -98,6 +99,31 @@ type Campaign struct {
 	// Predicted is the closed-form counterpart of the observed
 	// distribution, for predicted-vs-observed reporting.
 	Predicted Prediction `json:"predicted"`
+	// Profile carries the campaign's per-phase wall-clock timing. It is
+	// excluded from the Campaign's own JSON — the marshalled Campaign is
+	// deterministic in (instance, options) and equivalence-tested
+	// byte-for-byte across fast-path and worker-count settings, which
+	// wall time would break — and surfaced instead as a sibling field by
+	// /v1/simulate and cmd/energysim.
+	Profile CampaignProfile `json:"-"`
+}
+
+// CampaignProfile is the per-phase timing of one RunCampaign call: how
+// the wall clock split between the parallel trials phase and the
+// sequential merge, and how many trials the fault-free fast path
+// served versus the event heap. Nondeterministic by nature, so it
+// never participates in campaign caching or equivalence.
+type CampaignProfile struct {
+	// TrialsNs is the wall time of the parallel trial phase (pool launch
+	// to drain); MergeNs is the sequential deterministic reduction.
+	TrialsNs int64 `json:"trialsNs"`
+	MergeNs  int64 `json:"mergeNs"`
+	// FastPathTrials counts trials served by the precomputed fault-free
+	// outcome; HeapTrials ran the event heap.
+	FastPathTrials int64 `json:"fastPathTrials"`
+	HeapTrials     int64 `json:"heapTrials"`
+	// Workers is the resolved pool size the campaign ran with.
+	Workers int `json:"workers"`
 }
 
 // Delta quantifies how far the observed campaign strayed from the
@@ -231,14 +257,17 @@ func (r *Runner) RunCampaign(ctx context.Context, trials, workers int) (*Campaig
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
+	trialsStart := time.Now()
 	for w := 0; w < workers; w++ {
 		rn := r
 		if w > 0 {
 			rn = cs.clones[w-1]
 		}
+		rn.fastServed = 0
 		go campaignWorker(ctx, rn, &cs.traces[w], slots, &next, &wg)
 	}
 	wg.Wait()
+	trialsNs := time.Since(trialsStart).Nanoseconds()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -252,6 +281,7 @@ func (r *Runner) RunCampaign(ctx context.Context, trials, workers int) (*Campaig
 		Makespan:  Summary{Min: math.Inf(1), Max: math.Inf(-1)},
 		Predicted: r.Predict(),
 	}
+	mergeStart := time.Now()
 	cs.eHist.Reset()
 	cs.mHist.Reset()
 	var sumE, sumM float64
@@ -291,6 +321,17 @@ func (r *Runner) RunCampaign(ctx context.Context, trials, workers int) (*Campaig
 	c.Makespan.Mean = sumM / float64(trials)
 	c.EnergyHist = cs.eHist.JSON()
 	c.MakespanHist = cs.mHist.JSON()
+	fastServed := r.fastServed
+	for w := 1; w < workers; w++ {
+		fastServed += cs.clones[w-1].fastServed
+	}
+	c.Profile = CampaignProfile{
+		TrialsNs:       trialsNs,
+		MergeNs:        time.Since(mergeStart).Nanoseconds(),
+		FastPathTrials: fastServed,
+		HeapTrials:     int64(trials) - fastServed,
+		Workers:        workers,
+	}
 	return c, nil
 }
 

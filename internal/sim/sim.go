@@ -251,6 +251,10 @@ type Runner struct {
 	ff Outcome
 	// noFast forces the event heap for every trial (Options or env).
 	noFast bool
+	// fastServed counts trials this runner answered from the fast path
+	// since the campaign last reset it — each worker counts its own,
+	// RunCampaign sums them into the campaign profile.
+	fastServed int64
 
 	// per-trial scratch
 	indeg  []int32
@@ -412,6 +416,7 @@ func (r *Runner) Run(trial int, tr *Trace) {
 	fast := !r.noFast && !opts.Record
 	if !injecting {
 		if fast {
+			r.fastServed++
 			tr.Events = tr.Events[:0]
 			tr.Outcome = r.ff
 			return
@@ -430,6 +435,7 @@ func (r *Runner) Run(trial int, tr *Trace) {
 	if fast && !opts.WorstCase && r.cleanFirst() {
 		// No first attempt faults; no second attempt runs. The trial
 		// is the fault-free replay.
+		r.fastServed++
 		tr.Events = tr.Events[:0]
 		tr.Outcome = r.ff
 		return
@@ -441,6 +447,7 @@ func (r *Runner) Run(trial int, tr *Trace) {
 		// Worst-case replay runs every scheduled execution whatever
 		// the draws, so the fault-free short-circuit must also clear
 		// the always-running second attempts.
+		r.fastServed++
 		tr.Events = tr.Events[:0]
 		tr.Outcome = r.ff
 		return

@@ -268,6 +268,15 @@ func TestCampaignBitIdenticalAcrossWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The wall-clock profile is the one field allowed to differ across
+	// worker counts (it is excluded from the Campaign's JSON for the
+	// same reason); its trial split must still be deterministic.
+	if one.Profile.FastPathTrials != eight.Profile.FastPathTrials ||
+		one.Profile.HeapTrials != eight.Profile.HeapTrials {
+		t.Fatalf("fast/heap trial split differs across workers: %+v vs %+v",
+			one.Profile, eight.Profile)
+	}
+	one.Profile, eight.Profile = CampaignProfile{}, CampaignProfile{}
 	if !reflect.DeepEqual(one, eight) {
 		t.Fatalf("campaign differs across workers:\n1: %+v\n8: %+v", one, eight)
 	}

@@ -138,6 +138,9 @@ func Sweep(ctx context.Context, spec SweepSpec) ([]ClassResult, error) {
 			out = append(out, res)
 			continue
 		}
+		// Sweep results are compared for determinism across runs and
+		// subsets; the wall-clock profile has no business there.
+		camp.Profile = CampaignProfile{}
 		res.Campaign = camp
 		out = append(out, res)
 	}
