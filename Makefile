@@ -10,7 +10,7 @@
 GO ?= go
 
 # The named kernel benchmarks guarded by the regression gate.
-GATED_BENCHES = BenchmarkConvexSolve64Tasks|BenchmarkChainFirstHeuristic64Tasks|BenchmarkSimplexSolve|BenchmarkDiscreteExact12Tasks|BenchmarkFaultSim10kTrials|BenchmarkAblation_WaterfillChain32|BenchmarkSimulateChain64|BenchmarkCampaign1k|BenchmarkCampaignFaultFree1k|BenchmarkSweepAllClasses
+GATED_BENCHES = BenchmarkConvexSolve64Tasks|BenchmarkChainFirstHeuristic64Tasks|BenchmarkSimplexSolve|BenchmarkDiscreteExact12Tasks|BenchmarkFaultSim10kTrials|BenchmarkAblation_WaterfillChain32|BenchmarkSimulateChain64|BenchmarkCampaign1k|BenchmarkCampaignFaultFree1k|BenchmarkSweepAllClasses|BenchmarkCampaignChunked1M|BenchmarkCampaignAdaptive
 
 BENCH_FLAGS = -run='^$$' -bench='^($(GATED_BENCHES))$$' -benchmem -benchtime=10x -count=5
 
@@ -22,7 +22,7 @@ BENCH_FLAGS = -run='^$$' -bench='^($(GATED_BENCHES))$$' -benchmem -benchtime=10x
 BENCHGATE_TIME_TOL ?= 0.10
 BENCHGATE_ALLOC_TOL ?= 0.10
 
-.PHONY: build test race bench bench-check fmt vet loadsmoke clustersmoke chaossmoke
+.PHONY: build test race bench bench-check fmt vet loadsmoke clustersmoke chaossmoke jobsmoke
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,14 @@ clustersmoke:
 # a response diverging from the fault-free answer (chaossmoke_test.go).
 chaossmoke:
 	CHAOSSMOKE_FULL=1 $(GO) test -race -run TestChaosSmoke -v ./internal/chaos
+
+# jobsmoke is the crash-safety gate for campaign jobs: it builds the
+# real energyschedd with -race, runs one campaign uninterrupted for
+# reference, SIGKILLs a second daemon mid-campaign (no drain), restarts
+# it on the same -state-dir, and fails unless the resumed job finishes
+# byte-identical to the reference (jobsmoke_test.go).
+jobsmoke:
+	JOBSMOKE_FULL=1 $(GO) test -race -run TestJobSmoke -v -timeout 15m ./cmd/energyschedd
 
 fmt:
 	gofmt -l .

@@ -611,6 +611,65 @@ func BenchmarkCampaignFaultFree1k(b *testing.B) { benchCampaignFaultFree(b, fals
 // same campaign with every trial forced through the event heap.
 func BenchmarkCampaignFaultFree1kHeapOnly(b *testing.B) { benchCampaignFaultFree(b, true) }
 
+// BenchmarkCampaignChunked1M measures a full million-trial chunked
+// campaign — the unit of work a POST /v1/jobs campaign buys — on the
+// high-reliability instance the paper's targets put jobs in. The gated
+// allocs/op is the job-scale memory contract: the chunk pool reuses
+// per-worker scratch and the merge is streaming, so allocations are a
+// function of workers and chunk count bookkeeping, not of the trial
+// count (TestChunkedAllocsFlat proves the flatness property; this
+// pins the absolute figure at 1M trials). Gated by cmd/benchgate.
+func BenchmarkCampaignChunked1M(b *testing.B) {
+	in, s := simChain64Rel(b, 1e-5)
+	ctx := context.Background()
+	opts := sim.CampaignOptions{Seed: 5, Workers: 4}
+	warm := sim.ChunkedOptions{Trials: 10_000}
+	if _, err := sim.RunCampaignChunked(ctx, in, s, opts, warm); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := sim.RunCampaignChunked(ctx, in, s, opts, sim.ChunkedOptions{Trials: 1_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c.Trials != 1_000_000 {
+			b.Fatalf("campaign ran %d trials, want 1M", c.Trials)
+		}
+	}
+}
+
+// BenchmarkCampaignAdaptive measures the sequential-confidence
+// stopping rule's saving: the same million-trial request under real
+// fault pressure with epsilon 0.005 at 99% confidence stops at the
+// first chunk boundary where the Wilson half-width tightens below
+// epsilon — orders of magnitude short of the requested trials (the
+// stop point is deterministic, so the gate holds it steady). Compare
+// time/op against BenchmarkCampaignChunked1M for the saving. Gated by
+// cmd/benchgate.
+func BenchmarkCampaignAdaptive(b *testing.B) {
+	in, s := simChain64(b)
+	ctx := context.Background()
+	opts := sim.CampaignOptions{Seed: 5, Workers: 4}
+	chunked := sim.ChunkedOptions{Trials: 1_000_000, Epsilon: 0.005, Confidence: 0.99}
+	if _, err := sim.RunCampaignChunked(ctx, in, s, opts, chunked); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := sim.RunCampaignChunked(ctx, in, s, opts, chunked)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !c.StoppedEarly || c.CIHalfWidth > chunked.Epsilon {
+			b.Fatalf("stopping rule did not fire: %d/%d trials, CI ±%g",
+				c.Trials, c.TrialsRequested, c.CIHalfWidth)
+		}
+	}
+}
+
 // BenchmarkSweepAllClasses measures one POST /v1/sweep unit of work:
 // generate + solve + simulate across every workload class. Gated by
 // cmd/benchgate.

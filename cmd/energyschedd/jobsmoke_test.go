@@ -1,0 +1,285 @@
+// TestJobSmoke is the process-level crash-safety gate for campaign
+// jobs (`make jobsmoke`, JOBSMOKE_FULL=1): it builds the real daemon
+// with -race, runs one campaign uninterrupted for reference, then
+// submits the identical campaign to a second daemon, SIGKILLs it
+// mid-campaign — no drain, no warning, the crash shape checkpoints
+// exist for — restarts it on the same -state-dir, and asserts the
+// resumed job completes to a campaign byte-identical to the
+// uninterrupted reference. The in-process equivalents live in
+// internal/server and internal/sim; this test is the only one where a
+// kernel-delivered SIGKILL and a fresh process generation are real.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// smokeInstance is a 16-task chain: big enough that a 2M-trial
+// campaign under -race runs for seconds (so the SIGKILL lands
+// mid-campaign), small enough to stay fast overall.
+func smokeInstance() string {
+	var tasks, edges []string
+	for i := 0; i < 16; i++ {
+		tasks = append(tasks, fmt.Sprintf(`{"name":"t%d","weight":%d}`, i, 1+i%3))
+		if i > 0 {
+			edges = append(edges, fmt.Sprintf("[%d,%d]", i-1, i))
+		}
+	}
+	return `{"tasks":[` + strings.Join(tasks, ",") + `],"edges":[` + strings.Join(edges, ",") + `],` +
+		`"processors":1,"speedModel":{"kind":"continuous","fmin":0.05,"fmax":10},"deadline":40}`
+}
+
+const smokeTrials = 2_000_000
+
+func smokeJobBody() []byte {
+	return []byte(`{"instance":` + smokeInstance() + fmt.Sprintf(`,"trials":%d,"simSeed":3,"chunkSize":4096}`, smokeTrials))
+}
+
+// freePort reserves an ephemeral port and returns "127.0.0.1:port".
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startDaemon launches the built daemon on addr over stateDir and
+// waits for /healthz.
+func startDaemon(t *testing.T, bin, addr, stateDir string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", addr, "-state-dir", stateDir)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd
+			}
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("daemon on %s never became healthy", addr)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// submitJob posts the smoke campaign and returns the job ID.
+func submitJob(t *testing.T, addr string) string {
+	t.Helper()
+	resp, err := http.Post("http://"+addr+"/v1/jobs", "application/json", bytes.NewReader(smokeJobBody()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ack struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil || ack.ID == "" {
+		t.Fatalf("submit: status %d, decode err %v", resp.StatusCode, err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	return ack.ID
+}
+
+// jobPoll GETs the job once, returning status code, body and (on 202)
+// the decoded trialsRun.
+func jobPoll(t *testing.T, addr, id string) (int, []byte, int) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	trialsRun := 0
+	if resp.StatusCode == http.StatusAccepted {
+		var p struct {
+			TrialsRun int `json:"trialsRun"`
+		}
+		json.Unmarshal(buf.Bytes(), &p)
+		trialsRun = p.TrialsRun
+	}
+	return resp.StatusCode, buf.Bytes(), trialsRun
+}
+
+// waitJobDone polls until 200 and returns the document.
+func waitJobDone(t *testing.T, addr, id string, timeout time.Duration) []byte {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		status, body, _ := jobPoll(t, addr, id)
+		if status == http.StatusOK {
+			return body
+		}
+		if status != http.StatusAccepted {
+			t.Fatalf("job %s: status %d: %s", id, status, body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still running after %v", id, timeout)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// campaignBlocks extracts the deterministic blocks of a finished job
+// document — everything except the solver result, whose recorded
+// wall time legitimately differs between independent submissions.
+func campaignBlocks(t *testing.T, doc []byte) (campaign, delta []byte) {
+	t.Helper()
+	var d struct {
+		Campaign json.RawMessage `json:"campaign"`
+		Delta    json.RawMessage `json:"delta"`
+	}
+	if err := json.Unmarshal(doc, &d); err != nil {
+		t.Fatalf("final doc: %v\n%s", err, doc)
+	}
+	if len(d.Campaign) == 0 || len(d.Delta) == 0 {
+		t.Fatalf("final doc missing campaign or delta: %s", doc)
+	}
+	return d.Campaign, d.Delta
+}
+
+func TestJobSmoke(t *testing.T) {
+	if os.Getenv("JOBSMOKE_FULL") == "" {
+		t.Skip("set JOBSMOKE_FULL=1 (make jobsmoke) to run the kill/restart/resume smoke")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "energyschedd-smoke")
+	build := exec.Command("go", "build", "-race", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building daemon: %v\n%s", err, out)
+	}
+
+	// Reference: the same campaign, uninterrupted, in its own state dir.
+	refDir := filepath.Join(dir, "ref-state")
+	refAddr := freePort(t)
+	refCmd := startDaemon(t, bin, refAddr, refDir)
+	defer refCmd.Process.Kill()
+	refID := submitJob(t, refAddr)
+	refDoc := waitJobDone(t, refAddr, refID, 3*time.Minute)
+	refCampaign, refDelta := campaignBlocks(t, refDoc)
+	refCmd.Process.Kill()
+	refCmd.Wait()
+
+	// Victim: identical campaign, SIGKILLed once it is demonstrably
+	// mid-campaign and safely past the first checkpoint interval
+	// (checkpoints land every 8 chunks; wait for 10 × 4096 trials).
+	killDir := filepath.Join(dir, "kill-state")
+	addr := freePort(t)
+	victim := startDaemon(t, bin, addr, killDir)
+	id := submitJob(t, addr)
+	if id != refID {
+		t.Fatalf("job identity not content-derived: ref %s, victim %s", refID, id)
+	}
+	killDeadline := time.Now().Add(2 * time.Minute)
+	for {
+		status, body, trialsRun := jobPoll(t, addr, id)
+		if status == http.StatusOK {
+			t.Fatalf("campaign finished before the kill — machine too fast for %d trials; raise smokeTrials", smokeTrials)
+		}
+		if status != http.StatusAccepted {
+			t.Fatalf("victim poll: %d %s", status, body)
+		}
+		if trialsRun >= 10*4096 {
+			break
+		}
+		if time.Now().After(killDeadline) {
+			t.Fatalf("victim made no progress: %s", body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := victim.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	victim.Wait()
+
+	// The checkpoint on disk must be a mid-campaign one. A SIGKILL can
+	// strand an atomic-write temp file next to it, so find the
+	// checkpoint by its suffix instead of expecting a lone entry.
+	entries, err := os.ReadDir(killDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cpName string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".job.json") {
+			if cpName != "" {
+				t.Fatalf("multiple checkpoints in %s: %s and %s", killDir, cpName, e.Name())
+			}
+			cpName = e.Name()
+		}
+	}
+	if cpName == "" {
+		t.Fatalf("no checkpoint in %s after kill (entries: %v)", killDir, entries)
+	}
+	cpBytes, err := os.ReadFile(filepath.Join(killDir, cpName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp struct {
+		Done      bool `json:"done"`
+		NextChunk int  `json:"nextChunk"`
+	}
+	if err := json.Unmarshal(cpBytes, &cp); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if cp.Done || cp.NextChunk == 0 {
+		t.Fatalf("checkpoint not mid-campaign: done=%v nextChunk=%d", cp.Done, cp.NextChunk)
+	}
+
+	// Restart on the same state dir: the job resumes by itself and must
+	// finish byte-identical to the uninterrupted reference.
+	addr2 := freePort(t)
+	restarted := startDaemon(t, bin, addr2, killDir)
+	defer restarted.Process.Kill()
+	resumedDoc := waitJobDone(t, addr2, id, 3*time.Minute)
+	gotCampaign, gotDelta := campaignBlocks(t, resumedDoc)
+	if !bytes.Equal(gotCampaign, refCampaign) {
+		t.Errorf("resumed campaign diverged from uninterrupted reference:\nref: %s\ngot: %s", refCampaign, gotCampaign)
+	}
+	if !bytes.Equal(gotDelta, refDelta) {
+		t.Errorf("resumed delta diverged:\nref: %s\ngot: %s", refDelta, gotDelta)
+	}
+
+	var stats struct {
+		Jobs map[string]float64 `json:"jobs"`
+	}
+	resp, err := http.Get("http://" + addr2 + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Jobs["resumed"] != 1 || stats.Jobs["done"] != 1 {
+		t.Errorf("restarted daemon stats jobs = %v, want resumed 1 and done 1", stats.Jobs)
+	}
+}

@@ -7,7 +7,8 @@
 //
 //	energyschedd [-addr :8080] [-cache-size 1024] [-max-inflight 0]
 //	             [-max-queue 0] [-timeout 30s] [-max-body 8388608]
-//	             [-workers 0] [-pprof] [-record trace.json]
+//	             [-workers 0] [-state-dir dir] [-max-jobs 2]
+//	             [-pprof] [-record trace.json]
 //	             [-no-tracing] [-trace-buffer 256] [-trace-seed 1] [-trace-log]
 //
 // Endpoints (see internal/server and the README for request formats):
@@ -16,11 +17,19 @@
 //	POST /v1/batch    solve a batch on a worker pool
 //	POST /v1/simulate solve, then run a Monte-Carlo campaign on the schedule
 //	POST /v1/sweep    solve-then-simulate one instance per workload class
+//	POST /v1/jobs     submit an async (checkpointed) campaign job
+//	GET  /v1/jobs/{id}  poll a job; DELETE cancels it
 //	GET  /v1/solvers  list registered solvers
 //	GET  /healthz     liveness probe
-//	GET  /stats       request / solve / simulate / sweep / cache counters
+//	GET  /stats       request / solve / simulate / sweep / job / cache counters
 //	GET  /metrics     the same counters as Prometheus text exposition
 //	GET  /debug/traces  ring of recent request traces with stage spans
+//
+// -state-dir makes campaign jobs durable: each job checkpoints its
+// merged campaign state there every few chunks, a clean shutdown
+// drains in-flight jobs to resumable checkpoints, and the next start
+// resumes every incomplete job to a byte-identical final document.
+// Without it jobs run memory-only and die with the process.
 //
 // -pprof additionally mounts net/http/pprof under /debug/pprof/ for
 // CPU/heap/goroutine profiling of a live daemon.
@@ -51,6 +60,8 @@ func main() {
 	timeout := flag.Duration("timeout", server.DefaultSolveTimeout, "per-request solve timeout")
 	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "max request body bytes")
 	workers := flag.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS)")
+	stateDir := flag.String("state-dir", "", "campaign-job checkpoint directory (empty = jobs are memory-only)")
+	maxJobs := flag.Int("max-jobs", 0, "max campaign jobs computing at once (0 = default)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
 	record := flag.String("record", "", "record replayable traffic to this trace file on shutdown (energyload -trace replays it)")
 	noTracing := flag.Bool("no-tracing", false, "disable request-scoped tracing (/debug/traces serves an empty ring)")
@@ -66,6 +77,8 @@ func main() {
 		SolveTimeout:   *timeout,
 		MaxBodyBytes:   *maxBody,
 		Workers:        *workers,
+		StateDir:       *stateDir,
+		MaxJobs:        *maxJobs,
 		DisableTracing: *noTracing,
 		TraceBuffer:    *traceBuffer,
 		TraceSeed:      *traceSeed,
@@ -108,6 +121,16 @@ func main() {
 	go func() { errc <- hs.ListenAndServe() }()
 	log.Printf("energyschedd listening on %s (timeout %v, cache %d entries)", *addr, *timeout, *cacheSize)
 
+	// Resume checkpointed campaign jobs after the listener is up, so
+	// polls for them answer from the first moment the port does. An
+	// unusable -state-dir fails startup loudly: the operator asked for
+	// durable jobs and is not getting them.
+	if n, err := srv.ResumeJobs(); err != nil {
+		log.Fatalf("resuming campaign jobs from -state-dir %q: %v", *stateDir, err)
+	} else if n > 0 {
+		log.Printf("resumed %d incomplete campaign job(s) from %s", n, *stateDir)
+	}
+
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -119,6 +142,11 @@ func main() {
 		// Allow one full solve timeout (plus margin) for the drain.
 		sctx, cancel := context.WithTimeout(context.Background(), *timeout+5*time.Second)
 		defer cancel()
+		// Checkpoint in-flight campaign jobs first (new submissions get
+		// 503 from here on), then drain the HTTP side.
+		if err := srv.DrainJobs(sctx); err != nil {
+			log.Printf("draining campaign jobs: %v", err)
+		}
 		if err := hs.Shutdown(sctx); err != nil {
 			log.Printf("forced shutdown: %v", err)
 			hs.Close()

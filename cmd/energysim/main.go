@@ -11,6 +11,19 @@
 //	          [-solver name] [-strategy best-of] [-timeout 0]
 //	energysim -in inst.json -result res.json   # replay without re-solving
 //	energysim -sweep [-n 32] [-procs 4] [-tricrit] [-trials 1000] [-seed 1]
+//	energysim -in inst.json -job http://host:8080 [-trials 1000000]
+//	          [-epsilon 0.01] [-confidence 0.99] [-chunk-size 4096]
+//
+// -job URL runs the campaign remotely as an asynchronous checkpointed
+// job on an energyschedd (or through an energyrouter): submit POST
+// /v1/jobs, poll at the server's Retry-After pace printing progress to
+// stderr, and emit the finished document — the same shape as
+// /v1/simulate — on stdout. Resubmitting an identical campaign (same
+// instance, solver config and knobs) dedupes onto the server's
+// existing job, so an interrupted energysim -job rerun picks the
+// campaign back up without recomputing anything. -epsilon enables the
+// sequential-confidence early stop; -trials may go up to the job cap
+// (sim.MaxJobCampaignTrials) instead of the synchronous limit.
 //
 // -in - reads the instance from stdin. The campaign is bit-identical
 // for any -workers value, so reports are reproducible from the dumped
@@ -26,6 +39,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -33,6 +47,7 @@ import (
 	"io"
 	"os"
 
+	"energysched/internal/client"
 	"energysched/internal/core"
 	"energysched/internal/sim"
 )
@@ -68,21 +83,52 @@ func main() {
 	sweepN := flag.Int("n", 32, "sweep: tasks per instance")
 	sweepProcs := flag.Int("procs", 4, "sweep: processors")
 	sweepTricrit := flag.Bool("tricrit", false, "sweep: add reliability constraints")
+	jobURL := flag.String("job", "", "run the campaign as an async job on this energyschedd/energyrouter base URL")
+	epsilon := flag.Float64("epsilon", 0, "job: stop early once the success-rate CI half-width is ≤ epsilon (0 = run all trials)")
+	confidence := flag.Float64("confidence", 0, "job: CI level for -epsilon: 0.90, 0.95, 0.99 (default) or 0.999")
+	chunkSize := flag.Int("chunk-size", 0, "job: trials per chunk (0 = server default)")
 	flag.Parse()
 
 	policy, err := sim.ParsePolicy(*policyName)
 	if err != nil {
 		fail(err)
 	}
-	if *trials < 1 || *trials > sim.MaxCampaignTrials {
+	maxTrials := sim.MaxCampaignTrials
+	if *jobURL != "" {
+		maxTrials = sim.MaxJobCampaignTrials
+	}
+	if *trials < 1 || *trials > maxTrials {
 		fail(fmt.Errorf("-trials must be in [1, %d], got %d (the cap energyschedd enforces)",
-			sim.MaxCampaignTrials, *trials))
+			maxTrials, *trials))
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *jobURL != "" {
+		switch {
+		case *sweep:
+			fail(fmt.Errorf("-job and -sweep are mutually exclusive"))
+		case *resultPath != "":
+			fail(fmt.Errorf("-job solves remotely; it cannot replay a -result file"))
+		case *noFaults:
+			fail(fmt.Errorf("the job API does not support -no-faults"))
+		case *inPath == "":
+			fail(fmt.Errorf("missing -in; see -h"))
+		}
+		data, err := readInput(*inPath)
+		if err != nil {
+			fail(err)
+		}
+		runJob(ctx, *jobURL, data, jobSpec{
+			trials: *trials, seed: *seed, policy: *policyName, worstCase: *worstCase,
+			workers: *workers, solver: *solverName, strategy: *strategyName,
+			epsilon: *epsilon, confidence: *confidence, chunkSize: *chunkSize,
+		})
+		return
 	}
 	var solveOpts []core.Option
 	if *solverName != "" {
@@ -177,6 +223,89 @@ func main() {
 		Delta:     camp.Delta(),
 		Profile:   &camp.Profile,
 	})
+}
+
+// jobSpec carries the -job mode knobs from flag parsing to runJob.
+type jobSpec struct {
+	trials     int
+	seed       int64
+	policy     string
+	worstCase  bool
+	workers    int
+	solver     string
+	strategy   string
+	epsilon    float64
+	confidence float64
+	chunkSize  int
+}
+
+// runJob submits the campaign to the remote job API, polls it to
+// completion printing progress to stderr, and emits the finished
+// document on stdout. A job failure surfaces the server's error
+// envelope and exits non-zero.
+func runJob(ctx context.Context, base string, instance []byte, spec jobSpec) {
+	req := map[string]any{
+		"instance": json.RawMessage(instance),
+		"trials":   spec.trials,
+		"simSeed":  spec.seed,
+		"policy":   spec.policy,
+	}
+	if spec.worstCase {
+		req["worstCase"] = true
+	}
+	if spec.workers > 0 {
+		req["workers"] = spec.workers
+	}
+	if spec.solver != "" {
+		req["solver"] = spec.solver
+	}
+	if spec.strategy != "" {
+		req["strategy"] = spec.strategy
+	}
+	if spec.epsilon > 0 {
+		req["epsilon"] = spec.epsilon
+	}
+	if spec.confidence > 0 {
+		req["confidence"] = spec.confidence
+	}
+	if spec.chunkSize > 0 {
+		req["chunkSize"] = spec.chunkSize
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		fail(err)
+	}
+	c, err := client.New(client.Config{BaseURL: base, Seed: spec.seed})
+	if err != nil {
+		fail(err)
+	}
+	ack, err := c.SubmitJob(ctx, body)
+	if err != nil {
+		fail(err)
+	}
+	if ack.Deduped {
+		fmt.Fprintf(os.Stderr, "energysim: job %s already %s on the server, attaching\n", ack.ID, ack.Status)
+	} else {
+		fmt.Fprintf(os.Stderr, "energysim: submitted job %s\n", ack.ID)
+	}
+	resp, err := c.PollJob(ctx, ack.ID, func(p client.JobProgress) {
+		fmt.Fprintf(os.Stderr, "energysim: job %s %s: %d/%d trials (%.0f trials/s, CI ±%.4g)\n",
+			p.ID, p.Status, p.TrialsRun, p.TrialsRequested, p.TrialsPerSec, p.CIHalfWidth)
+	})
+	if err != nil {
+		fail(err)
+	}
+	if err := resp.Err(); err != nil {
+		fail(fmt.Errorf("job %s failed: %w", ack.ID, err))
+	}
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, resp.Body, "", "  "); err != nil {
+		fail(err)
+	}
+	pretty.WriteByte('\n')
+	if _, err := pretty.WriteTo(os.Stdout); err != nil {
+		fail(err)
+	}
 }
 
 func readInput(path string) ([]byte, error) {

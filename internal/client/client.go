@@ -160,8 +160,11 @@ type Response struct {
 	// XCache is the server's cache disposition header: "hit", "miss",
 	// "coalesced", or empty when the endpoint does not set one.
 	XCache string
-	// RetryAfter is the parsed Retry-After hint on a 429, zero
-	// otherwise.
+	// Location is the Location header — the poll URL on a 202 job
+	// acknowledgement — or empty when the response carries none.
+	Location string
+	// RetryAfter is the parsed Retry-After hint on a 429 shed or a 202
+	// accepted-for-later answer, zero otherwise.
 	RetryAfter time.Duration
 	// Attempts is how many wire requests this exchange cost (1 without
 	// retries).
@@ -288,15 +291,24 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*Res
 			Status:    resp.StatusCode,
 			Body:      out,
 			XCache:    resp.Header.Get("X-Cache"),
+			Location:  resp.Header.Get("Location"),
 			Attempts:  attempt + 1,
 			RequestID: resp.Header.Get(obs.RequestIDHeader),
 		}
-		if resp.StatusCode == http.StatusTooManyRequests {
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests:
 			r.RetryAfter = c.retryAfter(resp.Header)
 			if attempt < c.cfg.MaxRetries {
 				if err := sleep(ctx, c.retryDelay(attempt, r.RetryAfter)); err == nil {
 					continue
 				}
+			}
+		case http.StatusAccepted:
+			// A 202's hint paces the caller's next poll, it never drives
+			// a retry here; without a header the caller's own backoff
+			// applies, so no RetryWait fallback.
+			if resp.Header.Get("Retry-After") != "" {
+				r.RetryAfter = c.retryAfter(resp.Header)
 			}
 		}
 		return r, nil
@@ -332,6 +344,11 @@ func (c *Client) PostKind(ctx context.Context, kind string, body []byte) (*Respo
 // Get issues a GET to path under the retry policy.
 func (c *Client) Get(ctx context.Context, path string) (*Response, error) {
 	return c.do(ctx, http.MethodGet, path, nil)
+}
+
+// Delete issues a DELETE to path under the retry policy.
+func (c *Client) Delete(ctx context.Context, path string) (*Response, error) {
+	return c.do(ctx, http.MethodDelete, path, nil)
 }
 
 // Healthy reports whether GET /healthz answers 200 within ctx.

@@ -1,0 +1,117 @@
+// The campaign-job half of the client: submit POST /v1/jobs, poll
+// GET /v1/jobs/{id} honoring the server's Retry-After pacing, cancel
+// with DELETE. PollJob is the one polling loop cmd/energysim and any
+// other caller share, so the 202-pacing rules — honor the hint, back
+// off exponentially when polls keep answering 202, jitter every sleep
+// from the client's seeded stream — are written exactly once.
+
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// JobAck is the decoded POST /v1/jobs acknowledgement.
+type JobAck struct {
+	// ID is the content-derived job identity; poll GET /v1/jobs/{ID}.
+	ID string `json:"id"`
+	// Status is the job's state at submission: "queued", "running" or
+	// "done" (a dedupe onto an already-finished job).
+	Status string `json:"status"`
+	// Deduped marks a submission that matched an existing job instead
+	// of starting a new one.
+	Deduped bool `json:"deduped,omitempty"`
+}
+
+// JobProgress is the decoded 202 body of GET /v1/jobs/{id}: where a
+// queued or running campaign stands.
+type JobProgress struct {
+	ID              string  `json:"id"`
+	Status          string  `json:"status"`
+	TrialsRequested int     `json:"trialsRequested"`
+	TrialsRun       int     `json:"trialsRun"`
+	ResumedTrials   int     `json:"resumedTrials,omitempty"`
+	CIHalfWidth     float64 `json:"ciHalfWidth,omitempty"`
+	TrialsPerSec    float64 `json:"trialsPerSec,omitempty"`
+}
+
+// SubmitJob posts body to /v1/jobs and decodes the 202
+// acknowledgement. Any other status comes back as the response's
+// error.
+func (c *Client) SubmitJob(ctx context.Context, body []byte) (*JobAck, error) {
+	resp, err := c.Post(ctx, "/v1/jobs", body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != http.StatusAccepted {
+		if err := resp.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("client: POST /v1/jobs: unexpected status %d", resp.Status)
+	}
+	var ack JobAck
+	if err := json.Unmarshal(resp.Body, &ack); err != nil {
+		return nil, fmt.Errorf("client: decoding job acknowledgement: %w", err)
+	}
+	if ack.ID == "" {
+		return nil, fmt.Errorf("client: job acknowledgement carries no ID")
+	}
+	return &ack, nil
+}
+
+// JobStatus issues one GET /v1/jobs/{id} poll and returns the raw
+// exchange: 202 while the job runs (Body decodes as JobProgress,
+// RetryAfter carries the server's pacing hint), 200 with the finished
+// campaign document, or the job's recorded error status.
+func (c *Client) JobStatus(ctx context.Context, id string) (*Response, error) {
+	return c.Get(ctx, "/v1/jobs/"+id)
+}
+
+// CancelJob deletes job id. A 204 is success; anything else (a 404
+// for an unknown ID) is the response's error.
+func (c *Client) CancelJob(ctx context.Context, id string) error {
+	resp, err := c.Delete(ctx, "/v1/jobs/"+id)
+	if err != nil {
+		return err
+	}
+	if resp.Status == http.StatusNoContent {
+		return nil
+	}
+	if err := resp.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("client: DELETE /v1/jobs/%s: unexpected status %d", id, resp.Status)
+}
+
+// PollJob polls GET /v1/jobs/{id} until the job leaves the 202 state,
+// returning the final exchange: the 200 campaign document, or the
+// job's failure status for the caller to classify. Each 202 invokes
+// onProgress (when non-nil) with the decoded progress, then sleeps a
+// jittered backoff that honors the server's (capped) Retry-After hint
+// and doubles from RetryWait while polls keep answering 202 — the
+// same seeded jitter stream the retry path draws from, so a fleet of
+// pollers told "come back in 1s" does not return in lockstep. The
+// loop ends early only when ctx does.
+func (c *Client) PollJob(ctx context.Context, id string, onProgress func(JobProgress)) (*Response, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := c.JobStatus(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Status != http.StatusAccepted {
+			return resp, nil
+		}
+		if onProgress != nil {
+			var p JobProgress
+			if json.Unmarshal(resp.Body, &p) == nil {
+				onProgress(p)
+			}
+		}
+		if err := sleep(ctx, c.retryDelay(attempt, resp.RetryAfter)); err != nil {
+			return nil, fmt.Errorf("client: polling job %s: %w", id, err)
+		}
+	}
+}

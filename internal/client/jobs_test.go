@@ -1,0 +1,251 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"energysched/internal/client"
+)
+
+// jobServer is a minimal /v1/jobs endpoint: accepts one job, answers
+// 202 with progress for `polls` status requests, then 200 with a
+// final document. DELETE answers 204 once, 404 after.
+func jobServer(polls int) (*httptest.Server, *atomic.Int64) {
+	var gets atomic.Int64
+	deleted := false
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Location", "/v1/jobs/abc123-feed")
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"id":"abc123-feed","status":"queued"}`)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if r.PathValue("id") != "abc123-feed" || deleted {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w, `{"error":"unknown job ID"}`)
+			return
+		}
+		n := gets.Add(1)
+		if int(n) <= polls {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusAccepted)
+			fmt.Fprintf(w, `{"id":"abc123-feed","status":"running","trialsRequested":100,"trialsRun":%d}`, n*10)
+			return
+		}
+		fmt.Fprint(w, `{"campaign":{"trials":100}}`)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if deleted {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w, `{"error":"unknown job ID"}`)
+			return
+		}
+		deleted = true
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return httptest.NewServer(mux), &gets
+}
+
+// TestSubmitAndPollJob drives the full client-side job flow: submit
+// decodes the 202 acknowledgement (with its Location and Retry-After
+// surfaced on the Response), PollJob reports each 202's progress and
+// returns the final 200 document.
+func TestSubmitAndPollJob(t *testing.T) {
+	srv, _ := jobServer(3)
+	defer srv.Close()
+	c, err := client.New(client.Config{BaseURL: srv.URL, RetryWait: time.Millisecond, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	ack, err := c.SubmitJob(ctx, []byte(`{"instance":{}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.ID != "abc123-feed" || ack.Status != "queued" || ack.Deduped {
+		t.Fatalf("ack = %+v", ack)
+	}
+
+	var seen []client.JobProgress
+	resp, err := c.PollJob(ctx, ack.ID, func(p client.JobProgress) { seen = append(seen, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusOK {
+		t.Fatalf("final status = %d, body %s", resp.Status, resp.Body)
+	}
+	var doc struct {
+		Campaign struct {
+			Trials int `json:"trials"`
+		} `json:"campaign"`
+	}
+	if err := json.Unmarshal(resp.Body, &doc); err != nil || doc.Campaign.Trials != 100 {
+		t.Fatalf("final doc = %s (err %v)", resp.Body, err)
+	}
+	if len(seen) != 3 {
+		t.Fatalf("onProgress fired %d times, want 3: %+v", len(seen), seen)
+	}
+	if seen[2].TrialsRun != 30 || seen[2].Status != "running" {
+		t.Fatalf("last progress = %+v", seen[2])
+	}
+}
+
+// TestSubmitJobRejected asserts a non-202 submission surfaces the
+// error envelope instead of a half-decoded acknowledgement.
+func TestSubmitJobRejected(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":"trials must be in [1, 10]"}`)
+	}))
+	defer srv.Close()
+	c, err := client.New(client.Config{BaseURL: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SubmitJob(context.Background(), []byte(`{}`)); err == nil ||
+		!strings.Contains(err.Error(), "trials must be in") {
+		t.Fatalf("err = %v, want the server's envelope", err)
+	}
+}
+
+// TestPollJobHonorsRetryAfter pins the 202 pacing contract: the
+// Retry-After hint is surfaced on the Response and each poll sleeps at
+// least half the hinted wait (the jitter floor), so a hinted second
+// poll cannot arrive immediately.
+func TestPollJobHonorsRetryAfter(t *testing.T) {
+	var polls atomic.Int64
+	var last atomic.Int64 // UnixNano of the previous poll
+	var tooSoon atomic.Int64
+	const hint = 50 * time.Millisecond
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now().UnixNano()
+		if prev := last.Swap(now); prev != 0 && time.Duration(now-prev) < hint/2 {
+			tooSoon.Add(1)
+		}
+		if polls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusAccepted)
+			fmt.Fprint(w, `{"status":"running"}`)
+			return
+		}
+		fmt.Fprint(w, `{"done":true}`)
+	}))
+	defer srv.Close()
+	// MaxRetryWait caps the honored 1s hint down to 50ms so the test
+	// stays fast while still proving the hint (not the 1ms RetryWait
+	// base) drives the sleep.
+	c, err := client.New(client.Config{
+		BaseURL: srv.URL, RetryWait: time.Millisecond, MaxRetryWait: hint, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := c.PollJob(context.Background(), "x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusOK {
+		t.Fatalf("final status = %d", resp.Status)
+	}
+	if n := polls.Load(); n != 3 {
+		t.Fatalf("server saw %d polls, want 3", n)
+	}
+	if got := tooSoon.Load(); got != 0 {
+		t.Errorf("%d polls arrived before half the hinted wait", got)
+	}
+	if elapsed := time.Since(start); elapsed < hint {
+		t.Errorf("two hinted sleeps took %v, want ≥ %v", elapsed, hint)
+	}
+}
+
+// TestPollJobContextCancel asserts a cancelled context ends the poll
+// loop mid-sleep instead of spinning forever on 202s.
+func TestPollJobContextCancel(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"status":"running"}`)
+	}))
+	defer srv.Close()
+	c, err := client.New(client.Config{BaseURL: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.PollJob(ctx, "x", nil); err == nil {
+		t.Fatal("PollJob returned nil error under a cancelled context")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("PollJob did not stop promptly on cancel")
+	}
+}
+
+// TestCancelJob covers both DELETE outcomes: 204 success and the 404
+// error for an already-forgotten job.
+func TestCancelJob(t *testing.T) {
+	srv, _ := jobServer(0)
+	defer srv.Close()
+	c, err := client.New(client.Config{BaseURL: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := c.CancelJob(ctx, "abc123-feed"); err != nil {
+		t.Fatalf("first cancel: %v", err)
+	}
+	if err := c.CancelJob(ctx, "abc123-feed"); err == nil ||
+		!strings.Contains(err.Error(), "404") {
+		t.Fatalf("second cancel err = %v, want a 404", err)
+	}
+}
+
+// TestResponseCarriesLocationAndJobRetryAfter pins the Response
+// surface PollJob and the router's relay depend on: Location passes
+// through, and a 202's Retry-After is parsed (while one without the
+// header stays zero, leaving pacing to the caller's backoff).
+func TestResponseCarriesLocationAndJobRetryAfter(t *testing.T) {
+	withHeader := true
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Location", "/v1/jobs/zz")
+		if withHeader {
+			w.Header().Set("Retry-After", "2")
+		}
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{}`)
+	}))
+	defer srv.Close()
+	c, err := client.New(client.Config{BaseURL: srv.URL, MaxRetryWait: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Get(context.Background(), "/v1/jobs/zz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Location != "/v1/jobs/zz" {
+		t.Errorf("Location = %q", resp.Location)
+	}
+	if resp.RetryAfter != 2*time.Second {
+		t.Errorf("RetryAfter = %v, want 2s", resp.RetryAfter)
+	}
+	withHeader = false
+	resp, err = c.Get(context.Background(), "/v1/jobs/zz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RetryAfter != 0 {
+		t.Errorf("RetryAfter without header = %v, want 0", resp.RetryAfter)
+	}
+}

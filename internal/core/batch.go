@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"sync"
 )
 
@@ -51,13 +52,7 @@ func SolveAll(ctx context.Context, ins []*Instance, opts ...Option) []BatchItem 
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				// solve checks ctx up front, so after cancellation the
-				// remaining items drain quickly with ctx.Err(). The
-				// waitAbandoned flag keeps a timed-out item's solver
-				// goroutine attached to its worker slot, so the pool
-				// never runs more than Workers solvers at once.
-				res, err := solve(ctx, ins[i], cfg, true)
-				items[i] = BatchItem{Index: i, Instance: ins[i], Result: res, Err: err}
+				items[i] = solveItem(ctx, ins[i], cfg, i)
 			}
 		}()
 	}
@@ -67,4 +62,22 @@ func SolveAll(ctx context.Context, ins []*Instance, opts ...Option) []BatchItem 
 	close(idx)
 	wg.Wait()
 	return items
+}
+
+// solveItem runs one batch item. solve checks ctx up front, so after
+// cancellation the remaining items drain quickly with ctx.Err(). The
+// waitAbandoned flag keeps a timed-out item's solver goroutine
+// attached to its worker slot, so the pool never runs more than
+// Workers solvers at once. A solver panic fails the item — never the
+// pool: one broken solver in a batch must not take down the other
+// items or the process.
+func solveItem(ctx context.Context, in *Instance, cfg *Config, i int) (item BatchItem) {
+	defer func() {
+		if r := recover(); r != nil {
+			item = BatchItem{Index: i, Instance: in,
+				Err: fmt.Errorf("core: solver panicked: %v", r)}
+		}
+	}()
+	res, err := solve(ctx, in, cfg, true)
+	return BatchItem{Index: i, Instance: in, Result: res, Err: err}
 }

@@ -103,26 +103,42 @@ func solve(ctx context.Context, in *Instance, cfg *Config, waitAbandoned bool) (
 // abandoned solver goroutine finishes on its own and its result is
 // dropped; with wait, the call blocks until the goroutine exits so
 // callers can bound total concurrency.
+//
+// A panic inside the solver is re-raised in the calling goroutine
+// rather than crashing the process from an anonymous one: the caller
+// (an HTTP handler behind recovery middleware, a SolveAll worker, a
+// job executor) owns the decision of how to contain it.
 func runSolver(ctx context.Context, s Solver, in *Instance, cfg *Config, wait bool) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	type outcome struct {
-		res *Result
-		err error
+		res      *Result
+		err      error
+		panicked any
 	}
 	done := make(chan outcome, 1)
 	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- outcome{panicked: r}
+			}
+		}()
 		res, err := s.Solve(ctx, in, cfg)
-		done <- outcome{res, err}
+		done <- outcome{res: res, err: err}
 	}()
 	select {
 	case <-ctx.Done():
 		if wait {
-			<-done
+			if o := <-done; o.panicked != nil {
+				panic(o.panicked)
+			}
 		}
 		return nil, ctx.Err()
 	case o := <-done:
+		if o.panicked != nil {
+			panic(o.panicked)
+		}
 		return o.res, o.err
 	}
 }

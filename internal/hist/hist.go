@@ -18,6 +18,7 @@
 package hist
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"sync/atomic"
@@ -172,6 +173,67 @@ func (h *Histogram) JSON() *JSON {
 		j.Buckets = append(j.Buckets, Bucket{Le: le, Count: c})
 	}
 	return j
+}
+
+// IndexCount is one non-empty bucket of a State, addressed by bucket
+// index rather than edge value so restoration is exact whatever the
+// grid: index len(bounds) is the overflow bucket.
+type IndexCount struct {
+	Index int   `json:"i"`
+	Count int64 `json:"c"`
+}
+
+// State is the serializable raw content of a Histogram — the exact
+// counters, not the derived JSON view — for checkpointing streamed
+// aggregations. A State round-trips through encoding/json without
+// loss: counts are integers and Go's float64 JSON encoding is
+// shortest-round-trip exact for finite sums, so
+// Restore(State()) reproduces the histogram bit-for-bit.
+type State struct {
+	Count   int64        `json:"count"`
+	Sum     float64      `json:"sum"`
+	Buckets []IndexCount `json:"buckets,omitempty"`
+}
+
+// State snapshots the histogram's raw counters, emitting only
+// non-empty buckets.
+func (h *Histogram) State() *State {
+	st := &State{Count: h.count, Sum: h.sum}
+	for i, c := range h.counts {
+		if c != 0 {
+			st.Buckets = append(st.Buckets, IndexCount{Index: i, Count: c})
+		}
+	}
+	return st
+}
+
+// Restore overwrites the histogram with a snapshot taken by State on
+// a histogram over the same bounds. Out-of-range bucket indices or
+// negative counts — a corrupt or doctored checkpoint — are rejected,
+// leaving the histogram reset.
+func (h *Histogram) Restore(st *State) error {
+	h.Reset()
+	if st == nil {
+		return nil
+	}
+	for _, b := range st.Buckets {
+		if b.Index < 0 || b.Index >= len(h.counts) {
+			h.Reset()
+			return fmt.Errorf("hist: bucket index %d out of range [0, %d)", b.Index, len(h.counts))
+		}
+		if b.Count < 0 {
+			h.Reset()
+			return fmt.Errorf("hist: bucket %d has negative count %d", b.Index, b.Count)
+		}
+		h.counts[b.Index] = b.Count
+	}
+	if st.Count < 0 {
+		h.Reset()
+		return fmt.Errorf("hist: negative observation count %d", st.Count)
+	}
+	h.count = st.Count
+	h.sum = st.Sum
+	return nil
 }
 
 // Atomic is a fixed-bound histogram with lock-free observation for

@@ -212,3 +212,59 @@ func TestAtomicMax(t *testing.T) {
 		t.Fatalf("concurrent max = %d, want 3999", a.Max())
 	}
 }
+
+// TestStateRestoreRoundTrip: the checkpoint form must reproduce the
+// histogram bit-for-bit — raw counters and float sum — including
+// through a JSON round trip, and Restore must reject states no
+// histogram over these bounds could have produced.
+func TestStateRestoreRoundTrip(t *testing.T) {
+	h := New(OutcomeBounds())
+	for i := 0; i < 5000; i++ {
+		h.Observe(math.Pow(1.37, float64(i%60)) * 1e-3)
+	}
+	st := h.State()
+	j, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back State
+	if err := json.Unmarshal(j, &back); err != nil {
+		t.Fatal(err)
+	}
+	h2 := New(OutcomeBounds())
+	if err := h2.Restore(&back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h, h2) {
+		t.Fatal("restored histogram differs from source")
+	}
+	if got, _ := json.Marshal(h2.JSON()); string(got) != string(mustJSON(t, h.JSON())) {
+		t.Fatal("restored histogram renders different JSON")
+	}
+	// Restoring a nil state resets.
+	if err := h2.Restore(nil); err != nil || h2.Count() != 0 {
+		t.Fatalf("nil restore: err=%v count=%d", err, h2.Count())
+	}
+	for _, bad := range []*State{
+		{Count: -1},
+		{Count: 1, Buckets: []IndexCount{{Index: -1, Count: 1}}},
+		{Count: 1, Buckets: []IndexCount{{Index: 1 << 20, Count: 1}}},
+		{Count: 1, Buckets: []IndexCount{{Index: 0, Count: -1}}},
+	} {
+		if err := h2.Restore(bad); err == nil {
+			t.Fatalf("restore accepted invalid state %+v", bad)
+		}
+		if h2.Count() != 0 {
+			t.Fatal("failed restore left residue")
+		}
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	j, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}

@@ -31,6 +31,7 @@ func (rt *Router) newRegistry() *obs.Registry {
 	r.Counter("energyrouter_bad_gateway_total", "502s for junk or unreachable backends.", "router.badGateway", &rt.badGateway)
 	r.Counter("energyrouter_no_backend_total", "503s with zero healthy backends.", "router.noBackend", &rt.noBackend)
 	r.Counter("energyrouter_scattered_total", "Batch requests split across backends.", "router.scattered", &rt.scattered)
+	r.Counter("energyrouter_panics_total", "Handler panics contained by the recovery middleware.", "router.panics", &rt.panics)
 
 	r.Counter("energyrouter_breaker_opened_total", "Circuit transitions to open.", "resilience.breakerOpened", &rt.breakerOpened)
 	r.Counter("energyrouter_breaker_half_open_total", "Open circuits admitting a trial request.", "resilience.breakerHalfOpen", &rt.breakerHalfOpen)

@@ -7,6 +7,11 @@
 //	POST /v1/simulate   — proxied like solve (same routing key, so a
 //	                      simulate lands where its instance's solve ran)
 //	POST /v1/sweep      — proxied, keyed by the request bytes
+//	POST /v1/jobs       — campaign job submit, pinned to the ring by
+//	                      instance hash (jobs.go)
+//	GET  /v1/jobs/{id}  — job poll/cancel, pinned by the instance-hash
+//	DELETE /v1/jobs/{id}  prefix of the ID; 404s fail over in case the
+//	                      job lives on another member
 //	GET  /v1/solvers    — forwarded to any healthy backend
 //	GET  /healthz       — router liveness (503 when no backend is healthy)
 //	GET  /stats         — backend counters summed + per-backend health
@@ -244,6 +249,7 @@ type Router struct {
 	badGateway atomic.Int64 // 502s for junk/unreachable backends
 	noBackend  atomic.Int64 // 503s with zero healthy backends
 	scattered  atomic.Int64 // batch requests split across backends
+	panics     atomic.Int64 // handler panics contained by the recovery middleware
 
 	breakerOpened   atomic.Int64 // closed/half-open → open transitions
 	breakerHalfOpen atomic.Int64 // open → half-open trial admissions
@@ -346,6 +352,9 @@ func New(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("POST /v1/simulate", rt.proxyHandler("simulate"))
 	rt.mux.HandleFunc("POST /v1/sweep", rt.proxyHandler("sweep"))
 	rt.mux.HandleFunc("POST /v1/batch", rt.handleBatch)
+	rt.mux.HandleFunc("POST /v1/jobs", rt.handleJobSubmit)
+	rt.mux.HandleFunc("GET /v1/jobs/{id}", rt.handleJobGet)
+	rt.mux.HandleFunc("DELETE /v1/jobs/{id}", rt.handleJobDelete)
 	rt.mux.HandleFunc("GET /v1/solvers", rt.handleSolvers)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("GET /stats", rt.handleStats)
@@ -385,12 +394,38 @@ func newPool(members []*member, replicas int) *pool {
 
 // Handler returns the router's http.Handler: the mux behind the obs
 // wrapper that assigns (or honors) the request ID every /v1/ request
-// carries downstream to its backend.
+// carries downstream to its backend, with a panic-recovery layer so a
+// handler bug answers a 500 JSON envelope (naming the request's trace
+// ID) instead of tearing the connection down. http.ErrAbortHandler is
+// re-raised: it is the sanctioned way to abort a response, not a bug.
 func (rt *Router) Handler() http.Handler {
 	return obs.WrapHandler(rt.tracer, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rt.requests.Add(1)
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			rt.panics.Add(1)
+			rt.writePanic(w, rec)
+		}()
 		rt.mux.ServeHTTP(w, r)
 	}))
+}
+
+// writePanic is the recovery middleware's best-effort 500: if the
+// handler already wrote a header this write fails harmlessly, the
+// connection is torn down, and the panic still only cost one request.
+func (rt *Router) writePanic(w http.ResponseWriter, rec any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusInternalServerError)
+	json.NewEncoder(w).Encode(map[string]string{
+		"error":     fmt.Sprintf("internal error: %v", rec),
+		"requestId": w.Header().Get(obs.RequestIDHeader),
+	})
 }
 
 // Metrics returns the router's /metrics registry.
@@ -470,7 +505,7 @@ func (rt *Router) pickBy(p *pool, key string, alive func(int) bool) int {
 // keys on the raw bytes: still deterministic, spread by FNV.
 func routingKey(kind string, body []byte) string {
 	switch kind {
-	case "solve", "simulate":
+	case "solve", "simulate", "jobs":
 		var probe struct {
 			Instance json.RawMessage `json:"instance"`
 		}
@@ -675,6 +710,9 @@ func (rt *Router) relay(w http.ResponseWriter, resp *client.Response, m *member)
 	if resp.XCache != "" {
 		w.Header().Set("X-Cache", resp.XCache)
 	}
+	if resp.Location != "" {
+		w.Header().Set("Location", resp.Location)
+	}
 	if resp.RetryAfter > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(int((resp.RetryAfter+time.Second-1)/time.Second)))
 	}
@@ -797,6 +835,7 @@ type routerStatsJSON struct {
 	BadGateway int64 `json:"badGateway"`
 	NoBackend  int64 `json:"noBackend"`
 	Scattered  int64 `json:"scattered"`
+	Panics     int64 `json:"panics"`
 }
 
 // resilienceJSON is the failure-handling counter block of /stats.
@@ -884,6 +923,7 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 			BadGateway: rt.badGateway.Load(),
 			NoBackend:  rt.noBackend.Load(),
 			Scattered:  rt.scattered.Load(),
+			Panics:     rt.panics.Load(),
 		},
 		Resilience: rt.resilienceSnapshot(),
 	}

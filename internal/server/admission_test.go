@@ -108,9 +108,9 @@ func TestStatsKeysGolden(t *testing.T) {
 	}
 	slices.Sort(keys)
 	want := []string{
-		"cache", "coalesced", "errors", "inFlight", "latency",
-		"maxInFlight", "maxQueueDepth", "queued", "requests", "shed",
-		"simulated", "solved", "swept", "timeouts", "uptimeSeconds",
+		"cache", "coalesced", "errors", "inFlight", "jobs", "latency",
+		"maxInFlight", "maxQueueDepth", "panics", "queued", "requests",
+		"shed", "simulated", "solved", "swept", "timeouts", "uptimeSeconds",
 	}
 	if !slices.Equal(keys, want) {
 		t.Fatalf("/stats keys drifted:\n got %v\nwant %v", keys, want)

@@ -12,6 +12,7 @@ import (
 
 	"energysched/internal/cache"
 	"energysched/internal/core"
+	"energysched/internal/jobs"
 	"energysched/internal/obs"
 )
 
@@ -412,7 +413,9 @@ type statsJSON struct {
 	MaxQueueDepth int                    `json:"maxQueueDepth"`
 	Shed          int64                  `json:"shed"`
 	Coalesced     int64                  `json:"coalesced"`
+	Panics        int64                  `json:"panics"`
 	Cache         cache.Stats            `json:"cache"`
+	Jobs          jobs.Stats             `json:"jobs"`
 	Latency       map[string]latencyJSON `json:"latency"`
 }
 
@@ -433,7 +436,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		MaxQueueDepth: s.cfg.MaxQueueDepth,
 		Shed:          s.shed.Load(),
 		Coalesced:     s.coalesced.Load(),
+		Panics:        s.panics.Load(),
 		Cache:         s.cache.Stats(),
+		Jobs:          s.jobs.Stats(),
 		Latency:       s.latency.snapshot(),
 	})
 }

@@ -1,0 +1,343 @@
+// The asynchronous campaign-job API: million-trial simulate requests
+// that outlive any single HTTP request — and, with a state directory,
+// any single daemon process.
+//
+//	POST   /v1/jobs      — submit a campaign job: 202 + job ID
+//	GET    /v1/jobs/{id} — poll: 202 + progress while running, the
+//	                       /v1/simulate response document once done
+//	DELETE /v1/jobs/{id} — cancel and forget the job
+//
+// A job's identity is content-derived (instance hash, solver
+// fingerprint, campaign knobs), so resubmitting the same campaign
+// dedupes onto the existing job instead of recomputing it, and the
+// router can route polls by the instance-hash prefix of the ID alone.
+// Execution is chunked (sim.RunCampaignChunked) with the merged state
+// checkpointed every few chunks (internal/jobs): memory stays flat at
+// any trial count, the sequential-confidence stopping rule can finish
+// the campaign early, and a daemon killed mid-campaign resumes from
+// its last checkpoint to a byte-identical final document.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"energysched/internal/core"
+	"energysched/internal/jobs"
+	"energysched/internal/sim"
+)
+
+// jobRequest is the POST /v1/jobs payload: everything /v1/simulate
+// accepts plus the chunked-campaign knobs. The raw body is persisted
+// verbatim in the job's checkpoint, so a restarted daemon rebuilds the
+// exact submission without any other source.
+type jobRequest struct {
+	simulateRequest
+	// Epsilon > 0 enables the sequential-confidence stopping rule: the
+	// campaign ends once the Wilson CI half-width on the success rate
+	// is at most epsilon.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Confidence is the CI level for epsilon: 0.90, 0.95, 0.99 (the
+	// default) or 0.999.
+	Confidence float64 `json:"confidence,omitempty"`
+	// ChunkSize is the trials-per-chunk granularity (default
+	// sim.DefaultChunkSize). Checkpoints and the stopping rule act at
+	// chunk boundaries, so it is part of the job's identity.
+	ChunkSize int `json:"chunkSize,omitempty"`
+}
+
+// jobSubmitResponse acknowledges a submission.
+type jobSubmitResponse struct {
+	ID     string      `json:"id"`
+	Status jobs.Status `json:"status"`
+	// Deduped marks a submission that matched an existing job (same
+	// instance, solver config and knobs) instead of starting a new one.
+	Deduped bool `json:"deduped,omitempty"`
+}
+
+// jobStatusResponse is the 202 poll body while a job is queued or
+// running.
+type jobStatusResponse struct {
+	ID              string      `json:"id"`
+	Status          jobs.Status `json:"status"`
+	TrialsRequested int         `json:"trialsRequested"`
+	TrialsRun       int         `json:"trialsRun"`
+	// ResumedTrials is how many of TrialsRun were inherited from a
+	// checkpoint written by a previous daemon process.
+	ResumedTrials int     `json:"resumedTrials,omitempty"`
+	CIHalfWidth   float64 `json:"ciHalfWidth,omitempty"`
+	TrialsPerSec  float64 `json:"trialsPerSec,omitempty"`
+}
+
+// newJobManager wires the job subsystem into a Server. An unusable
+// state directory degrades to memory-only jobs rather than a nil
+// manager; the error is kept for ResumeJobs so the daemon's startup
+// still fails loudly instead of silently losing durability.
+func newJobManager(s *Server, cfg Config) (*jobs.Manager, error) {
+	jc := jobs.Config{
+		Dir:             cfg.StateDir,
+		Exec:            s.execJob,
+		CheckpointEvery: cfg.JobCheckpointEvery,
+		MaxConcurrent:   cfg.MaxJobs,
+		ChunkDelay:      cfg.JobChunkDelay,
+	}
+	m, err := jobs.New(jc)
+	if err == nil {
+		return m, nil
+	}
+	jc.Dir = ""
+	m, fallbackErr := jobs.New(jc)
+	if fallbackErr != nil {
+		panic(fallbackErr) // unreachable: Exec is set and Dir is empty
+	}
+	return m, err
+}
+
+// ResumeJobs reloads every checkpoint in the state directory: finished
+// jobs become poll-able again, incomplete ones go straight back into
+// execution from their last chunk boundary. The daemon calls it once
+// at startup, after listeners are up. Returns how many jobs resumed
+// computing, or the state-directory error New deferred.
+func (s *Server) ResumeJobs() (int, error) {
+	if s.jobsDirErr != nil {
+		return 0, s.jobsDirErr
+	}
+	return s.jobs.Resume()
+}
+
+// DrainJobs checkpoints and stops every in-flight job, bounded by ctx.
+// Part of graceful shutdown: drained jobs stay on disk as resumable
+// checkpoints for the next process generation.
+func (s *Server) DrainJobs(ctx context.Context) error {
+	return s.jobs.Drain(ctx)
+}
+
+// retryAfter stamps the polling hint shared by 202 responses and 429
+// sheds.
+func (s *Server) retryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+}
+
+// handleJobSubmit serves POST /v1/jobs: validate the request exactly
+// as /v1/simulate would (plus the job knobs), derive the content
+// identity, and hand the checkpoint to the manager. Always 202 — the
+// job may be fresh, deduped onto a running one, or already finished;
+// the poll endpoint tells which.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := s.readBody(w, r)
+	if err != nil {
+		s.writeHTTPError(w, err)
+		return
+	}
+	var req jobRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "parsing request: "+err.Error())
+		return
+	}
+	if len(req.Instance) == 0 {
+		s.writeError(w, http.StatusBadRequest, `request is missing "instance"`)
+		return
+	}
+	trials := req.Trials
+	if trials == 0 {
+		trials = min(DefaultTrials, s.cfg.MaxJobTrials)
+	}
+	if trials < 1 || trials > s.cfg.MaxJobTrials {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("trials must be in [1, %d], got %d", s.cfg.MaxJobTrials, trials))
+		return
+	}
+	seed := int64(1)
+	if req.SimSeed != nil {
+		seed = *req.SimSeed
+	}
+	chunkSize := req.ChunkSize
+	if chunkSize == 0 {
+		chunkSize = sim.DefaultChunkSize
+	}
+	knobs := jobs.Knobs{
+		Trials:     trials,
+		ChunkSize:  chunkSize,
+		Epsilon:    req.Epsilon,
+		Confidence: req.Confidence,
+		Seed:       seed,
+		Policy:     req.Policy,
+		WorstCase:  req.WorstCase,
+	}
+	if err := knobs.Validate(); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	in, err := core.UnmarshalInstance(req.Instance)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	_, cfg, err := req.coreOptions()
+	if err != nil {
+		s.writeHTTPError(w, err)
+		return
+	}
+	hash, fp := in.Hash(), cfg.Fingerprint()
+	cp := &jobs.Checkpoint{
+		Version:      jobs.CheckpointVersion,
+		ID:           jobs.ID(hash, fp, knobs),
+		InstanceHash: hash,
+		Fingerprint:  fp,
+		Knobs:        knobs,
+		Request:      body,
+	}
+	v, deduped, err := s.jobs.Submit(cp)
+	if err != nil {
+		s.writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+v.ID)
+	s.retryAfter(w)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(jobSubmitResponse{ID: v.ID, Status: v.Status, Deduped: deduped})
+}
+
+// handleJobGet serves GET /v1/jobs/{id}. A queued or running job
+// answers 202 with progress and a Retry-After hint; a finished job
+// answers 200 with the same response document /v1/simulate would have
+// produced (minus the wall-clock profile, which checkpoint resume
+// makes meaningless); a failed job answers its recorded error status.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "unknown job ID")
+		return
+	}
+	switch v.Status {
+	case jobs.StatusDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(v.Result)
+	case jobs.StatusFailed:
+		s.writeError(w, v.ErrorStatus, v.Error)
+	default:
+		s.retryAfter(w)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(jobStatusResponse{
+			ID:              v.ID,
+			Status:          v.Status,
+			TrialsRequested: v.TrialsRequested,
+			TrialsRun:       v.TrialsRun,
+			ResumedTrials:   v.ResumedTrials,
+			CIHalfWidth:     v.CIHalfWidth,
+			TrialsPerSec:    v.TrialsPerSec,
+		})
+	}
+}
+
+// handleJobDelete serves DELETE /v1/jobs/{id}: stop the job if it is
+// computing, forget it, and remove its checkpoint.
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.jobs.Cancel(r.PathValue("id")) {
+		s.writeError(w, http.StatusNotFound, "unknown job ID")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// execJob is the jobs.Exec behind every campaign job: rebuild the
+// submission from the checkpoint's verbatim request body, solve
+// (through the shared result cache), then run the chunked campaign
+// from the checkpoint's chunk boundary, reporting every chunk through
+// progress. The result document deliberately omits the Profile block:
+// wall-clock timing is nondeterministic and a resumed job must produce
+// bytes identical to an uninterrupted one.
+func (s *Server) execJob(ctx context.Context, cp *jobs.Checkpoint, progress jobs.Progress) (json.RawMessage, int, error) {
+	var req jobRequest
+	if err := json.Unmarshal(cp.Request, &req); err != nil {
+		return nil, http.StatusBadRequest, fmt.Errorf("parsing job request: %w", err)
+	}
+	in, err := core.UnmarshalInstance(req.Instance)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	opts, cfg, err := req.coreOptions()
+	if err != nil {
+		return nil, jobErrStatus(err), err
+	}
+	if in.Hash() != cp.InstanceHash || cfg.Fingerprint() != cp.Fingerprint {
+		return nil, http.StatusInternalServerError,
+			fmt.Errorf("checkpoint identity does not match its request body")
+	}
+	policy, err := sim.ParsePolicy(cp.Knobs.Policy)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	// Reuse the checkpointed solve when resuming: re-solving would both
+	// waste the work and change the result's recorded wall time, and a
+	// resumed job must answer bytes identical to an uninterrupted one.
+	var res *core.Result
+	resJSON := cp.Solved
+	if len(resJSON) > 0 {
+		if res, err = core.UnmarshalResult(resJSON, in); err != nil {
+			return nil, http.StatusInternalServerError,
+				fmt.Errorf("checkpointed solve result: %w", err)
+		}
+	} else {
+		res, resJSON, err = s.solveCached(ctx, in, opts, cp.InstanceHash+"|"+cp.Fingerprint)
+		if err != nil {
+			return nil, jobErrStatus(err), err
+		}
+		cp.Solved = resJSON
+	}
+	runner, err := sim.NewRunner(in, res.Schedule, sim.Options{
+		Policy:    policy,
+		Seed:      cp.Knobs.Seed,
+		WorstCase: cp.Knobs.WorstCase,
+	})
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	simStart := time.Now()
+	camp, err := runner.RunCampaignChunked(ctx, sim.ChunkedOptions{
+		Trials:     cp.Knobs.Trials,
+		Workers:    s.clampWorkers(req.Workers),
+		ChunkSize:  cp.Knobs.ChunkSize,
+		Epsilon:    cp.Knobs.Epsilon,
+		Confidence: cp.Knobs.Confidence,
+		StartChunk: cp.NextChunk,
+		Resume:     cp.State,
+		OnChunk:    progress,
+	})
+	if err != nil {
+		return nil, jobErrStatus(err), fmt.Errorf("simulating: %w", err)
+	}
+	s.latency.observe("simulate", time.Since(simStart))
+	out, err := json.Marshal(simulateResponse{
+		Result:   resJSON,
+		Campaign: camp,
+		Delta:    camp.Delta(),
+	})
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	s.simulated.Add(1)
+	return out, 0, nil
+}
+
+// jobErrStatus maps a job compute error to the status its failed
+// checkpoint records. Context errors pass through unclassified — the
+// manager reads them as cancel or drain, never failure.
+func jobErrStatus(err error) int {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		return he.status
+	case errors.Is(err, core.ErrInfeasible):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusBadRequest
+	}
+}

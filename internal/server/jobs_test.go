@@ -1,0 +1,401 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"energysched/internal/core"
+	"energysched/internal/jobs"
+	"energysched/internal/server"
+)
+
+// panicSolverName backs the panic-recovery tests: a registry solver
+// that panics on Solve. Like slowSolver it only supports instances
+// whose first task carries its name, so it can never win auto-dispatch
+// for other tests or fuzz inputs.
+const panicSolverName = "server-test-panic"
+
+type panicSolver struct{}
+
+func (panicSolver) Name() string { return panicSolverName }
+
+func (panicSolver) Supports(in *core.Instance) bool {
+	return in.Graph.N() > 0 && in.Graph.Task(0).Name == panicSolverName
+}
+
+func (panicSolver) Solve(ctx context.Context, in *core.Instance, cfg *core.Config) (*core.Result, error) {
+	panic("deliberate test panic")
+}
+
+func init() { core.Register(panicSolverName, panicSolver{}) }
+
+func panicInstance() string {
+	return `{
+  "tasks": [{"name": "` + panicSolverName + `", "weight": 1}],
+  "processors": 1,
+  "speedModel": {"kind": "continuous", "fmin": 0.1, "fmax": 1},
+  "deadline": 100
+}`
+}
+
+// jobSubmit posts a job request and returns the decoded 202 body.
+func jobSubmit(t *testing.T, h http.Handler, body string) (id string, deduped bool) {
+	t.Helper()
+	rec := do(h, "POST", "/v1/jobs", body)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202\nbody: %s", rec.Code, rec.Body.Bytes())
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("submit response has no Retry-After")
+	}
+	resp := decode[struct {
+		ID      string `json:"id"`
+		Status  string `json:"status"`
+		Deduped bool   `json:"deduped"`
+	}](t, rec)
+	if resp.ID == "" || resp.Status == "" {
+		t.Fatalf("submit body incomplete: %s", rec.Body.Bytes())
+	}
+	if loc := rec.Header().Get("Location"); loc != "/v1/jobs/"+resp.ID {
+		t.Fatalf("Location %q, want /v1/jobs/%s", loc, resp.ID)
+	}
+	return resp.ID, resp.Deduped
+}
+
+// jobWait polls GET /v1/jobs/{id} until it answers 200, returning the
+// final body bytes.
+func jobWait(t *testing.T, h http.Handler, id string) []byte {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		rec := do(h, "GET", "/v1/jobs/"+id, "")
+		switch rec.Code {
+		case http.StatusOK:
+			return rec.Body.Bytes()
+		case http.StatusAccepted:
+			if ra := rec.Header().Get("Retry-After"); ra == "" {
+				t.Fatal("202 poll has no Retry-After")
+			}
+			time.Sleep(5 * time.Millisecond)
+		default:
+			t.Fatalf("poll status %d: %s", rec.Code, rec.Body.Bytes())
+		}
+	}
+	t.Fatalf("job %s never finished", id)
+	return nil
+}
+
+// TestJobLifecycle: submit → poll → done, with the finished document
+// carrying the same deterministic campaign /v1/simulate computes, and
+// an identical resubmission deduping onto the finished job.
+func TestJobLifecycle(t *testing.T) {
+	h := server.New(server.Config{}).Handler()
+	body := `{"instance":` + chainInstance + `,"trials":256,"chunkSize":64,"simSeed":7}`
+	id, deduped := jobSubmit(t, h, body)
+	if deduped {
+		t.Fatal("fresh submission reported deduped")
+	}
+	final := jobWait(t, h, id)
+
+	var jobResp struct {
+		Result   json.RawMessage `json:"result"`
+		Campaign json.RawMessage `json:"campaign"`
+		Delta    json.RawMessage `json:"delta"`
+		Profile  json.RawMessage `json:"profile"`
+	}
+	if err := json.Unmarshal(final, &jobResp); err != nil {
+		t.Fatalf("final document: %v\n%s", err, final)
+	}
+	if len(jobResp.Result) == 0 || len(jobResp.Campaign) == 0 {
+		t.Fatalf("final document incomplete: %s", final)
+	}
+	if len(jobResp.Profile) != 0 {
+		t.Fatalf("job result carries a wall-clock profile: %s", jobResp.Profile)
+	}
+
+	// The campaign must agree with the synchronous endpoint on every
+	// deterministic field (the chunked run adds its reporting fields).
+	simRec := do(h, "POST", "/v1/simulate", body)
+	if simRec.Code != 200 {
+		t.Fatalf("simulate: %d %s", simRec.Code, simRec.Body.Bytes())
+	}
+	var simResp struct {
+		Campaign map[string]any `json:"campaign"`
+	}
+	if err := json.Unmarshal(simRec.Body.Bytes(), &simResp); err != nil {
+		t.Fatal(err)
+	}
+	var jobCamp map[string]any
+	if err := json.Unmarshal(jobResp.Campaign, &jobCamp); err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range simResp.Campaign {
+		got, ok := jobCamp[k]
+		if !ok {
+			t.Errorf("job campaign is missing %q", k)
+			continue
+		}
+		wj, _ := json.Marshal(want)
+		gj, _ := json.Marshal(got)
+		if string(wj) != string(gj) {
+			t.Errorf("campaign field %q: job %s, simulate %s", k, gj, wj)
+		}
+	}
+	if jobCamp["trialsRequested"] != float64(256) {
+		t.Errorf("trialsRequested = %v, want 256", jobCamp["trialsRequested"])
+	}
+
+	// Identical resubmission dedupes; polling it returns the result at once.
+	id2, deduped := jobSubmit(t, h, body)
+	if id2 != id || !deduped {
+		t.Fatalf("resubmit: id %q (want %q), deduped=%t", id2, id, deduped)
+	}
+
+	stats := decode[struct {
+		Jobs struct {
+			Done      int64 `json:"done"`
+			Submitted int64 `json:"submitted"`
+			Deduped   int64 `json:"deduped"`
+		} `json:"jobs"`
+		Simulated int64 `json:"simulated"`
+	}](t, do(h, "GET", "/stats", ""))
+	if stats.Jobs.Done != 1 || stats.Jobs.Submitted != 1 || stats.Jobs.Deduped != 1 {
+		t.Fatalf("job stats: %+v", stats.Jobs)
+	}
+	if stats.Simulated != 2 { // one job campaign, one synchronous campaign
+		t.Fatalf("simulated = %d, want 2", stats.Simulated)
+	}
+}
+
+// TestJobRestartResumeBitIdentity is the server-level crash proof:
+// drain a paced job mid-campaign, rebuild the Server over the same
+// state directory (a daemon restart in miniature), resume, and the
+// final document must be byte-identical to an uninterrupted run.
+func TestJobRestartResumeBitIdentity(t *testing.T) {
+	body := `{"instance":` + chainInstance + `,"trials":2000,"chunkSize":64,"simSeed":3,"policy":"max-speed"}`
+
+	// Uninterrupted reference on a throwaway server. Its campaign and
+	// delta blocks are the byte-identity reference; its result block is
+	// not (solve wall time is nondeterministic across processes).
+	refH := server.New(server.Config{}).Handler()
+	refID, _ := jobSubmit(t, refH, body)
+	want := jobWait(t, refH, refID)
+
+	dir := t.TempDir()
+	s1 := server.New(server.Config{StateDir: dir, JobChunkDelay: 20 * time.Millisecond, JobCheckpointEvery: 1})
+	h1 := s1.Handler()
+	id, _ := jobSubmit(t, h1, body)
+
+	// Wait until the job is demonstrably mid-campaign.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rec := do(h1, "GET", "/v1/jobs/"+id, "")
+		if rec.Code == http.StatusAccepted {
+			var st struct {
+				TrialsRun       int `json:"trialsRun"`
+				TrialsRequested int `json:"trialsRequested"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+				t.Fatal(err)
+			}
+			if st.TrialsRun > 0 && st.TrialsRun < st.TrialsRequested {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never got mid-campaign: %s", do(h1, "GET", "/v1/jobs/"+id, "").Body.Bytes())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s1.DrainJobs(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// A draining server refuses new submissions with 503.
+	if rec := do(h1, "POST", "/v1/jobs", body); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: %d, want 503", rec.Code)
+	}
+	// The drained checkpoint carries the original solve bytes — the
+	// resumed document must embed exactly these, not a fresh re-solve.
+	data, err := os.ReadFile(filepath.Join(dir, id+".job.json"))
+	if err != nil {
+		t.Fatalf("drained checkpoint: %v", err)
+	}
+	drained, err := jobs.ParseCheckpoint(data)
+	if err != nil {
+		t.Fatalf("drained checkpoint does not parse: %v", err)
+	}
+	if drained.Done || drained.NextChunk == 0 || len(drained.Solved) == 0 {
+		t.Fatalf("drained checkpoint not mid-campaign: done=%t chunk=%d solved=%d bytes",
+			drained.Done, drained.NextChunk, len(drained.Solved))
+	}
+
+	// "Restart": a fresh Server over the same state directory.
+	s2 := server.New(server.Config{StateDir: dir})
+	h2 := s2.Handler()
+	if n, err := s2.ResumeJobs(); err != nil || n != 1 {
+		t.Fatalf("resume: n=%d err=%v", n, err)
+	}
+	got := jobWait(t, h2, id)
+
+	var gotDoc, wantDoc struct {
+		Result   json.RawMessage `json:"result"`
+		Campaign json.RawMessage `json:"campaign"`
+		Delta    json.RawMessage `json:"delta"`
+	}
+	if err := json.Unmarshal(got, &gotDoc); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(want, &wantDoc); err != nil {
+		t.Fatal(err)
+	}
+	if string(gotDoc.Campaign) != string(wantDoc.Campaign) {
+		t.Fatalf("resumed campaign differs from uninterrupted run:\nresumed: %s\nref:     %s",
+			gotDoc.Campaign, wantDoc.Campaign)
+	}
+	if string(gotDoc.Delta) != string(wantDoc.Delta) {
+		t.Fatalf("resumed delta differs:\nresumed: %s\nref: %s", gotDoc.Delta, wantDoc.Delta)
+	}
+	if string(gotDoc.Result) != string(drained.Solved) {
+		t.Fatalf("resumed result is not the checkpointed solve:\nresumed: %s\ncheckpoint: %s",
+			gotDoc.Result, drained.Solved)
+	}
+	stats := decode[struct {
+		Jobs struct {
+			Resumed     int64 `json:"resumed"`
+			Checkpoints int64 `json:"checkpoints"`
+		} `json:"jobs"`
+	}](t, do(h2, "GET", "/stats", ""))
+	if stats.Jobs.Resumed != 1 || stats.Jobs.Checkpoints == 0 {
+		t.Fatalf("job stats after resume: %+v", stats.Jobs)
+	}
+}
+
+// TestJobAdaptiveStops: a job with epsilon resolves in fewer trials
+// than requested and reports the early stop.
+func TestJobAdaptiveStops(t *testing.T) {
+	h := server.New(server.Config{}).Handler()
+	body := `{"instance":` + chainInstance + `,"trials":100000,"chunkSize":256,"epsilon":0.05,"confidence":0.95}`
+	id, _ := jobSubmit(t, h, body)
+	final := jobWait(t, h, id)
+	var resp struct {
+		Campaign struct {
+			Trials          int     `json:"trials"`
+			TrialsRequested int     `json:"trialsRequested"`
+			StoppedEarly    bool    `json:"stoppedEarly"`
+			CIHalfWidth     float64 `json:"ciHalfWidth"`
+		} `json:"campaign"`
+	}
+	if err := json.Unmarshal(final, &resp); err != nil {
+		t.Fatal(err)
+	}
+	c := resp.Campaign
+	if !c.StoppedEarly || c.Trials >= c.TrialsRequested || c.TrialsRequested != 100000 {
+		t.Fatalf("expected an early stop: %+v", c)
+	}
+	if c.CIHalfWidth <= 0 || c.CIHalfWidth > 0.05 {
+		t.Fatalf("CI half-width %v, want in (0, 0.05]", c.CIHalfWidth)
+	}
+}
+
+// TestJobValidationAndNotFound walks the request-rejection surface.
+func TestJobValidationAndNotFound(t *testing.T) {
+	h := server.New(server.Config{MaxJobTrials: 1000}).Handler()
+	for name, tc := range map[string]struct {
+		body string
+		want int
+	}{
+		"no instance":    {`{"trials":100}`, 400},
+		"bad json":       {`not json`, 400},
+		"over cap":       {`{"instance":` + chainInstance + `,"trials":2000}`, 400},
+		"tiny chunk":     {`{"instance":` + chainInstance + `,"chunkSize":8}`, 400},
+		"bad confidence": {`{"instance":` + chainInstance + `,"epsilon":0.1,"confidence":0.5}`, 400},
+		"bad policy":     {`{"instance":` + chainInstance + `,"policy":"bogus"}`, 400},
+		"bad solver":     {`{"instance":` + chainInstance + `,"solver":"nope"}`, 400},
+	} {
+		if rec := do(h, "POST", "/v1/jobs", tc.body); rec.Code != tc.want {
+			t.Errorf("%s: status %d, want %d\nbody: %s", name, rec.Code, tc.want, rec.Body.Bytes())
+		}
+	}
+	if rec := do(h, "GET", "/v1/jobs/0123-abcd", ""); rec.Code != 404 {
+		t.Errorf("unknown job GET: %d, want 404", rec.Code)
+	}
+	if rec := do(h, "DELETE", "/v1/jobs/0123-abcd", ""); rec.Code != 404 {
+		t.Errorf("unknown job DELETE: %d, want 404", rec.Code)
+	}
+}
+
+// TestJobDelete: cancelling a paced running job forgets it entirely.
+func TestJobDelete(t *testing.T) {
+	s := server.New(server.Config{StateDir: t.TempDir(), JobChunkDelay: 20 * time.Millisecond})
+	h := s.Handler()
+	id, _ := jobSubmit(t, h, `{"instance":`+chainInstance+`,"trials":5000,"chunkSize":64}`)
+	if rec := do(h, "DELETE", "/v1/jobs/"+id, ""); rec.Code != http.StatusNoContent {
+		t.Fatalf("delete: %d, want 204", rec.Code)
+	}
+	if rec := do(h, "GET", "/v1/jobs/"+id, ""); rec.Code != 404 {
+		t.Fatalf("GET after delete: %d, want 404", rec.Code)
+	}
+	// Gone from disk too: a restart resumes nothing.
+	if n, err := s.ResumeJobs(); err != nil || n != 0 {
+		t.Fatalf("resume after delete: n=%d err=%v", n, err)
+	}
+}
+
+// TestPanicRecoveryMiddleware: a panicking solver answers a 500 JSON
+// envelope with the request's trace ID instead of killing the daemon;
+// the panic is counted and the server keeps serving. On /v1/batch the
+// worker pool contains the panic per item.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	h := server.New(server.Config{}).Handler()
+	rec := do(h, "POST", "/v1/solve", `{"instance":`+panicInstance()+`,"solver":"`+panicSolverName+`"}`)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking solve: status %d, want 500\nbody: %s", rec.Code, rec.Body.Bytes())
+	}
+	envelope := decode[struct {
+		Error     string `json:"error"`
+		RequestID string `json:"requestId"`
+	}](t, rec)
+	if !strings.Contains(envelope.Error, "internal error") || !strings.Contains(envelope.Error, "deliberate test panic") {
+		t.Fatalf("envelope error %q", envelope.Error)
+	}
+	if envelope.RequestID == "" || envelope.RequestID != rec.Header().Get("X-Request-Id") {
+		t.Fatalf("envelope requestId %q, header %q", envelope.RequestID, rec.Header().Get("X-Request-Id"))
+	}
+
+	// The server survives and still serves.
+	if rec := do(h, "POST", "/v1/solve", `{"instance":`+chainInstance+`}`); rec.Code != 200 {
+		t.Fatalf("solve after panic: %d", rec.Code)
+	}
+	stats := decode[struct {
+		Panics int64 `json:"panics"`
+		Errors int64 `json:"errors"`
+	}](t, do(h, "GET", "/stats", ""))
+	if stats.Panics != 1 {
+		t.Fatalf("stats panics = %d, want 1", stats.Panics)
+	}
+
+	// Batch: the pool contains the panic in its item; no 500, no crash.
+	rec = do(h, "POST", "/v1/batch", `{"instances":[`+panicInstance()+`,`+chainInstance+`],"solver":"`+panicSolverName+`"}`)
+	if rec.Code != 200 {
+		t.Fatalf("batch with panicking item: %d\nbody: %s", rec.Code, rec.Body.Bytes())
+	}
+	var batch struct {
+		Items []struct {
+			Error string `json:"error"`
+		} `json:"items"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &batch); err != nil || len(batch.Items) != 2 {
+		t.Fatalf("batch response: %v\n%s", err, rec.Body.Bytes())
+	}
+	if !strings.Contains(batch.Items[0].Error, "panicked") {
+		t.Fatalf("panicking item error %q", batch.Items[0].Error)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"energysched/internal/hist"
+	"energysched/internal/jobs"
 	"energysched/internal/obs"
 )
 
@@ -35,6 +36,44 @@ func (s *Server) newRegistry() *obs.Registry {
 		func() float64 { return float64(s.cfg.MaxQueueDepth) })
 	r.Counter("energyschedd_shed_total", "Requests answered 429 by admission control.", "shed", &s.shed)
 	r.Counter("energyschedd_coalesced_total", "Requests served a concurrent leader's bytes.", "coalesced", &s.coalesced)
+	r.Counter("energyschedd_panics_total", "Handler panics contained by the recovery middleware.", "panics", &s.panics)
+
+	// Campaign-job families mirror the /stats "jobs" block: live
+	// lifecycle gauges plus the durability counters (checkpoints
+	// written, corrupt files skipped, persistence failures, contained
+	// exec panics).
+	jobStat := func(name, help, key string, pick func(jobs.Stats) int64, counter bool) {
+		f := func() float64 { return float64(pick(s.jobs.Stats())) }
+		if counter {
+			r.CounterFunc(name, help, "jobs."+key, f)
+		} else {
+			r.GaugeFunc(name, help, "jobs."+key, f)
+		}
+	}
+	jobStat("energyschedd_jobs_queued", "Campaign jobs waiting for a compute slot.", "queued",
+		func(st jobs.Stats) int64 { return st.Queued }, false)
+	jobStat("energyschedd_jobs_running", "Campaign jobs currently computing.", "running",
+		func(st jobs.Stats) int64 { return st.Running }, false)
+	jobStat("energyschedd_jobs_done", "Finished campaign jobs held for polling.", "done",
+		func(st jobs.Stats) int64 { return st.Done }, false)
+	jobStat("energyschedd_jobs_failed", "Failed campaign jobs held for polling.", "failed",
+		func(st jobs.Stats) int64 { return st.Failed }, false)
+	jobStat("energyschedd_jobs_cancelled_total", "Campaign jobs cancelled via DELETE.", "cancelled",
+		func(st jobs.Stats) int64 { return st.Cancelled }, true)
+	jobStat("energyschedd_jobs_submitted_total", "Campaign jobs accepted (excluding dedupes).", "submitted",
+		func(st jobs.Stats) int64 { return st.Submitted }, true)
+	jobStat("energyschedd_jobs_deduped_total", "Submissions deduped onto an existing job.", "deduped",
+		func(st jobs.Stats) int64 { return st.Deduped }, true)
+	jobStat("energyschedd_jobs_resumed_total", "Jobs resumed from checkpoints after a restart.", "resumed",
+		func(st jobs.Stats) int64 { return st.Resumed }, true)
+	jobStat("energyschedd_jobs_checkpoints_total", "Job checkpoints written atomically.", "checkpoints",
+		func(st jobs.Stats) int64 { return st.Checkpoints }, true)
+	jobStat("energyschedd_jobs_corrupt_total", "Corrupt checkpoint files skipped on scan.", "corrupt",
+		func(st jobs.Stats) int64 { return st.Corrupt }, true)
+	jobStat("energyschedd_jobs_persist_errors_total", "Checkpoint writes that failed.", "persistErrors",
+		func(st jobs.Stats) int64 { return st.PersistErrs }, true)
+	jobStat("energyschedd_jobs_panics_total", "Job executions that panicked and were contained.", "panics",
+		func(st jobs.Stats) int64 { return st.Panics }, true)
 
 	r.CounterFunc("energyschedd_cache_hits_total", "Result cache hits.", "cache.hits",
 		func() float64 { return float64(s.cache.Stats().Hits) })

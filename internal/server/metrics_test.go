@@ -46,6 +46,10 @@ func flattenStats(t *testing.T, raw []byte) map[string]float64 {
 			for ck, cv := range v.(map[string]any) {
 				out["cache."+ck] = cv.(float64)
 			}
+		case "jobs":
+			for jk, jv := range v.(map[string]any) {
+				out["jobs."+jk] = jv.(float64)
+			}
 		default:
 			if f, ok := v.(float64); ok {
 				out[k] = f

@@ -35,6 +35,7 @@ import (
 
 	"energysched/internal/cache"
 	"energysched/internal/core"
+	"energysched/internal/jobs"
 	"energysched/internal/obs"
 	"energysched/internal/sim"
 )
@@ -115,6 +116,25 @@ type Config struct {
 	// TraceLogger, when set, emits one structured log line per traced
 	// request.
 	TraceLogger *slog.Logger
+	// StateDir, when set, makes campaign jobs durable: every job
+	// checkpoints to this directory and ResumeJobs reloads incomplete
+	// jobs after a restart. Empty runs jobs memory-only.
+	StateDir string
+	// MaxJobTrials caps the campaign size a POST /v1/jobs request may
+	// ask for (default sim.MaxJobCampaignTrials — far above MaxTrials,
+	// because jobs are asynchronous, chunked and flat-memory).
+	MaxJobTrials int
+	// MaxJobs bounds how many jobs compute concurrently (default 2;
+	// campaigns are internally parallel already, so this bounds memory,
+	// not throughput).
+	MaxJobs int
+	// JobCheckpointEvery persists a running job's checkpoint every this
+	// many chunks (default 8).
+	JobCheckpointEvery int
+	// JobChunkDelay, when positive, sleeps this long after every job
+	// chunk — a pacing knob for tests and smoke runs that need a job to
+	// stay observable mid-flight long enough to kill the process.
+	JobChunkDelay time.Duration
 }
 
 // Server is the handler state: resolved config, result cache,
@@ -130,6 +150,9 @@ type Server struct {
 	tracer  *obs.Tracer // nil when tracing is disabled
 	metrics *obs.Registry
 
+	jobs       *jobs.Manager // asynchronous campaign jobs (/v1/jobs)
+	jobsDirErr error         // StateDir creation failure, surfaced by ResumeJobs
+
 	flights flightGroup // coalesces concurrent identical cache misses
 
 	requests  atomic.Int64 // HTTP requests accepted (all endpoints)
@@ -142,6 +165,7 @@ type Server struct {
 	queued    atomic.Int64 // requests currently waiting for a slot
 	shed      atomic.Int64 // requests answered 429 by admission control
 	coalesced atomic.Int64 // requests served a concurrent leader's bytes
+	panics    atomic.Int64 // handler panics contained by the recovery middleware
 }
 
 // New returns a ready-to-serve Server with cfg's zero fields replaced
@@ -174,6 +198,9 @@ func New(cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = DefaultRetryAfter
 	}
+	if cfg.MaxJobTrials <= 0 {
+		cfg.MaxJobTrials = sim.MaxJobCampaignTrials
+	}
 	s := &Server{
 		cfg:     cfg,
 		cache:   cache.New[[]byte](cfg.CacheSize),
@@ -190,11 +217,15 @@ func New(cfg Config) *Server {
 			Logger:  cfg.TraceLogger,
 		})
 	}
+	s.jobs, s.jobsDirErr = newJobManager(s, cfg)
 	s.metrics = s.newRegistry()
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	s.mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -204,13 +235,43 @@ func New(cfg Config) *Server {
 }
 
 // Handler returns the service's http.Handler: the mux behind the
-// tracing wrapper, which traces /v1/* requests and passes scrape and
-// probe traffic through untouched.
+// panic-recovery and tracing wrappers. Tracing covers /v1/* requests
+// and passes scrape and probe traffic through untouched; recovery
+// covers everything — a handler panic (a broken registered solver, a
+// bug in a request path) answers 500 with the uniform error envelope
+// and the request's trace ID instead of killing the daemon and every
+// other in-flight request with it.
 func (s *Server) Handler() http.Handler {
 	return obs.WrapHandler(s.tracer, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				// The sanctioned abort-this-response panic, not a bug.
+				panic(rec)
+			}
+			s.panics.Add(1)
+			s.writePanic(w, rec)
+		}()
 		s.mux.ServeHTTP(w, r)
 	}))
+}
+
+// writePanic emits the 500 envelope for a recovered handler panic. The
+// trace ID rides along explicitly (not just in the X-Request-Id header
+// the tracing wrapper already set) so a client that only keeps bodies
+// can still quote the ID when reporting the crash.
+func (s *Server) writePanic(w http.ResponseWriter, rec any) {
+	s.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusInternalServerError)
+	json.NewEncoder(w).Encode(map[string]string{
+		"error":     fmt.Sprintf("internal error: %v", rec),
+		"requestId": w.Header().Get(obs.RequestIDHeader),
+	})
 }
 
 // Metrics exposes the registry behind GET /metrics — the same atomics

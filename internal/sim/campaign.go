@@ -42,6 +42,13 @@ const chunk = 64
 // same ceiling.
 const MaxCampaignTrials = 200_000
 
+// MaxJobCampaignTrials caps the campaign size an asynchronous job may
+// ask for. Jobs run chunked with flat memory and survive restarts, so
+// their ceiling is set by patience, not RAM — 25× the synchronous
+// in-request cap. Shared by the service's job endpoint and
+// cmd/energysim -job validation.
+const MaxJobCampaignTrials = 5_000_000
+
 // CampaignOptions tunes RunCampaign.
 type CampaignOptions struct {
 	// Trials is the number of simulated runs (required, > 0).
@@ -72,7 +79,20 @@ type Summary struct {
 // Campaign is the aggregate of a RunCampaign call, JSON-ready for the
 // CLI and the service.
 type Campaign struct {
-	Trials         int     `json:"trials"`
+	Trials int `json:"trials"`
+	// TrialsRequested is the campaign size the caller asked for; it is
+	// only set (and only differs from Trials) on chunked campaigns,
+	// where the sequential-confidence stopping rule may finish the
+	// campaign with fewer trials than requested.
+	TrialsRequested int `json:"trialsRequested,omitempty"`
+	// StoppedEarly marks a chunked campaign ended by the stopping rule
+	// before TrialsRequested trials ran.
+	StoppedEarly bool `json:"stoppedEarly,omitempty"`
+	// CIHalfWidth is the Wilson confidence-interval half-width on the
+	// success rate at the campaign's confidence level, reported by
+	// chunked campaigns (the quantity the stopping rule drives below
+	// epsilon).
+	CIHalfWidth    float64 `json:"ciHalfWidth,omitempty"`
 	Seed           int64   `json:"seed"`
 	Policy         string  `json:"policy"`
 	WorstCase      bool    `json:"worstCase,omitempty"`
@@ -339,18 +359,26 @@ func (r *Runner) RunCampaign(ctx context.Context, trials, workers int) (*Campaig
 // claim counter runs past the end or the context is cancelled.
 func campaignWorker(ctx context.Context, r *Runner, tr *Trace, slots []trialSlot, next *atomic.Int64, wg *sync.WaitGroup) {
 	defer wg.Done()
-	trials := len(slots)
+	runClaims(ctx, r, tr, slots, 0, next)
+}
+
+// runClaims is the shared claim loop of the whole-campaign and chunked
+// worker pools: claim chunk-sized runs of slot indices until the
+// counter runs past len(slots) or the context is cancelled, executing
+// trial base+i into slots[i].
+func runClaims(ctx context.Context, r *Runner, tr *Trace, slots []trialSlot, base int, next *atomic.Int64) {
+	n := len(slots)
 	for {
 		lo := int(next.Add(chunk)) - chunk
-		if lo >= trials || ctx.Err() != nil {
+		if lo >= n || ctx.Err() != nil {
 			return
 		}
 		hi := lo + chunk
-		if hi > trials {
-			hi = trials
+		if hi > n {
+			hi = n
 		}
 		for t := lo; t < hi; t++ {
-			r.Run(t, tr)
+			r.Run(base+t, tr)
 			o := &tr.Outcome
 			var flags uint8
 			if o.Succeeded {
